@@ -1,0 +1,130 @@
+// Command biosim runs a single electrochemical measurement on a chosen
+// biosensor and writes the trace as CSV — the quick way to look at raw
+// simulator output.
+//
+// Examples:
+//
+//	biosim -target glucose -conc 2 -duration 120 > glucose_ca.csv
+//	biosim -target benzphetamine -conc 0.8 -mode cv > benz_cv.csv
+//	biosim -target glucose -mode monitor -inject 10:2 -duration 150
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"advdiag"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "glucose", "target molecule (see -list)")
+		probe    = flag.String("probe", "", "force a specific probe (e.g. CYP11A1)")
+		mode     = flag.String("mode", "auto", "auto|ca|cv|monitor")
+		conc     = flag.Float64("conc", 1.0, "sample concentration in mM")
+		duration = flag.Float64("duration", 120, "measurement duration in s (ca/monitor)")
+		inject   = flag.String("inject", "", "monitor injections, time:deltaMM[,time:deltaMM...]")
+		seed     = flag.Uint64("seed", 1, "noise seed")
+		list     = flag.Bool("list", false, "list the registered targets and probes")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, t := range advdiag.Targets() {
+			fmt.Printf("%-16s probes: %s\n", t, strings.Join(advdiag.ProbesFor(t), ", "))
+		}
+		return
+	}
+
+	opts := []advdiag.SensorOption{advdiag.WithSeed(*seed)}
+	if *probe != "" {
+		opts = append(opts, advdiag.WithProbe(*probe))
+	}
+	sensor, err := advdiag.NewSensor(*target, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	m := *mode
+	if m == "auto" {
+		if sensor.Technique() == "cyclic voltammetry" {
+			m = "cv"
+		} else {
+			m = "ca"
+		}
+	}
+
+	switch m {
+	case "ca":
+		uA, err := sensor.MeasureSteadyState(*conc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# %s via %s, %g mM, steady-state current\n", *target, sensor.Probe(), *conc)
+		fmt.Printf("current_uA,%g\n", uA)
+	case "cv":
+		vg, err := sensor.RunVoltammetry(map[string]float64{*target: *conc})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# voltammogram: %s via %s, %g mM\n", *target, sensor.Probe(), *conc)
+		fmt.Println("potential_mV,current_uA")
+		for i := range vg.PotentialsMV {
+			fmt.Printf("%g,%g\n", vg.PotentialsMV[i], vg.CurrentsMicroAmps[i])
+		}
+		for _, pk := range vg.Peaks {
+			fmt.Printf("# peak at %+.0f mV, height %.4g uA\n", pk.PotentialMV, pk.HeightMicroAmps)
+		}
+	case "monitor":
+		events, err := parseInjections(*inject)
+		if err != nil {
+			fatal(err)
+		}
+		if len(events) == 0 {
+			events = []advdiag.InjectionEvent{{AtSeconds: 10, DeltaMM: *conc}}
+		}
+		mon, err := sensor.Monitor(*duration, events...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# monitoring: %s via %s; t90=%.1fs steady=%.4g uA\n",
+			*target, sensor.Probe(), mon.T90Seconds, mon.SteadyMicroAmps)
+		fmt.Println("time_s,current_uA")
+		for i := range mon.TimesSeconds {
+			fmt.Printf("%g,%g\n", mon.TimesSeconds[i], mon.CurrentsMicroAmps[i])
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", m))
+	}
+}
+
+func parseInjections(spec string) ([]advdiag.InjectionEvent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []advdiag.InjectionEvent
+	for _, part := range strings.Split(spec, ",") {
+		bits := strings.Split(part, ":")
+		if len(bits) != 2 {
+			return nil, fmt.Errorf("bad injection %q (want time:deltaMM)", part)
+		}
+		at, err := strconv.ParseFloat(bits[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad injection time %q: %w", bits[0], err)
+		}
+		delta, err := strconv.ParseFloat(bits[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad injection delta %q: %w", bits[1], err)
+		}
+		out = append(out, advdiag.InjectionEvent{AtSeconds: at, DeltaMM: delta})
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "biosim: %v\n", err)
+	os.Exit(1)
+}

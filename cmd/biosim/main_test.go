@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseInjections(t *testing.T) {
+	evs, err := parseInjections("10:2,120:1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].AtSeconds != 10 || evs[0].DeltaMM != 2 {
+		t.Fatalf("first event %+v", evs[0])
+	}
+	if evs[1].AtSeconds != 120 || evs[1].DeltaMM != 1.5 {
+		t.Fatalf("second event %+v", evs[1])
+	}
+}
+
+func TestParseInjectionsEmpty(t *testing.T) {
+	evs, err := parseInjections("")
+	if err != nil || evs != nil {
+		t.Fatalf("empty spec: %v, %v", evs, err)
+	}
+}
+
+func TestParseInjectionsRejects(t *testing.T) {
+	for _, bad := range []string{"10", "10:2:3", "x:1", "1:y"} {
+		if _, err := parseInjections(bad); err == nil {
+			t.Errorf("%q must fail", bad)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (and the DESIGN.md ablations) and prints the paper-vs-
+// measured comparison — the data behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"advdiag/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by id (E1..E16)")
+	flag.Parse()
+
+	if *only != "" {
+		runners := map[string]func() (*experiments.Result, error){
+			"E1": experiments.TableI, "E2": experiments.TableII, "E3": experiments.TableIII,
+			"E4": experiments.Fig1, "E5": experiments.Fig2, "E6": experiments.Fig3,
+			"E7": experiments.Fig4, "E8": experiments.ReadoutRequirements,
+			"E9": experiments.NoiseAblation, "E10": experiments.StructureAblation,
+			"E11": experiments.SweepRateLimit, "E12": experiments.MuxSharing,
+			"E13": experiments.TimeBasedReadout, "E14": experiments.LongTermDrift,
+			"E15": experiments.Interference, "E16": experiments.SensorArrays,
+		}
+		run, ok := runners[strings.ToUpper(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (want E1..E14)\n", *only)
+			os.Exit(2)
+		}
+		res, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res)
+		return
+	}
+
+	results, err := experiments.All()
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+// Command platgen runs the platform design-space exploration for a set
+// of target molecules and prints the chosen design: block inventory,
+// wiring, schedule, and cost — with the scored alternatives and the
+// Pareto front on request.
+//
+// Examples:
+//
+//	platgen -targets glucose,lactate,cholesterol
+//	platgen -targets glucose,benzphetamine,aminopyrine -all -dot
+//	platgen -targets glucose -interferents dopamine -cds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"advdiag"
+)
+
+func main() {
+	var (
+		targets      = flag.String("targets", "", "comma-separated target molecules (required)")
+		interferents = flag.String("interferents", "", "comma-separated matrix interferents")
+		period       = flag.Float64("period", 0, "required sample period in seconds (0 = unconstrained)")
+		cds          = flag.Bool("cds", false, "add a blank electrode for correlated double sampling")
+		all          = flag.Bool("all", false, "print every scored candidate and the Pareto front")
+		dot          = flag.Bool("dot", false, "print the Graphviz netlist instead of ASCII")
+	)
+	flag.Parse()
+
+	if *targets == "" {
+		fmt.Fprintln(os.Stderr, "platgen: -targets is required (e.g. -targets glucose,lactate)")
+		fmt.Fprintln(os.Stderr, "registered targets:", strings.Join(advdiag.Targets(), ", "))
+		os.Exit(2)
+	}
+	names := strings.Split(*targets, ",")
+
+	var opts []advdiag.PlatformOption
+	if *interferents != "" {
+		opts = append(opts, advdiag.WithInterferents(strings.Split(*interferents, ",")...))
+	}
+	if *period > 0 {
+		opts = append(opts, advdiag.WithSamplePeriod(*period))
+	}
+	if *cds {
+		opts = append(opts, advdiag.WithCDSBlank())
+	}
+
+	if *all {
+		cands, pareto, err := advdiag.ExploreDesigns(names, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("design space: %d candidates\n", len(cands))
+		for _, line := range cands {
+			fmt.Println(" ", line)
+		}
+		fmt.Printf("\nPareto front (area / power / panel time): %d designs\n", len(pareto))
+		for _, line := range pareto {
+			fmt.Println(" ", line)
+		}
+		fmt.Println()
+	}
+
+	p, err := advdiag.DesignPlatform(names, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("selected design:", p.CostSummary())
+	for _, w := range p.Violations() {
+		fmt.Println(" ", w)
+	}
+	fmt.Println()
+	if *dot {
+		fmt.Println(p.DOT())
+	} else {
+		fmt.Println(p.Describe())
+	}
+	fmt.Println(p.Schedule())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "platgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Package advdiag is an open reproduction of "An Integrated Platform for
+// Advanced Diagnostics" (De Micheli, Ghoreishizadeh, Boero, Valgimigli,
+// Carrara — DATE 2011): platform-based design of integrated multi-target
+// electrochemical biosensors, together with the full simulation substrate
+// needed to evaluate such platforms without a wet lab.
+//
+// The package offers three entry points:
+//
+//   - Sensor: one functionalized working electrode with its acquisition
+//     chain. Supports chronoamperometry (oxidase probes: glucose,
+//     lactate, glutamate, cholesterol) and cyclic voltammetry
+//     (cytochrome P450 probes for drug compounds), calibration runs and
+//     figure-of-merit extraction (LOD, sensitivity, linear range,
+//     response time).
+//
+//   - Platform: the paper's contribution. Given a list of target
+//     molecules, the design-space explorer chooses probes, sensor
+//     structure (shared chamber, per-technique, per-electrode), readout
+//     classes and multiplexing, prunes infeasible configurations with
+//     the paper's §II rules, and synthesizes the best candidate into a
+//     simulatable multi-electrode platform with a netlist and an
+//     acquisition schedule.
+//
+//   - Explore: the raw design-space exploration, returning every scored
+//     candidate and the area/power/latency Pareto front.
+//
+// All public values use the paper's units: mM for concentrations, mV for
+// potentials, µA for currents, µA/(mM·cm²) for sensitivities, seconds
+// for time. The internal simulator works in SI.
+//
+// Everything is deterministic: every stochastic element (thermal and
+// flicker noise) derives from the seed passed at construction.
+package advdiag

@@ -1,0 +1,71 @@
+package advdiag
+
+import (
+	"advdiag/internal/analysis"
+	"advdiag/internal/enzyme"
+	"advdiag/internal/measure"
+	"advdiag/internal/phys"
+)
+
+// peakNearBinding locates the reduction peak nearest to the expected
+// potential in a CV result.
+func peakNearBinding(res *measure.CVResult, expected phys.Voltage) (VoltammetricPeak, error) {
+	pk, err := analysis.PeakNear(res.Voltammogram, expected, phys.MilliVolts(80), 0)
+	if err != nil {
+		return VoltammetricPeak{}, err
+	}
+	return VoltammetricPeak{
+		PotentialMV:     pk.Potential.MilliVolts(),
+		HeightMicroAmps: pk.Height.MicroAmps(),
+	}, nil
+}
+
+// Targets returns every species name the built-in probe registry can
+// sense, sorted.
+func Targets() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range allAssays() {
+		if !seen[a.target] {
+			seen[a.target] = true
+			out = append(out, a.target)
+		}
+	}
+	return out
+}
+
+// ProbesFor returns the registered probe names for a target.
+func ProbesFor(target string) []string {
+	var out []string
+	for _, a := range allAssays() {
+		if a.target == target {
+			out = append(out, a.probe)
+		}
+	}
+	return out
+}
+
+type assayInfo struct{ target, probe string }
+
+func allAssays() []assayInfo {
+	var out []assayInfo
+	for _, a := range enzymeAllAssays() {
+		out = append(out, assayInfo{target: a.Target.Name, probe: a.Probe})
+	}
+	return out
+}
+
+// enzymeAllAssays is a thin indirection so helpers.go keeps a single
+// import site for the enzyme registry.
+func enzymeAllAssays() []enzyme.Assay { return enzyme.AllAssays() }
+
+// filmNuisances builds the known-shape film-background columns for
+// every binding of an isoform (see analysis.GaussianColumn and
+// measure.FilmBumpWidth).
+func filmNuisances(potentials []float64, cyp *enzyme.CYP) [][]float64 {
+	var out [][]float64
+	for _, b := range cyp.Bindings {
+		out = append(out, analysis.GaussianColumn(potentials, float64(b.PeakPotential), measure.FilmBumpWidth))
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+
+	"advdiag/internal/phys"
+)
+
+// CurrentToFrequency is the time-based readout alternative the paper
+// cites (§II-C: "Alternative approaches convert currents to the
+// frequency domain [26], [27]"): the input current charges an
+// integration capacitor to a threshold, the integrator resets and emits
+// a pulse, and the pulse rate encodes the current:
+//
+//	f = I / (C_int · V_th)
+//
+// Counting pulses over a gate time T digitizes the current with one-
+// count resolution C_int·V_th/T — resolution is bought with measurement
+// time instead of amplifier gain, and there is no amplitude saturation
+// until the pulse rate hits the counter's maximum.
+type CurrentToFrequency struct {
+	// Cint is the integration capacitance.
+	Cint phys.Capacitance
+	// Vth is the comparator threshold.
+	Vth phys.Voltage
+	// GateTime is the counting window per sample in seconds.
+	GateTime float64
+	// MaxRate is the maximum countable pulse rate (comparator/counter
+	// speed limit) in Hz.
+	MaxRate float64
+
+	// phase carries the integrator residue between samples, so counts
+	// accumulate exactly like the physical integrator.
+	phase float64
+}
+
+// DefaultIFC returns the catalog converter: 1 pF, 0.5 V threshold,
+// 100 ms gate, 10 MHz counter — 5 fA·s of charge per count, i.e. 5 pA
+// resolution at the default gate.
+func DefaultIFC() *CurrentToFrequency {
+	return &CurrentToFrequency{Cint: 1e-12, Vth: 0.5, GateTime: 0.1, MaxRate: 10e6}
+}
+
+// Validate checks the converter parameters.
+func (c *CurrentToFrequency) Validate() error {
+	if c.Cint <= 0 || c.Vth <= 0 {
+		return fmt.Errorf("analog: IFC needs positive Cint and Vth")
+	}
+	if c.GateTime <= 0 {
+		return fmt.Errorf("analog: IFC needs a positive gate time")
+	}
+	if c.MaxRate <= 0 {
+		return fmt.Errorf("analog: IFC needs a positive max rate")
+	}
+	return nil
+}
+
+// Reset clears the integrator residue.
+func (c *CurrentToFrequency) Reset() { c.phase = 0 }
+
+// ChargePerCount returns C_int·V_th, the charge quantum of one pulse.
+func (c *CurrentToFrequency) ChargePerCount() float64 {
+	return float64(c.Cint) * float64(c.Vth)
+}
+
+// Resolution returns the one-count current resolution at the configured
+// gate time.
+func (c *CurrentToFrequency) Resolution() phys.Current {
+	return phys.Current(c.ChargePerCount() / c.GateTime)
+}
+
+// RangeCurrent returns the largest measurable current magnitude (the
+// counter's max rate times the charge quantum).
+func (c *CurrentToFrequency) RangeCurrent() phys.Current {
+	return phys.Current(c.MaxRate * c.ChargePerCount())
+}
+
+// Frequency returns the ideal pulse rate for current i.
+func (c *CurrentToFrequency) Frequency(i phys.Current) float64 {
+	f := math.Abs(float64(i)) / c.ChargePerCount()
+	if f > c.MaxRate {
+		f = c.MaxRate
+	}
+	return f
+}
+
+// Convert counts pulses over one gate window for current i and returns
+// the current estimate the digital side reconstructs (sign preserved:
+// a real converter uses a bidirectional charge-balancing front end).
+func (c *CurrentToFrequency) Convert(i phys.Current) phys.Current {
+	f := c.Frequency(i)
+	// Exact integrator behaviour: counts = floor(phase + f·T), with the
+	// fractional charge carried into the next window.
+	acc := c.phase + f*c.GateTime
+	counts := math.Floor(acc)
+	c.phase = acc - counts
+	est := counts / c.GateTime * c.ChargePerCount()
+	if i < 0 {
+		est = -est
+	}
+	return phys.Current(est)
+}
+
+// CountsFor returns the pulse count for one gate window at current i
+// without advancing the integrator (for sizing and tests).
+func (c *CurrentToFrequency) CountsFor(i phys.Current) int {
+	return int(math.Floor(c.Frequency(i) * c.GateTime))
+}

@@ -1,0 +1,93 @@
+package analog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"advdiag/internal/phys"
+)
+
+func TestIFCFrequencyLaw(t *testing.T) {
+	c := DefaultIFC()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// f = I/(C·Vth): 1 nA through 1 pF·0.5 V → 2 kHz.
+	f := c.Frequency(phys.NanoAmps(1))
+	if math.Abs(f-2000) > 1e-6 {
+		t.Fatalf("f = %g Hz, want 2000", f)
+	}
+	// Linear in current.
+	if f2 := c.Frequency(phys.NanoAmps(2)); math.Abs(f2/f-2) > 1e-12 {
+		t.Fatal("frequency must be linear in current")
+	}
+}
+
+func TestIFCResolutionAndRange(t *testing.T) {
+	c := DefaultIFC()
+	// One count over 100 ms = 5 pA.
+	if got := float64(c.Resolution()); math.Abs(got-5e-12) > 1e-18 {
+		t.Fatalf("resolution %g A", got)
+	}
+	// 10 MHz × 0.5 pC = 5 µA full scale.
+	if got := c.RangeCurrent().MicroAmps(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("range %g µA", got)
+	}
+	// Longer gate buys resolution linearly.
+	c2 := DefaultIFC()
+	c2.GateTime = 1.0
+	if r := float64(c2.Resolution()) / float64(c.Resolution()); math.Abs(r-0.1) > 1e-12 {
+		t.Fatal("resolution must scale with 1/gate")
+	}
+}
+
+func TestIFCConvertAccuracy(t *testing.T) {
+	c := DefaultIFC()
+	c.Reset()
+	in := phys.NanoAmps(3.21)
+	// Averaged over many gates, the phase-carrying counter recovers the
+	// input exactly (the residue never discards charge).
+	sum := 0.0
+	const gates = 50
+	for k := 0; k < gates; k++ {
+		sum += float64(c.Convert(in))
+	}
+	avg := sum / gates
+	if math.Abs(avg-float64(in))/float64(in) > 1e-3 {
+		t.Fatalf("averaged estimate %g vs %g", avg, float64(in))
+	}
+}
+
+func TestIFCSignHandling(t *testing.T) {
+	c := DefaultIFC()
+	c.Reset()
+	neg := c.Convert(phys.NanoAmps(-5))
+	if neg >= 0 {
+		t.Fatal("negative current must convert to a negative estimate")
+	}
+}
+
+func TestIFCSaturatesAtMaxRate(t *testing.T) {
+	c := DefaultIFC()
+	c.Reset()
+	over := phys.MicroAmps(50) // 10× the 5 µA range
+	got := c.Convert(over)
+	if float64(got) > float64(c.RangeCurrent())*1.001 {
+		t.Fatalf("estimate %v beyond range %v", got, c.RangeCurrent())
+	}
+}
+
+func TestIFCQuantizationWithinOneCount(t *testing.T) {
+	// A single gate is accurate to one count.
+	c := DefaultIFC()
+	f := func(raw uint32) bool {
+		c.Reset()
+		i := phys.Current(float64(raw%100000) * 1e-12) // 0..100 nA
+		got := c.Convert(i)
+		return math.Abs(float64(got-i)) <= float64(c.Resolution())+1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

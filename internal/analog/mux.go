@@ -1,0 +1,59 @@
+package analog
+
+import (
+	"fmt"
+
+	"advdiag/internal/phys"
+)
+
+// Mux is the analog multiplexer that shares one readout channel among
+// several working electrodes (paper §II-C and §III: "a multiplexer,
+// which switches sequentially among the different working electrodes";
+// cf. De Venuto et al. [23]).
+type Mux struct {
+	// Channels is the number of selectable inputs.
+	Channels int
+	// SettleTime is the dead time after switching before samples are
+	// valid (switch settling plus readout recovery).
+	SettleTime float64
+	// Leakage is the off-channel leakage current each unselected input
+	// injects into the selected one.
+	Leakage phys.Current
+
+	selected int
+}
+
+// DefaultMux returns the catalog multiplexer: 8 channels, 50 ms
+// settling, 50 pA off-channel leakage.
+func DefaultMux(channels int) *Mux {
+	return &Mux{Channels: channels, SettleTime: 0.050, Leakage: phys.Current(50e-12)}
+}
+
+// Validate checks the parameters.
+func (m *Mux) Validate() error {
+	if m.Channels < 1 {
+		return fmt.Errorf("analog: mux needs ≥1 channel, got %d", m.Channels)
+	}
+	if m.SettleTime < 0 {
+		return fmt.Errorf("analog: negative mux settle time")
+	}
+	return nil
+}
+
+// Select switches to the given channel (0-based).
+func (m *Mux) Select(ch int) error {
+	if ch < 0 || ch >= m.Channels {
+		return fmt.Errorf("analog: mux channel %d out of range [0,%d)", ch, m.Channels)
+	}
+	m.selected = ch
+	return nil
+}
+
+// Selected returns the active channel.
+func (m *Mux) Selected() int { return m.selected }
+
+// Pass returns the current delivered to the readout when the selected
+// input carries i: the signal plus aggregate off-channel leakage.
+func (m *Mux) Pass(i phys.Current) phys.Current {
+	return i + phys.Current(float64(m.Channels-1))*m.Leakage
+}

@@ -1,0 +1,81 @@
+package analog
+
+import (
+	"fmt"
+
+	"advdiag/internal/phys"
+)
+
+// Potentiostat models the control amplifier that keeps the working-vs-
+// reference potential at the programmed value (paper Fig. 1): a finite
+// loop gain and input offset make the actual cell potential deviate
+// slightly from the target, and a compliance limit bounds the current it
+// can source through the counter electrode.
+type Potentiostat struct {
+	// LoopGain is the DC gain of the control loop (dimensionless).
+	LoopGain float64
+	// Offset is the input-referred offset voltage.
+	Offset phys.Voltage
+	// Compliance is the maximum counter-electrode current magnitude.
+	Compliance phys.Current
+	// MaxDrive is the maximum voltage the loop can force on the cell.
+	MaxDrive phys.Voltage
+}
+
+// DefaultPotentiostat returns the catalog potentiostat used by the
+// platform: 100 dB loop gain, 0.2 mV offset, 1 mA compliance, ±1.5 V
+// drive (covers the paper's −750…+700 mV window with margin).
+func DefaultPotentiostat() *Potentiostat {
+	return &Potentiostat{
+		LoopGain:   1e5,
+		Offset:     phys.MilliVolts(0.2),
+		Compliance: phys.MicroAmps(1000),
+		MaxDrive:   phys.Voltage(1.5),
+	}
+}
+
+// Validate checks the parameters.
+func (p *Potentiostat) Validate() error {
+	if p.LoopGain <= 1 {
+		return fmt.Errorf("analog: potentiostat loop gain must exceed 1, got %g", p.LoopGain)
+	}
+	if p.Compliance <= 0 {
+		return fmt.Errorf("analog: potentiostat compliance must be positive")
+	}
+	if p.MaxDrive <= 0 {
+		return fmt.Errorf("analog: potentiostat max drive must be positive")
+	}
+	return nil
+}
+
+// Apply returns the actual cell potential produced for a programmed
+// target: target·A/(1+A) + offset, clamped to the drive range.
+func (p *Potentiostat) Apply(target phys.Voltage) phys.Voltage {
+	actual := phys.Voltage(float64(target)*p.LoopGain/(1+p.LoopGain)) + p.Offset
+	if actual > p.MaxDrive {
+		actual = p.MaxDrive
+	}
+	if actual < -p.MaxDrive {
+		actual = -p.MaxDrive
+	}
+	return actual
+}
+
+// ControlError returns |Apply(target) − target|, the static control
+// accuracy at the given set point.
+func (p *Potentiostat) ControlError(target phys.Voltage) phys.Voltage {
+	e := p.Apply(target) - target
+	if e < 0 {
+		e = -e
+	}
+	return e
+}
+
+// WithinCompliance reports whether the potentiostat can source the given
+// cell current.
+func (p *Potentiostat) WithinCompliance(i phys.Current) bool {
+	if i < 0 {
+		i = -i
+	}
+	return i <= p.Compliance
+}

@@ -1,0 +1,111 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+
+	"advdiag/internal/phys"
+)
+
+// Waveform is a programmed potential-vs-time profile fed to the
+// potentiostat (paper §II-C: "a voltage generator that generates a fixed
+// or variable voltage").
+type Waveform interface {
+	// VoltageAt returns the programmed potential at time t (seconds from
+	// waveform start).
+	VoltageAt(t float64) phys.Voltage
+	// Duration returns the total waveform length in seconds.
+	Duration() float64
+}
+
+// DCSource is the fixed potential used for chronoamperometry; the level
+// is the enzyme's applied potential from Table I.
+type DCSource struct {
+	// Level is the programmed potential.
+	Level phys.Voltage
+	// Hold is how long the potential is held.
+	Hold float64
+}
+
+// VoltageAt implements Waveform.
+func (d DCSource) VoltageAt(float64) phys.Voltage { return d.Level }
+
+// Duration implements Waveform.
+func (d DCSource) Duration() float64 { return d.Hold }
+
+// TriangleSweep is the cyclic-voltammetry waveform: a linear sweep from
+// Start to Vertex and back, repeated Cycles times. For the reduction
+// scans of Table II, Start sits above the expected peaks and Vertex
+// below them, so the cathodic (forward) branch crosses every peak.
+type TriangleSweep struct {
+	// Start is the initial (and return) potential.
+	Start phys.Voltage
+	// Vertex is the turning potential.
+	Vertex phys.Voltage
+	// Rate is the sweep magnitude |dE/dt|.
+	Rate phys.SweepRate
+	// Cycles is the number of full triangles (≥1).
+	Cycles int
+}
+
+// Validate checks the sweep parameters.
+func (s TriangleSweep) Validate() error {
+	if s.Rate <= 0 {
+		return fmt.Errorf("analog: sweep rate must be positive")
+	}
+	if s.Start == s.Vertex {
+		return fmt.Errorf("analog: degenerate sweep window")
+	}
+	if s.Cycles < 1 {
+		return fmt.Errorf("analog: cycles must be ≥1, got %d", s.Cycles)
+	}
+	return nil
+}
+
+// HalfPeriod returns the single-branch sweep time |Vertex−Start|/Rate.
+func (s TriangleSweep) HalfPeriod() float64 {
+	return math.Abs(float64(s.Vertex-s.Start)) / float64(s.Rate)
+}
+
+// Duration implements Waveform.
+func (s TriangleSweep) Duration() float64 {
+	return 2 * s.HalfPeriod() * float64(s.Cycles)
+}
+
+// VoltageAt implements Waveform.
+func (s TriangleSweep) VoltageAt(t float64) phys.Voltage {
+	if t <= 0 {
+		return s.Start
+	}
+	half := s.HalfPeriod()
+	if half == 0 {
+		return s.Start
+	}
+	period := 2 * half
+	phase := math.Mod(t, period)
+	if t >= s.Duration() {
+		return s.Start
+	}
+	frac := phase / half
+	if frac <= 1 {
+		// Forward branch: Start → Vertex.
+		return s.Start + phys.Voltage(frac)*(s.Vertex-s.Start)
+	}
+	// Return branch: Vertex → Start.
+	return s.Vertex + phys.Voltage(frac-1)*(s.Start-s.Vertex)
+}
+
+// MaxCellSweepRate is the fastest potential variation the
+// electrochemical cell tracks faithfully; beyond it the current peak no
+// longer appears at the target's potential (paper §II-C cites about
+// 20 mV/s, with degradation growing past ~50 mV/s).
+var MaxCellSweepRate = phys.MilliVoltsPerSecond(50)
+
+// CheckSweepRate returns an error when the sweep is too fast for
+// faithful peak identification.
+func CheckSweepRate(r phys.SweepRate) error {
+	if r > MaxCellSweepRate {
+		return fmt.Errorf("analog: sweep rate %v exceeds the cell limit %v", r, MaxCellSweepRate)
+	}
+	return nil
+}

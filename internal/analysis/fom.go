@@ -1,0 +1,160 @@
+// Package analysis extracts the figures of merit the paper defines for
+// a biosensing acquisition chain (§II-B): limit of detection (eq. 5),
+// average sensitivity (eq. 6), maximum nonlinearity (eq. 7), linear
+// range, response times and sample throughput — all from measured
+// (simulated) data, never from the calibration constants.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"advdiag/internal/mathx"
+	"advdiag/internal/phys"
+)
+
+// ErrInsufficientData is returned when a figure of merit cannot be
+// computed from the provided samples.
+var ErrInsufficientData = errors.New("analysis: insufficient data")
+
+// LOD implements the paper's eq. (5): the ACS-recommended detection
+// limit V_b + 3σ_b, converted to concentration through the calibration
+// slope. blank holds repeated blank responses; slope is the calibration
+// slope in response units per mol/m³.
+func LOD(blank []float64, slope float64) (phys.Concentration, error) {
+	if len(blank) < 3 {
+		return 0, ErrInsufficientData
+	}
+	if slope == 0 {
+		return 0, fmt.Errorf("analysis: zero calibration slope")
+	}
+	sigma := mathx.StdDev(blank)
+	return phys.Concentration(3 * sigma / math.Abs(slope)), nil
+}
+
+// AverageSensitivity implements eq. (6): S_avg = ΔV/ΔC over the measured
+// range, where responses[i] corresponds to concs[i]. Points must span a
+// non-zero concentration range.
+func AverageSensitivity(concs []phys.Concentration, responses []float64) (float64, error) {
+	if len(concs) != len(responses) || len(concs) < 2 {
+		return 0, ErrInsufficientData
+	}
+	loC, hiC := concs[0], concs[0]
+	loI, hiI := 0, 0
+	for i, c := range concs {
+		if c < loC {
+			loC, loI = c, i
+		}
+		if c > hiC {
+			hiI = i
+			hiC = c
+		}
+	}
+	if hiC == loC {
+		return 0, fmt.Errorf("analysis: zero concentration span")
+	}
+	return (responses[hiI] - responses[loI]) / float64(hiC-loC), nil
+}
+
+// MaxNonlinearity implements eq. (7): the largest deviation of the
+// response from the straight line through the reference point with the
+// average sensitivity, in response units. The first point is used as
+// (C₀, V_C₀).
+func MaxNonlinearity(concs []phys.Concentration, responses []float64) (float64, error) {
+	if len(concs) != len(responses) || len(concs) < 3 {
+		return 0, ErrInsufficientData
+	}
+	savg, err := AverageSensitivity(concs, responses)
+	if err != nil {
+		return 0, err
+	}
+	c0 := float64(concs[0])
+	v0 := responses[0]
+	maxDev := 0.0
+	for i := range concs {
+		dev := math.Abs(responses[i] - v0 - savg*(float64(concs[i])-c0))
+		if dev > maxDev {
+			maxDev = dev
+		}
+	}
+	return maxDev, nil
+}
+
+// LinearRangeTolerance is the relative residual budget that ends the
+// usable linear range: the best-fit line over the accepted window must
+// leave no residual larger than this fraction of the window's response
+// span.
+const LinearRangeTolerance = 0.05
+
+// LinearRange finds the linear calibration window the way a lab does:
+// anchored at the lowest prepared standard, extended upward until the
+// best-fit residuals exceed the tolerance budget. The budget is the
+// larger of LinearRangeTolerance × response span and 3 × pointSigma
+// (the residual scatter of the replicate-averaged points — pass 0 for
+// noise-free data). At least four points must fit.
+//
+// The detection floor does not constrain the fit (replicate-averaged
+// points below the LOD still inform the slope) but bounds the
+// *claimable* range: the reported low end is max(window start, floor),
+// and a window entirely below the floor is an error.
+func LinearRange(concs []phys.Concentration, responses []float64, floor phys.Concentration, pointSigma float64) (lo, hi phys.Concentration, fit mathx.LinearFit, err error) {
+	n := len(concs)
+	if n != len(responses) || n < 4 {
+		return 0, 0, mathx.LinearFit{}, ErrInsufficientData
+	}
+	// Points must be sorted by concentration.
+	for i := 1; i < n; i++ {
+		if concs[i] < concs[i-1] {
+			return 0, 0, mathx.LinearFit{}, fmt.Errorf("analysis: concentrations must be sorted")
+		}
+	}
+	found := false
+	var bestFit mathx.LinearFit
+	bestHi := -1
+	for j := n - 1; j >= 3; j-- {
+		xs := make([]float64, 0, j+1)
+		ys := make([]float64, 0, j+1)
+		for k := 0; k <= j; k++ {
+			xs = append(xs, float64(concs[k]))
+			ys = append(ys, responses[k])
+		}
+		f, ferr := mathx.FitLinear(xs, ys)
+		if ferr != nil {
+			continue
+		}
+		span := spanOf(ys)
+		if span == 0 {
+			continue
+		}
+		budget := LinearRangeTolerance * span
+		if nb := 3 * pointSigma; nb > budget {
+			budget = nb
+		}
+		if f.MaxAbsResidual <= budget {
+			found = true
+			bestFit = f
+			bestHi = j
+			break
+		}
+	}
+	if !found {
+		return 0, 0, mathx.LinearFit{}, fmt.Errorf("analysis: no linear window found")
+	}
+	lo, hi = concs[0], concs[bestHi]
+	if hi <= floor {
+		return 0, 0, mathx.LinearFit{}, fmt.Errorf("analysis: linear window lies entirely below the detection floor %v", floor)
+	}
+	if lo < floor {
+		lo = floor
+	}
+	return lo, hi, bestFit, nil
+}
+
+func spanOf(ys []float64) float64 {
+	lo, hi, err := mathx.MinMax(ys)
+	if err != nil {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Selectivity quantifies the paper's §II-B property — "the ability to
+// discriminate between different substances" — as the ratio of the
+// sensor's response slope to its target over the response slope to an
+// interferent presented at the same concentrations:
+//
+//	Sel = S_target / S_interferent
+//
+// Large values mean the recognition element (the enzyme) rejects the
+// interferent; values near 1 mean the channel cannot tell them apart.
+type Selectivity struct {
+	// Target and Interferent name the two species.
+	Target, Interferent string
+	// TargetSlope and InterferentSlope are the measured response slopes
+	// (response units per mM).
+	TargetSlope, InterferentSlope float64
+	// Ratio is TargetSlope/InterferentSlope (+Inf when the interferent
+	// produces no measurable response).
+	Ratio float64
+}
+
+// NewSelectivity computes the metric from two measured slopes.
+func NewSelectivity(target, interferent string, targetSlope, interferentSlope float64) (Selectivity, error) {
+	if targetSlope == 0 {
+		return Selectivity{}, fmt.Errorf("analysis: zero target slope")
+	}
+	s := Selectivity{
+		Target:           target,
+		Interferent:      interferent,
+		TargetSlope:      targetSlope,
+		InterferentSlope: interferentSlope,
+	}
+	if interferentSlope == 0 {
+		s.Ratio = math.Inf(1)
+	} else {
+		s.Ratio = math.Abs(targetSlope / interferentSlope)
+	}
+	return s, nil
+}
+
+// String renders the metric.
+func (s Selectivity) String() string {
+	if math.IsInf(s.Ratio, 1) {
+		return fmt.Sprintf("%s vs %s: fully selective (no interferent response)", s.Target, s.Interferent)
+	}
+	return fmt.Sprintf("%s vs %s: selectivity %.3g", s.Target, s.Interferent, s.Ratio)
+}
+
+// InterferenceError returns the relative reading error an interferent
+// at concentration cInt causes on a target reading at cTarget:
+// (S_int·C_int)/(S_tgt·C_tgt).
+func (s Selectivity) InterferenceError(cTarget, cInt float64) float64 {
+	if s.TargetSlope == 0 || cTarget == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(s.InterferentSlope*cInt) / math.Abs(s.TargetSlope*cTarget)
+}

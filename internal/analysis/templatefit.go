@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"advdiag/internal/mathx"
+	"advdiag/internal/trace"
+)
+
+// ComponentFit is the outcome of decomposing a voltammogram into known
+// unit templates plus a background model.
+type ComponentFit struct {
+	// Amplitudes maps substrate name → fitted amplitude. Because the
+	// diffusion problem is linear in concentration, the amplitude IS
+	// the substrate's effective concentration in mol/m³.
+	Amplitudes map[string]float64
+	// Aliased maps substrate name → the other substrates whose
+	// templates are voltammetrically indistinguishable from it
+	// (coincident peak potentials, e.g. CYP2B6's bupropion/lidocaine).
+	// Aliased members share one fitted amplitude: the instrument sees a
+	// single peak and cannot apportion it.
+	Aliased map[string][]string
+	// Baseline and Slope describe the fitted affine background
+	// (offsets and residual tilt).
+	Baseline, Slope float64
+	// Charging is the fitted double-layer charging magnitude: the
+	// capacitive current C·|dE/dt| flips sign between the cathodic and
+	// anodic branches, so it enters as a sweep-direction square wave.
+	Charging float64
+	// ResidualRMS is the root-mean-square misfit in amperes.
+	ResidualRMS float64
+}
+
+// GaussianColumn evaluates exp(−((x−center)/width)²) over xs — the
+// nuisance-background shape used to absorb the enzyme film's variable
+// pseudo-capacitive background near a binding's formal potential.
+func GaussianColumn(xs []float64, center, width float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		u := (x - center) / width
+		out[i] = math.Exp(-u * u)
+	}
+	return out
+}
+
+// FitCVComponents decomposes a measured voltammogram into the given
+// unit-concentration templates plus an affine background, a sweep-
+// direction (charging) term, and any number of known-shape nuisance
+// columns (film backgrounds), by linear least squares. The voltammogram
+// and templates must share the same potential grid (both produced from
+// the same protocol — RunCV and CVTemplates guarantee this).
+//
+// This is the quantification path for multi-target electrodes: simple
+// peak detection fails when a small peak rides the foot of a large
+// neighbouring wave (it becomes a shoulder), while the template
+// decomposition recovers both amplitudes exactly in the noise-free
+// limit.
+func FitCVComponents(vg *trace.XY, templates map[string][]float64, nuisances ...[]float64) (*ComponentFit, error) {
+	if err := vg.Validate(); err != nil {
+		return nil, err
+	}
+	m := vg.Len()
+	if m < 8 {
+		return nil, ErrInsufficientData
+	}
+	if len(templates) == 0 {
+		return nil, fmt.Errorf("analysis: no templates to fit")
+	}
+	names := make([]string, 0, len(templates))
+	skipped := make([]string, 0)
+	for name, tpl := range templates {
+		if len(tpl) != m {
+			return nil, fmt.Errorf("analysis: template %q has %d samples, voltammogram has %d", name, len(tpl), m)
+		}
+		// Templates whose peak lies outside the scanned window are all
+		// but zero; excluding them keeps the normal equations well
+		// conditioned. Their amplitude is reported as zero.
+		if mathx.MaxAbs(tpl) < 1e-15 {
+			skipped = append(skipped, name)
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: every template is zero over the scanned window")
+	}
+	// Deterministic column order.
+	sortStrings(names)
+
+	// Merge voltammetrically indistinguishable templates: near-collinear
+	// columns make the normal equations explode into huge cancelling
+	// amplitudes. Physically the instrument sees one peak (the paper's
+	// peak-separation rule), so indistinguishable substrates share one
+	// fitted amplitude.
+	aliased := map[string][]string{}
+	var reps []string // cluster representatives, in order
+	repOf := map[string]string{}
+	for _, name := range names {
+		assigned := false
+		for _, rep := range reps {
+			if templateCorrelation(templates[name], templates[rep]) > 0.99 {
+				repOf[name] = rep
+				aliased[rep] = append(aliased[rep], name)
+				aliased[name] = append(aliased[name], rep)
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			reps = append(reps, name)
+			repOf[name] = name
+		}
+	}
+	names = reps
+
+	cols := make([][]float64, 0, len(names)+3)
+	for _, name := range names {
+		cols = append(cols, templates[name])
+	}
+	ones := make([]float64, m)
+	for i := range ones {
+		ones[i] = 1
+	}
+	// Sweep-direction column: −1 on the cathodic branch, +1 on the
+	// anodic one, models the double-layer charging current C·dE/dt.
+	dir := make([]float64, m)
+	for i := 1; i < m; i++ {
+		if vg.X[i] < vg.X[i-1] {
+			dir[i] = -1
+		} else if vg.X[i] > vg.X[i-1] {
+			dir[i] = 1
+		} else {
+			dir[i] = dir[i-1]
+		}
+	}
+	if m > 1 {
+		dir[0] = dir[1]
+	}
+	cols = append(cols, ones, vg.X, dir)
+	for i, nu := range nuisances {
+		if len(nu) != m {
+			return nil, fmt.Errorf("analysis: nuisance column %d has %d samples, voltammogram has %d", i, len(nu), m)
+		}
+		cols = append(cols, nu)
+	}
+
+	x, err := mathx.LeastSquares(cols, vg.Y)
+	if err != nil {
+		return nil, err
+	}
+	fit := &ComponentFit{
+		Amplitudes: make(map[string]float64, len(repOf)+len(skipped)),
+		Aliased:    aliased,
+	}
+	repAmp := map[string]float64{}
+	for i, name := range names {
+		amp := x[i]
+		if amp < 0 {
+			amp = 0 // concentrations cannot be negative
+		}
+		repAmp[name] = amp
+	}
+	for name, rep := range repOf {
+		fit.Amplitudes[name] = repAmp[rep]
+	}
+	for _, name := range skipped {
+		fit.Amplitudes[name] = 0
+	}
+	fit.Baseline = x[len(names)]
+	fit.Slope = x[len(names)+1]
+	fit.Charging = x[len(names)+2]
+
+	// Residual.
+	var ss float64
+	for r := 0; r < m; r++ {
+		pred := fit.Baseline + fit.Slope*vg.X[r] + fit.Charging*dir[r]
+		for i, name := range names {
+			pred += x[i] * templates[name][r]
+		}
+		for i := range nuisances {
+			pred += x[len(names)+3+i] * nuisances[i][r]
+		}
+		d := vg.Y[r] - pred
+		ss += d * d
+	}
+	fit.ResidualRMS = math.Sqrt(ss / float64(m))
+	return fit, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// templateCorrelation returns the normalized inner product of two
+// template columns (1 = identical shape).
+func templateCorrelation(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+
+	"advdiag/internal/phys"
+	"advdiag/internal/signalproc"
+	"advdiag/internal/trace"
+)
+
+// PeakQuant is one quantified reduction peak in a voltammogram: the
+// electrochemical signature of a target (position → identity, height →
+// concentration; paper §I-B).
+type PeakQuant struct {
+	// Potential is the detected peak potential.
+	Potential phys.Voltage
+	// Height is the baseline-corrected cathodic peak current magnitude
+	// (positive number).
+	Height phys.Current
+	// Prominence is the raw detector prominence.
+	Prominence float64
+}
+
+// ForwardBranch extracts the cathodic (first, decreasing-potential)
+// branch of a voltammogram cycle as parallel slices.
+func ForwardBranch(vg *trace.XY) (pot, cur []float64, err error) {
+	if err := vg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if vg.Len() < 8 {
+		return nil, nil, ErrInsufficientData
+	}
+	// The branch runs while X strictly decreases; a repeated or rising
+	// potential marks the vertex turnaround (the repeated sample already
+	// belongs to the anodic branch, where the charging current has
+	// flipped sign).
+	pot = append(pot, vg.X[0])
+	cur = append(cur, vg.Y[0])
+	for i := 1; i < vg.Len(); i++ {
+		if vg.X[i] >= vg.X[i-1] {
+			break
+		}
+		pot = append(pot, vg.X[i])
+		cur = append(cur, vg.Y[i])
+	}
+	if len(pot) < 8 {
+		return nil, nil, fmt.Errorf("analysis: voltammogram does not start with a cathodic branch")
+	}
+	return pot, cur, nil
+}
+
+// FindReductionPeaks locates cathodic peaks on the forward branch of a
+// voltammogram: the current is negated (IUPAC cathodic currents are
+// negative), detrended against the linear charging background, smoothed
+// lightly, and run through the prominence-based peak detector.
+// minHeight filters peaks smaller than the given current magnitude.
+func FindReductionPeaks(vg *trace.XY, minHeight phys.Current) ([]PeakQuant, error) {
+	pot, cur, err := ForwardBranch(vg)
+	if err != nil {
+		return nil, err
+	}
+	// Invert so reduction peaks point up, remove the linear background
+	// (double-layer charging plus residual slope), and smooth.
+	inv := make([]float64, len(cur))
+	for i, y := range cur {
+		inv[i] = -y
+	}
+	base := signalproc.Detrend(inv)
+	smooth := signalproc.MovingAverage(base, 5)
+	peaks := signalproc.FindPeaks(pot, smooth, float64(minHeight))
+	out := make([]PeakQuant, 0, len(peaks))
+	for _, p := range peaks {
+		if p.Y < float64(minHeight) {
+			continue
+		}
+		out = append(out, PeakQuant{
+			Potential:  phys.Voltage(p.X),
+			Height:     phys.Current(p.Y),
+			Prominence: p.Prominence,
+		})
+	}
+	return out, nil
+}
+
+// PeakNear returns the detected reduction peak closest to the expected
+// potential within the given window, or an error when none lies inside.
+func PeakNear(vg *trace.XY, expected phys.Voltage, window phys.Voltage, minHeight phys.Current) (PeakQuant, error) {
+	peaks, err := FindReductionPeaks(vg, minHeight)
+	if err != nil {
+		return PeakQuant{}, err
+	}
+	best := -1
+	bestDist := float64(window)
+	for i, p := range peaks {
+		d := float64(p.Potential - expected)
+		if d < 0 {
+			d = -d
+		}
+		if d <= bestDist {
+			bestDist = d
+			best = i
+		}
+	}
+	if best < 0 {
+		return PeakQuant{}, fmt.Errorf("analysis: no reduction peak within %v of %v", window, expected)
+	}
+	return peaks[best], nil
+}

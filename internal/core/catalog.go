@@ -1,0 +1,181 @@
+// Package core implements the paper's contribution: platform-based
+// design of integrated multi-target biosensors. The design space is
+// restricted to a small catalog of parametrized components (this file);
+// the explorer (explore.go) enumerates probe assignments, sensor
+// structures and readout configurations for a set of target molecules,
+// prunes infeasible candidates with the paper's §II rules, and scores
+// the rest with an area/power/cost model.
+package core
+
+import (
+	"fmt"
+
+	"advdiag/internal/analog"
+	"advdiag/internal/mathx"
+	"advdiag/internal/phys"
+)
+
+// Budget is the implementation cost of a component: silicon area,
+// power, and a relative bill-of-materials cost unit.
+type Budget struct {
+	// AreaMM2 is silicon/substrate area in mm².
+	AreaMM2 float64
+	// PowerUW is the operating power in µW.
+	PowerUW float64
+	// Cost is a relative cost unit.
+	Cost float64
+}
+
+// Add accumulates b2 into b.
+func (b Budget) Add(b2 Budget) Budget {
+	return Budget{b.AreaMM2 + b2.AreaMM2, b.PowerUW + b2.PowerUW, b.Cost + b2.Cost}
+}
+
+// Scale multiplies every component of the budget by k.
+func (b Budget) Scale(k float64) Budget {
+	return Budget{b.AreaMM2 * k, b.PowerUW * k, b.Cost * k}
+}
+
+// String renders the budget.
+func (b Budget) String() string {
+	return fmt.Sprintf("%.2f mm², %.0f µW, %.1f cost", b.AreaMM2, b.PowerUW, b.Cost)
+}
+
+// ReadoutClass is a catalog current-readout option (paper §II-C: the
+// readout must cover the probe family's current range at the required
+// resolution).
+type ReadoutClass struct {
+	// Name identifies the class.
+	Name string
+	// Range is the full-scale current (±Range).
+	Range phys.Current
+	// Resolution is the smallest resolvable current step.
+	Resolution phys.Current
+	// Feedback is the transimpedance.
+	Feedback phys.Resistance
+	// WhiteNoise and FlickerNoise are the per-sample input-referred
+	// noise deviations in amperes.
+	WhiteNoise, FlickerNoise float64
+	// BandwidthHz is the stage bandwidth.
+	BandwidthHz float64
+	// Budget is the implementation cost.
+	Budget Budget
+}
+
+// ReadoutClasses is the catalog, ordered by descending range. The
+// 100 µA and 10 µA classes are the paper's two named requirements
+// (§II-C); the nano and pico classes cover the small currents of the
+// 0.23 mm² platform electrodes.
+var ReadoutClasses = []ReadoutClass{
+	{
+		Name: "readout-100uA", Range: phys.MicroAmps(100), Resolution: phys.NanoAmps(100),
+		Feedback: 10e3, WhiteNoise: 20e-9, FlickerNoise: 100e-9, BandwidthHz: 100,
+		Budget: Budget{AreaMM2: 0.15, PowerUW: 150, Cost: 1.0},
+	},
+	{
+		Name: "readout-10uA", Range: phys.MicroAmps(10), Resolution: phys.NanoAmps(10),
+		Feedback: 100e3, WhiteNoise: 2e-9, FlickerNoise: 10e-9, BandwidthHz: 100,
+		Budget: Budget{AreaMM2: 0.15, PowerUW: 120, Cost: 1.0},
+	},
+	{
+		Name: "readout-1uA", Range: phys.MicroAmps(1), Resolution: phys.NanoAmps(1),
+		Feedback: 1e6, WhiteNoise: 0.2e-9, FlickerNoise: 1e-9, BandwidthHz: 100,
+		Budget: Budget{AreaMM2: 0.18, PowerUW: 100, Cost: 1.2},
+	},
+	{
+		Name: "readout-100nA", Range: phys.NanoAmps(100), Resolution: phys.NanoAmps(0.1),
+		Feedback: 10e6, WhiteNoise: 20e-12, FlickerNoise: 60e-12, BandwidthHz: 30,
+		Budget: Budget{AreaMM2: 0.22, PowerUW: 80, Cost: 1.5},
+	},
+}
+
+// rangeMargin is the headroom factor between the largest expected
+// current and the chosen readout's full scale.
+const rangeMargin = 1.5
+
+// resolutionHeadroom relaxes the resolution rule on quantization-noise
+// grounds: a step of q adds q/√12 RMS to the blank, so q ≤ 2.5·σ keeps
+// the LOD degradation under ~25 % ( √(1+(2.5/√12)²) ≈ 1.24 ). resReq is
+// the blank σ expressed as a current (S·LOD/3).
+const resolutionHeadroom = 2.5
+
+// SelectReadout returns the smallest-range catalog readout whose range
+// covers maxI with margin and whose resolution keeps the LOD
+// degradation within the headroom rule.
+func SelectReadout(maxI, resReq phys.Current) (ReadoutClass, error) {
+	if maxI < 0 {
+		maxI = -maxI
+	}
+	var best *ReadoutClass
+	for i := range ReadoutClasses {
+		rc := &ReadoutClasses[i]
+		if float64(rc.Range) >= rangeMargin*float64(maxI) &&
+			float64(rc.Resolution) <= resolutionHeadroom*float64(resReq) {
+			if best == nil || rc.Range < best.Range {
+				best = rc
+			}
+		}
+	}
+	if best == nil {
+		return ReadoutClass{}, fmt.Errorf("core: no catalog readout covers ±%v at %v resolution", maxI, resReq)
+	}
+	return *best, nil
+}
+
+// NewChain instantiates an acquisition chain of this class.
+func (rc ReadoutClass) NewChain(mux *analog.Mux, rng *mathx.RNG) *analog.Chain {
+	return &analog.Chain{
+		Pstat:     analog.DefaultPotentiostat(),
+		Mux:       mux,
+		Readout:   &analog.TIA{Feedback: rc.Feedback, Saturation: 1.0, BandwidthHz: rc.BandwidthHz},
+		Converter: analog.DefaultADC(),
+		Noise:     analog.NewNoiseModel(rc.WhiteNoise, rc.FlickerNoise, rng),
+	}
+}
+
+// VGenClass is a catalog voltage-generator option.
+type VGenClass struct {
+	// Name identifies the class.
+	Name string
+	// Sweep reports whether the generator can produce the CV triangle
+	// (a sweep generator also covers fixed potentials).
+	Sweep bool
+	// Budget is the implementation cost.
+	Budget Budget
+}
+
+// VGenClasses is the catalog: a trimmed DC reference and a DAC-based
+// sweep generator.
+var VGenClasses = []VGenClass{
+	{Name: "vgen-dc", Sweep: false, Budget: Budget{AreaMM2: 0.02, PowerUW: 5, Cost: 0.2}},
+	{Name: "vgen-sweep", Sweep: true, Budget: Budget{AreaMM2: 0.08, PowerUW: 30, Cost: 0.8}},
+}
+
+// SelectVGen returns the cheapest generator supporting the requested
+// capability.
+func SelectVGen(needSweep bool) VGenClass {
+	if !needSweep {
+		return VGenClasses[0]
+	}
+	return VGenClasses[1]
+}
+
+// Fixed catalog budgets for the remaining blocks.
+var (
+	// PotentiostatBudget is the control loop (one per chamber).
+	PotentiostatBudget = Budget{AreaMM2: 0.10, PowerUW: 50, Cost: 1.0}
+	// MuxBudget is an 8-channel analog multiplexer.
+	MuxBudget = Budget{AreaMM2: 0.03, PowerUW: 2, Cost: 0.3}
+	// ADCBudget is the 12-bit converter.
+	ADCBudget = Budget{AreaMM2: 0.20, PowerUW: 100, Cost: 1.5}
+	// ControllerBudget is the digital sequencer.
+	ControllerBudget = Budget{AreaMM2: 0.50, PowerUW: 200, Cost: 2.0}
+	// ElectrodeBudget is one 0.23 mm² electrode site (area counts the
+	// pad and routing overhead on the bio-interface).
+	ElectrodeBudget = Budget{AreaMM2: 0.35, PowerUW: 0, Cost: 0.1}
+	// ChamberBudget is the packaging overhead of one fluidic chamber.
+	ChamberBudget = Budget{AreaMM2: 2.0, PowerUW: 0, Cost: 0.5}
+)
+
+// MuxChannels is the catalog multiplexer width.
+const MuxChannels = 8

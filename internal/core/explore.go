@@ -1,0 +1,541 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"advdiag/internal/analog"
+	"advdiag/internal/electrode"
+	"advdiag/internal/enzyme"
+	"advdiag/internal/phys"
+	"advdiag/internal/species"
+)
+
+// Explore enumerates the design space for the given requirements:
+// every probe assignment × isoform grouping × chamber policy ×
+// readout sharing, each evaluated against the feasibility rules and
+// the cost model. Candidates are returned sorted: feasible first, then
+// by cost, area, and panel time.
+func Explore(req Requirements) ([]*Candidate, error) {
+	req = req.WithDefaults()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	assignments := enumerateAssays(req.Targets)
+	var out []*Candidate
+	for _, asn := range assignments {
+		for _, group := range []bool{true, false} {
+			for _, chambers := range []ChamberPolicy{SharedChamber, ChamberPerTechnique, ChamberPerElectrode} {
+				for _, sharing := range []ReadoutSharing{SharedMux, DedicatedChains} {
+					choice := Choice{Assays: asn, GroupSameIsoform: group, Chambers: chambers, Sharing: sharing}
+					cand, err := Evaluate(req, choice)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, cand)
+				}
+			}
+		}
+	}
+	out = dedupeCandidates(out)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		if a.Budget.Cost != b.Budget.Cost {
+			return a.Budget.Cost < b.Budget.Cost
+		}
+		if a.Budget.AreaMM2 != b.Budget.AreaMM2 {
+			return a.Budget.AreaMM2 < b.Budget.AreaMM2
+		}
+		return a.PanelTime < b.PanelTime
+	})
+	return out, nil
+}
+
+// Best returns the cheapest feasible candidate.
+func Best(req Requirements) (*Candidate, error) {
+	cands, err := Explore(req)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cands {
+		if c.Feasible {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no feasible platform for the given requirements")
+}
+
+// enumerateAssays builds the cartesian product of per-target probe
+// options.
+func enumerateAssays(targets []TargetSpec) []map[string]enzyme.Assay {
+	result := []map[string]enzyme.Assay{{}}
+	for _, t := range targets {
+		options := enzyme.AssaysFor(t.Species)
+		var next []map[string]enzyme.Assay
+		for _, partial := range result {
+			for _, opt := range options {
+				m := make(map[string]enzyme.Assay, len(partial)+1)
+				for k, v := range partial {
+					m[k] = v
+				}
+				m[t.Species] = opt
+				next = append(next, m)
+			}
+		}
+		result = next
+	}
+	return result
+}
+
+// dedupeCandidates removes structurally identical candidates (e.g.
+// chamber-per-technique equals shared-chamber when only one technique
+// is present).
+func dedupeCandidates(cands []*Candidate) []*Candidate {
+	seen := map[string]bool{}
+	var out []*Candidate
+	for _, c := range cands {
+		key := c.structuralKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+func (c *Candidate) structuralKey() string {
+	key := fmt.Sprintf("%v|%v|", c.Choice.Sharing, c.Parallel)
+	for _, e := range c.Electrodes {
+		key += e.Name + ":"
+		for _, a := range e.Assays {
+			key += a.Probe + "/" + a.Target.Name + ","
+		}
+		key += "@" + c.ChamberOf[e.Name] + ";"
+	}
+	return key
+}
+
+// Evaluate scores one structural choice against the requirements.
+func Evaluate(req Requirements, choice Choice) (*Candidate, error) {
+	req = req.WithDefaults()
+	cand := &Candidate{Choice: choice, ChamberOf: map[string]string{}, Feasible: true}
+
+	// --- Electrode planning -------------------------------------------
+	plans, err := planElectrodes(req, choice)
+	if err != nil {
+		return nil, err
+	}
+	cand.Electrodes = plans
+
+	// --- Rule: CV peak separation on grouped electrodes ----------------
+	for i := range cand.Electrodes {
+		p := &cand.Electrodes[i]
+		if p.Technique != enzyme.CyclicVoltammetry || len(p.Assays) < 2 {
+			continue
+		}
+		minSep := phys.Voltage(math.Inf(1))
+		for a := 0; a < len(p.Assays); a++ {
+			for b := a + 1; b < len(p.Assays); b++ {
+				d := p.Assays[a].Binding.PeakPotential - p.Assays[b].Binding.PeakPotential
+				if d < 0 {
+					d = -d
+				}
+				if d < minSep {
+					minSep = d
+				}
+			}
+		}
+		if minSep < req.PeakSeparationMin {
+			cand.fail("peak-separation", fmt.Sprintf(
+				"electrode %s carries peaks %.0f mV apart (< %.0f mV): heights become inseparable",
+				p.Name, minSep.MilliVolts(), req.PeakSeparationMin.MilliVolts()))
+		}
+	}
+
+	// --- Rule: readout class selection ---------------------------------
+	for i := range cand.Electrodes {
+		p := &cand.Electrodes[i]
+		if p.Blank {
+			continue
+		}
+		rc, err := SelectReadout(p.MaxCurrent, p.ResRequired)
+		if err != nil {
+			cand.fail("readout-class", fmt.Sprintf("electrode %s: %v", p.Name, err))
+			continue
+		}
+		p.Readout = rc
+	}
+	// Blank electrodes adopt the finest readout in use (they mimic the
+	// sensing channel they correct).
+	finest := ReadoutClass{}
+	for _, p := range cand.Electrodes {
+		if p.Blank || p.Readout.Name == "" {
+			continue
+		}
+		if finest.Name == "" || p.Readout.Resolution < finest.Resolution {
+			finest = p.Readout
+		}
+	}
+	for i := range cand.Electrodes {
+		if cand.Electrodes[i].Blank && finest.Name != "" {
+			cand.Electrodes[i].Readout = finest
+			cand.Electrodes[i].ProtocolTime = caProtocolTime
+		}
+	}
+
+	// --- Rule: potentiostat drive covers the potential window ----------
+	pstat := analog.DefaultPotentiostat()
+	for _, p := range cand.Electrodes {
+		for _, a := range p.Assays {
+			var extremes []phys.Voltage
+			if a.Technique == enzyme.Chronoamperometry {
+				extremes = []phys.Voltage{a.Oxidase.Applied}
+			} else {
+				extremes = []phys.Voltage{a.Binding.PeakPotential + cvMargin, a.Binding.PeakPotential - cvMargin}
+			}
+			for _, e := range extremes {
+				if e > pstat.MaxDrive || e < -pstat.MaxDrive {
+					cand.fail("drive-range", fmt.Sprintf("potential %v outside the potentiostat drive ±%v", e, pstat.MaxDrive))
+				}
+			}
+		}
+	}
+
+	// --- Rule: sweep rate ----------------------------------------------
+	if err := analog.CheckSweepRate(defaultCVRate); err != nil {
+		cand.fail("sweep-rate", err.Error())
+	}
+
+	// --- Chamber partitioning ------------------------------------------
+	assignChambers(cand)
+
+	// --- Rule: co-chamber oxidase cross-talk ----------------------------
+	checkCrosstalk(req, cand)
+
+	// --- Rule: direct-oxidizer interferents ----------------------------
+	checkInterferents(req, cand)
+
+	// --- Timing ----------------------------------------------------------
+	computeTiming(req, cand)
+
+	// --- Rule: throughput ------------------------------------------------
+	if req.SamplePeriod > 0 && cand.CycleTime > req.SamplePeriod {
+		cand.fail("throughput", fmt.Sprintf("cycle time %.0f s exceeds required sample period %.0f s",
+			cand.CycleTime, req.SamplePeriod))
+	}
+
+	// --- Cost -------------------------------------------------------------
+	computeBudget(cand)
+	return cand, nil
+}
+
+func (c *Candidate) fail(rule, detail string) {
+	c.Feasible = false
+	c.Violations = append(c.Violations, Violation{Rule: rule, Detail: detail})
+}
+
+func (c *Candidate) warn(rule, detail string) {
+	c.Violations = append(c.Violations, Violation{Rule: rule, Detail: detail, Warning: true})
+}
+
+// planElectrodes maps targets onto working electrodes according to the
+// probe choices and grouping flag, replicating the full set for array
+// requirements.
+func planElectrodes(req Requirements, choice Choice) ([]ElectrodePlan, error) {
+	set, err := planElectrodeSet(req, choice)
+	if err != nil {
+		return nil, err
+	}
+	replicas := req.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas == 1 {
+		return set, nil
+	}
+	var plans []ElectrodePlan
+	for r := 0; r < replicas; r++ {
+		for _, p := range set {
+			q := p
+			q.Name = fmt.Sprintf("WE%d", len(plans)+1)
+			plans = append(plans, q)
+		}
+	}
+	return plans, nil
+}
+
+// planElectrodeSet builds one un-replicated electrode set.
+func planElectrodeSet(req Requirements, choice Choice) ([]ElectrodePlan, error) {
+	var plans []ElectrodePlan
+	used := map[int]bool{} // index into req.Targets already covered
+	name := func() string { return fmt.Sprintf("WE%d", len(plans)+1) }
+
+	for i, t := range req.Targets {
+		if used[i] {
+			continue
+		}
+		a := choice.Assays[t.Species]
+		nano := electrode.Bare
+		if a.Perf().NanostructureGain > 1 {
+			nano = electrode.CNT
+		}
+		plan := ElectrodePlan{
+			Name:      name(),
+			Nano:      nano,
+			Assays:    []enzyme.Assay{a},
+			Specs:     []TargetSpec{t},
+			Technique: a.Technique,
+		}
+		used[i] = true
+		// Grouping: pull later targets sensed by the same CYP isoform
+		// onto this electrode.
+		if choice.GroupSameIsoform && a.Technique == enzyme.CyclicVoltammetry {
+			for j := i + 1; j < len(req.Targets); j++ {
+				if used[j] {
+					continue
+				}
+				t2 := req.Targets[j]
+				a2 := choice.Assays[t2.Species]
+				if a2.Technique == enzyme.CyclicVoltammetry && a2.CYP == a.CYP {
+					plan.Assays = append(plan.Assays, a2)
+					plan.Specs = append(plan.Specs, t2)
+					used[j] = true
+				}
+			}
+		}
+		if err := plan.PlanCurrents(); err != nil {
+			return nil, err
+		}
+		plans = append(plans, plan)
+	}
+	if req.WithBlankCDS {
+		plans = append(plans, ElectrodePlan{
+			Name:      name(),
+			Nano:      electrode.Bare,
+			Technique: enzyme.Chronoamperometry,
+			Blank:     true,
+		})
+	}
+	return plans, nil
+}
+
+// assignChambers partitions the electrodes into chambers per policy.
+func assignChambers(c *Candidate) {
+	switch c.Choice.Chambers {
+	case SharedChamber:
+		c.Chambers = []string{"chamber1"}
+		for _, p := range c.Electrodes {
+			c.ChamberOf[p.Name] = "chamber1"
+		}
+	case ChamberPerTechnique:
+		haveCA, haveCV := false, false
+		for _, p := range c.Electrodes {
+			if p.Technique == enzyme.Chronoamperometry {
+				haveCA = true
+			} else {
+				haveCV = true
+			}
+		}
+		if haveCA {
+			c.Chambers = append(c.Chambers, "chamberCA")
+		}
+		if haveCV {
+			c.Chambers = append(c.Chambers, "chamberCV")
+		}
+		for _, p := range c.Electrodes {
+			if p.Technique == enzyme.Chronoamperometry {
+				c.ChamberOf[p.Name] = "chamberCA"
+			} else {
+				c.ChamberOf[p.Name] = "chamberCV"
+			}
+		}
+	case ChamberPerElectrode:
+		for i, p := range c.Electrodes {
+			ch := fmt.Sprintf("chamber%d", i+1)
+			c.Chambers = append(c.Chambers, ch)
+			c.ChamberOf[p.Name] = ch
+		}
+	}
+}
+
+// checkCrosstalk applies the paper's §II-A co-chamber argument
+// quantitatively: parasitic current from co-chambered oxidase
+// neighbours must stay within the budgeted fraction of each sensor's
+// smallest meaningful signal (its 3σ LOD current).
+func checkCrosstalk(req Requirements, c *Candidate) {
+	area := float64(electrode.ReferenceArea)
+	for i := range c.Electrodes {
+		p := &c.Electrodes[i]
+		if p.Blank || p.Technique != enzyme.Chronoamperometry {
+			continue
+		}
+		var parasitic float64
+		for j := range c.Electrodes {
+			q := &c.Electrodes[j]
+			if i == j || q.Blank || q.Technique != enzyme.Chronoamperometry {
+				continue
+			}
+			if c.ChamberOf[p.Name] != c.ChamberOf[q.Name] {
+				continue
+			}
+			parasitic += 0.01 * float64(q.MaxCurrent) // cell.DefaultCrosstalk
+		}
+		if parasitic == 0 {
+			continue
+		}
+		minSignal := 3 * float64(p.ResRequired) // the 3σ LOD current
+		_ = area
+		if parasitic > req.CrosstalkBudget*minSignal {
+			c.fail("crosstalk", fmt.Sprintf(
+				"electrode %s: co-chamber parasitic %.3g A exceeds %.0f%% of its LOD signal %.3g A",
+				p.Name, parasitic, 100*req.CrosstalkBudget, minSignal))
+		}
+	}
+}
+
+// checkInterferents flags direct-oxidizer species in the matrix: they
+// add current at any electrode held at an oxidizing potential, and they
+// defeat the blank-electrode CDS correction (paper §II-C).
+func checkInterferents(req Requirements, c *Candidate) {
+	for _, name := range req.Interferents {
+		sp, err := species.Lookup(name)
+		if err != nil || !sp.DirectOxidizer {
+			continue
+		}
+		hasCA := false
+		for _, p := range c.Electrodes {
+			if !p.Blank && p.Technique == enzyme.Chronoamperometry {
+				hasCA = true
+			}
+		}
+		if hasCA {
+			c.warn("direct-oxidizer", fmt.Sprintf(
+				"%s oxidizes directly at +%.0f mV; chronoamperometric channels see added current",
+				name, sp.OxidationPotential.MilliVolts()))
+		}
+		if req.WithBlankCDS {
+			c.warn("cds-blank", fmt.Sprintf(
+				"%s also reacts at the enzyme-free blank, so CDS subtracts the interferent into the reading",
+				name))
+		}
+	}
+}
+
+// computeTiming fills PanelTime/CycleTime/Parallel.
+func computeTiming(req Requirements, c *Candidate) {
+	// Parallel operation needs isolated cells and dedicated electronics.
+	c.Parallel = c.Choice.Chambers == ChamberPerElectrode && c.Choice.Sharing == DedicatedChains
+	if c.Parallel {
+		maxT := 0.0
+		for _, p := range c.Electrodes {
+			if p.ProtocolTime > maxT {
+				maxT = p.ProtocolTime
+			}
+		}
+		c.PanelTime = maxT
+	} else {
+		settle := 0.01
+		if c.Choice.Sharing == SharedMux {
+			settle = 0.05 // analog.DefaultMux settle
+		}
+		total := 0.0
+		for _, p := range c.Electrodes {
+			total += settle + p.ProtocolTime
+		}
+		c.PanelTime = total
+	}
+	c.CycleTime = c.PanelTime + recoveryTime
+}
+
+// computeBudget fills the cost model.
+func computeBudget(c *Candidate) {
+	var b Budget
+	// Bio-interface: working electrodes plus RE+CE per chamber plus
+	// chamber packaging.
+	b = b.Add(ElectrodeBudget.Scale(float64(len(c.Electrodes))))
+	b = b.Add(ElectrodeBudget.Scale(2 * float64(len(c.Chambers))))
+	b = b.Add(ChamberBudget.Scale(float64(len(c.Chambers))))
+	// One potentiostat per chamber.
+	b = b.Add(PotentiostatBudget.Scale(float64(len(c.Chambers))))
+
+	anyCV := false
+	for _, p := range c.Electrodes {
+		for _, a := range p.Assays {
+			if a.Technique == enzyme.CyclicVoltammetry {
+				anyCV = true
+			}
+		}
+	}
+	switch c.Choice.Sharing {
+	case SharedMux:
+		// One generator, muxes sized to the electrode count, one readout
+		// instance per distinct class, one ADC.
+		b = b.Add(SelectVGen(anyCV).Budget)
+		nMux := (len(c.Electrodes) + MuxChannels - 1) / MuxChannels
+		b = b.Add(MuxBudget.Scale(float64(nMux)))
+		classes := map[string]ReadoutClass{}
+		for _, p := range c.Electrodes {
+			if p.Readout.Name != "" {
+				classes[p.Readout.Name] = p.Readout
+			}
+		}
+		for _, rc := range classes {
+			b = b.Add(rc.Budget)
+		}
+		b = b.Add(ADCBudget)
+	case DedicatedChains:
+		// Readout + ADC per electrode; generator per chamber (electrodes
+		// in one chamber share the solution potential).
+		for _, p := range c.Electrodes {
+			if p.Readout.Name != "" {
+				b = b.Add(p.Readout.Budget)
+			}
+			b = b.Add(ADCBudget)
+		}
+		for range c.Chambers {
+			b = b.Add(SelectVGen(anyCV).Budget)
+		}
+	}
+	b = b.Add(ControllerBudget)
+	c.Budget = b
+}
+
+// ParetoFront filters candidates to the (area, power, panel-time)
+// Pareto-optimal feasible set.
+func ParetoFront(cands []*Candidate) []*Candidate {
+	var front []*Candidate
+	for _, c := range cands {
+		if !c.Feasible {
+			continue
+		}
+		dominated := false
+		for _, d := range cands {
+			if d == c || !d.Feasible {
+				continue
+			}
+			if dominates(d, c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	return front
+}
+
+func dominates(a, b *Candidate) bool {
+	notWorse := a.Budget.AreaMM2 <= b.Budget.AreaMM2 &&
+		a.Budget.PowerUW <= b.Budget.PowerUW &&
+		a.PanelTime <= b.PanelTime
+	better := a.Budget.AreaMM2 < b.Budget.AreaMM2 ||
+		a.Budget.PowerUW < b.Budget.PowerUW ||
+		a.PanelTime < b.PanelTime
+	return notWorse && better
+}

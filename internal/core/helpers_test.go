@@ -1,0 +1,7 @@
+package core
+
+import "advdiag/internal/netlist"
+
+// Small indirections keep the test file readable.
+func netlistReadoutKind() netlist.BlockKind { return netlist.Readout }
+func netlistMuxKind() netlist.BlockKind     { return netlist.Multiplexer }

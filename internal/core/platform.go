@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+
+	"advdiag/internal/analog"
+	"advdiag/internal/cell"
+	"advdiag/internal/electrode"
+	"advdiag/internal/enzyme"
+	"advdiag/internal/mathx"
+	"advdiag/internal/netlist"
+	"advdiag/internal/phys"
+	"advdiag/internal/schedule"
+)
+
+// Platform is a synthesized design: the physical bio-interface plus the
+// electronics plan, ready to instantiate into a simulatable cell.
+type Platform struct {
+	// Candidate is the design point this platform realizes.
+	Candidate *Candidate
+	// Electrodes holds every physical electrode (WEs, then per-chamber
+	// RE/CE pairs).
+	Electrodes []*electrode.Electrode
+	// Design is the structural netlist (Fig. 2/Fig. 4 style).
+	Design *netlist.Design
+	// Plan is the panel acquisition schedule.
+	Plan *schedule.Plan
+}
+
+// Synthesize turns a feasible candidate into a platform.
+func Synthesize(cand *Candidate) (*Platform, error) {
+	if !cand.Feasible {
+		return nil, fmt.Errorf("core: cannot synthesize an infeasible candidate (%d violations)", len(cand.Violations))
+	}
+	p := &Platform{Candidate: cand}
+
+	// --- Physical electrodes -------------------------------------------
+	for _, ep := range cand.Electrodes {
+		var we *electrode.Electrode
+		if ep.Blank {
+			we = electrode.NewBlankWorking(ep.Name)
+		} else if len(ep.Assays) == 1 {
+			we = electrode.NewWorking(ep.Name, ep.Nano, ep.Assays[0])
+		} else {
+			// Grouped CYP electrode: the electrode carries the isoform;
+			// every binding of that isoform responds. Use the first
+			// assay as representative — the measurement engine sweeps
+			// all bindings with substrate present.
+			we = electrode.NewWorking(ep.Name, ep.Nano, ep.Assays[0])
+		}
+		p.Electrodes = append(p.Electrodes, we)
+	}
+	for i := range cand.Chambers {
+		p.Electrodes = append(p.Electrodes,
+			electrode.NewReference(fmt.Sprintf("RE%d", i+1)),
+			electrode.NewCounter(fmt.Sprintf("CE%d", i+1)))
+	}
+
+	// --- Netlist ---------------------------------------------------------
+	d, err := buildNetlist(cand)
+	if err != nil {
+		return nil, err
+	}
+	p.Design = d
+
+	// --- Schedule ---------------------------------------------------------
+	var slots []schedule.Slot
+	for _, ep := range cand.Electrodes {
+		slots = append(slots, schedule.Slot{WE: ep.Name, Technique: ep.Technique, Duration: ep.ProtocolTime})
+	}
+	settle := 0.01
+	if cand.Choice.Sharing == SharedMux {
+		settle = 0.05
+	}
+	plan, err := schedule.Build(settle, recoveryTime, slots...)
+	if err != nil {
+		return nil, err
+	}
+	p.Plan = plan
+	return p, nil
+}
+
+// buildNetlist emits the structural design: per chamber a potentiostat
+// with its RE/CE, the WEs routed (via mux or directly) to their readout
+// class instances, readouts to the ADC(s), everything sequenced by the
+// controller.
+func buildNetlist(cand *Candidate) (*netlist.Design, error) {
+	d := netlist.New(fmt.Sprintf("platform-%s-%s", cand.Choice.Chambers, cand.Choice.Sharing))
+	add := func(name string, k netlist.BlockKind, label string) error {
+		return d.AddBlock(name, k, label)
+	}
+	if err := add("ctrl", netlist.Controller, "sequencer"); err != nil {
+		return nil, err
+	}
+
+	anyCV := false
+	for _, ep := range cand.Electrodes {
+		if ep.Technique == enzyme.CyclicVoltammetry {
+			anyCV = true
+		}
+	}
+	vg := SelectVGen(anyCV)
+
+	// Chamber-side blocks.
+	for i, ch := range cand.Chambers {
+		n := i + 1
+		if err := add(fmt.Sprintf("pstat%d", n), netlist.Potentiostat, ch); err != nil {
+			return nil, err
+		}
+		if err := add(fmt.Sprintf("RE%d", n), netlist.ReferenceElectrode, ch); err != nil {
+			return nil, err
+		}
+		if err := add(fmt.Sprintf("CE%d", n), netlist.CounterElectrode, ch); err != nil {
+			return nil, err
+		}
+		if cand.Choice.Sharing == DedicatedChains || i == 0 {
+			if cand.Choice.Sharing == DedicatedChains {
+				if err := add(fmt.Sprintf("vgen%d", n), netlist.VoltageGenerator, vg.Name); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := d.Connect(fmt.Sprintf("net_re%d", n), fmt.Sprintf("pstat%d.re", n), fmt.Sprintf("RE%d.pin", n)); err != nil {
+			return nil, err
+		}
+		if err := d.Connect(fmt.Sprintf("net_ce%d", n), fmt.Sprintf("pstat%d.ce", n), fmt.Sprintf("CE%d.pin", n)); err != nil {
+			return nil, err
+		}
+	}
+	if cand.Choice.Sharing == SharedMux {
+		if err := add("vgen1", netlist.VoltageGenerator, vg.Name); err != nil {
+			return nil, err
+		}
+	}
+	// Wire generators to potentiostats.
+	for i := range cand.Chambers {
+		n := i + 1
+		src := "vgen1"
+		if cand.Choice.Sharing == DedicatedChains {
+			src = fmt.Sprintf("vgen%d", n)
+		}
+		if err := d.Connect(fmt.Sprintf("net_set%d", n), src+".out", fmt.Sprintf("pstat%d.set", n)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Working electrodes.
+	chamberIdx := map[string]int{}
+	for i, ch := range cand.Chambers {
+		chamberIdx[ch] = i + 1
+	}
+	for _, ep := range cand.Electrodes {
+		label := "blank"
+		if !ep.Blank {
+			label = ep.Assays[0].Probe
+			if len(ep.Assays) > 1 {
+				label += " (multi-target)"
+			}
+		}
+		if err := add(ep.Name, netlist.WorkingElectrode, label); err != nil {
+			return nil, err
+		}
+	}
+
+	switch cand.Choice.Sharing {
+	case SharedMux:
+		if err := add("mux1", netlist.Multiplexer, fmt.Sprintf("%d ch", len(cand.Electrodes))); err != nil {
+			return nil, err
+		}
+		classes := map[string]ReadoutClass{}
+		for _, ep := range cand.Electrodes {
+			if ep.Readout.Name != "" {
+				classes[ep.Readout.Name] = ep.Readout
+			}
+		}
+		ri := 0
+		readoutOf := map[string]string{}
+		for name := range classes {
+			ri++
+			inst := fmt.Sprintf("readout%d", ri)
+			if err := add(inst, netlist.Readout, name); err != nil {
+				return nil, err
+			}
+			readoutOf[name] = inst
+		}
+		if err := add("adc1", netlist.ADC, "12-bit"); err != nil {
+			return nil, err
+		}
+		for i, ep := range cand.Electrodes {
+			if err := d.Connect(fmt.Sprintf("net_we%d", i+1), ep.Name+".pin", fmt.Sprintf("mux1.in%d", i+1)); err != nil {
+				return nil, err
+			}
+		}
+		for name, inst := range readoutOf {
+			if err := d.Connect("net_mux_"+name, "mux1.out", inst+".in"); err != nil {
+				return nil, err
+			}
+			if err := d.Connect("net_adc_"+name, inst+".out", "adc1.in"); err != nil {
+				return nil, err
+			}
+		}
+		if err := d.Connect("net_ctrl_mux", "ctrl.sel", "mux1.sel"); err != nil {
+			return nil, err
+		}
+		if err := d.Connect("net_ctrl_adc", "ctrl.data", "adc1.out"); err != nil {
+			return nil, err
+		}
+		if err := d.Connect("net_ctrl_vgen", "ctrl.wave", "vgen1.prog"); err != nil {
+			return nil, err
+		}
+	case DedicatedChains:
+		for i, ep := range cand.Electrodes {
+			n := i + 1
+			rname := fmt.Sprintf("readout%d", n)
+			aname := fmt.Sprintf("adc%d", n)
+			if err := add(rname, netlist.Readout, ep.Readout.Name); err != nil {
+				return nil, err
+			}
+			if err := add(aname, netlist.ADC, "12-bit"); err != nil {
+				return nil, err
+			}
+			if err := d.Connect(fmt.Sprintf("net_we%d", n), ep.Name+".pin", rname+".in"); err != nil {
+				return nil, err
+			}
+			if err := d.Connect(fmt.Sprintf("net_out%d", n), rname+".out", aname+".in"); err != nil {
+				return nil, err
+			}
+			if err := d.Connect(fmt.Sprintf("net_data%d", n), aname+".out", "ctrl.data"); err != nil {
+				return nil, err
+			}
+		}
+		for i := range cand.Chambers {
+			n := i + 1
+			if err := d.Connect(fmt.Sprintf("net_ctrl_vgen%d", n), "ctrl.wave", fmt.Sprintf("vgen%d.prog", n)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := d.Check(); err != nil {
+		return nil, fmt.Errorf("core: synthesized netlist fails checks: %w", err)
+	}
+	return d, nil
+}
+
+// Instantiate builds a simulatable cell from the platform. solutions
+// maps chamber name → solution; missing chambers get an empty solution.
+func (p *Platform) Instantiate(solutions map[string]*cell.Solution) (*cell.Cell, error) {
+	cand := p.Candidate
+	byName := map[string]*electrode.Electrode{}
+	for _, e := range p.Electrodes {
+		byName[e.Name] = e
+	}
+	c := &cell.Cell{Crosstalk: cell.DefaultCrosstalk}
+	for i, chName := range cand.Chambers {
+		sol := solutions[chName]
+		if sol == nil {
+			sol = cell.NewSolution()
+		}
+		ch := &cell.Chamber{Name: chName, Solution: sol}
+		for _, ep := range cand.Electrodes {
+			if cand.ChamberOf[ep.Name] == chName {
+				ch.Electrodes = append(ch.Electrodes, byName[ep.Name])
+			}
+		}
+		ch.Electrodes = append(ch.Electrodes,
+			byName[fmt.Sprintf("RE%d", i+1)], byName[fmt.Sprintf("CE%d", i+1)])
+		c.Chambers = append(c.Chambers, ch)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ChainFor instantiates the acquisition chain serving the named working
+// electrode (with the mux in the path under shared readout). A nil rng
+// gets a default seed.
+func (p *Platform) ChainFor(weName string, rng *mathx.RNG) (*analog.Chain, error) {
+	if rng == nil {
+		rng = mathx.NewRNG(1)
+	}
+	for _, ep := range p.Candidate.Electrodes {
+		if ep.Name != weName {
+			continue
+		}
+		if ep.Readout.Name == "" {
+			return nil, fmt.Errorf("core: electrode %s has no readout assigned", weName)
+		}
+		var mux *analog.Mux
+		if p.Candidate.Choice.Sharing == SharedMux {
+			mux = analog.DefaultMux(len(p.Candidate.Electrodes))
+		}
+		return ep.Readout.NewChain(mux, rng), nil
+	}
+	return nil, fmt.Errorf("core: unknown working electrode %q", weName)
+}
+
+// ProtocolPotential returns the applied potential used on a CA
+// electrode (the probe's Table I value).
+func (p *Platform) ProtocolPotential(weName string) (phys.Voltage, error) {
+	for _, ep := range p.Candidate.Electrodes {
+		if ep.Name == weName {
+			if ep.Blank {
+				return phys.MilliVolts(650), nil // H₂O₂ oxidation potential
+			}
+			if ep.Technique != enzyme.Chronoamperometry {
+				return 0, fmt.Errorf("core: %s is a CV electrode", weName)
+			}
+			return ep.Assays[0].Oxidase.Applied, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown working electrode %q", weName)
+}

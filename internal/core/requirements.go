@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"advdiag/internal/enzyme"
+	"advdiag/internal/phys"
+	"advdiag/internal/species"
+)
+
+// TargetSpec is one molecule the platform must sense, with optional
+// overrides of the measurement envelope.
+type TargetSpec struct {
+	// Species is the target name ("glucose", "benzphetamine", ...).
+	Species string
+	// MaxConcentration is the largest concentration the platform must
+	// handle; zero defaults to the probe's published linear-range top.
+	MaxConcentration phys.Concentration
+	// RequiredLOD is the detection limit the application needs; zero
+	// defaults to the probe's published LOD.
+	RequiredLOD phys.Concentration
+}
+
+// Requirements is the input of the design-space exploration.
+type Requirements struct {
+	// Targets lists the panel.
+	Targets []TargetSpec
+	// Interferents are additional species present in the sample matrix
+	// (e.g. dopamine) that constrain the design (§II-C: direct
+	// oxidizers defeat the CDS blank).
+	Interferents []string
+	// SamplePeriod is the required time between successive panel
+	// samples in seconds; zero means unconstrained.
+	SamplePeriod float64
+	// PeakSeparationMin is the smallest CV peak spacing that still
+	// allows two targets on one electrode; zero defaults to 100 mV.
+	PeakSeparationMin phys.Voltage
+	// CrosstalkBudget is the acceptable ratio of co-chamber parasitic
+	// current to the smallest meaningful signal; zero defaults to 0.5.
+	CrosstalkBudget float64
+	// WithBlankCDS requests an extra enzyme-free working electrode for
+	// correlated double sampling.
+	WithBlankCDS bool
+	// Replicas replicates the full sensor set k times — the paper's
+	// §II one-dimensional array of k sensors. Replicate readings
+	// average down uncorrelated blank noise by √k at the cost of k×
+	// the electrode area and panel time. 0 or 1 means a single set.
+	Replicas int
+}
+
+// WithDefaults fills unset tuning knobs.
+func (r Requirements) WithDefaults() Requirements {
+	if r.PeakSeparationMin == 0 {
+		r.PeakSeparationMin = phys.MilliVolts(100)
+	}
+	if r.CrosstalkBudget == 0 {
+		r.CrosstalkBudget = 0.5
+	}
+	return r
+}
+
+// Validate checks the requirements against the registries.
+func (r Requirements) Validate() error {
+	if len(r.Targets) == 0 {
+		return fmt.Errorf("core: no targets")
+	}
+	seen := map[string]bool{}
+	for _, t := range r.Targets {
+		if seen[t.Species] {
+			return fmt.Errorf("core: duplicate target %q", t.Species)
+		}
+		seen[t.Species] = true
+		if _, err := species.Lookup(t.Species); err != nil {
+			return err
+		}
+		if len(enzyme.AssaysFor(t.Species)) == 0 {
+			return fmt.Errorf("core: no registered probe senses %q", t.Species)
+		}
+		if t.MaxConcentration < 0 || t.RequiredLOD < 0 {
+			return fmt.Errorf("core: negative envelope for %q", t.Species)
+		}
+	}
+	for _, name := range r.Interferents {
+		if _, err := species.Lookup(name); err != nil {
+			return err
+		}
+	}
+	if r.SamplePeriod < 0 {
+		return fmt.Errorf("core: negative sample period")
+	}
+	if r.Replicas < 0 || r.Replicas > MuxChannels*4 {
+		return fmt.Errorf("core: replicas %d outside [0, %d]", r.Replicas, MuxChannels*4)
+	}
+	return nil
+}
+
+// envelope resolves the measurement envelope of a target under a chosen
+// assay: the maximum concentration and LOD the design must support.
+func (t TargetSpec) envelope(a enzyme.Assay) (maxC, lod phys.Concentration) {
+	perf := a.Perf()
+	maxC = t.MaxConcentration
+	if maxC == 0 {
+		maxC = perf.LinearHi
+	}
+	lod = t.RequiredLOD
+	if lod == 0 {
+		lod = perf.LOD
+	}
+	if lod == 0 {
+		// Probe publishes no LOD (cholesterol/CYP11A1): fall back to the
+		// linear-range floor.
+		lod = perf.LinearLo
+	}
+	return maxC, lod
+}

@@ -1,0 +1,173 @@
+// Package diffusion implements the one-dimensional finite-difference
+// solution of Fick's second law that underlies the cyclic-voltammetry
+// simulator: a planar semi-infinite diffusion field for a redox couple
+// O/R with Butler–Volmer kinetics at the electrode boundary (the classic
+// explicit scheme of Bard & Faulkner, appendix B).
+//
+// The solver is validated in its tests against the two analytic results
+// the textbook provides: the Cottrell transient after a potential step
+// and the Randles–Ševčík peak current under a linear sweep.
+package diffusion
+
+import (
+	"fmt"
+	"math"
+
+	"advdiag/internal/echem"
+	"advdiag/internal/phys"
+)
+
+// lambda is the explicit-scheme stability/accuracy parameter
+// D·dt/dx² (< 0.5 for stability; 0.45 is the customary choice).
+const lambda = 0.45
+
+// minCells sets the spatial resolution floor.
+const minCells = 240
+
+// CoupleSim simulates one redox couple O + n·e⁻ ⇌ R in a semi-infinite
+// 1-D diffusion field with electrode kinetics at x=0.
+type CoupleSim struct {
+	bv echem.ButlerVolmer
+	d  float64 // diffusion coefficient, m²/s (same for O and R)
+
+	dx   float64
+	dtIn float64 // internal substep
+	sub  int     // substeps per external Step
+
+	o, r []float64 // concentration profiles, mol/m³
+	oNew []float64
+	rNew []float64
+
+	flux  float64 // last net reduction flux at the surface, mol/(m²·s)
+	lastE phys.Voltage
+	haveE bool
+}
+
+// Config describes a simulation run.
+type Config struct {
+	// Kinetics is the electrode reaction.
+	Kinetics echem.ButlerVolmer
+	// Diffusion is the species diffusivity.
+	Diffusion phys.Diffusivity
+	// BulkO and BulkR are the initial (and far-field) concentrations.
+	BulkO, BulkR phys.Concentration
+	// TotalTime is the planned experiment duration; it sizes the grid so
+	// the diffusion layer never reaches the far boundary.
+	TotalTime float64
+	// Dt is the external step interval at which the caller will sample.
+	Dt float64
+}
+
+// New builds a solver for cfg.
+func New(cfg Config) (*CoupleSim, error) {
+	if err := cfg.Kinetics.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Diffusion <= 0 {
+		return nil, fmt.Errorf("diffusion: non-positive diffusivity %g", float64(cfg.Diffusion))
+	}
+	if cfg.TotalTime <= 0 || cfg.Dt <= 0 || cfg.Dt > cfg.TotalTime {
+		return nil, fmt.Errorf("diffusion: bad timing (total %g s, dt %g s)", cfg.TotalTime, cfg.Dt)
+	}
+	if cfg.BulkO < 0 || cfg.BulkR < 0 {
+		return nil, fmt.Errorf("diffusion: negative bulk concentration")
+	}
+	d := float64(cfg.Diffusion)
+	// Domain long enough that the diffusion layer (≈6√(D·t)) stays inside.
+	length := 6 * math.Sqrt(d*cfg.TotalTime)
+	// Choose resolution: honor stability at a substep of the external dt.
+	n := minCells
+	dx := length / float64(n)
+	dtStable := lambda * dx * dx / d
+	sub := int(math.Ceil(cfg.Dt / dtStable))
+	if sub < 1 {
+		sub = 1
+	}
+	dtIn := cfg.Dt / float64(sub)
+	s := &CoupleSim{
+		bv:   cfg.Kinetics,
+		d:    d,
+		dx:   dx,
+		dtIn: dtIn,
+		sub:  sub,
+		o:    make([]float64, n),
+		r:    make([]float64, n),
+		oNew: make([]float64, n),
+		rNew: make([]float64, n),
+	}
+	for i := range s.o {
+		s.o[i] = float64(cfg.BulkO)
+		s.r[i] = float64(cfg.BulkR)
+	}
+	return s, nil
+}
+
+// Step advances the field by the external Dt, ramping the electrode
+// potential linearly from the previous call's value to e (so a sampled
+// triangle waveform is treated as a true linear sweep rather than a
+// staircase), and returns the net reduction flux density at the surface
+// (mol·m⁻²·s⁻¹, positive when O is being reduced).
+func (s *CoupleSim) Step(e phys.Voltage) float64 {
+	if !s.haveE {
+		s.lastE = e
+		s.haveE = true
+	}
+	eFrom := s.lastE
+	s.lastE = e
+	lam := s.d * s.dtIn / (s.dx * s.dx)
+	n := len(s.o)
+	for k := 0; k < s.sub; k++ {
+		eNow := eFrom + phys.Voltage(float64(k+1)/float64(s.sub))*(e-eFrom)
+		// Interior diffusion (FTCS). Index 0 is the surface node, index
+		// n-1 the bulk boundary (Dirichlet at initial bulk values).
+		for i := 1; i < n-1; i++ {
+			s.oNew[i] = s.o[i] + lam*(s.o[i+1]-2*s.o[i]+s.o[i-1])
+			s.rNew[i] = s.r[i] + lam*(s.r[i+1]-2*s.r[i]+s.r[i-1])
+		}
+		s.oNew[n-1] = s.o[n-1]
+		s.rNew[n-1] = s.r[n-1]
+
+		// Surface boundary with a second-order (three-point) gradient:
+		//   β(−3cO0+4cO1−cO2) =  J = kf·cO0 − kb·cR0
+		//   β(−3cR0+4cR1−cR2) = −J
+		// with β = D/(2dx). Summing conserves
+		//   cO0+cR0 = (4(cO1+cR1) − (cO2+cR2)) / 3.
+		kf, kb := s.bv.RateConstants(eNow)
+		beta := s.d / (2 * s.dx)
+		sum := (4*(s.oNew[1]+s.rNew[1]) - (s.oNew[2] + s.rNew[2])) / 3
+		cO0 := (beta*(4*s.oNew[1]-s.oNew[2]) + kb*sum) / (kf + kb + 3*beta)
+		if cO0 < 0 {
+			cO0 = 0
+		}
+		cR0 := sum - cO0
+		if cR0 < 0 {
+			cR0 = 0
+		}
+		s.oNew[0] = cO0
+		s.rNew[0] = cR0
+		s.flux = kf*cO0 - kb*cR0
+
+		s.o, s.oNew = s.oNew, s.o
+		s.r, s.rNew = s.rNew, s.r
+	}
+	return s.flux
+}
+
+// SurfaceO returns the current surface concentration of O.
+func (s *CoupleSim) SurfaceO() phys.Concentration { return phys.Concentration(s.o[0]) }
+
+// SurfaceR returns the current surface concentration of R.
+func (s *CoupleSim) SurfaceR() phys.Concentration { return phys.Concentration(s.r[0]) }
+
+// Cells reports the spatial resolution chosen (for diagnostics/tests).
+func (s *CoupleSim) Cells() int { return len(s.o) }
+
+// Substeps reports the internal substepping factor (for diagnostics).
+func (s *CoupleSim) Substeps() int { return s.sub }
+
+// Current converts a flux density to electrode current for area a:
+// I = −n·F·A·J, negative for net reduction (IUPAC convention: cathodic
+// current negative). Table II reduction peaks therefore appear as minima.
+func Current(n int, a phys.Area, fluxDensity float64) phys.Current {
+	return phys.Current(-float64(n) * phys.Faraday * float64(a) * fluxDensity)
+}

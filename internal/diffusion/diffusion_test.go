@@ -1,0 +1,239 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"advdiag/internal/echem"
+	"advdiag/internal/phys"
+)
+
+// fastKinetics is a reversible couple (large K0) used to reach the
+// mass-transport-limited regimes the analytic benchmarks describe.
+func fastKinetics(e0 phys.Voltage) echem.ButlerVolmer {
+	return echem.ButlerVolmer{E0: e0, N: 1, Alpha: 0.5, K0: 1e-2}
+}
+
+// TestCottrellBenchmark steps the potential far past E0 and compares
+// the simulated flux transient against the Cottrell equation — the
+// classic validation of the explicit FD scheme (Bard & Faulkner App. B).
+func TestCottrellBenchmark(t *testing.T) {
+	d := phys.Diffusivity(1e-9)
+	sim, err := New(Config{
+		Kinetics:  fastKinetics(0),
+		Diffusion: d,
+		BulkO:     1,
+		TotalTime: 10,
+		Dt:        0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := phys.MilliVolts(-400) // deep reduction: diffusion limited
+	for step := 1; step <= 500; step++ {
+		flux := sim.Step(held)
+		tNow := float64(step) * 0.02
+		if tNow < 0.5 {
+			continue // FD startup transient
+		}
+		want, err := echem.Cottrell(1, 1, 1, d, tNow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFlux := float64(want) / phys.Faraday
+		rel := math.Abs(flux-wantFlux) / wantFlux
+		if rel > 0.03 {
+			t.Fatalf("t=%.2f s: flux %.4g vs Cottrell %.4g (%.1f%% off)", tNow, flux, wantFlux, 100*rel)
+		}
+	}
+}
+
+// TestRandlesSevcikBenchmark sweeps cathodically through E0 and checks
+// the peak current against the Randles–Ševčík equation and the peak
+// potential against the reversible −28.5/n mV shift.
+func TestRandlesSevcikBenchmark(t *testing.T) {
+	d := phys.Diffusivity(5e-10)
+	rate := phys.SweepRate(0.02)
+	e0 := phys.MilliVolts(-200)
+	start, vertex := phys.MilliVolts(0), phys.MilliVolts(-500)
+	dt := 0.001 / float64(rate) // 1 mV per step
+	total := float64(start-vertex) / float64(rate)
+	sim, err := New(Config{
+		Kinetics:  fastKinetics(e0),
+		Diffusion: d,
+		BulkO:     1,
+		TotalTime: total,
+		Dt:        dt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(total / dt)
+	peakFlux := 0.0
+	peakE := phys.Voltage(0)
+	for i := 0; i <= n; i++ {
+		e := start - phys.Voltage(float64(i)*0.001)
+		if e < vertex {
+			break
+		}
+		flux := sim.Step(e)
+		if flux > peakFlux {
+			peakFlux = flux
+			peakE = e
+		}
+	}
+	want, err := echem.RandlesSevcik(1, 1, 1, d, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFlux := float64(want) / phys.Faraday
+	if rel := math.Abs(peakFlux-wantFlux) / wantFlux; rel > 0.04 {
+		t.Fatalf("peak flux %.4g vs RS %.4g (%.1f%% off)", peakFlux, wantFlux, 100*rel)
+	}
+	wantE := e0 + echem.ReversiblePeakShift(1)
+	if math.Abs(float64(peakE-wantE)) > 0.006 {
+		t.Fatalf("peak at %v, want %v ± 6 mV", peakE, wantE)
+	}
+}
+
+// TestQuasiReversibleShift verifies that slower electrode kinetics move
+// the cathodic peak negative — the effect behind the paper's sweep-rate
+// limit (§II-C).
+func TestQuasiReversibleShift(t *testing.T) {
+	peakAt := func(k0 float64, rate phys.SweepRate) phys.Voltage {
+		dt := 0.001 / float64(rate)
+		total := 0.5 / float64(rate)
+		sim, err := New(Config{
+			Kinetics:  echem.ButlerVolmer{E0: 0, N: 1, Alpha: 0.5, K0: k0},
+			Diffusion: 5e-10,
+			BulkO:     1,
+			TotalTime: total,
+			Dt:        dt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peakFlux, peakE := 0.0, phys.Voltage(0)
+		for i := 0; ; i++ {
+			e := phys.Voltage(0.25 - float64(i)*0.001)
+			if e < -0.25 {
+				break
+			}
+			flux := sim.Step(e)
+			if flux > peakFlux {
+				peakFlux, peakE = flux, e
+			}
+		}
+		return peakE
+	}
+	fast := peakAt(1e-2, 0.02)
+	slow := peakAt(1e-6, 0.02)
+	if slow >= fast {
+		t.Fatalf("slower kinetics must shift the peak negative: fast %v, slow %v", fast, slow)
+	}
+	if float64(fast-slow) < 0.05 {
+		t.Fatalf("kinetic shift too small: %v vs %v", fast, slow)
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	// O + R is conserved at every node under the surface boundary.
+	sim, err := New(Config{
+		Kinetics:  fastKinetics(0),
+		Diffusion: 1e-9,
+		BulkO:     2,
+		TotalTime: 5,
+		Dt:        0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		sim.Step(phys.MilliVolts(-300))
+	}
+	sum := float64(sim.SurfaceO() + sim.SurfaceR())
+	if math.Abs(sum-2) > 1e-6 {
+		t.Fatalf("surface O+R = %g, want 2 (conservation)", sum)
+	}
+}
+
+func TestSurfaceDepletion(t *testing.T) {
+	sim, err := New(Config{
+		Kinetics:  fastKinetics(0),
+		Diffusion: 1e-9,
+		BulkO:     1,
+		TotalTime: 5,
+		Dt:        0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		sim.Step(phys.MilliVolts(-400))
+	}
+	if o := float64(sim.SurfaceO()); o > 0.05 {
+		t.Fatalf("deep reduction must deplete surface O, got %g", o)
+	}
+	if r := float64(sim.SurfaceR()); r < 0.9 {
+		t.Fatalf("R must accumulate at the surface, got %g", r)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{Kinetics: fastKinetics(0), Diffusion: 1e-9, BulkO: 1, TotalTime: 1, Dt: 0.01}
+	if _, err := New(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Kinetics: echem.ButlerVolmer{}, Diffusion: 1e-9, BulkO: 1, TotalTime: 1, Dt: 0.01},
+		{Kinetics: fastKinetics(0), Diffusion: 0, BulkO: 1, TotalTime: 1, Dt: 0.01},
+		{Kinetics: fastKinetics(0), Diffusion: 1e-9, BulkO: 1, TotalTime: 0, Dt: 0.01},
+		{Kinetics: fastKinetics(0), Diffusion: 1e-9, BulkO: 1, TotalTime: 1, Dt: 2},
+		{Kinetics: fastKinetics(0), Diffusion: 1e-9, BulkO: -1, TotalTime: 1, Dt: 0.01},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestCurrentSignConvention(t *testing.T) {
+	// Positive reduction flux → negative (cathodic) current.
+	i := Current(1, phys.Area(1e-6), 1e-5)
+	if i >= 0 {
+		t.Fatalf("reduction must be negative current, got %v", i)
+	}
+	// Linear in n, area and flux.
+	i2 := Current(2, phys.Area(2e-6), 1e-5)
+	if math.Abs(float64(i2)/float64(i)-4) > 1e-12 {
+		t.Fatal("current must scale with n·A")
+	}
+}
+
+func TestLinearityInConcentration(t *testing.T) {
+	// The diffusion problem is linear in bulk concentration — the
+	// property the template-fitting quantification rests on.
+	run := func(c phys.Concentration) float64 {
+		sim, err := New(Config{
+			Kinetics:  fastKinetics(0),
+			Diffusion: 5e-10,
+			BulkO:     c,
+			TotalTime: 2,
+			Dt:        0.02,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for i := 0; i < 100; i++ {
+			total += sim.Step(phys.MilliVolts(-300))
+		}
+		return total
+	}
+	f1 := run(1)
+	f3 := run(3)
+	if math.Abs(f3/f1-3) > 1e-6 {
+		t.Fatalf("flux not linear in concentration: ratio %g", f3/f1)
+	}
+}

@@ -1,0 +1,142 @@
+package electrode
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"advdiag/internal/enzyme"
+	"advdiag/internal/phys"
+)
+
+func glucoseAssay(t *testing.T) enzyme.Assay {
+	t.Helper()
+	assays := enzyme.AssaysFor("glucose")
+	if len(assays) == 0 {
+		t.Fatal("no glucose assay")
+	}
+	return assays[0]
+}
+
+func TestReferenceArea(t *testing.T) {
+	// The platform's electrodes are 0.23 mm² (paper §III).
+	if math.Abs(ReferenceArea.SquareMillimetres()-0.23) > 1e-12 {
+		t.Fatalf("reference area %g mm²", ReferenceArea.SquareMillimetres())
+	}
+}
+
+func TestNewWorkingValid(t *testing.T) {
+	we := NewWorking("WE1", CNT, glucoseAssay(t))
+	if err := we.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if we.Gain() != enzyme.CNTGain {
+		t.Fatalf("CNT gain %g", we.Gain())
+	}
+	if we.Func.IsBlank() {
+		t.Fatal("functionalized electrode reported blank")
+	}
+	if we.Func.MembraneTau != DefaultMembraneTau {
+		t.Fatalf("membrane tau %g", we.Func.MembraneTau)
+	}
+}
+
+func TestBlankWorking(t *testing.T) {
+	blank := NewBlankWorking("WEB")
+	if err := blank.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !blank.Func.IsBlank() {
+		t.Fatal("blank electrode must report IsBlank")
+	}
+	if blank.Gain() != 1 {
+		t.Fatal("blank electrode gain must be 1")
+	}
+}
+
+func TestReferenceMustBeAgAgCl(t *testing.T) {
+	re := NewReference("RE1")
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	re.Material = Gold
+	if err := re.Validate(); err == nil {
+		t.Fatal("gold reference electrode must fail validation")
+	}
+}
+
+func TestNonWorkingCannotCarryProbes(t *testing.T) {
+	ce := NewCounter("CE1")
+	ce.Func = Functionalization{Assay: glucoseAssay(t), MembraneTau: 13}
+	if err := ce.Validate(); err == nil {
+		t.Fatal("counter electrode with a probe must fail")
+	}
+	ce2 := NewCounter("CE2")
+	ce2.Nano = CNT
+	if err := ce2.Validate(); err == nil {
+		t.Fatal("nanostructured counter electrode must fail")
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	we := NewWorking("WE1", Bare, glucoseAssay(t))
+	we.Area = 0
+	if err := we.Validate(); err == nil {
+		t.Fatal("zero area must fail")
+	}
+	we2 := NewWorking("", Bare, glucoseAssay(t))
+	if err := we2.Validate(); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	we3 := NewWorking("WE3", Bare, glucoseAssay(t))
+	we3.Func.MembraneTau = 0
+	if err := we3.Validate(); err == nil {
+		t.Fatal("functionalized electrode without membrane tau must fail")
+	}
+}
+
+func TestMembraneTauMatchesFig3(t *testing.T) {
+	// t90 = τ·ln(10) must be ≈30 s, the paper's Fig. 3 transient.
+	t90 := DefaultMembraneTau * math.Ln10
+	if math.Abs(t90-30) > 1 {
+		t.Fatalf("default membrane gives t90 = %g s, want ≈30", t90)
+	}
+}
+
+func TestDoubleLayerScalesWithGain(t *testing.T) {
+	bare := NewWorking("a", Bare, glucoseAssay(t))
+	cnt := NewWorking("b", CNT, glucoseAssay(t))
+	ratio := float64(cnt.DoubleLayer().C) / float64(bare.DoubleLayer().C)
+	if math.Abs(ratio-enzyme.CNTGain) > 1e-9 {
+		t.Fatalf("double-layer gain ratio %g", ratio)
+	}
+}
+
+func TestNanostructureGains(t *testing.T) {
+	if Bare.Gain() != 1 {
+		t.Fatal("bare gain must be 1")
+	}
+	if CNT.Gain() <= 1 {
+		t.Fatal("CNT gain must exceed 1")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	we := NewWorking("WE1", CNT, glucoseAssay(t))
+	s := we.String()
+	for _, frag := range []string{"WE1", "CNT", "glucose"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("%q missing %q", s, frag)
+		}
+	}
+	if !strings.Contains(NewReference("RE").String(), "Ag/AgCl") {
+		t.Error("reference string must name Ag/AgCl")
+	}
+	for _, m := range []Material{Gold, SilverAgCl, Platinum, RhodiumGraphite, ScreenPrintedCarbon} {
+		if m.String() == "" || strings.HasPrefix(m.String(), "Material(") {
+			t.Errorf("material %d lacks a label", m)
+		}
+	}
+}
+
+var _ = phys.Voltage(0)

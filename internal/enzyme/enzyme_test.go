@@ -1,0 +1,287 @@
+package enzyme
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"advdiag/internal/phys"
+	"advdiag/internal/species"
+)
+
+func TestRegistryCoversTableI(t *testing.T) {
+	// Table I: four oxidases with their applied potentials.
+	want := map[string]float64{
+		"glucose oxidase":     +550,
+		"lactate oxidase":     +650,
+		"glutamate oxidase":   +600,
+		"cholesterol oxidase": +700,
+	}
+	oxs := Oxidases()
+	if len(oxs) != len(want) {
+		t.Fatalf("want %d oxidases, got %d", len(want), len(oxs))
+	}
+	for _, o := range oxs {
+		mv, ok := want[o.Name]
+		if !ok {
+			t.Errorf("unexpected oxidase %q", o.Name)
+			continue
+		}
+		if math.Abs(o.Applied.MilliVolts()-mv) > 1e-9 {
+			t.Errorf("%s applied %g mV, want %g", o.Name, o.Applied.MilliVolts(), mv)
+		}
+	}
+}
+
+func TestRegistryCoversTableII(t *testing.T) {
+	// Table II: isoform → substrate → reduction peak potential (mV).
+	want := map[string]map[string]float64{
+		"CYP1A2":  {"clozapine": -265},
+		"CYP3A4":  {"erythromycin": -625, "indinavir": -750},
+		"CYP11A1": {"cholesterol": -400},
+		"CYP2B4":  {"benzphetamine": -250, "aminopyrine": -400},
+		"CYP2B6":  {"bupropion": -450, "lidocaine": -450},
+		"CYP2C9":  {"torsemide": -19, "diclofenac": -41},
+		"CYP2E1":  {"p-nitrophenol": -300},
+	}
+	if len(CYPs()) != len(want) {
+		t.Fatalf("want %d isoforms, got %d", len(want), len(CYPs()))
+	}
+	for iso, subs := range want {
+		c, err := CYPByIsoform(iso)
+		if err != nil {
+			t.Errorf("missing isoform %s: %v", iso, err)
+			continue
+		}
+		if len(c.Bindings) != len(subs) {
+			t.Errorf("%s: want %d bindings, got %d", iso, len(subs), len(c.Bindings))
+		}
+		for sub, mv := range subs {
+			b, err := c.Find(sub)
+			if err != nil {
+				t.Errorf("%s misses %s", iso, sub)
+				continue
+			}
+			if math.Abs(b.PeakPotential.MilliVolts()-mv) > 1e-9 {
+				t.Errorf("%s/%s peak %g mV, want %g", iso, sub, b.PeakPotential.MilliVolts(), mv)
+			}
+		}
+	}
+}
+
+func TestProstheticGroups(t *testing.T) {
+	// FMN for lactate oxidase, FAD for the rest (paper §I-B).
+	for _, o := range Oxidases() {
+		want := "FAD"
+		if o.Name == "lactate oxidase" {
+			want = "FMN"
+		}
+		if o.Prosthetic != want {
+			t.Errorf("%s prosthetic %s, want %s", o.Name, o.Prosthetic, want)
+		}
+	}
+}
+
+func TestOxidaseSensitivityCalibration(t *testing.T) {
+	// The windowed best-fit slope over the published window at the cited
+	// electrode must recover the published sensitivity.
+	o, err := OxidaseByName("glucose oxidase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate the windowed slope numerically from the current density.
+	g := o.Perf.NanostructureGain
+	lo := float64(o.Perf.LinearLo) / 2
+	hi := float64(o.Perf.LinearHi)
+	var xs, ys []float64
+	for i := 0; i < 40; i++ {
+		c := lo + (hi-lo)*float64(i)/39
+		xs = append(xs, c)
+		ys = append(ys, o.CurrentDensity(phys.Concentration(c), o.Applied, g))
+	}
+	slope := (ys[len(ys)-1] - ys[0]) / (xs[len(xs)-1] - xs[0])
+	// Crude two-point slope underestimates a best-fit slope slightly;
+	// compare within 10 %.
+	pub := float64(o.Perf.Sensitivity)
+	if math.Abs(slope-pub)/pub > 0.10 {
+		t.Fatalf("windowed slope %.4g vs published %.4g", slope, pub)
+	}
+}
+
+func TestOxidaseRecommendedPotential(t *testing.T) {
+	// The Table I reproduction: the 95 %-plateau scan lands on the
+	// published applied potential within one 10 mV step.
+	for _, o := range Oxidases() {
+		got := o.RecommendedPotential(phys.MilliVolts(10))
+		if d := math.Abs(float64(got - o.Applied)); d > 0.0101 {
+			t.Errorf("%s recommended %v, want %v ± 10 mV", o.Name, got, o.Applied)
+		}
+	}
+}
+
+func TestOxidaseSaturation(t *testing.T) {
+	o, _ := OxidaseByName("glucose oxidase")
+	jLow := o.CurrentDensity(o.Km/100, o.Applied, 1)
+	jKm := o.CurrentDensity(o.Km, o.Applied, 1)
+	jHigh := o.CurrentDensity(o.Km*100, o.Applied, 1)
+	if !(jLow < jKm && jKm < jHigh) {
+		t.Fatal("current density must increase with concentration")
+	}
+	// At C = Km the Michaelis–Menten rate is half its maximum.
+	if math.Abs(jKm/jHigh-0.5/(100.0/101.0)) > 0.02 {
+		t.Fatalf("half-saturation broken: j(Km)/j(100Km) = %g", jKm/jHigh)
+	}
+	if o.CurrentDensity(0, o.Applied, 1) != 0 {
+		t.Fatal("zero concentration must give zero current")
+	}
+}
+
+func TestOxidaseGainScaling(t *testing.T) {
+	o, _ := OxidaseByName("glucose oxidase")
+	j1 := o.CurrentDensity(1, o.Applied, 1)
+	j5 := o.CurrentDensity(1, o.Applied, 5)
+	if math.Abs(j5/j1-5) > 1e-9 {
+		t.Fatalf("nanostructure gain must scale current: ratio %g", j5/j1)
+	}
+	if s5, s1 := o.BlankSigmaAt(5), o.BlankSigmaAt(1); math.Abs(s5/s1-5) > 1e-9 {
+		t.Fatal("blank noise must scale with gain")
+	}
+}
+
+func TestBindingE0Calibration(t *testing.T) {
+	// E0 must sit one reversible peak shift above the published peak.
+	c, _ := CYPByIsoform("CYP2B4")
+	b, _ := c.Find("benzphetamine")
+	wantE0 := b.PeakPotential.MilliVolts() + 28.5
+	if math.Abs(b.E0.MilliVolts()-wantE0) > 0.5 {
+		t.Fatalf("E0 = %g mV, want ≈%g", b.E0.MilliVolts(), wantE0)
+	}
+}
+
+func TestBindingPeakSensitivity(t *testing.T) {
+	c, _ := CYPByIsoform("CYP2B4")
+	b, _ := c.Find("aminopyrine")
+	// At the reference sweep rate and the cited electrode gain, the
+	// windowed peak sensitivity equals the published value. The tangent
+	// PeakSensitivityAt is higher by 1/slope-factor; accept 20–60 %.
+	tangent := float64(b.PeakSensitivityAt(phys.MilliVoltsPerSecond(20), b.Perf.NanostructureGain))
+	pub := float64(b.Perf.Sensitivity)
+	if tangent < pub || tangent > 2*pub {
+		t.Fatalf("tangent %g vs published %g: implausible calibration", tangent, pub)
+	}
+	// sqrt(v) scaling.
+	s4 := float64(b.PeakSensitivityAt(phys.MilliVoltsPerSecond(80), 1))
+	s1 := float64(b.PeakSensitivityAt(phys.MilliVoltsPerSecond(20), 1))
+	if math.Abs(s4/s1-2) > 1e-9 {
+		t.Fatal("peak sensitivity must scale as sqrt(rate)")
+	}
+}
+
+func TestEffectiveConcentrationSaturates(t *testing.T) {
+	c, _ := CYPByIsoform("CYP2B4")
+	b, _ := c.Find("benzphetamine")
+	if b.EffectiveConcentration(0) != 0 {
+		t.Fatal("zero in, zero out")
+	}
+	small := float64(b.EffectiveConcentration(b.Km / 1000))
+	if math.Abs(small/(float64(b.Km)/1000)-1) > 0.01 {
+		t.Fatal("effective concentration must be ≈C at low C")
+	}
+	big := float64(b.EffectiveConcentration(b.Km * 1000))
+	if big > float64(b.Km) {
+		t.Fatal("effective concentration must saturate at Km")
+	}
+}
+
+func TestMinPeakSeparation(t *testing.T) {
+	b4, _ := CYPByIsoform("CYP2B4")
+	if sep := b4.MinPeakSeparation().MilliVolts(); math.Abs(sep-150) > 1e-9 {
+		t.Fatalf("CYP2B4 separation %g mV, want 150", sep)
+	}
+	b6, _ := CYPByIsoform("CYP2B6")
+	if sep := b6.MinPeakSeparation().MilliVolts(); sep != 0 {
+		t.Fatalf("CYP2B6 separation %g mV, want 0 (coincident peaks)", sep)
+	}
+	e1, _ := CYPByIsoform("CYP2E1")
+	if !math.IsInf(float64(e1.MinPeakSeparation()), 1) {
+		t.Fatal("single binding must report +Inf separation")
+	}
+}
+
+func TestAssaysForCholesterolHasTwoRoutes(t *testing.T) {
+	// Cholesterol can go via cholesterol oxidase (Table I) or CYP11A1
+	// (Table II/III) — the design-space choice the paper itself makes.
+	assays := AssaysFor("cholesterol")
+	if len(assays) != 2 {
+		t.Fatalf("want 2 cholesterol assays, got %d", len(assays))
+	}
+	techniques := map[Technique]bool{}
+	for _, a := range assays {
+		techniques[a.Technique] = true
+	}
+	if !techniques[Chronoamperometry] || !techniques[CyclicVoltammetry] {
+		t.Fatal("cholesterol must offer both CA and CV routes")
+	}
+}
+
+func TestAllAssaysConsistency(t *testing.T) {
+	for _, a := range AllAssays() {
+		switch a.Technique {
+		case Chronoamperometry:
+			if a.Oxidase == nil || a.CYP != nil {
+				t.Errorf("%v: CA assay must carry an oxidase only", a)
+			}
+			if a.Oxidase.Target.Name != a.Target.Name {
+				t.Errorf("%v: target mismatch", a)
+			}
+		case CyclicVoltammetry:
+			if a.CYP == nil || a.Binding == nil || a.Oxidase != nil {
+				t.Errorf("%v: CV assay must carry a CYP binding only", a)
+			}
+			if a.Binding.Substrate.Name != a.Target.Name {
+				t.Errorf("%v: substrate mismatch", a)
+			}
+		}
+		if err := a.Perf().Validate(); err != nil {
+			t.Errorf("%v: %v", a, err)
+		}
+	}
+}
+
+func TestBlankSigmaFromLOD(t *testing.T) {
+	// σ = S·LOD/3 — eq. (5) inverted.
+	s := phys.PaperSensitivity(27.7)
+	lod := phys.MicroMolar(575)
+	sigma := BlankSigmaFromLOD(s, lod)
+	want := 0.277 * 0.575 / 3
+	if math.Abs(sigma-want) > 1e-12 {
+		t.Fatalf("sigma %g, want %g", sigma, want)
+	}
+}
+
+func TestKmForWindowProperty(t *testing.T) {
+	// For any sane window the solved Km must exceed the window top
+	// (otherwise the curve saturates inside the published range) and the
+	// windowed slope factor must be in (0, 1].
+	f := func(loRaw, spanRaw uint16) bool {
+		lo := 0.01 + float64(loRaw%1000)/100   // 0.01..10 mM
+		span := 0.05 + float64(spanRaw%500)/50 // 0.05..10 mM
+		hi := lo + span
+		km, factor := KmForWindow(phys.Concentration(lo), phys.Concentration(hi))
+		return float64(km) > hi*0.5 && factor > 0 && factor <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewOxidaseRejectsBadPerf(t *testing.T) {
+	bad := PerfSpec{Sensitivity: 0, LinearLo: 0, LinearHi: 1, NanostructureGain: 1}
+	if _, err := NewOxidase("x", species.MustLookup("glucose"), "FAD", phys.MilliVolts(600), bad, ""); err == nil {
+		t.Fatal("zero sensitivity must be rejected")
+	}
+	bad2 := PerfSpec{Sensitivity: phys.PaperSensitivity(1), LinearLo: 2, LinearHi: 1, NanostructureGain: 1}
+	if _, err := NewOxidase("x", species.MustLookup("glucose"), "FAD", phys.MilliVolts(600), bad2, ""); err == nil {
+		t.Fatal("inverted linear range must be rejected")
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"advdiag/internal/analog"
+	"advdiag/internal/longterm"
+	"advdiag/internal/mathx"
+	"advdiag/internal/phys"
+)
+
+// TimeBasedReadout (E13) exercises the paper's cited alternative readout
+// (§II-C: "Alternative approaches convert currents to the frequency
+// domain [26], [27]"): a current-to-frequency converter traded against
+// the transimpedance classes on linearity, resolution and range.
+func TimeBasedReadout() (*Result, error) {
+	res := &Result{ID: "E13", Title: "§II-C alternative readout — current-to-frequency conversion"}
+
+	ifc := analog.DefaultIFC()
+	if err := ifc.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Linearity across four decades of current.
+	var xs, ys []float64
+	for _, na := range []float64{0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000} {
+		ifc.Reset()
+		// Average 10 gates, as the digital side would.
+		sum := 0.0
+		for k := 0; k < 10; k++ {
+			sum += float64(ifc.Convert(phys.NanoAmps(na)))
+		}
+		xs = append(xs, na*1e-9)
+		ys = append(ys, sum/10)
+	}
+	fit, err := mathx.FitLinear(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Row{
+		Label:    "IFC linearity, 50 pA – 1 µA",
+		Paper:    "time-based potentiostats for ion-current measurement [27]",
+		Measured: fmt.Sprintf("slope %.6f, R²=%.8f across 4.3 decades", fit.Slope, fit.R2),
+	})
+	res.metric("ifc_r2", fit.R2)
+
+	// Resolution vs measurement time: the IFC buys resolution with gate
+	// time instead of transimpedance.
+	for _, gate := range []float64{0.01, 0.1, 1.0} {
+		c := analog.DefaultIFC()
+		c.GateTime = gate
+		res.Rows = append(res.Rows, Row{
+			Label:    fmt.Sprintf("IFC resolution @ %g s gate", gate),
+			Paper:    "resolution bought with time, not gain",
+			Measured: fmt.Sprintf("%v (range ±%v)", c.Resolution(), c.RangeCurrent()),
+		})
+	}
+
+	// Head-to-head with the TIA classes at the platform's currents.
+	tia := analog.NewOxidaseTIA()
+	adc := analog.DefaultADC()
+	tiaRes := float64(adc.LSB()) / float64(tia.Feedback)
+	res.Rows = append(res.Rows, Row{
+		Label: "vs ±10 µA TIA class",
+		Paper: "TIA + ADC: fixed resolution per range",
+		Measured: fmt.Sprintf("TIA+12-bit: %.3g nA; IFC @0.1 s: %.3g nA with no amplitude saturation below ±%v",
+			tiaRes*1e9, float64(analog.DefaultIFC().Resolution())*1e9, analog.DefaultIFC().RangeCurrent()),
+	})
+	res.Notes = append(res.Notes,
+		"dynamic range: the IFC covers 5 pA–5 µA (six decades) in one configuration, where the",
+		"TIA catalog needs four switched gain classes — the integration advantage [26] cites")
+	return res, nil
+}
+
+// LongTermDrift (E14) simulates the §I long-term-monitoring motivation:
+// a 100 h glucose deployment with aging enzyme films, with and without
+// the paper's §III polymer stabilization, and with field recalibration.
+func LongTermDrift() (*Result, error) {
+	res := &Result{ID: "E14", Title: "§I/§III long-term monitoring — film aging, polymers, recalibration"}
+	cases := []struct {
+		label string
+		c     longterm.Campaign
+	}{
+		{"bare film, no recalibration", longterm.Campaign{Seed: 3}},
+		{"bare film, recalibrate every 24 h", longterm.Campaign{RecalEveryHours: 24, Seed: 3}},
+		{"polymer-stabilized, no recalibration", longterm.Campaign{Polymer: true, Seed: 3}},
+	}
+	for _, tc := range cases {
+		r, err := tc.c.Run()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Label:    tc.label,
+			Paper:    "100 h monitoring (GlucoMen Day [7]); polymers for long-term stability [3]",
+			Measured: fmt.Sprintf("max drift %.1f %%, final %.1f %%, %d calibrations", r.MaxErrorPct, r.FinalErrorPct, r.Recals),
+		})
+		res.metric("drift_"+tc.label, r.MaxErrorPct)
+	}
+	res.Notes = append(res.Notes,
+		"film sensitivity decays with τ = 5 days (×10 with polymer); estimates use the slope from the last calibration,",
+		"so decay since then appears as negative drift — recalibration or stabilization bounds it")
+	return res, nil
+}

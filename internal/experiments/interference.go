@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"advdiag/internal/analog"
+	"advdiag/internal/analysis"
+	"advdiag/internal/cell"
+	"advdiag/internal/electrode"
+	"advdiag/internal/measure"
+	"advdiag/internal/phys"
+)
+
+// Interference (E15) quantifies the paper's §II-B selectivity property
+// and its §II-C dopamine caveat: the enzyme rejects non-substrate
+// metabolites, but direct oxidizers add current at any electrode held
+// at an oxidizing potential — and the two-phase baseline-subtracted
+// protocol removes exactly that contribution.
+func Interference() (*Result, error) {
+	res := &Result{ID: "E15", Title: "§II-B selectivity and §II-C direct-oxidizer interference"}
+	assay := pickAssay("glucose")
+
+	// run measures a glucose electrode in the given solution. Paired
+	// comparisons reuse the same seed, so both runs see identical noise
+	// and the difference isolates the chemistry — the controlled
+	// experiment only a simulator can do exactly.
+	run := func(sol *cell.Solution, baseline float64, seed uint64) (phys.Current, error) {
+		we := electrode.NewWorking("WE1", electrode.CNT, assay)
+		c := cell.NewSingleChamber(sol, we, electrode.NewReference("RE1"), electrode.NewCounter("CE1"))
+		eng, err := measure.NewEngine(c, seed)
+		if err != nil {
+			return 0, err
+		}
+		chain := analog.NewNanoChain(nil, eng.RNG())
+		chain.Noise = nil
+		r, err := eng.RunCA("WE1", chain, measure.Chronoamperometry{Duration: 90, BaselinePhase: baseline})
+		if err != nil {
+			return 0, err
+		}
+		return r.StepCurrent(), nil
+	}
+
+	// Enzymatic selectivity: lactate on a glucose electrode produces no
+	// enzymatic current (glucose oxidase does not turn it over).
+	gl1, err := run(cell.NewSolution().Set("glucose", phys.MilliMolar(1)), 0, 41)
+	if err != nil {
+		return nil, err
+	}
+	gl2, err := run(cell.NewSolution().Set("glucose", phys.MilliMolar(2)), 0, 41)
+	if err != nil {
+		return nil, err
+	}
+	la1, err := run(cell.NewSolution().Set("lactate", phys.MilliMolar(1)), 0, 43)
+	if err != nil {
+		return nil, err
+	}
+	la2, err := run(cell.NewSolution().Set("lactate", phys.MilliMolar(2)), 0, 43)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := analysis.NewSelectivity("glucose", "lactate",
+		float64(gl2-gl1)/1.0, float64(la2-la1)/1.0)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Row{
+		Label:    "enzymatic selectivity (glucose electrode vs lactate)",
+		Paper:    "selectivity is principally a function of the recognition element (the enzyme)",
+		Measured: sel.String(),
+	})
+	res.metric("selectivity_lactate", sel.Ratio)
+
+	// Dopamine: a direct oxidizer adds current without any enzyme.
+	base, err := run(cell.NewSolution().Set("glucose", phys.MilliMolar(1)), 0, 47)
+	if err != nil {
+		return nil, err
+	}
+	withDop, err := run(cell.NewSolution().Set("glucose", phys.MilliMolar(1)).Set("dopamine", phys.MilliMolar(0.1)), 0, 47)
+	if err != nil {
+		return nil, err
+	}
+	errPct := (float64(withDop) - float64(base)) / float64(base) * 100
+	res.Rows = append(res.Rows, Row{
+		Label:    "0.1 mM dopamine on a 1 mM glucose reading (single-phase)",
+		Paper:    "dopamine oxidizes by applying a voltage to the WE even without any enzyme",
+		Measured: fmt.Sprintf("%+.1f %% reading error", errPct),
+	})
+	res.metric("dopamine_err_pct", errPct)
+
+	// The two-phase protocol measures the interferent during the buffer
+	// baseline and subtracts it... but only if the interferent is in
+	// the baseline matrix too. With the sample introducing both glucose
+	// and dopamine, the step still carries the dopamine current — the
+	// paper's point that the blank/baseline trick is "not helpful" for
+	// direct oxidizers present in the sample itself.
+	twoPhase, err := run(cell.NewSolution().
+		Set("glucose", phys.MilliMolar(1)).
+		Inject(15, "dopamine", phys.MilliMolar(0.1)), 15, 53) // arrives with the sample
+	if err != nil {
+		return nil, err
+	}
+	basePure, err := run(cell.NewSolution().Set("glucose", phys.MilliMolar(1)), 15, 53)
+	if err != nil {
+		return nil, err
+	}
+	resid := (float64(twoPhase) - float64(basePure)) / float64(basePure) * 100
+	res.Rows = append(res.Rows, Row{
+		Label:    "same, two-phase protocol (dopamine arrives with the sample)",
+		Paper:    "the extra WE is not helpful in presence of molecules such as dopamine",
+		Measured: fmt.Sprintf("%+.1f %% residual error — baseline subtraction cannot remove it", resid),
+	})
+	res.metric("dopamine_residual_pct", resid)
+	res.Notes = append(res.Notes,
+		"dopamine in the baseline matrix *would* cancel; dopamine arriving with the sample does not —",
+		"selectivity against direct oxidizers must come from chemistry (membranes), not electronics")
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package longterm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCampaignDriftWithoutRecal(t *testing.T) {
+	// 100 h without recalibration: the film loses ≈ 1−exp(−100/120) ≈
+	// 57 %/τ... with τ = 120 h the sensitivity drops ~57 %? No: τ =
+	// 5 days = 120 h, so exp(−100/120) ≈ 0.43 loss — the readings drift
+	// low by tens of percent.
+	res, err := Campaign{DurationHours: 100, SampleEveryHours: 20, Seed: 3}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Readings) != 5 {
+		t.Fatalf("%d readings", len(res.Readings))
+	}
+	if res.Recals != 1 {
+		t.Fatalf("%d recals, want the initial one only", res.Recals)
+	}
+	if res.FinalErrorPct > -20 {
+		t.Fatalf("final drift %+.1f %%, want strong negative bias", res.FinalErrorPct)
+	}
+	// Drift must grow with age (monotone within noise).
+	first := res.Readings[0].ErrorPct
+	last := res.Readings[len(res.Readings)-1].ErrorPct
+	if last >= first {
+		t.Fatalf("drift must worsen with age: %+.1f%% → %+.1f%%", first, last)
+	}
+}
+
+func TestRecalibrationBoundsDrift(t *testing.T) {
+	noRecal, err := Campaign{DurationHours: 100, SampleEveryHours: 20, Seed: 3}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recal, err := Campaign{DurationHours: 100, SampleEveryHours: 20, RecalEveryHours: 20, Seed: 3}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recal.Recals < 4 {
+		t.Fatalf("%d recals", recal.Recals)
+	}
+	if recal.MaxErrorPct >= noRecal.MaxErrorPct {
+		t.Fatalf("recalibration must bound drift: %.1f%% vs %.1f%%",
+			recal.MaxErrorPct, noRecal.MaxErrorPct)
+	}
+	if recal.MaxErrorPct > 25 {
+		t.Fatalf("20 h recalibration still drifts %.1f%%", recal.MaxErrorPct)
+	}
+}
+
+func TestPolymerStabilization(t *testing.T) {
+	plain, err := Campaign{DurationHours: 100, SampleEveryHours: 25, Seed: 5}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, err := Campaign{DurationHours: 100, SampleEveryHours: 25, Polymer: true, Seed: 5}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ×10 stability gain must cut the drift dramatically.
+	if math.Abs(poly.FinalErrorPct) > math.Abs(plain.FinalErrorPct)/3 {
+		t.Fatalf("polymer drift %+.1f%% vs plain %+.1f%%", poly.FinalErrorPct, plain.FinalErrorPct)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := (Campaign{Target: "benzphetamine"}).Run(); err == nil {
+		t.Fatal("CV-only target must fail (no continuous monitoring)")
+	}
+	if _, err := (Campaign{DurationHours: -1, SampleEveryHours: 1}).Run(); err == nil {
+		t.Fatal("negative duration must fail")
+	}
+}

@@ -1,0 +1,56 @@
+package mathx
+
+import "errors"
+
+// ErrOutOfRange is returned when interpolating outside the sample domain.
+var ErrOutOfRange = errors.New("mathx: abscissa outside sample domain")
+
+// Interp1 linearly interpolates y(x) given samples (xs, ys) with xs
+// strictly increasing. Queries outside [xs[0], xs[last]] return
+// ErrOutOfRange.
+func Interp1(xs, ys []float64, x float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, ErrBadFit
+	}
+	if x < xs[0] || x > xs[len(xs)-1] {
+		return 0, ErrOutOfRange
+	}
+	// Binary search for the bracketing interval.
+	lo, hi := 0, len(xs)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if xs[hi] == xs[lo] {
+		return ys[lo], nil
+	}
+	t := (x - xs[lo]) / (xs[hi] - xs[lo])
+	return ys[lo]*(1-t) + ys[hi]*t, nil
+}
+
+// CrossingTime returns the first abscissa at which ys crosses the given
+// level (rising if ys starts below it, falling otherwise), linearly
+// interpolated between samples. It returns ErrOutOfRange if the series
+// never crosses the level.
+func CrossingTime(xs, ys []float64, level float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, ErrBadFit
+	}
+	rising := ys[0] < level
+	for i := 1; i < len(ys); i++ {
+		crossed := (rising && ys[i] >= level) || (!rising && ys[i] <= level)
+		if !crossed {
+			continue
+		}
+		if ys[i] == ys[i-1] {
+			return xs[i], nil
+		}
+		t := (level - ys[i-1]) / (ys[i] - ys[i-1])
+		return xs[i-1] + t*(xs[i]-xs[i-1]), nil
+	}
+	return 0, ErrOutOfRange
+}

@@ -1,0 +1,56 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterp1(t *testing.T) {
+	xs := []float64{0, 1, 2, 4}
+	ys := []float64{0, 10, 20, 40}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {0.5, 5}, {1, 10}, {3, 30}, {4, 40},
+	}
+	for _, c := range cases {
+		got, err := Interp1(xs, ys, c.x)
+		if err != nil || math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Interp1(%g) = %g (err %v), want %g", c.x, got, err, c.want)
+		}
+	}
+	if _, err := Interp1(xs, ys, -1); err != ErrOutOfRange {
+		t.Error("below-range query must fail")
+	}
+	if _, err := Interp1(xs, ys, 5); err != ErrOutOfRange {
+		t.Error("above-range query must fail")
+	}
+	if _, err := Interp1([]float64{1}, []float64{1}, 1); err != ErrBadFit {
+		t.Error("single-point input must fail")
+	}
+}
+
+func TestCrossingTimeRising(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 1, 2, 3, 4}
+	got, err := CrossingTime(xs, ys, 2.5)
+	if err != nil || math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("CrossingTime = %g (err %v), want 2.5", got, err)
+	}
+}
+
+func TestCrossingTimeFalling(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{10, 8, 4, 0}
+	got, err := CrossingTime(xs, ys, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 1 || got > 2 {
+		t.Fatalf("falling crossing at %g, want within (1,2)", got)
+	}
+}
+
+func TestCrossingTimeNever(t *testing.T) {
+	if _, err := CrossingTime([]float64{0, 1}, []float64{0, 1}, 5); err != ErrOutOfRange {
+		t.Error("uncrossed level must fail")
+	}
+}

@@ -1,0 +1,128 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("mathx: singular linear system")
+
+// SolveLinear solves A·x = b by Gaussian elimination with partial
+// pivoting. A is modified in place (pass a copy to preserve it); b is
+// not modified. Intended for the small (≤ ~10 unknown) systems of the
+// template-fitting code.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, ErrSingular
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, ErrSingular
+		}
+	}
+	rhs := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := rhs[i]
+		for c := i + 1; c < n; c++ {
+			s -= a[i][c] * x[c]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖D·x − y‖² via the normal equations DᵀD·x =
+// Dᵀy. D is given column-wise: cols[k][i] is row i of column k. All
+// columns must have len(y) rows.
+func LeastSquares(cols [][]float64, y []float64) ([]float64, error) {
+	k := len(cols)
+	if k == 0 {
+		return nil, ErrSingular
+	}
+	m := len(y)
+	for _, c := range cols {
+		if len(c) != m {
+			return nil, ErrSingular
+		}
+	}
+	// Columns can differ by many orders of magnitude (ampere-scale
+	// templates next to a constant-one background column), so normalize
+	// each to unit RMS before forming the normal equations.
+	scale := make([]float64, k)
+	norm := make([][]float64, k)
+	for i, c := range cols {
+		s := RMS(c)
+		if s == 0 {
+			s = 1
+		}
+		scale[i] = s
+		nc := make([]float64, m)
+		for r := range c {
+			nc[r] = c[r] / s
+		}
+		norm[i] = nc
+	}
+	ata := make([][]float64, k)
+	atb := make([]float64, k)
+	for i := 0; i < k; i++ {
+		ata[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			s := 0.0
+			for r := 0; r < m; r++ {
+				s += norm[i][r] * norm[j][r]
+			}
+			ata[i][j] = s
+		}
+		s := 0.0
+		for r := 0; r < m; r++ {
+			s += norm[i][r] * y[r]
+		}
+		atb[i] = s
+	}
+	// A whisper of Tikhonov regularization keeps nearly collinear
+	// columns (e.g. two CV templates with coincident peak potentials)
+	// from blowing up the solve. It must stay tiny: the ridge couples
+	// components, and fitted amplitudes can span nine orders of
+	// magnitude across columns.
+	for i := 0; i < k; i++ {
+		ata[i][i] += 1e-12 * float64(m)
+	}
+	x, err := SolveLinear(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	for i := range x {
+		x[i] /= scale[i]
+	}
+	return x, nil
+}

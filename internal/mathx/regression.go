@@ -1,0 +1,65 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearFit holds the result of an ordinary least-squares fit
+// y ≈ Slope·x + Intercept.
+type LinearFit struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// Residuals holds y_i - (Slope·x_i + Intercept) for each input point.
+	Residuals []float64
+	// MaxAbsResidual is the largest |residual|.
+	MaxAbsResidual float64
+}
+
+// ErrBadFit is returned when a regression is requested on degenerate data
+// (fewer than two points, or zero x-variance).
+var ErrBadFit = errors.New("mathx: degenerate regression input")
+
+// FitLinear performs ordinary least squares of y on x.
+func FitLinear(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return LinearFit{}, ErrBadFit
+	}
+	n := float64(len(x))
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, ErrBadFit
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	fit := LinearFit{Slope: slope, Intercept: intercept}
+	fit.Residuals = make([]float64, len(x))
+	ssRes := 0.0
+	for i := range x {
+		r := y[i] - (slope*x[i] + intercept)
+		fit.Residuals[i] = r
+		ssRes += r * r
+		if a := math.Abs(r); a > fit.MaxAbsResidual {
+			fit.MaxAbsResidual = a
+		}
+	}
+	if syy > 0 {
+		fit.R2 = 1 - ssRes/syy
+	} else {
+		fit.R2 = 1
+	}
+	_ = n
+	return fit, nil
+}
+
+// Eval returns Slope·x + Intercept.
+func (f LinearFit) Eval(x float64) float64 { return f.Slope*x + f.Intercept }

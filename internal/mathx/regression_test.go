@@ -1,0 +1,89 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := make([]float64, len(x))
+	for i, xi := range x {
+		y[i] = 2.5*xi - 1.0
+	}
+	fit, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2.5) > 1e-12 || math.Abs(fit.Intercept+1.0) > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R2 = %g for exact line", fit.R2)
+	}
+	if fit.MaxAbsResidual > 1e-12 {
+		t.Errorf("residual %g on exact line", fit.MaxAbsResidual)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{2}); err != ErrBadFit {
+		t.Error("single point should be ErrBadFit")
+	}
+	if _, err := FitLinear([]float64{1, 1, 1}, []float64{1, 2, 3}); err != ErrBadFit {
+		t.Error("zero x-variance should be ErrBadFit")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err != ErrBadFit {
+		t.Error("length mismatch should be ErrBadFit")
+	}
+}
+
+func TestFitLinearResiduals(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{0, 1, 2, 4} // last point off by 1 from y=x... roughly
+	fit, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fit.Residuals) != len(x) {
+		t.Fatalf("residual count %d", len(fit.Residuals))
+	}
+	// Residuals of an OLS fit sum to zero.
+	sum := 0.0
+	for _, r := range fit.Residuals {
+		sum += r
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("residual sum %g, want 0", sum)
+	}
+}
+
+func TestEval(t *testing.T) {
+	f := LinearFit{Slope: 3, Intercept: -2}
+	if f.Eval(4) != 10 {
+		t.Errorf("Eval(4) = %g", f.Eval(4))
+	}
+}
+
+// Property: fitting y = a·x + b recovers a and b for any sane a, b.
+func TestFitLinearRecoveryProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+			return true
+		}
+		x := []float64{-2, -1, 0, 1, 2, 5}
+		y := make([]float64, len(x))
+		for i, xi := range x {
+			y[i] = a*xi + b
+		}
+		fit, err := FitLinear(x, y)
+		if err != nil {
+			return false
+		}
+		return ApproxEqual(fit.Slope, a, 1e-9, 1e-9) && ApproxEqual(fit.Intercept, b, 1e-9, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoRoot is returned when a bracketing interval does not contain a
+// sign change or iteration fails to converge.
+var ErrNoRoot = errors.New("mathx: no root in bracket")
+
+// Bisect finds x in [a, b] with f(x) ≈ 0 by bisection. f(a) and f(b)
+// must have opposite signs. tol is the absolute x tolerance.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 {
+		return 0, ErrNoRoot
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (a + b)
+		fm := f(mid)
+		if fm == 0 || (b-a)/2 < tol {
+			return mid, nil
+		}
+		if fa*fm < 0 {
+			b, fb = mid, fm
+		} else {
+			a, fa = mid, fm
+		}
+	}
+	return 0.5 * (a + b), nil
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Trapezoid integrates y over x with the trapezoidal rule. The slices
+// must be equal length; fewer than two points integrates to zero.
+func Trapezoid(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	s := 0.0
+	for i := 1; i < len(x); i++ {
+		s += 0.5 * (y[i] + y[i-1]) * (x[i] - x[i-1])
+	}
+	return s
+}
+
+// ApproxEqual reports whether a and b agree within relative tolerance rel
+// (falling back to absolute tolerance abs near zero).
+func ApproxEqual(a, b, rel, abs float64) bool {
+	d := math.Abs(a - b)
+	if d <= abs {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= rel*m
+}

@@ -1,0 +1,122 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); got != c.want {
+			t.Errorf("Mean(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %g, want ≈2.138 (sample)", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("StdDev of single value should be 0")
+	}
+	if StdDev(nil) != 0 {
+		t.Error("StdDev of nil should be 0")
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if got := RMS([]float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMS = %g", got)
+	}
+	if RMS(nil) != 0 {
+		t.Error("RMS of nil should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %g, %g, %v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	} {
+		got, err := Percentile(xs, c.p)
+		if err != nil || math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g (err %v)", c.p, got, c.want, err)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Error("want ErrEmpty for empty input")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := MaxAbs([]float64{-3, 2, 1}); got != 3 {
+		t.Errorf("MaxAbs = %g, want 3", got)
+	}
+	if MaxAbs(nil) != 0 {
+		t.Error("MaxAbs of nil should be 0")
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		lo, hi, _ := MinMax(xs)
+		m := Mean(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: standard deviation is translation invariant.
+func TestStdDevTranslationProperty(t *testing.T) {
+	f := func(xs []float64, shift float64) bool {
+		if len(xs) < 2 || math.Abs(shift) > 1e6 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		a, b := StdDev(xs), StdDev(shifted)
+		return ApproxEqual(a, b, 1e-6, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

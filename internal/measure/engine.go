@@ -1,0 +1,458 @@
+package measure
+
+import (
+	"fmt"
+	"math"
+
+	"advdiag/internal/analog"
+	"advdiag/internal/cell"
+	"advdiag/internal/diffusion"
+	"advdiag/internal/echem"
+	"advdiag/internal/electrode"
+	"advdiag/internal/enzyme"
+	"advdiag/internal/mathx"
+	"advdiag/internal/phys"
+	"advdiag/internal/species"
+	"advdiag/internal/trace"
+)
+
+// Engine executes measurement protocols on one cell. It owns the random
+// source so repeated runs draw fresh but reproducible noise.
+type Engine struct {
+	Cell *cell.Cell
+	rng  *mathx.RNG
+}
+
+// NewEngine builds an engine over c with a deterministic seed.
+func NewEngine(c *cell.Cell, seed uint64) (*Engine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{Cell: c, rng: mathx.NewRNG(seed)}, nil
+}
+
+// RNG exposes the engine's random source (for chains that need split
+// noise streams).
+func (e *Engine) RNG() *mathx.RNG { return e.rng }
+
+// CAResult is the outcome of one chronoamperometric run.
+type CAResult struct {
+	// WE names the measured electrode.
+	WE string
+	// Applied is the actual cell potential established.
+	Applied phys.Voltage
+	// Baseline is the two-phase protocol's baseline duration (0 for
+	// single-phase runs).
+	Baseline float64
+	// Raw is the true faradaic+background current at the electrode (A).
+	Raw *trace.Series
+	// Recorded is the digitized readout voltage (V).
+	Recorded *trace.Series
+	// Current is the current estimate recovered from Recorded through
+	// the nominal transimpedance (A) — what the digital side sees.
+	Current *trace.Series
+}
+
+// SteadyCurrent returns the mean recovered current over the final fifth
+// of the run.
+func (r *CAResult) SteadyCurrent() phys.Current {
+	return phys.Current(mathx.Mean(r.Current.Tail(0.2)))
+}
+
+// SteadyVoltage returns the mean recorded voltage over the final fifth
+// of the run.
+func (r *CAResult) SteadyVoltage() phys.Voltage {
+	return phys.Voltage(mathx.Mean(r.Recorded.Tail(0.2)))
+}
+
+// StepCurrent returns the baseline-subtracted response of a two-phase
+// (BaselinePhase > 0) run: the mean recovered current over the final
+// fifth minus the mean over the settled part of the baseline phase.
+// For single-phase runs it equals SteadyCurrent.
+func (r *CAResult) StepCurrent() phys.Current {
+	if r.Baseline <= 0 {
+		return r.SteadyCurrent()
+	}
+	// Skip the double-layer charging spike at the start of the baseline.
+	base := r.Current.Slice(r.Baseline*0.3, r.Baseline*0.95)
+	return phys.Current(mathx.Mean(r.Current.Tail(0.2)) - mathx.Mean(base.Values))
+}
+
+// RunCA performs chronoamperometry on the named working electrode
+// through the given chain.
+//
+// The physical model: the probe's applied potential is established by
+// the potentiostat; substrate reaches the enzyme layer through the
+// membrane with a first-order lag; Michaelis–Menten turnover produces
+// H₂O₂ oxidized with the probe's potential efficiency; co-chambered
+// oxidase electrodes leak a small cross-talk current; the double layer
+// adds a decaying charging spike after the initial potential step;
+// blank noise and direct-oxidizer interferents add to the current; the
+// chain multiplexes, amplifies, band-limits and quantizes the result.
+func (e *Engine) RunCA(weName string, chain *analog.Chain, proto Chronoamperometry) (*CAResult, error) {
+	proto = proto.WithDefaults()
+	if err := proto.Validate(); err != nil {
+		return nil, err
+	}
+	if err := chain.Validate(); err != nil {
+		return nil, err
+	}
+	we, err := e.Cell.FindWE(weName)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := e.Cell.ChamberOf(weName)
+	if err != nil {
+		return nil, err
+	}
+	var ox *enzyme.Oxidase
+	if !we.Func.IsBlank() {
+		if we.Func.Assay.Technique != enzyme.Chronoamperometry {
+			return nil, fmt.Errorf("measure: %s carries a %s assay; chronoamperometry needs an oxidase", weName, we.Func.Assay.Technique)
+		}
+		ox = we.Func.Assay.Oxidase
+	}
+
+	target := proto.Potential
+	if target == 0 {
+		if ox == nil {
+			return nil, fmt.Errorf("measure: blank electrode %s needs an explicit CA potential", weName)
+		}
+		target = ox.Applied
+	}
+	// The fixed-potential generator of the paper's Fig. 2 feeds the
+	// potentiostat, which establishes the actual cell potential.
+	wave := analog.DCSource{Level: target, Hold: proto.Duration}
+	actual := chain.ApplyPotential(wave.VoltageAt(0))
+
+	dt := proto.SampleInterval
+	n := int(proto.Duration/dt) + 1
+	raw, err := trace.NewSeries(0, dt, n, "A")
+	if err != nil {
+		return nil, err
+	}
+	rec, err := trace.NewSeries(0, dt, n, "V")
+	if err != nil {
+		return nil, err
+	}
+
+	chain.Reset(dt)
+	dl := we.DoubleLayer()
+	// Nanostructure gain degraded by film aging (enzyme leaching /
+	// denaturation — paper §I long-term monitoring, §III polymers).
+	gain := we.Gain() * we.Func.StabilityFactor()
+	area := float64(we.Area)
+	sigma := 0.0
+	if ox != nil {
+		sigma = ox.BlankSigmaAt(gain)
+	} else {
+		// A bare blank still shows background fluctuation; use the
+		// smallest oxidase blank density as representative.
+		sigma = blankFloorSigma() * gain
+	}
+	noise := e.rng.Split()
+	// The blank background has two parts: a run-to-run offset (electrode
+	// state, residual surface species — it does NOT average away within
+	// a run and sets the eq. 5 blank scatter) and per-sample
+	// fluctuation. Both carry the calibrated σ.
+	runOffset := noise.NormScaled(sigma)
+
+	// Surface concentration state behind the membrane: equilibrated
+	// with the sample for single-phase runs, buffer-clean for two-phase
+	// runs.
+	cs := 0.0
+	if ox != nil && proto.BaselinePhase <= 0 {
+		cs = float64(ch.Solution.At(ox.Target.Name, 0))
+	}
+	// Neighbour cross-talk sources (co-chambered oxidase electrodes).
+	neighbours, err := e.Cell.Neighbours(weName)
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		j := 0.0 // current density, A/m²
+		if ox != nil {
+			cb := float64(ch.Solution.At(ox.Target.Name, t))
+			if t < proto.BaselinePhase {
+				cb = 0 // buffer-only phase of the two-phase protocol
+			}
+			// Exact first-order relaxation over dt.
+			tau := we.Func.MembraneTau
+			cs += (cb - cs) * (1 - math.Exp(-dt/tau))
+			j += ox.CurrentDensity(phys.Concentration(cs), actual, gain)
+		}
+		// Cross-talk: a fixed fraction of each co-chambered oxidase
+		// neighbour's H₂O₂ production appears here. The leaked H₂O₂
+		// oxidizes with the *receiving* electrode's half-wave (it is a
+		// surface property of the electrode that collects it).
+		rxHalf := hydrogenPeroxideHalfWave
+		if ox != nil {
+			rxHalf = ox.EHalf
+		}
+		for _, nb := range neighbours {
+			if nb.Func.IsBlank() || nb.Func.Assay.Technique != enzyme.Chronoamperometry {
+				continue
+			}
+			nox := nb.Func.Assay.Oxidase
+			cbn := float64(ch.Solution.At(nox.Target.Name, t))
+			rate := nox.TurnoverRate(phys.Concentration(cbn), nb.Gain())
+			j += e.Cell.Crosstalk * float64(nox.N) * phys.Faraday * rate *
+				echem.SigmoidEfficiency(actual, rxHalf, nox.N)
+		}
+		// Direct-oxidizer interferents react at any electrode.
+		for _, name := range ch.Solution.Species() {
+			sp, err := species.Lookup(name)
+			if err != nil || !sp.DirectOxidizer {
+				continue
+			}
+			c := float64(ch.Solution.At(name, t))
+			j += sp.DirectResponse * c * echem.SigmoidEfficiency(actual, sp.OxidationPotential, sp.Electrons)
+		}
+		// Stochastic blank background: run offset plus sample noise.
+		j += runOffset + noise.NormScaled(sigma)
+
+		i0 := phys.Current(j * area)
+		// Double-layer charging from the initial potential step.
+		i0 += dl.ChargingCurrent(actual, t+dt/2)
+
+		raw.Values[i] = float64(i0)
+		rec.Values[i] = float64(chain.Digitize(i0))
+	}
+
+	cur := rec.Map(func(v float64) float64 {
+		return float64(chain.CurrentFromVoltage(phys.Voltage(v)))
+	}, "A")
+	return &CAResult{WE: weName, Applied: actual, Baseline: proto.BaselinePhase,
+		Raw: raw, Recorded: rec, Current: cur}, nil
+}
+
+// hydrogenPeroxideHalfWave is the H₂O₂ oxidation half-wave at a bare
+// gold electrode (the paper's +650 mV working point minus the plateau
+// margin).
+var hydrogenPeroxideHalfWave = phys.MilliVolts(612)
+
+// blankFloorSigma returns the smallest registered oxidase blank noise
+// density, used for bare blank electrodes.
+func blankFloorSigma() float64 {
+	sigma := math.Inf(1)
+	for _, o := range enzyme.Oxidases() {
+		if o.BlankSigma > 0 && o.BlankSigma < sigma {
+			sigma = o.BlankSigma
+		}
+	}
+	if math.IsInf(sigma, 1) {
+		return 0
+	}
+	return sigma
+}
+
+// CVResult is the outcome of one cyclic-voltammetry run.
+type CVResult struct {
+	// WE names the measured electrode.
+	WE string
+	// Rate is the sweep rate used.
+	Rate phys.SweepRate
+	// Potential is the programmed potential vs time (V).
+	Potential *trace.Series
+	// Raw is the true cell current vs time (A).
+	Raw *trace.Series
+	// Recorded is the digitized readout voltage vs time (V).
+	Recorded *trace.Series
+	// Current is the recovered current vs time (A).
+	Current *trace.Series
+	// Voltammogram is the recovered current vs potential for the final
+	// full cycle (the curve the paper's Fig. for CV would plot).
+	Voltammogram *trace.XY
+}
+
+// RunCV performs cyclic voltammetry on the named working electrode.
+//
+// Every binding of the electrode's CYP isoform whose substrate is
+// present in the chamber contributes a diffusion-limited faradaic
+// current scaled by the binding's catalytic efficiency; the double
+// layer contributes C·dE/dt; blank noise adds on top; the chain
+// digitizes the sum.
+func (e *Engine) RunCV(weName string, chain *analog.Chain, proto CyclicVoltammetry) (*CVResult, error) {
+	proto = proto.WithDefaults()
+	if err := proto.Validate(); err != nil {
+		return nil, err
+	}
+	if err := chain.Validate(); err != nil {
+		return nil, err
+	}
+	if !proto.AllowFastSweep {
+		if err := analog.CheckSweepRate(proto.Rate); err != nil {
+			return nil, err
+		}
+	}
+	we, err := e.Cell.FindWE(weName)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := e.Cell.ChamberOf(weName)
+	if err != nil {
+		return nil, err
+	}
+	var cyp *enzyme.CYP
+	if !we.Func.IsBlank() {
+		if we.Func.Assay.Technique != enzyme.CyclicVoltammetry {
+			return nil, fmt.Errorf("measure: %s carries a %s assay; cyclic voltammetry needs a CYP", weName, we.Func.Assay.Technique)
+		}
+		cyp = we.Func.Assay.CYP
+	}
+
+	sweep := analog.TriangleSweep{Start: proto.Start, Vertex: proto.Vertex, Rate: proto.Rate, Cycles: proto.Cycles}
+	if err := sweep.Validate(); err != nil {
+		return nil, err
+	}
+	dt := proto.SampleInterval
+	total := sweep.Duration()
+	n := int(total/dt) + 1
+
+	// One diffusion solver per active binding.
+	type activeBinding struct {
+		b   *enzyme.Binding
+		sim *diffusion.CoupleSim
+	}
+	var active []activeBinding
+	if cyp != nil {
+		for _, b := range cyp.Bindings {
+			conc := ch.Solution.At(b.Substrate.Name, 0)
+			if conc <= 0 {
+				continue
+			}
+			sim, err := diffusion.New(diffusion.Config{
+				Kinetics:  b.Kinetics(),
+				Diffusion: b.Substrate.Diffusion,
+				BulkO:     b.EffectiveConcentration(conc),
+				TotalTime: total,
+				Dt:        dt,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("measure: CV solver for %s: %w", b.Substrate.Name, err)
+			}
+			active = append(active, activeBinding{b: b, sim: sim})
+		}
+	}
+
+	pot, err := trace.NewSeries(0, dt, n, "V")
+	if err != nil {
+		return nil, err
+	}
+	raw, err := trace.NewSeries(0, dt, n, "A")
+	if err != nil {
+		return nil, err
+	}
+	rec, err := trace.NewSeries(0, dt, n, "V")
+	if err != nil {
+		return nil, err
+	}
+
+	chain.Reset(dt)
+	dl := we.DoubleLayer()
+	gain := we.Gain() * we.Func.StabilityFactor()
+	area := float64(we.Area)
+	// The blank current-density noise is a property of the electrode's
+	// enzyme film, present whether or not substrate is in solution.
+	sigma := blankFloorSigma() * gain
+	if cyp != nil {
+		sigma = we.Func.Assay.Binding.BlankSigmaAt(gain)
+	}
+	noise := e.rng.Split()
+
+	// Run-to-run film background: the immobilized protein film shows a
+	// variable pseudo-capacitive redox background centred near each
+	// binding's peak potential (surface-adsorbed species, film state).
+	// This is what limits the *blank scatter* of voltammetric assays —
+	// white per-sample noise alone would average away in the template
+	// fit and yield unrealistically low LODs. One random-amplitude
+	// Gaussian bump per binding, drawn per run with the binding's
+	// calibrated blank σ.
+	type bump struct {
+		center phys.Voltage
+		amp    float64 // A
+	}
+	var bumps []bump
+	if cyp != nil && !proto.NoFilmBackground {
+		for _, b := range cyp.Bindings {
+			bumps = append(bumps, bump{
+				center: b.PeakPotential,
+				amp:    noise.NormScaled(b.BlankSigmaAt(gain)) * area,
+			})
+		}
+	}
+
+	prevE := chain.ApplyPotential(sweep.VoltageAt(0))
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		eProg := sweep.VoltageAt(t)
+		eAct := chain.ApplyPotential(eProg)
+
+		var iF phys.Current
+		for _, ab := range active {
+			flux := ab.sim.Step(eAct)
+			iF += phys.Current(ab.b.Theta * gain * float64(diffusion.Current(ab.b.N, we.Area, flux)))
+		}
+		// Double-layer charging tracks dE/dt.
+		dEdt := float64(eAct-prevE) / dt
+		iCap := phys.Current(float64(dl.C) * dEdt)
+		prevE = eAct
+
+		iN := phys.Current(noise.NormScaled(sigma) * area)
+		i0 := iF + iCap + iN
+		for _, bp := range bumps {
+			x := float64(eAct-bp.center) / FilmBumpWidth
+			i0 += phys.Current(bp.amp * math.Exp(-x*x))
+		}
+
+		pot.Values[i] = float64(eProg)
+		raw.Values[i] = float64(i0)
+		rec.Values[i] = float64(chain.Digitize(i0))
+	}
+
+	cur := rec.Map(func(v float64) float64 {
+		return float64(chain.CurrentFromVoltage(phys.Voltage(v)))
+	}, "A")
+
+	// Voltammogram: the final full cycle.
+	vg := trace.NewXY("V", "A")
+	cycleStart := total - 2*sweep.HalfPeriod()
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		if t >= cycleStart {
+			vg.Append(pot.Values[i], cur.Values[i])
+		}
+	}
+	return &CVResult{
+		WE:           weName,
+		Rate:         proto.Rate,
+		Potential:    pot,
+		Raw:          raw,
+		Recorded:     rec,
+		Current:      cur,
+		Voltammogram: vg,
+	}, nil
+}
+
+// ApplyCDS performs correlated double sampling: it subtracts the blank
+// electrode's recorded trace from the sensing electrode's, removing
+// correlated offsets and drift (paper §II-C). Both series must share
+// the time base.
+func ApplyCDS(signal, blank *trace.Series) (*trace.Series, error) {
+	if signal.Len() != blank.Len() || signal.Dt != blank.Dt {
+		return nil, fmt.Errorf("measure: CDS traces are not aligned (%d@%g vs %d@%g)",
+			signal.Len(), signal.Dt, blank.Len(), blank.Dt)
+	}
+	out := &trace.Series{Start: signal.Start, Dt: signal.Dt, Unit: signal.Unit,
+		Values: make([]float64, signal.Len())}
+	for i := range out.Values {
+		out.Values[i] = signal.Values[i] - blank.Values[i]
+	}
+	return out, nil
+}
+
+// Ensure electrode is referenced (the engine works through cell, but the
+// compile-time type assertions below document chain expectations).
+var _ = electrode.Working

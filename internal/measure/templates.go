@@ -1,0 +1,79 @@
+package measure
+
+import (
+	"fmt"
+
+	"advdiag/internal/analog"
+	"advdiag/internal/diffusion"
+	"advdiag/internal/enzyme"
+	"advdiag/internal/trace"
+)
+
+// CVTemplates computes noise-free unit-concentration voltammetric
+// responses for every binding of the named electrode's CYP isoform,
+// over the same final-cycle grid RunCV's Voltammogram uses.
+//
+// Because the diffusion problem is linear in the bulk concentration,
+// the faradaic current of binding b at effective concentration C_eff is
+// exactly C_eff times its unit template. Least-squares fitting of the
+// templates (analysis.FitCVComponents) therefore recovers each
+// substrate's effective concentration even when a small peak rides on a
+// larger neighbouring wave as a mere shoulder — the situation of the
+// CYP2B4 benzphetamine + aminopyrine electrode.
+func (e *Engine) CVTemplates(weName string, proto CyclicVoltammetry) (*trace.XY, map[string][]float64, error) {
+	proto = proto.WithDefaults()
+	if err := proto.Validate(); err != nil {
+		return nil, nil, err
+	}
+	we, err := e.Cell.FindWE(weName)
+	if err != nil {
+		return nil, nil, err
+	}
+	if we.Func.IsBlank() || we.Func.Assay.Technique != enzyme.CyclicVoltammetry {
+		return nil, nil, fmt.Errorf("measure: %s is not a voltammetric electrode", weName)
+	}
+	cyp := we.Func.Assay.CYP
+
+	sweep := analog.TriangleSweep{Start: proto.Start, Vertex: proto.Vertex, Rate: proto.Rate, Cycles: proto.Cycles}
+	if err := sweep.Validate(); err != nil {
+		return nil, nil, err
+	}
+	dt := proto.SampleInterval
+	total := sweep.Duration()
+	n := int(total/dt) + 1
+	cycleStart := total - 2*sweep.HalfPeriod()
+	gain := we.Gain()
+
+	grid := trace.NewXY("V", "A")
+	templates := make(map[string][]float64, len(cyp.Bindings))
+	for _, b := range cyp.Bindings {
+		sim, err := diffusion.New(diffusion.Config{
+			Kinetics:  b.Kinetics(),
+			Diffusion: b.Substrate.Diffusion,
+			BulkO:     1, // unit concentration
+			TotalTime: total,
+			Dt:        dt,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("measure: template for %s: %w", b.Substrate.Name, err)
+		}
+		var vals []float64
+		first := len(grid.X) == 0
+		for i := 0; i < nSteps(n); i++ {
+			t := float64(i) * dt
+			eProg := sweep.VoltageAt(t)
+			flux := sim.Step(eProg)
+			if t >= cycleStart {
+				iF := b.Theta * gain * float64(diffusion.Current(b.N, we.Area, flux))
+				vals = append(vals, iF)
+				if first {
+					grid.Append(float64(eProg), 0)
+				}
+			}
+		}
+		templates[b.Substrate.Name] = vals
+	}
+	return grid, templates, nil
+}
+
+func nSteps(n int) int { return n }

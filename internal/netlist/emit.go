@@ -1,0 +1,77 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the design as a Graphviz digraph with blocks as nodes and
+// nets as edges (multi-pin nets become a small junction node).
+func (d *Design) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", d.Title)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, blk := range d.Blocks() {
+		label := blk.Name
+		if blk.Label != "" {
+			label = fmt.Sprintf("%s\\n%s", blk.Name, blk.Label)
+		}
+		shape := "box"
+		switch blk.Kind {
+		case WorkingElectrode, ReferenceElectrode, CounterElectrode:
+			shape = "circle"
+		case Multiplexer:
+			shape = "trapezium"
+		case Controller:
+			shape = "component"
+		}
+		fmt.Fprintf(&b, "  %q [label=%q, shape=%s];\n", blk.Name, label, shape)
+	}
+	for _, n := range d.Nets() {
+		blocks := pinBlocks(n)
+		if len(blocks) == 2 {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q, dir=none];\n", blocks[0], blocks[1], n.Name)
+			continue
+		}
+		j := "junction_" + n.Name
+		fmt.Fprintf(&b, "  %q [shape=point, label=\"\"];\n", j)
+		for _, blk := range blocks {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q, dir=none];\n", blk, j, n.Name)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func pinBlocks(n *Net) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range n.Pins {
+		blk, _, _ := splitPin(p)
+		if !seen[blk] {
+			seen[blk] = true
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// ASCII renders a compact text diagram: the block inventory grouped by
+// kind followed by the net wiring — the form the cmd tools print.
+func (d *Design) ASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", d.Title)
+	b.WriteString("Blocks:\n")
+	for _, blk := range d.Blocks() {
+		if blk.Label != "" {
+			fmt.Fprintf(&b, "  [%-12s] %-14s %s\n", blk.Kind, blk.Name, blk.Label)
+		} else {
+			fmt.Fprintf(&b, "  [%-12s] %s\n", blk.Kind, blk.Name)
+		}
+	}
+	b.WriteString("Nets:\n")
+	for _, n := range d.Nets() {
+		fmt.Fprintf(&b, "  %-14s %s\n", n.Name, strings.Join(n.Pins, " — "))
+	}
+	return b.String()
+}

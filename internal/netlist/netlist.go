@@ -1,0 +1,251 @@
+// Package netlist is the structural model of a platform: blocks with
+// typed ports wired by nets. The platform explorer synthesizes a
+// netlist for every candidate design; the emitters render the building-
+// block diagrams of the paper (Figs. 1, 2 and 4) as DOT or ASCII.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BlockKind classifies the platform building blocks (paper Fig. 2).
+type BlockKind int
+
+const (
+	// VoltageGenerator produces the fixed or sweep potential.
+	VoltageGenerator BlockKind = iota
+	// Potentiostat is the cell-potential control loop.
+	Potentiostat
+	// WorkingElectrode is a sensing electrode with its probe.
+	WorkingElectrode
+	// ReferenceElectrode is the cell reference.
+	ReferenceElectrode
+	// CounterElectrode closes the current loop.
+	CounterElectrode
+	// Multiplexer shares a readout among electrodes.
+	Multiplexer
+	// Readout is a current-to-voltage stage.
+	Readout
+	// ADC digitizes the readout output.
+	ADC
+	// Controller is the digital sequencer/processor.
+	Controller
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case VoltageGenerator:
+		return "vgen"
+	case Potentiostat:
+		return "potentiostat"
+	case WorkingElectrode:
+		return "WE"
+	case ReferenceElectrode:
+		return "RE"
+	case CounterElectrode:
+		return "CE"
+	case Multiplexer:
+		return "mux"
+	case Readout:
+		return "readout"
+	case ADC:
+		return "adc"
+	case Controller:
+		return "controller"
+	default:
+		return fmt.Sprintf("BlockKind(%d)", int(k))
+	}
+}
+
+// Block is one platform component instance.
+type Block struct {
+	// Name is the unique instance name.
+	Name string
+	// Kind is the component class.
+	Kind BlockKind
+	// Label is a human-readable annotation for diagrams ("TIA ±10 µA").
+	Label string
+}
+
+// Net is a named connection between block ports.
+type Net struct {
+	// Name is the unique net name.
+	Name string
+	// Pins lists "block.port" endpoints.
+	Pins []string
+}
+
+// Design is a netlist under construction.
+type Design struct {
+	// Title names the design (diagram caption).
+	Title  string
+	blocks map[string]*Block
+	order  []string
+	nets   map[string]*Net
+	netOrd []string
+}
+
+// New returns an empty design.
+func New(title string) *Design {
+	return &Design{
+		Title:  title,
+		blocks: make(map[string]*Block),
+		nets:   make(map[string]*Net),
+	}
+}
+
+// AddBlock registers a block instance. Duplicate names are an error.
+func (d *Design) AddBlock(name string, kind BlockKind, label string) error {
+	if name == "" {
+		return fmt.Errorf("netlist: empty block name")
+	}
+	if _, dup := d.blocks[name]; dup {
+		return fmt.Errorf("netlist: duplicate block %q", name)
+	}
+	d.blocks[name] = &Block{Name: name, Kind: kind, Label: label}
+	d.order = append(d.order, name)
+	return nil
+}
+
+// Connect wires the given "block.port" pins with a named net. Every
+// referenced block must exist.
+func (d *Design) Connect(netName string, pins ...string) error {
+	if netName == "" {
+		return fmt.Errorf("netlist: empty net name")
+	}
+	if _, dup := d.nets[netName]; dup {
+		return fmt.Errorf("netlist: duplicate net %q", netName)
+	}
+	if len(pins) < 2 {
+		return fmt.Errorf("netlist: net %q needs at least two pins", netName)
+	}
+	for _, p := range pins {
+		blk, _, ok := splitPin(p)
+		if !ok {
+			return fmt.Errorf("netlist: malformed pin %q (want block.port)", p)
+		}
+		if _, exists := d.blocks[blk]; !exists {
+			return fmt.Errorf("netlist: net %q references unknown block %q", netName, blk)
+		}
+	}
+	d.nets[netName] = &Net{Name: netName, Pins: append([]string(nil), pins...)}
+	d.netOrd = append(d.netOrd, netName)
+	return nil
+}
+
+func splitPin(p string) (block, port string, ok bool) {
+	i := strings.LastIndex(p, ".")
+	if i <= 0 || i == len(p)-1 {
+		return "", "", false
+	}
+	return p[:i], p[i+1:], true
+}
+
+// Blocks returns the blocks in insertion order.
+func (d *Design) Blocks() []*Block {
+	out := make([]*Block, 0, len(d.order))
+	for _, n := range d.order {
+		out = append(out, d.blocks[n])
+	}
+	return out
+}
+
+// Nets returns the nets in insertion order.
+func (d *Design) Nets() []*Net {
+	out := make([]*Net, 0, len(d.netOrd))
+	for _, n := range d.netOrd {
+		out = append(out, d.nets[n])
+	}
+	return out
+}
+
+// BlocksOf returns blocks of the given kind in insertion order.
+func (d *Design) BlocksOf(kind BlockKind) []*Block {
+	var out []*Block
+	for _, b := range d.Blocks() {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Check runs design rules: every block wired, every working electrode
+// reaches a readout through nets, exactly one potentiostat per
+// reference electrode.
+func (d *Design) Check() error {
+	if len(d.blocks) == 0 {
+		return fmt.Errorf("netlist: empty design")
+	}
+	wired := map[string]bool{}
+	for _, n := range d.nets {
+		for _, p := range n.Pins {
+			blk, _, _ := splitPin(p)
+			wired[blk] = true
+		}
+	}
+	for name := range d.blocks {
+		if !wired[name] {
+			return fmt.Errorf("netlist: block %q is not connected", name)
+		}
+	}
+	// Reachability: WE → readout via net adjacency.
+	adj := d.adjacency()
+	for _, we := range d.BlocksOf(WorkingElectrode) {
+		if !d.reaches(adj, we.Name, Readout) {
+			return fmt.Errorf("netlist: working electrode %q has no path to a readout", we.Name)
+		}
+	}
+	for _, re := range d.BlocksOf(ReferenceElectrode) {
+		if !d.reaches(adj, re.Name, Potentiostat) {
+			return fmt.Errorf("netlist: reference electrode %q has no path to a potentiostat", re.Name)
+		}
+	}
+	return nil
+}
+
+func (d *Design) adjacency() map[string][]string {
+	adj := map[string][]string{}
+	for _, n := range d.nets {
+		var blks []string
+		seen := map[string]bool{}
+		for _, p := range n.Pins {
+			b, _, _ := splitPin(p)
+			if !seen[b] {
+				seen[b] = true
+				blks = append(blks, b)
+			}
+		}
+		for _, a := range blks {
+			for _, b := range blks {
+				if a != b {
+					adj[a] = append(adj[a], b)
+				}
+			}
+		}
+	}
+	return adj
+}
+
+func (d *Design) reaches(adj map[string][]string, from string, kind BlockKind) bool {
+	visited := map[string]bool{from: true}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if d.blocks[cur].Kind == kind {
+			return true
+		}
+		next := append([]string(nil), adj[cur]...)
+		sort.Strings(next)
+		for _, nb := range next {
+			if !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig1 builds the paper's Fig. 1: potentiostat + TIA around one cell.
+func fig1(t *testing.T) *Design {
+	t.Helper()
+	d := New("fig1")
+	blocks := []struct {
+		name  string
+		kind  BlockKind
+		label string
+	}{
+		{"vgen", VoltageGenerator, "fixed/sweep"},
+		{"pstat", Potentiostat, ""},
+		{"WE", WorkingElectrode, "probe"},
+		{"RE", ReferenceElectrode, ""},
+		{"CE", CounterElectrode, ""},
+		{"tia", Readout, "transimpedance"},
+		{"adc", ADC, "12-bit"},
+		{"ctrl", Controller, ""},
+	}
+	for _, b := range blocks {
+		if err := d.AddBlock(b.name, b.kind, b.label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conns := [][]string{
+		{"n1", "vgen.out", "pstat.set"},
+		{"n2", "pstat.re", "RE.pin"},
+		{"n3", "pstat.ce", "CE.pin"},
+		{"n4", "WE.pin", "tia.in"},
+		{"n5", "tia.out", "adc.in"},
+		{"n6", "adc.out", "ctrl.data"},
+		{"n7", "ctrl.wave", "vgen.prog"},
+	}
+	for _, c := range conns {
+		if err := d.Connect(c[0], c[1:]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestFig1Checks(t *testing.T) {
+	if err := fig1(t).Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateBlock(t *testing.T) {
+	d := New("x")
+	if err := d.AddBlock("a", Readout, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddBlock("a", ADC, ""); err == nil {
+		t.Fatal("duplicate block must fail")
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	d := New("x")
+	_ = d.AddBlock("a", Readout, "")
+	_ = d.AddBlock("b", ADC, "")
+	if err := d.Connect("n", "a.out"); err == nil {
+		t.Error("single-pin net must fail")
+	}
+	if err := d.Connect("n", "a.out", "ghost.in"); err == nil {
+		t.Error("unknown block must fail")
+	}
+	if err := d.Connect("n", "a.out", "badpin"); err == nil {
+		t.Error("malformed pin must fail")
+	}
+	if err := d.Connect("n", "a.out", "b.in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("n", "a.out", "b.in"); err == nil {
+		t.Error("duplicate net must fail")
+	}
+}
+
+func TestCheckUnconnectedBlock(t *testing.T) {
+	d := New("x")
+	_ = d.AddBlock("a", Readout, "")
+	_ = d.AddBlock("b", ADC, "")
+	_ = d.AddBlock("orphan", Controller, "")
+	_ = d.Connect("n", "a.out", "b.in")
+	if err := d.Check(); err == nil {
+		t.Fatal("orphan block must fail checks")
+	}
+}
+
+func TestCheckWEWithoutReadout(t *testing.T) {
+	d := New("x")
+	_ = d.AddBlock("WE", WorkingElectrode, "")
+	_ = d.AddBlock("ctrl", Controller, "")
+	_ = d.Connect("n", "WE.pin", "ctrl.x")
+	if err := d.Check(); err == nil {
+		t.Fatal("WE without a path to a readout must fail")
+	}
+}
+
+func TestCheckREWithoutPotentiostat(t *testing.T) {
+	d := New("x")
+	_ = d.AddBlock("RE", ReferenceElectrode, "")
+	_ = d.AddBlock("r", Readout, "")
+	_ = d.Connect("n", "RE.pin", "r.in")
+	if err := d.Check(); err == nil {
+		t.Fatal("RE without a potentiostat must fail")
+	}
+}
+
+func TestReachabilityThroughMux(t *testing.T) {
+	d := New("x")
+	_ = d.AddBlock("WE", WorkingElectrode, "")
+	_ = d.AddBlock("mux", Multiplexer, "")
+	_ = d.AddBlock("r", Readout, "")
+	_ = d.Connect("n1", "WE.pin", "mux.in1")
+	_ = d.Connect("n2", "mux.out", "r.in")
+	adj := d.adjacency()
+	if !d.reaches(adj, "WE", Readout) {
+		t.Fatal("WE must reach the readout through the mux")
+	}
+}
+
+func TestBlocksOf(t *testing.T) {
+	d := fig1(t)
+	if n := len(d.BlocksOf(WorkingElectrode)); n != 1 {
+		t.Fatalf("%d WEs", n)
+	}
+	if n := len(d.BlocksOf(Multiplexer)); n != 0 {
+		t.Fatalf("%d muxes", n)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	dot := fig1(t).DOT()
+	for _, frag := range []string{"digraph", "\"pstat\"", "\"WE\"", "->"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q", frag)
+		}
+	}
+}
+
+func TestASCIIOutput(t *testing.T) {
+	txt := fig1(t).ASCII()
+	for _, frag := range []string{"Blocks:", "Nets:", "potentiostat", "WE"} {
+		if !strings.Contains(txt, frag) {
+			t.Errorf("ASCII missing %q", frag)
+		}
+	}
+}
+
+func TestMultiPinNetDOT(t *testing.T) {
+	d := New("x")
+	_ = d.AddBlock("a", Readout, "")
+	_ = d.AddBlock("b", ADC, "")
+	_ = d.AddBlock("c", Controller, "")
+	_ = d.Connect("bus", "a.o", "b.i", "c.i")
+	dot := d.DOT()
+	if !strings.Contains(dot, "junction_bus") {
+		t.Fatal("multi-pin nets must render a junction node")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []BlockKind{VoltageGenerator, Potentiostat, WorkingElectrode,
+		ReferenceElectrode, CounterElectrode, Multiplexer, Readout, ADC, Controller}
+	for _, k := range kinds {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "BlockKind(") {
+			t.Errorf("kind %d lacks a label", k)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package phys
+
+// Physical constants (CODATA values, SI units).
+const (
+	// Faraday is the Faraday constant in C/mol.
+	Faraday = 96485.33212
+	// GasConstant is the molar gas constant in J/(mol·K).
+	GasConstant = 8.314462618
+	// Boltzmann is the Boltzmann constant in J/K.
+	Boltzmann = 1.380649e-23
+	// StandardTemperature is the cell temperature assumed throughout the
+	// platform, in kelvin (25 °C, the paper's ambient).
+	StandardTemperature = 298.15
+	// ElectronCharge is the elementary charge in coulombs.
+	ElectronCharge = 1.602176634e-19
+)
+
+// ThermalVoltage returns RT/F at temperature T (kelvin), the natural
+// voltage scale of every electrochemical expression (≈25.69 mV at 25 °C).
+func ThermalVoltage(temperatureK float64) Voltage {
+	return Voltage(GasConstant * temperatureK / Faraday)
+}
+
+// StandardThermalVoltage is RT/F at StandardTemperature.
+func StandardThermalVoltage() Voltage {
+	return ThermalVoltage(StandardTemperature)
+}

@@ -1,0 +1,144 @@
+// Package phys provides the physical quantities, units and constants used
+// throughout the advdiag platform.
+//
+// All quantities are stored in SI units: volts, amperes, seconds, square
+// metres, and mol/m³ for concentration. The mol/m³ choice is deliberate:
+// 1 mol/m³ == 1 mmol/L (mM), the unit the paper reports concentrations in,
+// so paper values can be read off directly while the arithmetic stays SI.
+package phys
+
+import (
+	"fmt"
+	"math"
+)
+
+// Voltage is an electric potential in volts.
+type Voltage float64
+
+// Current is an electric current in amperes.
+type Current float64
+
+// Concentration is an amount concentration in mol/m³ (numerically equal
+// to mM, the paper's unit).
+type Concentration float64
+
+// Area is a surface area in square metres.
+type Area float64
+
+// Duration is a time span in seconds. (Distinct from time.Duration to keep
+// the solver arithmetic in plain float64 seconds.)
+type Duration float64
+
+// Diffusivity is a diffusion coefficient in m²/s.
+type Diffusivity float64
+
+// Capacitance is an electric capacitance in farads.
+type Capacitance float64
+
+// Resistance is an electric resistance in ohms.
+type Resistance float64
+
+// Power is a power in watts.
+type Power float64
+
+// SweepRate is a potential scan rate in V/s.
+type SweepRate float64
+
+// Sensitivity is a calibration-curve slope in A·m/mol: current per unit
+// concentration (mol/m³) per unit electrode area (m²). One paper unit,
+// 1 µA·mM⁻¹·cm⁻², equals 1e-2 A·m/mol.
+type Sensitivity float64
+
+// Convenience constructors mirroring the paper's units.
+
+// MilliVolts returns a Voltage from a value in mV.
+func MilliVolts(mv float64) Voltage { return Voltage(mv * 1e-3) }
+
+// MicroAmps returns a Current from a value in µA.
+func MicroAmps(ua float64) Current { return Current(ua * 1e-6) }
+
+// NanoAmps returns a Current from a value in nA.
+func NanoAmps(na float64) Current { return Current(na * 1e-9) }
+
+// MilliMolar returns a Concentration from a value in mM.
+func MilliMolar(mm float64) Concentration { return Concentration(mm) }
+
+// MicroMolar returns a Concentration from a value in µM.
+func MicroMolar(um float64) Concentration { return Concentration(um * 1e-3) }
+
+// SquareMillimetres returns an Area from a value in mm².
+func SquareMillimetres(mm2 float64) Area { return Area(mm2 * 1e-6) }
+
+// SquareCentimetres returns an Area from a value in cm².
+func SquareCentimetres(cm2 float64) Area { return Area(cm2 * 1e-4) }
+
+// MilliVoltsPerSecond returns a SweepRate from a value in mV/s.
+func MilliVoltsPerSecond(mvs float64) SweepRate { return SweepRate(mvs * 1e-3) }
+
+// PaperSensitivity returns a Sensitivity from the paper's unit,
+// µA/(mM·cm²).
+func PaperSensitivity(uaPermMPercm2 float64) Sensitivity {
+	return Sensitivity(uaPermMPercm2 * 1e-2)
+}
+
+// Accessors converting back to the paper's units.
+
+// MilliVolts reports v in mV.
+func (v Voltage) MilliVolts() float64 { return float64(v) * 1e3 }
+
+// MicroAmps reports i in µA.
+func (i Current) MicroAmps() float64 { return float64(i) * 1e6 }
+
+// NanoAmps reports i in nA.
+func (i Current) NanoAmps() float64 { return float64(i) * 1e9 }
+
+// MilliMolar reports c in mM.
+func (c Concentration) MilliMolar() float64 { return float64(c) }
+
+// MicroMolar reports c in µM.
+func (c Concentration) MicroMolar() float64 { return float64(c) * 1e3 }
+
+// SquareMillimetres reports a in mm².
+func (a Area) SquareMillimetres() float64 { return float64(a) * 1e6 }
+
+// SquareCentimetres reports a in cm².
+func (a Area) SquareCentimetres() float64 { return float64(a) * 1e4 }
+
+// MilliVoltsPerSecond reports r in mV/s.
+func (r SweepRate) MilliVoltsPerSecond() float64 { return float64(r) * 1e3 }
+
+// Paper reports s in the paper's unit, µA/(mM·cm²).
+func (s Sensitivity) Paper() float64 { return float64(s) * 1e2 }
+
+// String implementations format quantities with engineering prefixes so
+// reports read like the paper.
+
+func (v Voltage) String() string       { return engFormat(float64(v), "V") }
+func (i Current) String() string       { return engFormat(float64(i), "A") }
+func (c Concentration) String() string { return engFormat(float64(c)*1e-3, "M") }
+func (a Area) String() string          { return fmt.Sprintf("%.3g mm²", a.SquareMillimetres()) }
+func (r SweepRate) String() string     { return fmt.Sprintf("%.3g mV/s", r.MilliVoltsPerSecond()) }
+func (s Sensitivity) String() string   { return fmt.Sprintf("%.3g µA/(mM·cm²)", s.Paper()) }
+func (d Duration) String() string      { return fmt.Sprintf("%.3g s", float64(d)) }
+
+// engFormat renders x with an SI prefix (p..M) and the given unit symbol.
+func engFormat(x float64, unit string) string {
+	if x == 0 {
+		return "0 " + unit
+	}
+	ax := math.Abs(x)
+	type pref struct {
+		scale float64
+		sym   string
+	}
+	prefixes := []pref{
+		{1e6, "M"}, {1e3, "k"}, {1, ""}, {1e-3, "m"},
+		{1e-6, "µ"}, {1e-9, "n"}, {1e-12, "p"},
+	}
+	for _, p := range prefixes {
+		if ax >= p.scale {
+			return fmt.Sprintf("%.4g %s%s", x/p.scale, p.sym, unit)
+		}
+	}
+	return fmt.Sprintf("%.4g p%s", x/1e-12, unit)
+}

@@ -1,0 +1,103 @@
+package phys
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitConstructorsRoundTrip(t *testing.T) {
+	if got := MilliVolts(650).MilliVolts(); math.Abs(got-650) > 1e-9 {
+		t.Errorf("mV round trip: %g", got)
+	}
+	if got := MicroAmps(10).MicroAmps(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("µA round trip: %g", got)
+	}
+	if got := NanoAmps(10).NanoAmps(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("nA round trip: %g", got)
+	}
+	if got := MicroMolar(575).MicroMolar(); math.Abs(got-575) > 1e-9 {
+		t.Errorf("µM round trip: %g", got)
+	}
+	if got := SquareMillimetres(0.23).SquareMillimetres(); math.Abs(got-0.23) > 1e-12 {
+		t.Errorf("mm² round trip: %g", got)
+	}
+	if got := MilliVoltsPerSecond(20).MilliVoltsPerSecond(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("mV/s round trip: %g", got)
+	}
+}
+
+func TestConcentrationIdentity(t *testing.T) {
+	// 1 mol/m³ == 1 mM: the deliberate unit identity the package doc
+	// promises.
+	c := MilliMolar(2.5)
+	if float64(c) != 2.5 {
+		t.Fatalf("mol/m³ vs mM identity broken: %g", float64(c))
+	}
+}
+
+func TestPaperSensitivityConversion(t *testing.T) {
+	// 1 µA/(mM·cm²) = 1e-6 A / (1 mol/m³ · 1e-4 m²) = 1e-2 A·m/mol.
+	s := PaperSensitivity(27.7)
+	if math.Abs(float64(s)-0.277) > 1e-12 {
+		t.Fatalf("paper sensitivity SI value: %g", float64(s))
+	}
+	if math.Abs(s.Paper()-27.7) > 1e-9 {
+		t.Fatalf("paper unit round trip: %g", s.Paper())
+	}
+}
+
+func TestAreaConversions(t *testing.T) {
+	a := SquareCentimetres(1)
+	if math.Abs(float64(a)-1e-4) > 1e-15 {
+		t.Fatalf("1 cm² = %g m²", float64(a))
+	}
+	if math.Abs(a.SquareMillimetres()-100) > 1e-9 {
+		t.Fatalf("1 cm² = %g mm²", a.SquareMillimetres())
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	cases := []struct {
+		s    string
+		want string
+	}{
+		{MilliVolts(650).String(), "mV"},
+		{NanoAmps(12).String(), "nA"},
+		{Voltage(0).String(), "0 V"},
+		{MicroAmps(3).String(), "µA"},
+	}
+	for _, c := range cases {
+		if !strings.Contains(c.s, c.want) {
+			t.Errorf("%q does not mention %q", c.s, c.want)
+		}
+	}
+}
+
+func TestThermalVoltage(t *testing.T) {
+	vt := StandardThermalVoltage()
+	// RT/F at 25 °C ≈ 25.69 mV.
+	if math.Abs(vt.MilliVolts()-25.69) > 0.05 {
+		t.Fatalf("thermal voltage %g mV", vt.MilliVolts())
+	}
+}
+
+func TestThermalVoltageScaling(t *testing.T) {
+	if ThermalVoltage(2*StandardTemperature) != 2*StandardThermalVoltage() {
+		t.Fatal("thermal voltage must scale linearly with T")
+	}
+}
+
+// Property: unit round trips are exact for all finite values.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		return MilliVolts(x).MilliVolts() == x || math.Abs(MilliVolts(x).MilliVolts()-x) < 1e-9*math.Abs(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package schedule plans multiplexed acquisition across the working
+// electrodes of a platform: in the paper's demonstrator the five WEs
+// share one readout through a multiplexer and are activated
+// sequentially (§III), so panel time and sample throughput (§II-B)
+// follow from the per-channel protocol durations, the mux settling
+// time, and the sensor recovery time.
+package schedule
+
+import (
+	"fmt"
+	"strings"
+
+	"advdiag/internal/enzyme"
+)
+
+// Slot is one scheduled measurement on one working electrode.
+type Slot struct {
+	// WE names the electrode.
+	WE string
+	// Technique is the protocol family run in this slot.
+	Technique enzyme.Technique
+	// Duration is the protocol time in seconds (excluding settling).
+	Duration float64
+	// Start is the slot's start time within the panel, filled by Build.
+	Start float64
+}
+
+// Plan is a full panel acquisition schedule.
+type Plan struct {
+	// Slots in execution order.
+	Slots []Slot
+	// MuxSettle is the dead time inserted before each slot when a
+	// multiplexer switches the channel (zero for dedicated readouts).
+	MuxSettle float64
+	// Recovery is the sensor recovery time appended after the panel
+	// before the next sample can be measured (paper §II-B: throughput
+	// accounts for transient response plus recovery).
+	Recovery float64
+}
+
+// Build lays out the slots sequentially, filling start times, and
+// returns the plan.
+func Build(muxSettle, recovery float64, slots ...Slot) (*Plan, error) {
+	if muxSettle < 0 || recovery < 0 {
+		return nil, fmt.Errorf("schedule: negative settle or recovery time")
+	}
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("schedule: no slots")
+	}
+	seen := map[string]bool{}
+	t := 0.0
+	out := make([]Slot, len(slots))
+	for i, s := range slots {
+		if s.WE == "" {
+			return nil, fmt.Errorf("schedule: slot %d has no electrode", i)
+		}
+		if s.Duration <= 0 {
+			return nil, fmt.Errorf("schedule: slot %d (%s) has non-positive duration", i, s.WE)
+		}
+		if seen[s.WE] {
+			return nil, fmt.Errorf("schedule: electrode %s scheduled twice", s.WE)
+		}
+		seen[s.WE] = true
+		t += muxSettle
+		s.Start = t
+		t += s.Duration
+		out[i] = s
+	}
+	return &Plan{Slots: out, MuxSettle: muxSettle, Recovery: recovery}, nil
+}
+
+// PanelTime is the active acquisition time: settling plus protocol
+// durations for every slot.
+func (p *Plan) PanelTime() float64 {
+	if len(p.Slots) == 0 {
+		return 0
+	}
+	last := p.Slots[len(p.Slots)-1]
+	return last.Start + last.Duration
+}
+
+// CycleTime is the full sample-to-sample period: panel time plus
+// recovery.
+func (p *Plan) CycleTime() float64 {
+	return p.PanelTime() + p.Recovery
+}
+
+// Throughput returns samples per hour (the paper's §II-B metric).
+func (p *Plan) Throughput() float64 {
+	ct := p.CycleTime()
+	if ct <= 0 {
+		return 0
+	}
+	return 3600 / ct
+}
+
+// String renders the timeline.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Panel schedule (settle %.3gs, recovery %.3gs):\n", p.MuxSettle, p.Recovery)
+	for _, s := range p.Slots {
+		fmt.Fprintf(&b, "  %8.1fs  %-6s %-22s %6.1fs\n", s.Start, s.WE, s.Technique, s.Duration)
+	}
+	fmt.Fprintf(&b, "  panel %.1fs, cycle %.1fs, %.1f samples/h", p.PanelTime(), p.CycleTime(), p.Throughput())
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"advdiag/internal/enzyme"
+)
+
+func TestBuildLayout(t *testing.T) {
+	p, err := Build(0.05, 30,
+		Slot{WE: "WE1", Technique: enzyme.Chronoamperometry, Duration: 60},
+		Slot{WE: "WE2", Technique: enzyme.CyclicVoltammetry, Duration: 65},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Slots[0].Start-0.05) > 1e-12 {
+		t.Fatalf("first slot at %g", p.Slots[0].Start)
+	}
+	if math.Abs(p.Slots[1].Start-60.10) > 1e-9 {
+		t.Fatalf("second slot at %g", p.Slots[1].Start)
+	}
+	if math.Abs(p.PanelTime()-125.10) > 1e-9 {
+		t.Fatalf("panel time %g", p.PanelTime())
+	}
+	if math.Abs(p.CycleTime()-155.10) > 1e-9 {
+		t.Fatalf("cycle time %g", p.CycleTime())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	p, err := Build(0, 30, Slot{WE: "WE1", Technique: enzyme.Chronoamperometry, Duration: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 90 s cycle → 40 samples/hour.
+	if math.Abs(p.Throughput()-40) > 1e-9 {
+		t.Fatalf("throughput %g", p.Throughput())
+	}
+}
+
+func TestBuildRejects(t *testing.T) {
+	if _, err := Build(0, 0); err == nil {
+		t.Error("no slots must fail")
+	}
+	if _, err := Build(-1, 0, Slot{WE: "a", Duration: 1}); err == nil {
+		t.Error("negative settle must fail")
+	}
+	if _, err := Build(0, 0, Slot{WE: "", Duration: 1}); err == nil {
+		t.Error("empty WE must fail")
+	}
+	if _, err := Build(0, 0, Slot{WE: "a", Duration: 0}); err == nil {
+		t.Error("zero duration must fail")
+	}
+	if _, err := Build(0, 0, Slot{WE: "a", Duration: 1}, Slot{WE: "a", Duration: 1}); err == nil {
+		t.Error("duplicate electrode must fail")
+	}
+}
+
+func TestString(t *testing.T) {
+	p, _ := Build(0.05, 30, Slot{WE: "WE1", Technique: enzyme.Chronoamperometry, Duration: 60})
+	s := p.String()
+	for _, frag := range []string{"WE1", "chronoamperometry", "samples/h"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("%q missing %q", s, frag)
+		}
+	}
+}

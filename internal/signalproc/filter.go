@@ -1,0 +1,90 @@
+// Package signalproc provides the digital signal processing applied to
+// digitized acquisition traces: smoothing, baseline estimation, peak
+// detection for voltammograms, derivative and steady-state analysis for
+// chronoamperometric transients.
+package signalproc
+
+import (
+	"errors"
+)
+
+// ErrTooShort is returned when a routine is given fewer samples than it
+// needs.
+var ErrTooShort = errors.New("signalproc: series too short")
+
+// MovingAverage smooths xs with a centered window of the given odd
+// width. Edges use the available partial window. Width ≤ 1 returns a
+// copy.
+func MovingAverage(xs []float64, width int) []float64 {
+	out := make([]float64, len(xs))
+	if width <= 1 {
+		copy(out, xs)
+		return out
+	}
+	half := width / 2
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi > len(xs)-1 {
+			hi = len(xs) - 1
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// LowPass applies a one-pole IIR low-pass with smoothing factor alpha in
+// (0,1]; alpha=1 passes the input through.
+func LowPass(xs []float64, alpha float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	out[0] = xs[0]
+	for i := 1; i < len(xs); i++ {
+		out[i] = out[i-1] + alpha*(xs[i]-out[i-1])
+	}
+	return out
+}
+
+// Derivative returns the centered finite-difference derivative of ys
+// with respect to uniformly spaced samples dt apart. Endpoints use
+// one-sided differences.
+func Derivative(ys []float64, dt float64) ([]float64, error) {
+	if len(ys) < 2 || dt <= 0 {
+		return nil, ErrTooShort
+	}
+	out := make([]float64, len(ys))
+	out[0] = (ys[1] - ys[0]) / dt
+	out[len(ys)-1] = (ys[len(ys)-1] - ys[len(ys)-2]) / dt
+	for i := 1; i < len(ys)-1; i++ {
+		out[i] = (ys[i+1] - ys[i-1]) / (2 * dt)
+	}
+	return out, nil
+}
+
+// Detrend subtracts a straight line through the first and last samples;
+// a cheap baseline removal for voltammogram branches whose background
+// (double-layer charging) is approximately linear in potential.
+func Detrend(ys []float64) []float64 {
+	out := make([]float64, len(ys))
+	if len(ys) < 2 {
+		copy(out, ys)
+		return out
+	}
+	slope := (ys[len(ys)-1] - ys[0]) / float64(len(ys)-1)
+	for i := range ys {
+		out[i] = ys[i] - (ys[0] + slope*float64(i))
+	}
+	return out
+}

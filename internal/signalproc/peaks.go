@@ -1,0 +1,129 @@
+package signalproc
+
+import (
+	"sort"
+)
+
+// Peak is one detected local extremum in a sampled curve.
+type Peak struct {
+	// Index is the sample index of the extremum.
+	Index int
+	// X and Y are the abscissa and curve value at the extremum (after
+	// parabolic refinement).
+	X, Y float64
+	// Prominence is the height of the peak above the higher of the two
+	// flanking valleys (absolute value).
+	Prominence float64
+}
+
+// FindPeaks locates local maxima of ys (with abscissas xs) whose
+// prominence is at least minProminence, sorted by descending
+// prominence. Positions are refined by parabolic interpolation through
+// the three samples around each maximum, so peak potentials can be
+// located to better than the sample spacing.
+//
+// To find minima (cathodic reduction peaks, which are negative currents
+// under the IUPAC convention), negate ys first.
+func FindPeaks(xs, ys []float64, minProminence float64) []Peak {
+	if len(xs) != len(ys) || len(ys) < 3 {
+		return nil
+	}
+	var peaks []Peak
+	for i := 1; i < len(ys)-1; i++ {
+		if !(ys[i] > ys[i-1] && ys[i] >= ys[i+1]) {
+			continue
+		}
+		prom := prominence(ys, i)
+		if prom < minProminence {
+			continue
+		}
+		x, y := refine(xs, ys, i)
+		peaks = append(peaks, Peak{Index: i, X: x, Y: y, Prominence: prom})
+	}
+	// Merge plateau twins: identical refined X within half a sample.
+	peaks = dedupe(xs, peaks)
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].Prominence > peaks[j].Prominence })
+	return peaks
+}
+
+// prominence computes the classic topographic prominence of the peak at
+// index i: descend on both sides to the lowest point before a higher
+// peak (or the series edge) and take the height above the higher of the
+// two minima.
+func prominence(ys []float64, i int) float64 {
+	leftMin := ys[i]
+	for j := i - 1; j >= 0; j-- {
+		if ys[j] > ys[i] {
+			break
+		}
+		if ys[j] < leftMin {
+			leftMin = ys[j]
+		}
+	}
+	rightMin := ys[i]
+	for j := i + 1; j < len(ys); j++ {
+		if ys[j] > ys[i] {
+			break
+		}
+		if ys[j] < rightMin {
+			rightMin = ys[j]
+		}
+	}
+	base := leftMin
+	if rightMin > base {
+		base = rightMin
+	}
+	return ys[i] - base
+}
+
+// refine fits a parabola through (i-1, i, i+1) and returns the vertex.
+func refine(xs, ys []float64, i int) (x, y float64) {
+	y0, y1, y2 := ys[i-1], ys[i], ys[i+1]
+	denom := y0 - 2*y1 + y2
+	if denom == 0 {
+		return xs[i], ys[i]
+	}
+	delta := 0.5 * (y0 - y2) / denom
+	if delta > 1 {
+		delta = 1
+	}
+	if delta < -1 {
+		delta = -1
+	}
+	dx := 0.0
+	if i+1 < len(xs) {
+		dx = xs[i+1] - xs[i]
+	}
+	return xs[i] + delta*dx, y1 - 0.25*(y0-y2)*delta
+}
+
+func dedupe(xs []float64, peaks []Peak) []Peak {
+	if len(peaks) < 2 {
+		return peaks
+	}
+	dx := 0.0
+	if len(xs) > 1 {
+		dx = xs[1] - xs[0]
+		if dx < 0 {
+			dx = -dx
+		}
+	}
+	var out []Peak
+	for _, p := range peaks {
+		dup := false
+		for _, q := range out {
+			d := p.X - q.X
+			if d < 0 {
+				d = -d
+			}
+			if d <= dx {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}

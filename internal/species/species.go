@@ -1,0 +1,185 @@
+// Package species is the chemical-species registry of the platform: every
+// metabolite, drug and redox mediator the paper mentions, together with
+// the physical properties the simulator needs (diffusion coefficient,
+// electrons transferred, direct-oxidation behaviour).
+package species
+
+import (
+	"fmt"
+	"sort"
+
+	"advdiag/internal/phys"
+)
+
+// Class partitions species by their role in the sensing chain.
+type Class int
+
+const (
+	// Metabolite marks endogenous compounds sensed via oxidases
+	// (glucose, lactate, glutamate, cholesterol).
+	Metabolite Class = iota
+	// Drug marks exogenous compounds sensed via cytochromes P450.
+	Drug
+	// Mediator marks electroactive intermediates (hydrogen peroxide,
+	// oxygen) produced or consumed by the enzymatic reactions.
+	Mediator
+)
+
+func (c Class) String() string {
+	switch c {
+	case Metabolite:
+		return "metabolite"
+	case Drug:
+		return "drug"
+	case Mediator:
+		return "mediator"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Species describes one chemical species.
+type Species struct {
+	// Name is the canonical lowercase identifier used across the
+	// platform ("glucose", "benzphetamine", ...).
+	Name string
+	// Class is the sensing role.
+	Class Class
+	// Diffusion is the aqueous diffusion coefficient at 25 °C.
+	Diffusion phys.Diffusivity
+	// Electrons is the number of electrons transferred in the species'
+	// detection reaction (2 for H₂O₂ oxidation, 1 for typical CYP
+	// single-electron reductions at the heme).
+	Electrons int
+	// DirectOxidizer marks species (dopamine, etoposide) that oxidize at
+	// a bare electrode without any enzyme. The paper notes these defeat
+	// the blank-electrode correlated-double-sampling trick.
+	DirectOxidizer bool
+	// OxidationPotential is the half-wave potential of the direct
+	// (enzyme-free) oxidation for DirectOxidizer species, vs Ag/AgCl.
+	OxidationPotential phys.Voltage
+	// DirectResponse is the current-density slope of the direct
+	// oxidation (A·m/mol, i.e. A/m² per mol/m³) once the potential is
+	// past OxidationPotential. Zero for non-direct-oxidizers.
+	DirectResponse float64
+	// Description is the paper's one-line description of the compound.
+	Description string
+}
+
+// Validate performs basic sanity checks on the record.
+func (s Species) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("species: empty name")
+	}
+	if s.Diffusion <= 0 {
+		return fmt.Errorf("species %s: non-positive diffusion coefficient", s.Name)
+	}
+	if s.Electrons <= 0 {
+		return fmt.Errorf("species %s: non-positive electron count", s.Name)
+	}
+	return nil
+}
+
+// registry holds the built-in species, keyed by Name.
+var registry = map[string]Species{}
+
+func register(s Species) {
+	if err := s.Validate(); err != nil {
+		panic(err) // built-in table must be internally consistent
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic("species: duplicate registration of " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the species with the given name.
+func Lookup(name string) (Species, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Species{}, fmt.Errorf("species: unknown species %q", name)
+	}
+	return s, nil
+}
+
+// MustLookup is Lookup for names known to exist (built-in tables).
+func MustLookup(name string) Species {
+	s, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// All returns every registered species sorted by name.
+func All() []Species {
+	out := make([]Species, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByClass returns every registered species of the given class, sorted by
+// name.
+func ByClass(c Class) []Species {
+	var out []Species
+	for _, s := range All() {
+		if s.Class == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Diffusion coefficients are literature aqueous values at 25 °C; the
+// exact numbers matter less than their order of magnitude (1e-10..1e-9
+// m²/s) because the enzyme kinetics are calibrated to the paper's
+// figures of merit. H₂O₂'s relatively low diffusivity in the sensing
+// membrane is what the paper invokes to argue negligible cross-talk.
+func init() {
+	// Endogenous metabolites (paper §I-A, Table I).
+	register(Species{Name: "glucose", Class: Metabolite, Diffusion: 6.7e-10, Electrons: 2,
+		Description: "Metabolic compound as energy source; marker for diabetes"})
+	register(Species{Name: "lactate", Class: Metabolite, Diffusion: 1.0e-9, Electrons: 2,
+		Description: "Metabolic compound as marker of cell suffering (lactic acidosis)"})
+	register(Species{Name: "glutamate", Class: Metabolite, Diffusion: 7.6e-10, Electrons: 2,
+		Description: "Excitatory neurotransmitter; accumulation marks brain injury"})
+	register(Species{Name: "cholesterol", Class: Metabolite, Diffusion: 2.5e-10, Electrons: 1,
+		Description: "Lipid establishing membrane permeability/fluidity; atherosclerosis marker"})
+
+	// Exogenous drug compounds (paper Table II).
+	register(Species{Name: "clozapine", Class: Drug, Diffusion: 5.0e-10, Electrons: 1,
+		Description: "Antipsychotic used in the treatment of schizophrenia"})
+	register(Species{Name: "erythromycin", Class: Drug, Diffusion: 4.0e-10, Electrons: 1,
+		Description: "Broad-spectrum antibiotic"})
+	register(Species{Name: "indinavir", Class: Drug, Diffusion: 4.2e-10, Electrons: 1,
+		Description: "Used in the treatment of HIV infection and AIDS"})
+	register(Species{Name: "benzphetamine", Class: Drug, Diffusion: 5.5e-10, Electrons: 1,
+		Description: "Used in the treatment of obesity"})
+	register(Species{Name: "aminopyrine", Class: Drug, Diffusion: 5.8e-10, Electrons: 1,
+		Description: "Analgesic, anti-inflammatory, and antipyretic drug"})
+	register(Species{Name: "bupropion", Class: Drug, Diffusion: 5.6e-10, Electrons: 1,
+		Description: "Antidepressant"})
+	register(Species{Name: "lidocaine", Class: Drug, Diffusion: 6.0e-10, Electrons: 1,
+		Description: "Anesthetic and antiarrhythmic"})
+	register(Species{Name: "torsemide", Class: Drug, Diffusion: 4.8e-10, Electrons: 1,
+		Description: "Diuretic"})
+	register(Species{Name: "diclofenac", Class: Drug, Diffusion: 5.2e-10, Electrons: 1,
+		Description: "Anti-inflammatory"})
+	register(Species{Name: "p-nitrophenol", Class: Drug, Diffusion: 7.6e-10, Electrons: 1,
+		Description: "Intermediate in the synthesis of paracetamol"})
+	register(Species{Name: "etoposide", Class: Drug, Diffusion: 3.9e-10, Electrons: 1, DirectOxidizer: true,
+		OxidationPotential: phys.MilliVolts(250), DirectResponse: 0.05,
+		Description: "Chemotherapy drug; oxidizes directly at a bare working electrode"})
+	register(Species{Name: "dopamine", Class: Drug, Diffusion: 6.0e-10, Electrons: 2, DirectOxidizer: true,
+		OxidationPotential: phys.MilliVolts(200), DirectResponse: 0.10,
+		Description: "Neurotransmitter; oxidizes directly at a bare working electrode"})
+
+	// Electroactive mediators.
+	register(Species{Name: "hydrogen-peroxide", Class: Mediator, Diffusion: 1.4e-9, Electrons: 2,
+		Description: "Common oxidase product; oxidized at ~+650 mV vs Ag/AgCl (2H₂O₂→2H₂O+O₂+4e⁻)"})
+	register(Species{Name: "oxygen", Class: Mediator, Diffusion: 2.0e-9, Electrons: 4,
+		Description: "Electron acceptor of the oxidase catalytic cycle"})
+}

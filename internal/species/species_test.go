@@ -1,0 +1,117 @@
+package species
+
+import (
+	"testing"
+
+	"advdiag/internal/phys"
+)
+
+func TestPaperSpeciesRegistered(t *testing.T) {
+	// Every molecule named in the paper must resolve.
+	names := []string{
+		"glucose", "lactate", "glutamate", "cholesterol",
+		"clozapine", "erythromycin", "indinavir", "benzphetamine",
+		"aminopyrine", "bupropion", "lidocaine", "torsemide",
+		"diclofenac", "p-nitrophenol", "etoposide", "dopamine",
+		"hydrogen-peroxide", "oxygen",
+	}
+	for _, n := range names {
+		if _, err := Lookup(n); err != nil {
+			t.Errorf("missing species %q: %v", n, err)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("unobtainium"); err == nil {
+		t.Fatal("unknown species must fail")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup of unknown species must panic")
+		}
+	}()
+	MustLookup("unobtainium")
+}
+
+func TestClassPartition(t *testing.T) {
+	mets := ByClass(Metabolite)
+	drugs := ByClass(Drug)
+	meds := ByClass(Mediator)
+	if len(mets) != 4 {
+		t.Errorf("want 4 metabolites, got %d", len(mets))
+	}
+	if len(drugs) < 10 {
+		t.Errorf("want ≥10 drugs, got %d", len(drugs))
+	}
+	if len(meds) != 2 {
+		t.Errorf("want 2 mediators, got %d", len(meds))
+	}
+	if len(All()) != len(mets)+len(drugs)+len(meds) {
+		t.Error("class partition does not cover All()")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i].Name < all[i-1].Name {
+			t.Fatalf("All() not sorted at %d: %s < %s", i, all[i].Name, all[i-1].Name)
+		}
+	}
+}
+
+func TestEveryRecordValid(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("invalid record: %v", err)
+		}
+	}
+}
+
+func TestDirectOxidizers(t *testing.T) {
+	// The paper singles out dopamine and etoposide (§II-C).
+	for _, name := range []string{"dopamine", "etoposide"} {
+		s := MustLookup(name)
+		if !s.DirectOxidizer {
+			t.Errorf("%s must be a direct oxidizer", name)
+		}
+		if s.OxidationPotential <= 0 || s.DirectResponse <= 0 {
+			t.Errorf("%s lacks direct-oxidation parameters", name)
+		}
+	}
+	if MustLookup("glucose").DirectOxidizer {
+		t.Error("glucose must not be a direct oxidizer")
+	}
+}
+
+func TestDiffusionMagnitudes(t *testing.T) {
+	// Aqueous small-molecule diffusivities live in 1e-10..2e-9 m²/s.
+	for _, s := range All() {
+		if s.Diffusion < phys.Diffusivity(1e-10) || s.Diffusion > phys.Diffusivity(2.5e-9) {
+			t.Errorf("%s diffusivity %g m²/s outside plausible range", s.Name, float64(s.Diffusion))
+		}
+	}
+}
+
+func TestPeroxideProperties(t *testing.T) {
+	h := MustLookup("hydrogen-peroxide")
+	if h.Electrons != 2 {
+		t.Errorf("H₂O₂ oxidation transfers 2 e⁻ per molecule (eq. 3), got %d", h.Electrons)
+	}
+	if h.Class != Mediator {
+		t.Error("H₂O₂ is a mediator")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Metabolite.String() != "metabolite" || Drug.String() != "drug" || Mediator.String() != "mediator" {
+		t.Error("class labels wrong")
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class must still render")
+	}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV encodes the series as two columns, time and value, with a
+// header row naming the units.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "value_" + s.Unit}); err != nil {
+		return err
+	}
+	for i, v := range s.Values {
+		rec := []string{
+			strconv.FormatFloat(s.Time(i), 'g', -1, 64),
+			strconv.FormatFloat(v, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSeriesCSV decodes a series written by WriteCSV. The sample interval
+// is inferred from the first two rows; the series must be uniformly
+// sampled.
+func ReadSeriesCSV(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) < 3 {
+		return nil, fmt.Errorf("trace: CSV needs a header and ≥2 samples, got %d rows", len(recs))
+	}
+	unit := ""
+	if len(recs[0]) == 2 {
+		const pfx = "value_"
+		if len(recs[0][1]) > len(pfx) {
+			unit = recs[0][1][len(pfx):]
+		}
+	}
+	times := make([]float64, 0, len(recs)-1)
+	vals := make([]float64, 0, len(recs)-1)
+	for _, rec := range recs[1:] {
+		if len(rec) != 2 {
+			return nil, fmt.Errorf("trace: CSV row has %d fields, want 2", len(rec))
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad time %q: %w", rec[0], err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad value %q: %w", rec[1], err)
+		}
+		times = append(times, t)
+		vals = append(vals, v)
+	}
+	dt := times[1] - times[0]
+	if dt <= 0 {
+		return nil, ErrBadSeries
+	}
+	for i := 2; i < len(times); i++ {
+		if d := times[i] - times[i-1]; d < 0.999*dt || d > 1.001*dt {
+			return nil, fmt.Errorf("trace: non-uniform sampling at row %d", i)
+		}
+	}
+	return &Series{Start: times[0], Dt: dt, Unit: unit, Values: vals}, nil
+}
+
+// WriteCSV encodes the XY as two columns with a unit header.
+func (p *XY) WriteCSV(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{p.XUnit, p.YUnit}); err != nil {
+		return err
+	}
+	for i := range p.X {
+		rec := []string{
+			strconv.FormatFloat(p.X[i], 'g', -1, 64),
+			strconv.FormatFloat(p.Y[i], 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadXYCSV decodes an XY written by WriteCSV.
+func ReadXYCSV(r io.Reader) (*XY, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) < 1 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	p := &XY{}
+	if len(recs[0]) == 2 {
+		p.XUnit, p.YUnit = recs[0][0], recs[0][1]
+	}
+	for i, rec := range recs[1:] {
+		if len(rec) != 2 {
+			return nil, fmt.Errorf("trace: CSV row %d has %d fields, want 2", i+1, len(rec))
+		}
+		x, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, err
+		}
+		y, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, err
+		}
+		p.Append(x, y)
+	}
+	return p, nil
+}

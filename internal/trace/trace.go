@@ -1,0 +1,154 @@
+// Package trace provides sampled-signal containers for the acquisition
+// chain: uniformly sampled time series of voltage or current, plus the
+// X/Y series produced by cyclic voltammetry. It also offers CSV
+// round-tripping so cmd tools can export data for plotting.
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Series is a uniformly sampled signal: Values[i] was taken at time
+// Start + i·Dt. Unit is a free-form label ("A", "V") used in reports.
+type Series struct {
+	Start  float64
+	Dt     float64
+	Unit   string
+	Values []float64
+}
+
+// ErrBadSeries marks structurally invalid series (non-positive Dt or no
+// samples).
+var ErrBadSeries = errors.New("trace: invalid series")
+
+// NewSeries allocates a series of n samples with the given start time and
+// sample interval.
+func NewSeries(start, dt float64, n int, unit string) (*Series, error) {
+	if dt <= 0 || n <= 0 {
+		return nil, ErrBadSeries
+	}
+	return &Series{Start: start, Dt: dt, Unit: unit, Values: make([]float64, n)}, nil
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Time returns the timestamp of sample i.
+func (s *Series) Time(i int) float64 { return s.Start + float64(i)*s.Dt }
+
+// Times materializes all timestamps. Useful for fitting routines that
+// want parallel slices.
+func (s *Series) Times() []float64 {
+	ts := make([]float64, len(s.Values))
+	for i := range ts {
+		ts[i] = s.Time(i)
+	}
+	return ts
+}
+
+// End returns the timestamp of the final sample, or Start when empty.
+func (s *Series) End() float64 {
+	if len(s.Values) == 0 {
+		return s.Start
+	}
+	return s.Time(len(s.Values) - 1)
+}
+
+// At linearly interpolates the signal value at time t. Times outside the
+// sampled span clamp to the first/last sample.
+func (s *Series) At(t float64) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	pos := (t - s.Start) / s.Dt
+	if pos <= 0 {
+		return s.Values[0]
+	}
+	if pos >= float64(len(s.Values)-1) {
+		return s.Values[len(s.Values)-1]
+	}
+	i := int(pos)
+	frac := pos - float64(i)
+	return s.Values[i]*(1-frac) + s.Values[i+1]*frac
+}
+
+// Slice returns the sub-series covering [t0, t1] (inclusive of the
+// samples whose timestamps fall in the window). The result shares no
+// storage with s.
+func (s *Series) Slice(t0, t1 float64) *Series {
+	if t1 < t0 {
+		t0, t1 = t1, t0
+	}
+	first := 0
+	for first < len(s.Values) && s.Time(first) < t0 {
+		first++
+	}
+	last := len(s.Values) - 1
+	for last >= 0 && s.Time(last) > t1 {
+		last--
+	}
+	out := &Series{Start: s.Time(first), Dt: s.Dt, Unit: s.Unit}
+	if last >= first {
+		out.Values = append([]float64(nil), s.Values[first:last+1]...)
+	}
+	return out
+}
+
+// Map returns a new series with f applied to every sample (e.g. a
+// transimpedance conversion). The time base is preserved.
+func (s *Series) Map(f func(float64) float64, unit string) *Series {
+	out := &Series{Start: s.Start, Dt: s.Dt, Unit: unit, Values: make([]float64, len(s.Values))}
+	for i, v := range s.Values {
+		out.Values[i] = f(v)
+	}
+	return out
+}
+
+// Tail returns the final fraction of the series (frac in (0,1]); used to
+// measure steady-state statistics. frac outside the range returns the
+// whole series.
+func (s *Series) Tail(frac float64) []float64 {
+	if frac <= 0 || frac > 1 || len(s.Values) == 0 {
+		return s.Values
+	}
+	n := int(float64(len(s.Values)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	return s.Values[len(s.Values)-n:]
+}
+
+// String summarizes the series for logs.
+func (s *Series) String() string {
+	return fmt.Sprintf("Series[%d samples @ %.4gs, %s]", len(s.Values), s.Dt, s.Unit)
+}
+
+// XY is a paired-sample record, e.g. a voltammogram (X = potential,
+// Y = current) or a calibration curve (X = concentration, Y = response).
+type XY struct {
+	XUnit, YUnit string
+	X, Y         []float64
+}
+
+// NewXY allocates an empty XY with the given axis labels.
+func NewXY(xUnit, yUnit string) *XY {
+	return &XY{XUnit: xUnit, YUnit: yUnit}
+}
+
+// Append adds one point.
+func (p *XY) Append(x, y float64) {
+	p.X = append(p.X, x)
+	p.Y = append(p.Y, y)
+}
+
+// Len returns the number of points.
+func (p *XY) Len() int { return len(p.X) }
+
+// Validate checks structural consistency.
+func (p *XY) Validate() error {
+	if len(p.X) != len(p.Y) {
+		return fmt.Errorf("trace: XY length mismatch %d vs %d", len(p.X), len(p.Y))
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustSeries(t *testing.T, start, dt float64, vals []float64) *Series {
+	t.Helper()
+	s, err := NewSeries(start, dt, len(vals), "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(s.Values, vals)
+	return s
+}
+
+func TestNewSeriesValidation(t *testing.T) {
+	if _, err := NewSeries(0, 0, 5, "A"); err != ErrBadSeries {
+		t.Error("zero dt must fail")
+	}
+	if _, err := NewSeries(0, 0.1, 0, "A"); err != ErrBadSeries {
+		t.Error("zero length must fail")
+	}
+}
+
+func TestTimeAccessors(t *testing.T) {
+	s := mustSeries(t, 10, 0.5, []float64{1, 2, 3})
+	if s.Time(0) != 10 || s.Time(2) != 11 {
+		t.Fatalf("times wrong: %g %g", s.Time(0), s.Time(2))
+	}
+	if s.End() != 11 {
+		t.Fatalf("end %g", s.End())
+	}
+	ts := s.Times()
+	if len(ts) != 3 || ts[1] != 10.5 {
+		t.Fatalf("Times: %v", ts)
+	}
+}
+
+func TestAtInterpolation(t *testing.T) {
+	s := mustSeries(t, 0, 1, []float64{0, 10, 20})
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1.5, 15}, {2, 20}, {5, 20},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := mustSeries(t, 0, 1, []float64{0, 1, 2, 3, 4, 5})
+	sub := s.Slice(1.5, 4.2)
+	if sub.Len() != 3 || sub.Values[0] != 2 || sub.Values[2] != 4 {
+		t.Fatalf("slice: %+v", sub)
+	}
+	if sub.Start != 2 {
+		t.Fatalf("slice start %g", sub.Start)
+	}
+	// Mutating the slice must not touch the parent.
+	sub.Values[0] = 99
+	if s.Values[2] == 99 {
+		t.Fatal("Slice shares storage with parent")
+	}
+}
+
+func TestMap(t *testing.T) {
+	s := mustSeries(t, 0, 1, []float64{1, 2})
+	m := s.Map(func(v float64) float64 { return -v * 2 }, "V")
+	if m.Unit != "V" || m.Values[0] != -2 || m.Values[1] != -4 {
+		t.Fatalf("map: %+v", m)
+	}
+}
+
+func TestTail(t *testing.T) {
+	s := mustSeries(t, 0, 1, []float64{1, 2, 3, 4, 5})
+	tail := s.Tail(0.4)
+	if len(tail) != 2 || tail[0] != 4 {
+		t.Fatalf("tail: %v", tail)
+	}
+	if len(s.Tail(0)) != 5 {
+		t.Fatal("frac 0 should return all")
+	}
+	if len(s.Tail(0.01)) != 1 {
+		t.Fatal("tiny frac returns at least one sample")
+	}
+}
+
+func TestXY(t *testing.T) {
+	p := NewXY("V", "A")
+	p.Append(1, 2)
+	p.Append(3, 4)
+	if p.Len() != 2 {
+		t.Fatalf("len %d", p.Len())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.X = append(p.X, 9)
+	if err := p.Validate(); err == nil {
+		t.Fatal("mismatched XY must fail validation")
+	}
+}
+
+func TestSeriesCSVRoundTrip(t *testing.T) {
+	s := mustSeries(t, 1.5, 0.25, []float64{0.5, -1.25, 3})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSeriesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Start != s.Start || math.Abs(back.Dt-s.Dt) > 1e-12 || back.Unit != "A" {
+		t.Fatalf("metadata: %+v", back)
+	}
+	for i := range s.Values {
+		if back.Values[i] != s.Values[i] {
+			t.Fatalf("value %d: %g vs %g", i, back.Values[i], s.Values[i])
+		}
+	}
+}
+
+func TestXYCSVRoundTrip(t *testing.T) {
+	p := NewXY("V", "A")
+	p.Append(0.1, -2e-9)
+	p.Append(0.2, 3e-9)
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadXYCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.XUnit != "V" || back.YUnit != "A" || back.Len() != 2 || back.Y[1] != 3e-9 {
+		t.Fatalf("XY round trip: %+v", back)
+	}
+}
+
+func TestReadSeriesCSVRejectsNonUniform(t *testing.T) {
+	csv := "time_s,value_A\n0,1\n1,2\n3,3\n"
+	if _, err := ReadSeriesCSV(bytes.NewBufferString(csv)); err == nil {
+		t.Fatal("non-uniform sampling must fail")
+	}
+}
+
+// Property: At() is exact at sample points.
+func TestAtExactAtSamplesProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		s, err := NewSeries(0, 0.5, len(vals), "x")
+		if err != nil {
+			return false
+		}
+		copy(s.Values, vals)
+		for i := range vals {
+			if s.At(s.Time(i)) != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

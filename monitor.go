@@ -1,0 +1,177 @@
+package advdiag
+
+import (
+	"fmt"
+
+	"advdiag/internal/analysis"
+	"advdiag/internal/cell"
+	"advdiag/internal/measure"
+	"advdiag/internal/phys"
+	"advdiag/internal/signalproc"
+)
+
+// InjectionEvent is a concentration step added to the measurement
+// chamber during continuous monitoring (paper Fig. 3: "injection of the
+// target molecule").
+type InjectionEvent struct {
+	// AtSeconds is the injection time from the start of monitoring.
+	AtSeconds float64
+	// DeltaMM is the concentration step in mM.
+	DeltaMM float64
+}
+
+// MonitorResult is a continuous-monitoring trace with its transient
+// analysis.
+type MonitorResult struct {
+	// TimesSeconds and CurrentsMicroAmps are the recorded series.
+	TimesSeconds, CurrentsMicroAmps []float64
+	// T90Seconds is the 90 % steady-state response time after the first
+	// injection (the paper's Fig. 3 shows ≈30 s for glucose).
+	T90Seconds float64
+	// TransientSeconds is the time of maximum dV/dt after the first
+	// injection (the paper's "transient response time").
+	TransientSeconds float64
+	// BaselineMicroAmps and SteadyMicroAmps are the pre-injection and
+	// settled levels.
+	BaselineMicroAmps, SteadyMicroAmps float64
+	// Settled reports whether the trace reached a flat steady state.
+	Settled bool
+}
+
+// Monitor runs a continuous chronoamperometric measurement with the
+// given injections, reproducing the paper's Fig. 3 experiment. Only
+// chronoamperometric (oxidase) sensors support monitoring.
+func (s *Sensor) Monitor(durationSeconds float64, injections ...InjectionEvent) (*MonitorResult, error) {
+	if s.Technique() != "chronoamperometry" {
+		return nil, fmt.Errorf("advdiag: continuous monitoring needs an oxidase sensor, %s uses %s", s.target, s.Technique())
+	}
+	if durationSeconds <= 0 {
+		return nil, fmt.Errorf("advdiag: non-positive monitoring duration")
+	}
+	if len(injections) == 0 {
+		return nil, fmt.Errorf("advdiag: monitoring needs at least one injection")
+	}
+	sol := cell.NewSolution()
+	for _, inj := range injections {
+		sol.Inject(inj.AtSeconds, s.target, phys.MilliMolar(inj.DeltaMM))
+	}
+	eng, chain, we, err := s.build(sol)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.RunCA(we, chain, measure.Chronoamperometry{Duration: durationSeconds})
+	if err != nil {
+		return nil, err
+	}
+	times := res.Current.Times()
+	curs := make([]float64, res.Current.Len())
+	for i, v := range res.Current.Values {
+		curs[i] = v * 1e6
+	}
+	// The step analysis characterizes the FIRST injection, so truncate
+	// the analysed segment at the second injection (if any).
+	aTimes, aCurs := times, curs
+	if len(injections) > 1 {
+		cut := len(times)
+		for i, tv := range times {
+			if tv >= injections[1].AtSeconds {
+				cut = i
+				break
+			}
+		}
+		aTimes, aCurs = times[:cut], curs[:cut]
+	}
+	step, err := signalproc.AnalyzeStep(aTimes, aCurs, injections[0].AtSeconds, 0.2)
+	if err != nil {
+		return nil, err
+	}
+	return &MonitorResult{
+		TimesSeconds:      times,
+		CurrentsMicroAmps: curs,
+		T90Seconds:        step.T90,
+		TransientSeconds:  step.TTransient,
+		BaselineMicroAmps: step.Baseline,
+		SteadyMicroAmps:   step.Steady,
+		Settled:           step.Settled,
+	}, nil
+}
+
+// Voltammogram is a recorded current-vs-potential curve with its
+// detected reduction peaks.
+type Voltammogram struct {
+	// PotentialsMV and CurrentsMicroAmps are the final-cycle curve.
+	PotentialsMV, CurrentsMicroAmps []float64
+	// Peaks are the detected reduction peaks.
+	Peaks []VoltammetricPeak
+}
+
+// VoltammetricPeak is one detected reduction peak.
+type VoltammetricPeak struct {
+	// PotentialMV is the peak position (the electrochemical signature
+	// identifying the molecule).
+	PotentialMV float64
+	// HeightMicroAmps is the baseline-corrected cathodic height (tracks
+	// concentration).
+	HeightMicroAmps float64
+}
+
+// RunVoltammetry performs one cyclic voltammetry on a CYP sensor with
+// the given sample concentrations (mM by species name; the sensor's
+// isoform responds to every substrate it binds). The window brackets
+// the isoform's known peaks.
+func (s *Sensor) RunVoltammetry(sample map[string]float64) (*Voltammogram, error) {
+	if s.Technique() != "cyclic voltammetry" {
+		return nil, fmt.Errorf("advdiag: %s uses %s, not cyclic voltammetry", s.target, s.Technique())
+	}
+	sol := cell.NewSolution()
+	for name, mm := range sample {
+		sol.Set(name, phys.MilliMolar(mm))
+	}
+	eng, chain, we, err := s.build(sol)
+	if err != nil {
+		return nil, err
+	}
+	var peaks []phys.Voltage
+	for _, b := range s.assay.CYP.Bindings {
+		peaks = append(peaks, b.PeakPotential)
+	}
+	start, vertex := measure.CVWindowFor(peaks...)
+	proto := measure.CyclicVoltammetry{Start: start, Vertex: vertex}
+	res, err := eng.RunCV(we, chain, proto)
+	if err != nil {
+		return nil, err
+	}
+	out := &Voltammogram{}
+	for i := range res.Voltammogram.X {
+		out.PotentialsMV = append(out.PotentialsMV, res.Voltammogram.X[i]*1e3)
+		out.CurrentsMicroAmps = append(out.CurrentsMicroAmps, res.Voltammogram.Y[i]*1e6)
+	}
+	// Quantify each binding by template decomposition; positions come
+	// from direct detection when the peak stands on its own, falling
+	// back to the template's known potential for shoulders.
+	_, templates, err := eng.CVTemplates(we, proto)
+	if err != nil {
+		return nil, err
+	}
+	fit, err := analysis.FitCVComponents(res.Voltammogram, templates,
+		filmNuisances(res.Voltammogram.X, s.assay.CYP)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range s.assay.CYP.Bindings {
+		amp := fit.Amplitudes[b.Substrate.Name]
+		height := amp * unitPeakHeight(templates[b.Substrate.Name])
+		// Report only substrates with a meaningful fitted signal
+		// (above ~3× the per-sample blank noise current).
+		floor := 3 * b.BlankSigmaAt(1) * 0.23e-6
+		if height < floor {
+			continue
+		}
+		pk := VoltammetricPeak{PotentialMV: b.PeakPotential.MilliVolts(), HeightMicroAmps: height * 1e6}
+		if det, err := peakNearBinding(res, b.PeakPotential); err == nil {
+			pk.PotentialMV = det.PotentialMV
+		}
+		out.Peaks = append(out.Peaks, pk)
+	}
+	return out, nil
+}

@@ -1,0 +1,372 @@
+package advdiag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"advdiag/internal/analysis"
+	"advdiag/internal/cell"
+	"advdiag/internal/core"
+	"advdiag/internal/enzyme"
+	"advdiag/internal/measure"
+	"advdiag/internal/phys"
+)
+
+// Platform is a synthesized multi-target sensing platform: the outcome
+// of the paper's design-space exploration, ready to run full panels.
+type Platform struct {
+	inner *core.Platform
+	seed  uint64
+}
+
+// PlatformOption customizes platform design.
+type PlatformOption func(*core.Requirements, *Platform)
+
+// WithInterferents declares matrix species (e.g. "dopamine") present in
+// every sample.
+func WithInterferents(names ...string) PlatformOption {
+	return func(r *core.Requirements, _ *Platform) { r.Interferents = append(r.Interferents, names...) }
+}
+
+// WithSamplePeriod requires one full panel at least every given number
+// of seconds.
+func WithSamplePeriod(seconds float64) PlatformOption {
+	return func(r *core.Requirements, _ *Platform) { r.SamplePeriod = seconds }
+}
+
+// WithCDSBlank adds an enzyme-free working electrode for correlated
+// double sampling.
+func WithCDSBlank() PlatformOption {
+	return func(r *core.Requirements, _ *Platform) { r.WithBlankCDS = true }
+}
+
+// WithPlatformSeed fixes the noise seed used by panel runs.
+func WithPlatformSeed(seed uint64) PlatformOption {
+	return func(_ *core.Requirements, p *Platform) { p.seed = seed }
+}
+
+// WithReplicas replicates the full sensor set k times (the paper's §II
+// sensor array): replicate readings are averaged, cutting uncorrelated
+// blank noise by √k at the cost of k× electrode area and panel time.
+func WithReplicas(k int) PlatformOption {
+	return func(r *core.Requirements, _ *Platform) { r.Replicas = k }
+}
+
+// DesignPlatform explores the design space for the given targets and
+// synthesizes the cheapest feasible candidate — the workflow of the
+// paper's §III platform example.
+func DesignPlatform(targets []string, opts ...PlatformOption) (*Platform, error) {
+	req := core.Requirements{}
+	for _, t := range targets {
+		req.Targets = append(req.Targets, core.TargetSpec{Species: t})
+	}
+	p := &Platform{seed: 1}
+	for _, opt := range opts {
+		opt(&req, p)
+	}
+	best, err := core.Best(req)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.Synthesize(best)
+	if err != nil {
+		return nil, err
+	}
+	p.inner = inner
+	return p, nil
+}
+
+// Describe returns the platform's block inventory and wiring as text
+// (the paper's Fig. 2/Fig. 4 content).
+func (p *Platform) Describe() string { return p.inner.Design.ASCII() }
+
+// DOT returns the Graphviz rendering of the platform netlist.
+func (p *Platform) DOT() string { return p.inner.Design.DOT() }
+
+// Schedule returns the panel acquisition timeline.
+func (p *Platform) Schedule() string { return p.inner.Plan.String() }
+
+// WorkingElectrodes lists the WE names in schedule order.
+func (p *Platform) WorkingElectrodes() []string {
+	var out []string
+	for _, ep := range p.inner.Candidate.Electrodes {
+		out = append(out, ep.Name)
+	}
+	return out
+}
+
+// CostSummary reports the platform budget.
+func (p *Platform) CostSummary() string {
+	c := p.inner.Candidate
+	return fmt.Sprintf("%s; panel %.0f s, %.1f samples/h", c.Budget, c.PanelTime, c.Throughput())
+}
+
+// Violations lists advisory warnings from the design evaluation.
+func (p *Platform) Violations() []string {
+	var out []string
+	for _, v := range p.inner.Candidate.Violations {
+		out = append(out, v.String())
+	}
+	return out
+}
+
+// TargetReading is one panel result.
+type TargetReading struct {
+	// Target is the molecule.
+	Target string
+	// WE names the electrode that produced the reading.
+	WE string
+	// Probe is the assay used.
+	Probe string
+	// MeasuredMicroAmps is the raw signal (steady-state current for
+	// chronoamperometry, baseline-corrected peak height for CV).
+	MeasuredMicroAmps float64
+	// EstimatedMM is the concentration estimate in mM from the factory
+	// calibration.
+	EstimatedMM float64
+	// TrueMM is the sample's actual concentration (known in simulation).
+	TrueMM float64
+	// PeakMV is the detected peak potential for CV readings (0 for CA).
+	PeakMV float64
+}
+
+// String renders the reading.
+func (r TargetReading) String() string {
+	s := fmt.Sprintf("%-14s %-5s %-18s  %8.4g µA → %7.3g mM (true %.3g mM)",
+		r.Target, r.WE, r.Probe, r.MeasuredMicroAmps, r.EstimatedMM, r.TrueMM)
+	if r.PeakMV != 0 {
+		s += fmt.Sprintf("  [peak %+.0f mV]", r.PeakMV)
+	}
+	return s
+}
+
+// PanelResult is one full multi-target acquisition.
+type PanelResult struct {
+	// Readings per target, in schedule order.
+	Readings []TargetReading
+	// PanelSeconds is the scheduled panel time.
+	PanelSeconds float64
+}
+
+// String renders the panel like a report table.
+func (pr PanelResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Panel (%.0f s):\n", pr.PanelSeconds)
+	for _, r := range pr.Readings {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	return b.String()
+}
+
+// RunPanel measures one sample: sample maps target names to
+// concentrations in mM. Every chamber receives the same sample (the
+// platform's fluidics distribute it).
+func (p *Platform) RunPanel(sample map[string]float64) (PanelResult, error) {
+	cand := p.inner.Candidate
+
+	// Build per-chamber solutions holding the full sample.
+	solutions := map[string]*cell.Solution{}
+	for _, ch := range cand.Chambers {
+		sol := cell.NewSolution()
+		names := make([]string, 0, len(sample))
+		for name := range sample {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			sol.Set(name, phys.MilliMolar(sample[name]))
+		}
+		solutions[ch] = sol
+	}
+	c, err := p.inner.Instantiate(solutions)
+	if err != nil {
+		return PanelResult{}, err
+	}
+	eng, err := measure.NewEngine(c, p.seed)
+	if err != nil {
+		return PanelResult{}, err
+	}
+
+	var out PanelResult
+	out.PanelSeconds = cand.PanelTime
+	for _, ep := range cand.Electrodes {
+		if ep.Blank {
+			continue
+		}
+		chain, err := p.inner.ChainFor(ep.Name, eng.RNG())
+		if err != nil {
+			return PanelResult{}, err
+		}
+		switch ep.Technique {
+		case enzyme.Chronoamperometry:
+			// Two-phase protocol: buffer baseline, then the sample. The
+			// baseline-subtracted step cancels run offsets and direct-
+			// oxidizer interferent currents.
+			res, err := eng.RunCA(ep.Name, chain, measure.Chronoamperometry{
+				Duration:      ep.ProtocolTime,
+				BaselinePhase: core.CABaselinePhase,
+			})
+			if err != nil {
+				return PanelResult{}, err
+			}
+			a := ep.Assays[0]
+			step := res.StepCurrent()
+			est := invertOxidase(a, ep.Nano.Gain(), step)
+			out.Readings = append(out.Readings, TargetReading{
+				Target:            a.Target.Name,
+				WE:                ep.Name,
+				Probe:             a.Probe,
+				MeasuredMicroAmps: step.MicroAmps(),
+				EstimatedMM:       est.MilliMolar(),
+				TrueMM:            sample[a.Target.Name],
+			})
+		case enzyme.CyclicVoltammetry:
+			var peaks []phys.Voltage
+			for _, a := range ep.Assays {
+				peaks = append(peaks, a.Binding.PeakPotential)
+			}
+			start, vertex := measure.CVWindowFor(peaks...)
+			proto := measure.CyclicVoltammetry{Start: start, Vertex: vertex}
+			res, err := eng.RunCV(ep.Name, chain, proto)
+			if err != nil {
+				return PanelResult{}, err
+			}
+			// Quantify by template decomposition (exact for the linear
+			// diffusion problem); report the detected peak potential
+			// when the peak is prominent enough to stand alone.
+			_, templates, err := eng.CVTemplates(ep.Name, proto)
+			if err != nil {
+				return PanelResult{}, err
+			}
+			fit, err := analysis.FitCVComponents(res.Voltammogram, templates,
+				filmNuisances(res.Voltammogram.X, ep.Assays[0].CYP)...)
+			if err != nil {
+				return PanelResult{}, fmt.Errorf("advdiag: %s: %w", ep.Name, err)
+			}
+			for _, a := range ep.Assays {
+				b := a.Binding
+				amp := fit.Amplitudes[a.Target.Name]
+				height := amp * unitPeakHeight(templates[a.Target.Name])
+				est := invertEffective(b, amp)
+				peakMV := 0.0
+				if pk, err := analysis.PeakNear(res.Voltammogram, b.PeakPotential, phys.MilliVolts(80), 0); err == nil {
+					peakMV = pk.Potential.MilliVolts()
+				}
+				out.Readings = append(out.Readings, TargetReading{
+					Target:            a.Target.Name,
+					WE:                ep.Name,
+					Probe:             a.Probe,
+					MeasuredMicroAmps: height * 1e6,
+					EstimatedMM:       est.MilliMolar(),
+					TrueMM:            sample[a.Target.Name],
+					PeakMV:            peakMV,
+				})
+			}
+		}
+	}
+	out.Readings = mergeReplicas(out.Readings)
+	return out, nil
+}
+
+// mergeReplicas averages replicate readings of the same target (array
+// platforms measure each target on several electrodes). Single readings
+// pass through unchanged.
+func mergeReplicas(in []TargetReading) []TargetReading {
+	counts := map[string]int{}
+	for _, r := range in {
+		counts[r.Target]++
+	}
+	merged := map[string]*TargetReading{}
+	var order []string
+	for _, r := range in {
+		if counts[r.Target] == 1 {
+			continue
+		}
+		m, ok := merged[r.Target]
+		if !ok {
+			cp := r
+			cp.WE = r.WE + "+"
+			merged[r.Target] = &cp
+			order = append(order, r.Target)
+			continue
+		}
+		m.MeasuredMicroAmps += r.MeasuredMicroAmps
+		m.EstimatedMM += r.EstimatedMM
+	}
+	var out []TargetReading
+	seen := map[string]bool{}
+	for _, r := range in {
+		if counts[r.Target] == 1 {
+			out = append(out, r)
+			continue
+		}
+		if seen[r.Target] {
+			continue
+		}
+		seen[r.Target] = true
+		m := merged[r.Target]
+		n := float64(counts[r.Target])
+		m.MeasuredMicroAmps /= n
+		m.EstimatedMM /= n
+		m.WE = fmt.Sprintf("%s(×%d)", m.WE, counts[r.Target])
+		out = append(out, *m)
+	}
+	return out
+}
+
+// invertOxidase converts a steady-state current into a concentration
+// estimate using the probe's factory calibration (Michaelis–Menten
+// inversion: C = I·Km/(I_max−I)).
+func invertOxidase(a enzyme.Assay, gain float64, i phys.Current) phys.Concentration {
+	ox := a.Oxidase
+	area := 0.23e-6 // m², the platform electrode
+	slope := float64(ox.SensitivityAt(ox.Applied, gain)) * area
+	iMax := slope * float64(ox.Km) // n·F·g·Vmax·η·A
+	x := float64(i)
+	if x <= 0 {
+		return 0
+	}
+	if x >= 0.99*iMax {
+		x = 0.99 * iMax
+	}
+	return phys.Concentration(x * float64(ox.Km) / (iMax - x))
+}
+
+// invertEffective converts a fitted effective concentration back to a
+// bulk concentration (saturation inversion: C = x·Km/(Km−x)).
+func invertEffective(b *enzyme.Binding, x float64) phys.Concentration {
+	if x <= 0 {
+		return 0
+	}
+	km := float64(b.Km)
+	if x >= 0.99*km {
+		x = 0.99 * km
+	}
+	return phys.Concentration(x * km / (km - x))
+}
+
+// ExploreDesigns runs the full design-space exploration and returns a
+// human-readable summary line per candidate (feasible first) plus the
+// Pareto-front subset.
+func ExploreDesigns(targets []string, opts ...PlatformOption) (all []string, pareto []string, err error) {
+	req := core.Requirements{}
+	for _, t := range targets {
+		req.Targets = append(req.Targets, core.TargetSpec{Species: t})
+	}
+	p := &Platform{}
+	for _, opt := range opts {
+		opt(&req, p)
+	}
+	cands, err := core.Explore(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, c := range cands {
+		all = append(all, c.Summary())
+	}
+	for _, c := range core.ParetoFront(cands) {
+		pareto = append(pareto, c.Summary())
+	}
+	return all, pareto, nil
+}
