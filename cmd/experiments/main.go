@@ -2,9 +2,13 @@
 // evaluation (and the DESIGN.md ablations) and prints the paper-vs-
 // measured comparison — the data behind EXPERIMENTS.md.
 //
+// Experiments run concurrently on a bounded worker pool; every
+// experiment owns its sensors and measurement engines, so the printed
+// numbers are identical at any worker count.
+//
 // Usage:
 //
-//	experiments [-only E3]
+//	experiments [-only E3[,E7,...]] [-workers N] [-list]
 package main
 
 import (
@@ -17,34 +21,41 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment by id (E1..E16)")
+	only := flag.String("only", "", "run a comma-separated subset by id (E1..E16)")
+	workers := flag.Int("workers", 0, "experiment concurrency; 0 means one worker per CPU")
+	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
 
-	if *only != "" {
-		runners := map[string]func() (*experiments.Result, error){
-			"E1": experiments.TableI, "E2": experiments.TableII, "E3": experiments.TableIII,
-			"E4": experiments.Fig1, "E5": experiments.Fig2, "E6": experiments.Fig3,
-			"E7": experiments.Fig4, "E8": experiments.ReadoutRequirements,
-			"E9": experiments.NoiseAblation, "E10": experiments.StructureAblation,
-			"E11": experiments.SweepRateLimit, "E12": experiments.MuxSharing,
-			"E13": experiments.TimeBasedReadout, "E14": experiments.LongTermDrift,
-			"E15": experiments.Interference, "E16": experiments.SensorArrays,
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
-		run, ok := runners[strings.ToUpper(*only)]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (want E1..E14)\n", *only)
-			os.Exit(2)
-		}
-		res, err := run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Print(res)
 		return
 	}
 
-	results, err := experiments.All()
+	var results []*experiments.Result
+	var err error
+	if *only != "" {
+		var ids []string
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			fmt.Fprintf(os.Stderr, "experiments: -only %q names no experiments (want ids like E3,E7)\n", *only)
+			os.Exit(2)
+		}
+		for _, id := range ids {
+			if _, ok := experiments.Lookup(id); !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (see -list)\n", id)
+				os.Exit(2)
+			}
+		}
+		results, err = experiments.Run(ids, *workers)
+	} else {
+		results, err = experiments.RunAll(*workers)
+	}
 	for _, r := range results {
 		fmt.Println(r)
 	}

@@ -50,8 +50,12 @@ func main() {
 
 	if *all {
 		cands, pareto, err := advdiag.ExploreDesigns(names, opts...)
-		if err != nil {
+		if err != nil && len(cands) == 0 {
 			fatal(err)
+		}
+		if err != nil {
+			// Partial failures: the healthy candidates below still stand.
+			fmt.Fprintf(os.Stderr, "platgen: some design points failed to evaluate: %v\n", err)
 		}
 		fmt.Printf("design space: %d candidates\n", len(cands))
 		for _, line := range cands {

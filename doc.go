@@ -30,4 +30,19 @@
 //
 // Everything is deterministic: every stochastic element (thermal and
 // flicker noise) derives from the seed passed at construction.
+//
+// # Concurrency
+//
+// The design-space exploration runs on a bounded worker pool (one
+// worker per CPU by default; see core.ExploreOptions and the
+// WithExploreWorkers platform option). Duplicate structures are priced
+// once via memoization, and results are collected in enumeration order,
+// so the candidate ranking is byte-identical at any worker count. The
+// E1–E16 paper experiments (internal/experiments) likewise run
+// concurrently through their registry's RunAll.
+//
+// The one concurrency rule on the measurement layer: a measure.Engine
+// and its RNG belong to a single goroutine. Concurrent workloads build
+// one engine per goroutine, each with its own seed — engines are cheap
+// and two engines with equal seeds produce bit-identical streams.
 package advdiag

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"advdiag"
 )
@@ -15,9 +16,16 @@ import (
 func main() {
 	targets := []string{"glucose", "lactate", "benzphetamine", "aminopyrine", "cholesterol"}
 
-	all, pareto, err := advdiag.ExploreDesigns(targets)
-	if err != nil {
+	// Exploration fans out over a worker pool; the ranking is the same
+	// at any worker count, so this only changes wall-clock time.
+	all, pareto, err := advdiag.ExploreDesigns(targets,
+		advdiag.WithExploreWorkers(runtime.NumCPU()))
+	if err != nil && len(all) == 0 {
 		log.Fatal(err)
+	}
+	if err != nil {
+		// Partial failures leave the healthy candidates usable.
+		log.Println("some design points failed to evaluate:", err)
 	}
 	fmt.Printf("design space for %v: %d structural candidates\n\n", targets, len(all))
 	for _, line := range all {

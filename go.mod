@@ -1,0 +1,3 @@
+module advdiag
+
+go 1.24

@@ -1,0 +1,27 @@
+package conc
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 37
+		hits := make([]int32, n)
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn must not run for n=0")
+	}
+}

@@ -220,6 +220,8 @@ type Candidate struct {
 	CycleTime float64
 	// Parallel reports whether slots run concurrently.
 	Parallel bool
+	// key caches structuralKey(); see explore.go.
+	key string
 }
 
 // Throughput returns panels per hour.

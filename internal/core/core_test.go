@@ -2,12 +2,49 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
 	"advdiag/internal/enzyme"
 	"advdiag/internal/phys"
 )
+
+// TestExploreParallelSerialEquivalence pins the concurrent explorer's
+// headline guarantee: for the same Requirements, the candidate ranking
+// is identical to the plain serial enumeration (serialExplore in
+// explore_test.go) at any worker count.
+func TestExploreParallelSerialEquivalence(t *testing.T) {
+	reqs := map[string]Requirements{
+		"fig4":      fig4Targets(),
+		"replicas":  {Targets: fig4Targets().Targets, Replicas: 3},
+		"throttled": {Targets: fig4Targets().Targets, SamplePeriod: 120},
+		"single":    {Targets: []TargetSpec{{Species: "cholesterol"}}},
+	}
+	for name, req := range reqs {
+		want, refErrs := serialExplore(req)
+		if len(refErrs) != 0 {
+			t.Fatalf("%s: reference explorer errored: %v", name, refErrs)
+		}
+		for _, workers := range []int{1, 4, runtime.NumCPU()} {
+			got, err := ExploreWith(req, ExploreOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d candidates, serial reference has %d",
+					name, workers, len(got), len(want))
+			}
+			for i := range want {
+				w, g := candidateFingerprint(want[i]), candidateFingerprint(got[i])
+				if w != g {
+					t.Fatalf("%s workers=%d: candidate %d diverges:\nserial:   %s\nparallel: %s",
+						name, workers, i, w, g)
+				}
+			}
+		}
+	}
+}
 
 // fig4Targets is the paper's §III multi-panel: glucose, lactate,
 // glutamate (oxidases), benzphetamine + aminopyrine (CYP2B4), and

@@ -1,42 +1,177 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
 
 	"advdiag/internal/analog"
+	"advdiag/internal/conc"
 	"advdiag/internal/electrode"
 	"advdiag/internal/enzyme"
 	"advdiag/internal/phys"
 	"advdiag/internal/species"
 )
 
+// ExploreOptions tunes the design-space exploration engine. The zero
+// value explores the full space on one worker per available CPU.
+type ExploreOptions struct {
+	// Workers is the number of goroutines evaluating candidates;
+	// values < 1 default to runtime.GOMAXPROCS(0). Regardless of the
+	// worker count the candidate list is byte-identical to a serial
+	// enumeration: results are collected in enumeration order before
+	// deduplication and sorting.
+	Workers int
+	// Budget caps how many enumerated choices are evaluated, taken in
+	// deterministic enumeration order; 0 means the whole space.
+	Budget int
+	// TopK truncates the sorted candidate list to its best K entries;
+	// 0 keeps every candidate.
+	TopK int
+}
+
+// withDefaults resolves the zero-value knobs.
+func (o ExploreOptions) withDefaults() ExploreOptions {
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// ChoiceError records one design point whose evaluation failed. The
+// exploration continues past it; callers get every failure alongside
+// the surviving candidates.
+type ChoiceError struct {
+	// Choice is the offending design point.
+	Choice Choice
+	// Err is the underlying evaluation error.
+	Err error
+}
+
+func (e *ChoiceError) Error() string {
+	return fmt.Sprintf("core: evaluate %v/%v/group=%v: %v",
+		e.Choice.Chambers, e.Choice.Sharing, e.Choice.GroupSameIsoform, e.Err)
+}
+
+func (e *ChoiceError) Unwrap() error { return e.Err }
+
 // Explore enumerates the design space for the given requirements:
 // every probe assignment × isoform grouping × chamber policy ×
 // readout sharing, each evaluated against the feasibility rules and
 // the cost model. Candidates are returned sorted: feasible first, then
-// by cost, area, and panel time.
+// by cost, area, and panel time. Evaluation runs on a worker pool
+// sized to the available CPUs; use ExploreWith to tune it.
 func Explore(req Requirements) ([]*Candidate, error) {
+	return ExploreWith(req, ExploreOptions{})
+}
+
+// ExploreWith is Explore with explicit engine options. When individual
+// choices fail to evaluate, the surviving candidates are still
+// returned, together with every failure joined into the error (each one
+// a *ChoiceError). The returned ordering is independent of
+// opts.Workers.
+func ExploreWith(req Requirements, opts ExploreOptions) ([]*Candidate, error) {
 	req = req.WithDefaults()
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	assignments := enumerateAssays(req.Targets)
-	var out []*Candidate
+	return runExplore(req, enumerateChoices(req, opts.Budget), opts)
+}
+
+// enumerateChoices lists the structural design space in deterministic
+// order: probe assignment × isoform grouping × chamber policy ×
+// readout sharing. budget > 0 stops the enumeration after that many
+// choices — the result is the exact prefix of the unbounded
+// enumeration, without materializing the rest of the space.
+func enumerateChoices(req Requirements, budget int) []Choice {
+	// Each assignment expands into 2 groupings × 3 chambers × 2
+	// sharings, so only ⌈budget/12⌉ assignments can be reached.
+	assignCap := 0
+	if budget > 0 {
+		assignCap = (budget + 11) / 12
+	}
+	assignments := enumerateAssays(req.Targets, assignCap)
+	size := 12 * len(assignments)
+	if budget > 0 && budget < size {
+		size = budget
+	}
+	out := make([]Choice, 0, size)
 	for _, asn := range assignments {
 		for _, group := range []bool{true, false} {
 			for _, chambers := range []ChamberPolicy{SharedChamber, ChamberPerTechnique, ChamberPerElectrode} {
 				for _, sharing := range []ReadoutSharing{SharedMux, DedicatedChains} {
-					choice := Choice{Assays: asn, GroupSameIsoform: group, Chambers: chambers, Sharing: sharing}
-					cand, err := Evaluate(req, choice)
-					if err != nil {
-						return nil, err
+					if budget > 0 && len(out) == budget {
+						return out
 					}
-					out = append(out, cand)
+					out = append(out, Choice{Assays: asn, GroupSameIsoform: group, Chambers: chambers, Sharing: sharing})
 				}
 			}
 		}
+	}
+	return out
+}
+
+// memoEntry holds the one priced candidate for a structural key. The
+// sync.Once guarantees duplicate structures are priced exactly once
+// even when several workers reach the same key together.
+type memoEntry struct {
+	once sync.Once
+	cand *Candidate
+}
+
+// runExplore evaluates the given choices on a bounded worker pool and
+// assembles the deterministic candidate list. req must already carry
+// its defaults; opts.Budget has already been applied by the
+// enumeration, so only Workers and TopK are consumed here.
+func runExplore(req Requirements, choices []Choice, opts ExploreOptions) ([]*Candidate, error) {
+	opts = opts.withDefaults()
+
+	// Slots indexed by enumeration position keep the output ordering
+	// identical to the serial enumeration regardless of worker count.
+	cands := make([]*Candidate, len(choices))
+	fails := make([]error, len(choices))
+	var memo sync.Map // structuralKey → *memoEntry
+
+	evaluate := func(i int) {
+		choice := choices[i]
+		cand, err := planCandidate(req, choice)
+		if err != nil {
+			fails[i] = &ChoiceError{Choice: choice, Err: err}
+			return
+		}
+		key := cand.structuralKey()
+		e, _ := memo.LoadOrStore(key, &memoEntry{})
+		entry := e.(*memoEntry)
+		entry.once.Do(func() {
+			priceCandidate(req, cand)
+			entry.cand = cand
+		})
+		if entry.cand != cand {
+			// Duplicate structure: reuse the priced fields (they are a
+			// deterministic function of the structural key) and keep
+			// only this slot's own Choice. The structural slices are
+			// shared read-only from here on.
+			cp := *entry.cand
+			cp.Choice = choice
+			cand = &cp
+		}
+		cands[i] = cand
+	}
+
+	conc.ForEach(len(choices), opts.Workers, evaluate)
+
+	out := make([]*Candidate, 0, len(choices))
+	var errs []error
+	for i := range choices {
+		if fails[i] != nil {
+			errs = append(errs, fails[i])
+			continue
+		}
+		out = append(out, cands[i])
 	}
 	out = dedupeCandidates(out)
 	sort.SliceStable(out, func(i, j int) bool {
@@ -52,32 +187,50 @@ func Explore(req Requirements) ([]*Candidate, error) {
 		}
 		return a.PanelTime < b.PanelTime
 	})
-	return out, nil
+	if opts.TopK > 0 && len(out) > opts.TopK {
+		out = out[:opts.TopK]
+	}
+	return out, errors.Join(errs...)
 }
 
 // Best returns the cheapest feasible candidate.
 func Best(req Requirements) (*Candidate, error) {
-	cands, err := Explore(req)
-	if err != nil {
-		return nil, err
-	}
+	return BestWith(req, ExploreOptions{})
+}
+
+// BestWith is Best with explicit exploration options. A feasible
+// candidate is returned even when unrelated design points failed to
+// evaluate; the per-choice failures only surface when nothing feasible
+// remains.
+func BestWith(req Requirements, opts ExploreOptions) (*Candidate, error) {
+	cands, err := ExploreWith(req, opts)
 	for _, c := range cands {
 		if c.Feasible {
 			return c, nil
 		}
 	}
+	if err != nil {
+		return nil, err
+	}
 	return nil, fmt.Errorf("core: no feasible platform for the given requirements")
 }
 
 // enumerateAssays builds the cartesian product of per-target probe
-// options.
-func enumerateAssays(targets []TargetSpec) []map[string]enzyme.Assay {
+// options. limit > 0 truncates every intermediate level to limit entries,
+// which preserves the exact prefix of the unbounded product (each
+// level's first limit elements derive only from the previous level's
+// first limit) while keeping memory proportional to limit rather than the
+// full product.
+func enumerateAssays(targets []TargetSpec, limit int) []map[string]enzyme.Assay {
 	result := []map[string]enzyme.Assay{{}}
 	for _, t := range targets {
 		options := enzyme.AssaysFor(t.Species)
 		var next []map[string]enzyme.Assay
 		for _, partial := range result {
 			for _, opt := range options {
+				if limit > 0 && len(next) == limit {
+					break
+				}
 				m := make(map[string]enzyme.Assay, len(partial)+1)
 				for k, v := range partial {
 					m[k] = v
@@ -108,30 +261,66 @@ func dedupeCandidates(cands []*Candidate) []*Candidate {
 	return out
 }
 
+// structuralKey identifies the candidate's structure: everything the
+// pricing phase depends on. The key is computed once and cached; a
+// memo copy inherits the cache, which stays valid because copies share
+// the same structure by construction.
 func (c *Candidate) structuralKey() string {
-	key := fmt.Sprintf("%v|%v|", c.Choice.Sharing, c.Parallel)
-	for _, e := range c.Electrodes {
-		key += e.Name + ":"
-		for _, a := range e.Assays {
-			key += a.Probe + "/" + a.Target.Name + ","
-		}
-		key += "@" + c.ChamberOf[e.Name] + ";"
+	if c.key != "" {
+		return c.key
 	}
-	return key
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v|%v|", c.Choice.Sharing, c.Parallel)
+	for _, e := range c.Electrodes {
+		b.WriteString(e.Name)
+		b.WriteByte(':')
+		for _, a := range e.Assays {
+			b.WriteString(a.Probe)
+			b.WriteByte('/')
+			b.WriteString(a.Target.Name)
+			b.WriteByte(',')
+		}
+		b.WriteByte('@')
+		b.WriteString(c.ChamberOf[e.Name])
+		b.WriteByte(';')
+	}
+	c.key = b.String()
+	return c.key
 }
 
 // Evaluate scores one structural choice against the requirements.
 func Evaluate(req Requirements, choice Choice) (*Candidate, error) {
 	req = req.WithDefaults()
-	cand := &Candidate{Choice: choice, ChamberOf: map[string]string{}, Feasible: true}
+	cand, err := planCandidate(req, choice)
+	if err != nil {
+		return nil, err
+	}
+	priceCandidate(req, cand)
+	return cand, nil
+}
 
-	// --- Electrode planning -------------------------------------------
+// planCandidate runs the cheap structural phase of an evaluation:
+// electrode planning, chamber partitioning, and the parallelism flag —
+// everything structuralKey depends on. req must already carry its
+// defaults.
+func planCandidate(req Requirements, choice Choice) (*Candidate, error) {
+	cand := &Candidate{Choice: choice, ChamberOf: map[string]string{}, Feasible: true}
 	plans, err := planElectrodes(req, choice)
 	if err != nil {
 		return nil, err
 	}
 	cand.Electrodes = plans
+	assignChambers(cand)
+	// Parallel operation needs isolated cells and dedicated electronics.
+	cand.Parallel = choice.Chambers == ChamberPerElectrode && choice.Sharing == DedicatedChains
+	return cand, nil
+}
 
+// priceCandidate runs the expensive phase on a planned candidate: the
+// feasibility rules, readout selection, timing and the cost model. It
+// is a deterministic function of (req, structural plan), which is what
+// makes memoizing it by structuralKey sound.
+func priceCandidate(req Requirements, cand *Candidate) {
 	// --- Rule: CV peak separation on grouped electrodes ----------------
 	for i := range cand.Electrodes {
 		p := &cand.Electrodes[i]
@@ -211,9 +400,6 @@ func Evaluate(req Requirements, choice Choice) (*Candidate, error) {
 		cand.fail("sweep-rate", err.Error())
 	}
 
-	// --- Chamber partitioning ------------------------------------------
-	assignChambers(cand)
-
 	// --- Rule: co-chamber oxidase cross-talk ----------------------------
 	checkCrosstalk(req, cand)
 
@@ -231,7 +417,6 @@ func Evaluate(req Requirements, choice Choice) (*Candidate, error) {
 
 	// --- Cost -------------------------------------------------------------
 	computeBudget(cand)
-	return cand, nil
 }
 
 func (c *Candidate) fail(rule, detail string) {
@@ -279,7 +464,10 @@ func planElectrodeSet(req Requirements, choice Choice) ([]ElectrodePlan, error) 
 		if used[i] {
 			continue
 		}
-		a := choice.Assays[t.Species]
+		a, ok := choice.Assays[t.Species]
+		if !ok || (a.Oxidase == nil && a.CYP == nil) {
+			return nil, fmt.Errorf("core: choice assigns no assay to target %q", t.Species)
+		}
 		nano := electrode.Bare
 		if a.Perf().NanostructureGain > 1 {
 			nano = electrode.CNT
@@ -426,10 +614,9 @@ func checkInterferents(req Requirements, c *Candidate) {
 	}
 }
 
-// computeTiming fills PanelTime/CycleTime/Parallel.
+// computeTiming fills PanelTime/CycleTime from the Parallel flag set
+// during planning.
 func computeTiming(req Requirements, c *Candidate) {
-	// Parallel operation needs isolated cells and dedicated electronics.
-	c.Parallel = c.Choice.Chambers == ChamberPerElectrode && c.Choice.Sharing == DedicatedChains
 	if c.Parallel {
 		maxT := 0.0
 		for _, p := range c.Electrodes {

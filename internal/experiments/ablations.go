@@ -211,22 +211,3 @@ func MuxSharing() (*Result, error) {
 	}
 	return res, nil
 }
-
-// All runs every experiment in DESIGN.md order.
-func All() ([]*Result, error) {
-	runs := []func() (*Result, error){
-		TableI, TableII, TableIII,
-		Fig1, Fig2, Fig3, Fig4,
-		ReadoutRequirements, NoiseAblation, StructureAblation, SweepRateLimit, MuxSharing,
-		TimeBasedReadout, LongTermDrift, Interference, SensorArrays,
-	}
-	var out []*Result
-	for _, run := range runs {
-		r, err := run()
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
-}

@@ -64,7 +64,9 @@ func SensorArrays() (*Result, error) {
 			Targets:  []core.TargetSpec{{Species: "glucose"}, {Species: "lactate"}},
 			Replicas: k,
 		}
-		best, err := core.Best(req)
+		// One explorer worker: the experiment runner's pool already
+		// saturates the CPUs, so a nested fan-out only adds contention.
+		best, err := core.BestWith(req, core.ExploreOptions{Workers: 1})
 		if err != nil {
 			return nil, err
 		}

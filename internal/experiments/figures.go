@@ -104,7 +104,10 @@ func Fig1() (*Result, error) {
 // chain (vgen → potentiostat → cell → mux → readout → ADC).
 func Fig2() (*Result, error) {
 	res := &Result{ID: "E5", Title: "Fig. 2 — biosensing platform building blocks"}
-	p, err := advdiag.DesignPlatform([]string{"glucose", "benzphetamine"}, advdiag.WithPlatformSeed(3))
+	// One explorer worker: the experiment runner's pool already
+	// saturates the CPUs, so a nested fan-out only adds contention.
+	p, err := advdiag.DesignPlatform([]string{"glucose", "benzphetamine"},
+		advdiag.WithPlatformSeed(3), advdiag.WithExploreWorkers(1))
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +171,8 @@ func Fig3() (*Result, error) {
 func Fig4() (*Result, error) {
 	res := &Result{ID: "E7", Title: "Fig. 4 — five-WE multi-panel platform"}
 	targets := []string{"glucose", "lactate", "glutamate", "benzphetamine", "aminopyrine", "cholesterol"}
-	p, err := advdiag.DesignPlatform(targets, advdiag.WithPlatformSeed(9))
+	p, err := advdiag.DesignPlatform(targets,
+		advdiag.WithPlatformSeed(9), advdiag.WithExploreWorkers(1))
 	if err != nil {
 		return nil, err
 	}

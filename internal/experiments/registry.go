@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"advdiag/internal/conc"
+)
+
+// Experiment is one registered reproduction run (E1–E16).
+type Experiment struct {
+	// ID is the DESIGN.md experiment id ("E1"...).
+	ID string
+	// Title names the reproduced paper artifact.
+	Title string
+	// Run executes the experiment. Every experiment builds its own
+	// sensors, cells and measure.Engine with a fixed seed, so runs are
+	// independent, deterministic, and safe to execute concurrently.
+	Run func() (*Result, error)
+}
+
+// registry lists every experiment in DESIGN.md order. It is populated
+// once here and read-only afterwards, so concurrent runners may share
+// it freely.
+var registry = []Experiment{
+	{"E1", "Table I — oxidase probes and applied potentials", TableI},
+	{"E2", "Table II — CYP targets and reduction potentials", TableII},
+	{"E3", "Table III — sensitivity / LOD / linear range", TableIII},
+	{"E4", "Fig. 1 — potentiostat and transimpedance readout", Fig1},
+	{"E5", "Fig. 2 — biosensing platform building blocks", Fig2},
+	{"E6", "Fig. 3 — glucose biosensor time response", Fig3},
+	{"E7", "Fig. 4 — five-WE multi-panel platform", Fig4},
+	{"E8", "§II-C readout requirements (range / resolution)", ReadoutRequirements},
+	{"E9", "§II-C noise techniques — ablation", NoiseAblation},
+	{"E10", "§II-A sensor structures — cross-talk vs cost", StructureAblation},
+	{"E11", "§II-C sweep-rate limit — peak-position error vs rate", SweepRateLimit},
+	{"E12", "§III multiplexing — shared mux vs dedicated chains", MuxSharing},
+	{"E13", "current-to-frequency (time-based) readout", TimeBasedReadout},
+	{"E14", "long-term drift, stabilization and recalibration", LongTermDrift},
+	{"E15", "enzymatic selectivity and direct-oxidizer interference", Interference},
+	{"E16", "replicate sensor arrays — precision vs cost", SensorArrays},
+}
+
+// Registry returns the experiment table in DESIGN.md order.
+func Registry() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup finds an experiment by its id (case-insensitive).
+func Lookup(id string) (Experiment, bool) {
+	id = strings.ToUpper(strings.TrimSpace(id))
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes the named experiments on a bounded worker pool and
+// returns their results in the requested order. workers < 1 defaults
+// to runtime.GOMAXPROCS(0). A failing experiment does not stop the
+// others: its slot is dropped from the results and its error (wrapped
+// with the experiment id) is joined into the returned error.
+func Run(ids []string, workers int) ([]*Result, error) {
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown id %q (want E1..E%d)", id, len(registry))
+		}
+		exps[i] = e
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Slots indexed by request position keep the output order stable
+	// whatever the completion order.
+	results := make([]*Result, len(exps))
+	fails := make([]error, len(exps))
+	conc.ForEach(len(exps), workers, func(i int) {
+		r, err := exps[i].Run()
+		if err != nil {
+			fails[i] = fmt.Errorf("%s: %w", exps[i].ID, err)
+			return
+		}
+		results[i] = r
+	})
+
+	out := make([]*Result, 0, len(exps))
+	var errs []error
+	for i := range exps {
+		if fails[i] != nil {
+			errs = append(errs, fails[i])
+			continue
+		}
+		out = append(out, results[i])
+	}
+	return out, errors.Join(errs...)
+}
+
+// RunAll executes every registered experiment concurrently (E1–E16)
+// and returns the results in DESIGN.md order. workers < 1 defaults to
+// runtime.GOMAXPROCS(0).
+func RunAll(workers int) ([]*Result, error) {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	return Run(ids, workers)
+}

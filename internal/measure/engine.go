@@ -3,6 +3,7 @@ package measure
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"advdiag/internal/analog"
 	"advdiag/internal/cell"
@@ -18,12 +19,25 @@ import (
 
 // Engine executes measurement protocols on one cell. It owns the random
 // source so repeated runs draw fresh but reproducible noise.
+//
+// Concurrency contract: an Engine (and the *mathx.RNG it owns) belongs
+// to exactly one goroutine. Concurrent runners — the parallel
+// design-space explorer, the experiments.RunAll pool — must build one
+// Engine per goroutine, each with its own seed, rather than share one;
+// NewEngine is cheap. Driving the same Engine from two goroutines
+// would interleave the RNG stream (destroying reproducibility even
+// where it doesn't corrupt state), so the protocol entry points detect
+// concurrent misuse and panic.
 type Engine struct {
 	Cell *cell.Cell
 	rng  *mathx.RNG
+	// busy flags an in-flight protocol run; see acquire.
+	busy atomic.Bool
 }
 
-// NewEngine builds an engine over c with a deterministic seed.
+// NewEngine builds an engine over c with a deterministic seed. Two
+// engines over the same cell with the same seed produce bit-identical
+// measurement streams.
 func NewEngine(c *cell.Cell, seed uint64) (*Engine, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -32,8 +46,20 @@ func NewEngine(c *cell.Cell, seed uint64) (*Engine, error) {
 }
 
 // RNG exposes the engine's random source (for chains that need split
-// noise streams).
+// noise streams). The returned RNG is part of the engine's
+// single-goroutine state — do not hand it to another goroutine.
 func (e *Engine) RNG() *mathx.RNG { return e.rng }
+
+// acquire marks one protocol run in flight and returns its release. It
+// enforces the single-goroutine ownership contract: two overlapping
+// runs mean two goroutines share this engine, which silently
+// interleaves the noise stream, so fail loudly instead.
+func (e *Engine) acquire() func() {
+	if !e.busy.CompareAndSwap(false, true) {
+		panic("measure: Engine driven from two goroutines at once; build one Engine per goroutine (NewEngine is cheap)")
+	}
+	return func() { e.busy.Store(false) }
+}
 
 // CAResult is the outcome of one chronoamperometric run.
 type CAResult struct {
@@ -90,6 +116,7 @@ func (r *CAResult) StepCurrent() phys.Current {
 // blank noise and direct-oxidizer interferents add to the current; the
 // chain multiplexes, amplifies, band-limits and quantizes the result.
 func (e *Engine) RunCA(weName string, chain *analog.Chain, proto Chronoamperometry) (*CAResult, error) {
+	defer e.acquire()()
 	proto = proto.WithDefaults()
 	if err := proto.Validate(); err != nil {
 		return nil, err
@@ -275,6 +302,7 @@ type CVResult struct {
 // layer contributes C·dE/dt; blank noise adds on top; the chain
 // digitizes the sum.
 func (e *Engine) RunCV(weName string, chain *analog.Chain, proto CyclicVoltammetry) (*CVResult, error) {
+	defer e.acquire()()
 	proto = proto.WithDefaults()
 	if err := proto.Validate(); err != nil {
 		return nil, err

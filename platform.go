@@ -16,8 +16,9 @@ import (
 // Platform is a synthesized multi-target sensing platform: the outcome
 // of the paper's design-space exploration, ready to run full panels.
 type Platform struct {
-	inner *core.Platform
-	seed  uint64
+	inner   *core.Platform
+	seed    uint64
+	explore core.ExploreOptions
 }
 
 // PlatformOption customizes platform design.
@@ -46,6 +47,20 @@ func WithPlatformSeed(seed uint64) PlatformOption {
 	return func(_ *core.Requirements, p *Platform) { p.seed = seed }
 }
 
+// WithExploreWorkers sets the design-space exploration concurrency; 0
+// (the default) uses one worker per available CPU. The chosen design
+// is identical at any worker count — only the wall-clock time changes.
+func WithExploreWorkers(n int) PlatformOption {
+	return func(_ *core.Requirements, p *Platform) { p.explore.Workers = n }
+}
+
+// WithExploreBudget caps how many design points the exploration
+// evaluates (in deterministic enumeration order); 0 explores the whole
+// space.
+func WithExploreBudget(n int) PlatformOption {
+	return func(_ *core.Requirements, p *Platform) { p.explore.Budget = n }
+}
+
 // WithReplicas replicates the full sensor set k times (the paper's §II
 // sensor array): replicate readings are averaged, cutting uncorrelated
 // blank noise by √k at the cost of k× electrode area and panel time.
@@ -65,7 +80,7 @@ func DesignPlatform(targets []string, opts ...PlatformOption) (*Platform, error)
 	for _, opt := range opts {
 		opt(&req, p)
 	}
-	best, err := core.Best(req)
+	best, err := core.BestWith(req, p.explore)
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +363,11 @@ func invertEffective(b *enzyme.Binding, x float64) phys.Concentration {
 
 // ExploreDesigns runs the full design-space exploration and returns a
 // human-readable summary line per candidate (feasible first) plus the
-// Pareto-front subset.
+// Pareto-front subset. Individual design points that fail to evaluate
+// do not abort the exploration: the surviving candidates are returned
+// together with the joined per-choice failures (each a
+// *core.ChoiceError), so callers with a non-nil error still get every
+// healthy design.
 func ExploreDesigns(targets []string, opts ...PlatformOption) (all []string, pareto []string, err error) {
 	req := core.Requirements{}
 	for _, t := range targets {
@@ -358,15 +377,12 @@ func ExploreDesigns(targets []string, opts ...PlatformOption) (all []string, par
 	for _, opt := range opts {
 		opt(&req, p)
 	}
-	cands, err := core.Explore(req)
-	if err != nil {
-		return nil, nil, err
-	}
+	cands, err := core.ExploreWith(req, p.explore)
 	for _, c := range cands {
 		all = append(all, c.Summary())
 	}
 	for _, c := range core.ParetoFront(cands) {
 		pareto = append(pareto, c.Summary())
 	}
-	return all, pareto, nil
+	return all, pareto, err
 }
