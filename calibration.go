@@ -1,0 +1,200 @@
+package advdiag
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"advdiag/internal/core"
+	"advdiag/internal/enzyme"
+	"advdiag/internal/measure"
+	"advdiag/internal/phys"
+	"advdiag/internal/species"
+)
+
+// platformElectrodeArea is the working-electrode area of the
+// synthesized platform (m²), shared by every calibration inversion.
+const platformElectrodeArea = 0.23e-6
+
+// weCalib is the per-electrode calibration state a panel run needs to
+// turn raw currents into concentration estimates. All of it is
+// deterministic and noise-free, so one copy can serve any number of
+// concurrent panel runs read-only:
+//
+//   - chronoamperometry: the Michaelis–Menten inversion constants of
+//     the probe's factory calibration (slope, saturation current, Km);
+//   - cyclic voltammetry: the CV window bracketing the electrode's
+//     peaks, the unit-concentration voltammetric templates (each one a
+//     full diffusion simulation — the expensive part RunPanel used to
+//     re-derive on every call), their cathodic unit peak heights, and
+//     the film-background nuisance columns on the template grid.
+type weCalib struct {
+	// Chronoamperometry inversion constants.
+	caIMax float64 // saturation current, A
+	caKm   float64 // Michaelis constant, mol/m³
+
+	// Cyclic voltammetry calibration.
+	proto     measure.CyclicVoltammetry
+	templates map[string][]float64
+	unitPeak  map[string]float64
+	nuisances [][]float64
+}
+
+// invertCA converts a baseline-subtracted steady current into a bulk
+// concentration through the cached Michaelis–Menten inversion
+// (C = I·Km/(I_max − I), clamped below saturation).
+func (c *weCalib) invertCA(i phys.Current) phys.Concentration {
+	x := float64(i)
+	if x <= 0 {
+		return 0
+	}
+	if x >= 0.99*c.caIMax {
+		x = 0.99 * c.caIMax
+	}
+	return phys.Concentration(x * c.caKm / (c.caIMax - x))
+}
+
+// calibCache memoizes weCalib entries keyed by sensor construction plus
+// the platform noise seed. Replicated electrodes (WithReplicas) share a
+// construction and therefore one entry. The cache belongs to one
+// Platform; it is safe for concurrent use and counts hits and misses so
+// the Lab can report its effectiveness.
+type calibCache struct {
+	p *Platform
+
+	mu      sync.Mutex
+	entries map[string]*weCalib
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newCalibCache(p *Platform) *calibCache {
+	return &calibCache{p: p, entries: map[string]*weCalib{}}
+}
+
+// key derives the cache key from everything the calibration state
+// depends on: surface treatment, technique, the assay set, and the
+// platform seed (part of the platform's identity; entries never leak
+// across differently-seeded platforms even if caches were ever shared).
+func (cc *calibCache) key(ep core.ElectrodePlan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v|%v|seed=%d", ep.Nano, ep.Technique, cc.p.seed)
+	for _, a := range ep.Assays {
+		fmt.Fprintf(&b, "|%s:%s", a.Target.Name, a.Probe)
+	}
+	return b.String()
+}
+
+// forElectrode returns the calibration state for one planned electrode,
+// computing and caching it on first use.
+func (cc *calibCache) forElectrode(ep core.ElectrodePlan) (*weCalib, error) {
+	k := cc.key(ep)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if c, ok := cc.entries[k]; ok {
+		cc.hits.Add(1)
+		return c, nil
+	}
+	cc.misses.Add(1)
+	c, err := cc.compute(ep)
+	if err != nil {
+		return nil, err
+	}
+	cc.entries[k] = c
+	return c, nil
+}
+
+// compute derives the calibration state from the platform design. For
+// voltammetric electrodes this runs the unit-concentration diffusion
+// simulations (measure.CVTemplates) once, over a throwaway buffer-only
+// cell — the templates depend only on the electrode construction, not
+// on any sample.
+func (cc *calibCache) compute(ep core.ElectrodePlan) (*weCalib, error) {
+	c := &weCalib{}
+	switch ep.Technique {
+	case enzyme.Chronoamperometry:
+		ox := ep.Assays[0].Oxidase
+		slope := float64(ox.SensitivityAt(ox.Applied, ep.Nano.Gain())) * platformElectrodeArea
+		c.caIMax = slope * float64(ox.Km)
+		c.caKm = float64(ox.Km)
+	case enzyme.CyclicVoltammetry:
+		var peaks []phys.Voltage
+		for _, a := range ep.Assays {
+			peaks = append(peaks, a.Binding.PeakPotential)
+		}
+		start, vertex := measure.CVWindowFor(peaks...)
+		c.proto = measure.CyclicVoltammetry{Start: start, Vertex: vertex}
+		blank, err := cc.p.inner.Instantiate(nil)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := measure.NewEngine(blank, cc.p.seed)
+		if err != nil {
+			return nil, err
+		}
+		grid, templates, err := eng.CVTemplates(ep.Name, c.proto)
+		if err != nil {
+			return nil, err
+		}
+		c.templates = templates
+		c.unitPeak = make(map[string]float64, len(templates))
+		for name, tpl := range templates {
+			c.unitPeak[name] = unitPeakHeight(tpl)
+		}
+		c.nuisances = filmNuisances(grid.X, ep.Assays[0].CYP)
+	default:
+		return nil, fmt.Errorf("advdiag: electrode %s has unsupported technique %v", ep.Name, ep.Technique)
+	}
+	return c, nil
+}
+
+// warm precomputes every electrode's calibration state (the Lab calls
+// this once at construction so the serving path only ever hits).
+func (cc *calibCache) warm() error {
+	for _, ep := range cc.p.inner.Candidate.Electrodes {
+		if ep.Blank {
+			continue
+		}
+		if _, err := cc.forElectrode(ep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// counts returns the cache hit/miss counters.
+func (cc *calibCache) counts() (hits, misses uint64) {
+	return cc.hits.Load(), cc.misses.Load()
+}
+
+// MaxSampleConcentrationMM bounds accepted sample concentrations. Pure
+// water is 5.5e4 mM, so no aqueous sample can reach this; the bound
+// also keeps extreme float inputs from overflowing the simulation into
+// NaN estimates behind a nil error.
+const MaxSampleConcentrationMM = 1e5
+
+// validateSample rejects sample maps no real fluidics could deliver:
+// non-finite, negative, or unphysically large concentrations and
+// species the registry does not know. Public panel entry points
+// (Platform.RunPanel, the Lab) return these as errors rather than
+// feeding them to the simulation.
+func validateSample(sample map[string]float64) error {
+	for name, mm := range sample {
+		if math.IsNaN(mm) || math.IsInf(mm, 0) {
+			return fmt.Errorf("advdiag: sample[%q] = %g is not a finite concentration", name, mm)
+		}
+		if mm < 0 {
+			return fmt.Errorf("advdiag: sample[%q] = %g mM is negative", name, mm)
+		}
+		if mm > MaxSampleConcentrationMM {
+			return fmt.Errorf("advdiag: sample[%q] = %g mM exceeds the %g mM physical bound", name, mm, float64(MaxSampleConcentrationMM))
+		}
+		if _, err := species.Lookup(name); err != nil {
+			return fmt.Errorf("advdiag: sample names unknown species %q", name)
+		}
+	}
+	return nil
+}

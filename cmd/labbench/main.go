@@ -1,0 +1,188 @@
+// Command labbench load-tests the Lab service layer: it designs the
+// paper's Fig. 4 six-target platform once, generates a deterministic
+// cohort of patient samples, and sweeps worker counts (and optionally
+// patient counts), printing a panels-per-second table with the speedup
+// over one worker and the calibration-cache hit rate. It also verifies
+// that every worker count produced byte-identical results.
+//
+// Examples:
+//
+//	labbench                         # 64 patients, workers 1,2,4,8
+//	labbench -patients 256 -workers 1,4,16
+//	labbench -quick                  # CI smoke: 6 patients, workers 1,2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"advdiag"
+	"advdiag/internal/mathx"
+)
+
+// fig4Targets is the paper's §III demonstrator panel.
+var fig4Targets = []string{
+	"glucose", "lactate", "glutamate",
+	"benzphetamine", "aminopyrine", "cholesterol",
+}
+
+// baselineMM centers the random patient cohort on physiologic values.
+var baselineMM = map[string]float64{
+	"glucose":       2.0,
+	"lactate":       1.0,
+	"glutamate":     1.0,
+	"benzphetamine": 0.8,
+	"aminopyrine":   4.0,
+	"cholesterol":   0.05,
+}
+
+type config struct {
+	targets  []string
+	patients int
+	workers  []int
+	seed     uint64
+}
+
+// parseWorkers turns "1,2,4,8" into a slice.
+func parseWorkers(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("labbench: bad worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("labbench: empty worker list")
+	}
+	return out, nil
+}
+
+// cohort generates a deterministic patient cohort: every concentration
+// is the physiologic baseline scaled by a log-uniform factor in
+// [0.5, 2), drawn from a seeded stream.
+func cohort(targets []string, n int, seed uint64) []advdiag.Sample {
+	rng := mathx.NewRNG(seed)
+	out := make([]advdiag.Sample, n)
+	for i := range out {
+		concs := make(map[string]float64, len(targets))
+		for _, t := range targets {
+			base := baselineMM[t]
+			if base == 0 {
+				base = 1
+			}
+			concs[t] = base * (0.5 + 1.5*rng.Float64())
+		}
+		out[i] = advdiag.Sample{ID: fmt.Sprintf("patient-%03d", i+1), Concentrations: concs}
+	}
+	return out
+}
+
+// batchFingerprint folds every outcome's fingerprint (xor-rotate keeps
+// order sensitivity) so two sweeps can be compared cheaply.
+func batchFingerprint(outcomes []advdiag.PanelOutcome) (uint64, error) {
+	var h uint64
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return 0, fmt.Errorf("%s: %w", o.ID, o.Err)
+		}
+		h = (h<<7 | h>>57) ^ o.Result.Fingerprint()
+	}
+	return h, nil
+}
+
+// run executes the sweep and writes the report to w.
+func run(w io.Writer, cfg config) error {
+	fmt.Fprintf(w, "designing %d-target platform (%s)...\n", len(cfg.targets), strings.Join(cfg.targets, ", "))
+	platform, err := advdiag.DesignPlatform(cfg.targets, advdiag.WithPlatformSeed(cfg.seed))
+	if err != nil {
+		return err
+	}
+	samples := cohort(cfg.targets, cfg.patients, cfg.seed)
+	fmt.Fprintf(w, "cohort: %d patients; sweep workers %v\n\n", cfg.patients, cfg.workers)
+	fmt.Fprintf(w, "%8s %10s %12s %9s %11s\n", "workers", "wall", "panels/sec", "speedup", "cache hit")
+
+	var base float64
+	var fp uint64
+	var last *advdiag.Lab
+	for i, workers := range cfg.workers {
+		lab, err := advdiag.NewLab(platform, advdiag.WithLabWorkers(workers))
+		if err != nil {
+			return err
+		}
+		last = lab
+		// The cache counters are cumulative per platform; snapshot
+		// around the run so the row shows this run's hit rate.
+		before := lab.Stats()
+		start := time.Now()
+		outcomes := lab.RunPanels(samples)
+		wall := time.Since(start).Seconds()
+		got, err := batchFingerprint(outcomes)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			fp = got
+		} else if got != fp {
+			return fmt.Errorf("labbench: results at %d workers differ from %d workers (fingerprint %x vs %x)",
+				workers, cfg.workers[0], got, fp)
+		}
+		rate := float64(cfg.patients) / wall
+		if i == 0 {
+			base = rate
+		}
+		after := lab.Stats()
+		hits := after.CacheHits - before.CacheHits
+		lookups := hits + after.CacheMisses - before.CacheMisses
+		hitRate := 0.0
+		if lookups > 0 {
+			hitRate = float64(hits) / float64(lookups)
+		}
+		fmt.Fprintf(w, "%8d %9.2fs %12.1f %8.2fx %10.0f%%\n",
+			workers, wall, rate, rate/base, 100*hitRate)
+	}
+
+	st := last.Stats()
+	fmt.Fprintf(w, "\nresults byte-identical across all worker counts (fingerprint %016x)\n", fp)
+	fmt.Fprintf(w, "calibration cache: %d hits / %d misses over the whole sweep\n", st.CacheHits, st.CacheMisses)
+	fmt.Fprintf(w, "instrument schedule: panel %.0fs, cycle %.0fs, ceiling %.1f panels/h\n",
+		st.PanelSeconds, st.CycleSeconds, st.InstrumentPanelsPerHour)
+	return nil
+}
+
+func main() {
+	var (
+		patients = flag.Int("patients", 64, "number of patient samples in the cohort")
+		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+		seed     = flag.Uint64("seed", 9, "platform and cohort seed")
+		quick    = flag.Bool("quick", false, "CI smoke: 6 patients, workers 1,2")
+	)
+	flag.Parse()
+
+	cfg := config{targets: fig4Targets, patients: *patients, seed: *seed}
+	var err error
+	cfg.workers, err = parseWorkers(*workers)
+	if err != nil {
+		fatal(err)
+	}
+	if *quick {
+		cfg.patients, cfg.workers = 6, []int{1, 2}
+	}
+	if cfg.patients < 1 {
+		fatal(fmt.Errorf("labbench: need at least one patient"))
+	}
+	if err := run(os.Stdout, cfg); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "labbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseWorkers(t *testing.T) {
+	ws, err := parseWorkers("1, 2,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 || ws[0] != 1 || ws[1] != 2 || ws[2] != 8 {
+		t.Fatalf("parsed %v", ws)
+	}
+	for _, bad := range []string{"", "0", "-2", "x", "1,,2"} {
+		if _, err := parseWorkers(bad); err == nil {
+			t.Errorf("%q must fail", bad)
+		}
+	}
+}
+
+func TestCohortIsDeterministic(t *testing.T) {
+	a := cohort(fig4Targets, 5, 42)
+	b := cohort(fig4Targets, 5, 42)
+	for i := range a {
+		for _, tgt := range fig4Targets {
+			if a[i].Concentrations[tgt] != b[i].Concentrations[tgt] {
+				t.Fatalf("sample %d target %s differs", i, tgt)
+			}
+			if a[i].Concentrations[tgt] <= 0 {
+				t.Fatalf("sample %d target %s non-positive", i, tgt)
+			}
+		}
+	}
+	if cohort(fig4Targets, 5, 43)[0].Concentrations["glucose"] == a[0].Concentrations["glucose"] {
+		t.Fatal("different seeds must give different cohorts")
+	}
+}
+
+// TestRunQuickSweep exercises the full bench end to end on a small
+// two-target platform (fast) and checks the report shape, including
+// the byte-identity verification across worker counts.
+func TestRunQuickSweep(t *testing.T) {
+	var b strings.Builder
+	cfg := config{
+		targets:  []string{"glucose", "benzphetamine"},
+		patients: 3,
+		workers:  []int{1, 2},
+		seed:     7,
+	}
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"panels/sec", "byte-identical", "calibration cache", "panels/h"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -24,6 +24,13 @@
 //   - Explore: the raw design-space exploration, returning every scored
 //     candidate and the area/power/latency Pareto front.
 //
+//   - Lab: the run-time service over a designed Platform. It caches the
+//     per-electrode calibration state once (keyed by sensor construction
+//     and seed) and executes panels concurrently — RunPanels for
+//     batches, Submit/Results for streams — with deterministic
+//     per-sample seeding, per-panel timing from the acquisition
+//     schedule, and aggregate throughput/cache statistics.
+//
 // All public values use the paper's units: mM for concentrations, mV for
 // potentials, µA for currents, µA/(mM·cm²) for sensitivities, seconds
 // for time. The internal simulator works in SI.
@@ -44,5 +51,8 @@
 // The one concurrency rule on the measurement layer: a measure.Engine
 // and its RNG belong to a single goroutine. Concurrent workloads build
 // one engine per goroutine, each with its own seed — engines are cheap
-// and two engines with equal seeds produce bit-identical streams.
+// and two engines with equal seeds produce bit-identical streams. The
+// Lab applies the rule at run time: every panel execution builds its
+// own engine, seeded from the sample index, so batch and streaming
+// results are byte-identical at any worker count.
 package advdiag

@@ -1,0 +1,104 @@
+package advdiag_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"advdiag"
+)
+
+// TestMonitorErrorPaths covers every documented failure mode of
+// Sensor.Monitor: wrong technique, non-positive duration, and an empty
+// injection list.
+func TestMonitorErrorPaths(t *testing.T) {
+	cv, err := advdiag.NewSensor("benzphetamine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cv.Monitor(60, advdiag.InjectionEvent{AtSeconds: 10, DeltaMM: 1}); err == nil {
+		t.Fatal("monitoring a CV (non-oxidase) sensor must fail")
+	}
+
+	ca, err := advdiag.NewSensor("glucose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []float64{0, -5} {
+		if _, err := ca.Monitor(d, advdiag.InjectionEvent{AtSeconds: 1, DeltaMM: 1}); err == nil {
+			t.Fatalf("duration %g must fail", d)
+		}
+	}
+	if _, err := ca.Monitor(60); err == nil {
+		t.Fatal("monitoring without injections must fail")
+	}
+}
+
+// TestDesignPlatformErrorPaths: the design entry point must reject an
+// empty target list and unknown targets with errors, not panics or
+// degenerate platforms.
+func TestDesignPlatformErrorPaths(t *testing.T) {
+	if _, err := advdiag.DesignPlatform(nil); err == nil {
+		t.Fatal("nil target list must fail")
+	}
+	if _, err := advdiag.DesignPlatform([]string{}); err == nil {
+		t.Fatal("empty target list must fail")
+	}
+	if _, err := advdiag.DesignPlatform([]string{"unobtainium"}); err == nil {
+		t.Fatal("unknown target must fail")
+	}
+	if _, err := advdiag.DesignPlatform([]string{"glucose", "unobtainium"}); err == nil {
+		t.Fatal("one unknown target must fail the whole design")
+	}
+}
+
+// TestRunPanelRejectsInvalidSamples pins the validation contract shared
+// by RunPanel and the Lab: non-finite, negative, or unregistered
+// concentrations are errors before any simulation runs.
+func TestRunPanelRejectsInvalidSamples(t *testing.T) {
+	p, err := advdiag.DesignPlatform([]string{"glucose"}, advdiag.WithPlatformSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]map[string]float64{
+		"NaN":        {"glucose": math.NaN()},
+		"+Inf":       {"glucose": math.Inf(1)},
+		"-Inf":       {"glucose": math.Inf(-1)},
+		"negative":   {"glucose": -0.5},
+		"unknown":    {"glucose": 1, "unobtainium": 2},
+		"unphysical": {"glucose": 2 * advdiag.MaxSampleConcentrationMM},
+	}
+	for name, sample := range cases {
+		if _, err := p.RunPanel(sample); err == nil {
+			t.Errorf("%s sample must fail", name)
+		}
+	}
+	// The same contract through the Lab: the failure is per-sample.
+	lab, err := advdiag.NewLab(p, advdiag.WithLabWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := lab.RunPanels([]advdiag.Sample{
+		{ID: "good", Concentrations: map[string]float64{"glucose": 2}},
+		{ID: "bad", Concentrations: map[string]float64{"glucose": math.NaN()}},
+	})
+	if outs[0].Err != nil {
+		t.Fatalf("good sample failed: %v", outs[0].Err)
+	}
+	if outs[1].Err == nil || !strings.Contains(outs[1].Err.Error(), "finite") {
+		t.Fatalf("bad sample err = %v", outs[1].Err)
+	}
+}
+
+// TestRunPanelAcceptsInterferents: registered non-target species
+// (dopamine is the paper's §III caveat) are valid sample constituents,
+// not validation errors.
+func TestRunPanelAcceptsInterferents(t *testing.T) {
+	p, err := advdiag.DesignPlatform([]string{"glucose"}, advdiag.WithPlatformSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunPanel(map[string]float64{"glucose": 2, "dopamine": 0.05}); err != nil {
+		t.Fatalf("dopamine-spiked sample must run: %v", err)
+	}
+}

@@ -1,7 +1,8 @@
-// Multipanel: the paper's §III demonstrator (Fig. 4) end to end — design
-// the five-working-electrode platform for six targets, inspect the
-// synthesized structure and schedule, and run a full multiplexed panel
-// on a simulated patient sample.
+// Multipanel: the paper's §III demonstrator (Fig. 4) grown into a
+// service — design the five-working-electrode platform for six targets,
+// inspect the synthesized structure and schedule, then serve a batch of
+// patient samples concurrently through a Lab (calibration computed
+// once, one deterministic noise stream per sample).
 package main
 
 import (
@@ -28,18 +29,34 @@ func main() {
 	fmt.Println(platform.Schedule())
 	fmt.Println("\ncost:", platform.CostSummary())
 
-	sample := map[string]float64{
-		"glucose":       2.0, // mM
-		"lactate":       1.0,
-		"glutamate":     1.0,
-		"benzphetamine": 0.8,
-		"aminopyrine":   4.0,
-		"cholesterol":   0.05,
+	// A small ward round: four patients, same panel. The Lab runs them
+	// on a worker pool; results come back in patient order and are
+	// byte-identical at any worker count.
+	patients := []advdiag.Sample{
+		{ID: "patient-A", Concentrations: map[string]float64{
+			"glucose": 2.0, "lactate": 1.0, "glutamate": 1.0,
+			"benzphetamine": 0.8, "aminopyrine": 4.0, "cholesterol": 0.05}},
+		{ID: "patient-B", Concentrations: map[string]float64{
+			"glucose": 5.5, "lactate": 2.4, "glutamate": 0.6,
+			"benzphetamine": 0.2, "aminopyrine": 1.0, "cholesterol": 0.08}},
+		{ID: "patient-C", Concentrations: map[string]float64{
+			"glucose": 1.1, "lactate": 0.7, "glutamate": 1.8,
+			"benzphetamine": 1.5, "aminopyrine": 6.0, "cholesterol": 0.03}},
+		{ID: "patient-D", Concentrations: map[string]float64{
+			"glucose": 3.2, "lactate": 1.6, "glutamate": 1.2,
+			"benzphetamine": 0.5, "aminopyrine": 2.5, "cholesterol": 0.06}},
 	}
-	fmt.Println("\nrunning one panel on the sample...")
-	res, err := platform.RunPanel(sample)
+
+	lab, err := advdiag.NewLab(platform)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(res)
+	fmt.Printf("\nrunning %d panels on %d workers...\n\n", len(patients), lab.Workers())
+	for _, out := range lab.RunPanels(patients) {
+		if out.Err != nil {
+			log.Fatalf("%s: %v", out.ID, out.Err)
+		}
+		fmt.Printf("%s (instrument t+%.0f s):\n%s\n", out.ID, out.ScheduledStartSeconds, out.Result)
+	}
+	fmt.Println(lab.Stats())
 }

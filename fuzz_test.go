@@ -1,0 +1,79 @@
+package advdiag_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"advdiag"
+	"advdiag/internal/species"
+)
+
+// fuzzPlatform lazily designs one small platform shared by every fuzz
+// execution (design-space exploration is far too slow to redo per
+// input; RunPanel itself is the target).
+var fuzzPlatform = sync.OnceValues(func() (*advdiag.Platform, error) {
+	return advdiag.DesignPlatform([]string{"glucose", "benzphetamine"},
+		advdiag.WithPlatformSeed(3))
+})
+
+// sampleValid mirrors the documented RunPanel input contract exactly:
+// finite, non-negative concentrations of species the registry knows
+// (the same lookup the validator uses, so the oracle cannot drift).
+func sampleValid(sample map[string]float64) bool {
+	for name, mm := range sample {
+		if math.IsNaN(mm) || math.IsInf(mm, 0) || mm < 0 || mm > advdiag.MaxSampleConcentrationMM {
+			return false
+		}
+		if _, err := species.Lookup(name); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzRunPanel feeds arbitrary sample maps to Platform.RunPanel: the
+// public entry point must return an error for invalid input (NaN, ±Inf,
+// negative concentrations, unknown species) and must never panic, even
+// for extreme but formally valid concentrations.
+func FuzzRunPanel(f *testing.F) {
+	f.Add(2.0, 0.8, "lactate", 1.0)
+	f.Add(math.NaN(), 0.8, "", 0.0)
+	f.Add(2.0, math.Inf(1), "", 0.0)
+	f.Add(-1.0, 0.8, "", 0.0)
+	f.Add(2.0, 0.8, "unobtainium", 1.0)
+	f.Add(2.0, 0.8, "dopamine", 0.1)
+	f.Add(1e300, 1e-300, "glutamate", 1e6)
+	f.Add(0.0, 0.0, "glucose", 5.0)
+
+	f.Fuzz(func(t *testing.T, glucose, benz float64, extraName string, extraConc float64) {
+		p, err := fuzzPlatform()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sample := map[string]float64{"glucose": glucose, "benzphetamine": benz}
+		if extraName != "" {
+			sample[extraName] = extraConc
+		}
+		res, err := p.RunPanel(sample)
+		if !sampleValid(sample) {
+			if err == nil {
+				t.Fatalf("invalid sample %v accepted", sample)
+			}
+			return
+		}
+		if err != nil {
+			// Extreme-but-valid inputs may legitimately fail downstream
+			// (e.g. a degenerate fit); the contract is error, not panic.
+			return
+		}
+		if len(res.Readings) == 0 {
+			t.Fatalf("valid sample %v produced no readings", sample)
+		}
+		for _, r := range res.Readings {
+			if math.IsNaN(r.EstimatedMM) {
+				t.Fatalf("sample %v: NaN estimate for %s", sample, r.Target)
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"advdiag/internal/enzyme"
+)
+
+// FuzzSchedule drives schedule.Build with arbitrary settle/recovery
+// times and up to three slots. The contract under test: Build never
+// panics, and a nil error implies a numerically sane plan — finite,
+// ordered start times, finite throughput.
+func FuzzSchedule(f *testing.F) {
+	f.Add(0.05, 30.0, "WE1", 90.0, "WE2", 70.0, "WE3", 70.0)
+	f.Add(0.0, 0.0, "WE1", 1.0, "", 0.0, "", 0.0)
+	f.Add(math.NaN(), 30.0, "WE1", 90.0, "WE2", 70.0, "", 0.0)
+	f.Add(0.05, math.Inf(1), "WE1", 90.0, "", 0.0, "", 0.0)
+	f.Add(0.05, 30.0, "WE1", math.NaN(), "", 0.0, "", 0.0)
+	f.Add(0.05, 30.0, "WE1", math.Inf(1), "WE1", 1.0, "", 0.0)
+	f.Add(-0.05, 30.0, "WE1", 90.0, "", 0.0, "", 0.0)
+	f.Add(0.05, 30.0, "WE1", 90.0, "WE1", 90.0, "", 0.0)
+	f.Add(1.0, 1.0, "WE1", 1e308, "WE2", 1e308, "", 0.0) // finite operands, overflowing sum
+
+	f.Fuzz(func(t *testing.T, settle, recovery float64,
+		we1 string, d1 float64, we2 string, d2 float64, we3 string, d3 float64) {
+		var slots []Slot
+		for _, s := range []struct {
+			we string
+			d  float64
+		}{{we1, d1}, {we2, d2}, {we3, d3}} {
+			if s.we == "" && s.d == 0 {
+				continue // unused tail slot
+			}
+			slots = append(slots, Slot{WE: s.we, Technique: enzyme.Chronoamperometry, Duration: s.d})
+		}
+		plan, err := Build(settle, recovery, slots...)
+		if err != nil {
+			return
+		}
+		if len(plan.Slots) != len(slots) {
+			t.Fatalf("plan has %d slots for %d inputs", len(plan.Slots), len(slots))
+		}
+		pt, ct := plan.PanelTime(), plan.CycleTime()
+		if math.IsNaN(pt) || math.IsInf(pt, 0) || pt <= 0 {
+			t.Fatalf("accepted inputs produced panel time %g", pt)
+		}
+		if ct < pt || math.IsNaN(ct) || math.IsInf(ct, 0) {
+			t.Fatalf("cycle time %g below panel time %g", ct, pt)
+		}
+		if thr := plan.Throughput(); math.IsNaN(thr) || math.IsInf(thr, 0) || thr < 0 {
+			t.Fatalf("throughput %g", thr)
+		}
+		last := 0.0
+		for i, s := range plan.Slots {
+			if s.Start < last {
+				t.Fatalf("slot %d starts at %g before %g", i, s.Start, last)
+			}
+			last = s.Start + s.Duration
+		}
+		if plan.String() == "" {
+			t.Fatal("empty rendering")
+		}
+	})
+}

@@ -8,6 +8,7 @@ package schedule
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"advdiag/internal/enzyme"
@@ -41,8 +42,8 @@ type Plan struct {
 // Build lays out the slots sequentially, filling start times, and
 // returns the plan.
 func Build(muxSettle, recovery float64, slots ...Slot) (*Plan, error) {
-	if muxSettle < 0 || recovery < 0 {
-		return nil, fmt.Errorf("schedule: negative settle or recovery time")
+	if !isFiniteNonNeg(muxSettle) || !isFiniteNonNeg(recovery) {
+		return nil, fmt.Errorf("schedule: settle and recovery times must be finite and non-negative (got %g, %g)", muxSettle, recovery)
 	}
 	if len(slots) == 0 {
 		return nil, fmt.Errorf("schedule: no slots")
@@ -54,8 +55,8 @@ func Build(muxSettle, recovery float64, slots ...Slot) (*Plan, error) {
 		if s.WE == "" {
 			return nil, fmt.Errorf("schedule: slot %d has no electrode", i)
 		}
-		if s.Duration <= 0 {
-			return nil, fmt.Errorf("schedule: slot %d (%s) has non-positive duration", i, s.WE)
+		if s.Duration <= 0 || math.IsNaN(s.Duration) || math.IsInf(s.Duration, 0) {
+			return nil, fmt.Errorf("schedule: slot %d (%s) has invalid duration %g", i, s.WE, s.Duration)
 		}
 		if seen[s.WE] {
 			return nil, fmt.Errorf("schedule: electrode %s scheduled twice", s.WE)
@@ -66,7 +67,17 @@ func Build(muxSettle, recovery float64, slots ...Slot) (*Plan, error) {
 		t += s.Duration
 		out[i] = s
 	}
+	// Each operand is finite, but the accumulated timeline can still
+	// overflow; an accepted plan must have finite panel and cycle times.
+	if math.IsInf(t, 1) || math.IsInf(t+recovery, 1) {
+		return nil, fmt.Errorf("schedule: timeline overflows (total %g s + recovery %g s)", t, recovery)
+	}
 	return &Plan{Slots: out, MuxSettle: muxSettle, Recovery: recovery}, nil
+}
+
+// isFiniteNonNeg reports whether v is a usable non-negative time.
+func isFiniteNonNeg(v float64) bool {
+	return v >= 0 && !math.IsInf(v, 1)
 }
 
 // PanelTime is the active acquisition time: settling plus protocol

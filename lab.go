@@ -1,0 +1,307 @@
+package advdiag
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"advdiag/internal/conc"
+	"advdiag/internal/schedule"
+)
+
+// Sample is one specimen queued for a panel: an identifier (patient,
+// tube, time point) plus the target concentrations in mM.
+type Sample struct {
+	// ID labels the sample in results; it carries no semantics.
+	ID string
+	// Concentrations maps species name → mM. The same validation as
+	// Platform.RunPanel applies: finite, non-negative, known species.
+	Concentrations map[string]float64
+}
+
+// PanelOutcome is the Lab's result for one sample.
+type PanelOutcome struct {
+	// Index is the sample's position in the batch (RunPanels) or its
+	// submission order (Submit). It also seeds the panel's noise
+	// stream, which is why outcomes are byte-identical at any worker
+	// count.
+	Index int
+	// ID echoes the sample ID.
+	ID string
+	// Result is the panel; valid only when Err is nil.
+	Result PanelResult
+	// Err is the per-sample failure; other samples are unaffected.
+	Err error
+	// ScheduledStartSeconds is when this panel starts on the physical
+	// instrument's timeline: back-to-back cycles of the platform's
+	// acquisition schedule (index × schedule cycle time).
+	ScheduledStartSeconds float64
+	// WallSeconds is the simulation wall-clock cost of this panel.
+	WallSeconds float64
+}
+
+// Lab is a reusable, concurrent panel-execution service over a designed
+// Platform — the run-time counterpart of the design-time explorer. A
+// Lab precomputes the platform's per-electrode calibration state once
+// (unit voltammetric templates, Michaelis–Menten inversion constants)
+// and then serves panels from a bounded worker pool.
+//
+// Concurrency model: every panel run builds its own measurement engine
+// (NewEngine is cheap), seeded deterministically from the lab seed and
+// the sample index, honouring the one-engine-per-goroutine contract.
+// No mutable state is shared between in-flight panels except the
+// read-only calibration cache and the stats counters, so results are
+// byte-identical at any worker count — PanelResult.Fingerprint proves
+// it.
+//
+// A Lab has two entry points: RunPanels for a batch with results in
+// sample order, and Submit/Results for streaming workloads where
+// samples arrive over time.
+type Lab struct {
+	p       *Platform
+	workers int
+	seed    uint64
+	plan    *schedule.Plan
+
+	// Aggregate stats.
+	statMu     sync.Mutex
+	panels     uint64
+	failures   uint64
+	firstStart time.Time
+	lastEnd    time.Time
+
+	// Streaming state. submitWG spans each Submit from its closed-check
+	// to the pool handoff, so Close cannot shut the pool down between
+	// the two (that window would otherwise panic the submitter).
+	streamMu  sync.Mutex
+	submitWG  sync.WaitGroup
+	pool      *conc.Pool
+	results   chan PanelOutcome
+	submitted int
+	closed    bool
+}
+
+// LabOption customizes a Lab.
+type LabOption func(*Lab)
+
+// WithLabWorkers sets the panel concurrency; 0 (the default) uses one
+// worker per available CPU. The worker count changes wall-clock time
+// only, never results.
+func WithLabWorkers(n int) LabOption {
+	return func(l *Lab) { l.workers = n }
+}
+
+// WithLabSeed sets the base noise seed samples derive their per-panel
+// seeds from (default: the platform seed). Each sample mixes its index
+// into this base, so every panel is an independent reproducible draw.
+func WithLabSeed(seed uint64) LabOption {
+	return func(l *Lab) { l.seed = seed }
+}
+
+// NewLab builds a Lab over a designed platform and warms the
+// calibration cache: every electrode's calibration state (including the
+// expensive unit-template diffusion simulations for voltammetric
+// electrodes) is computed here, once, so the serving path only ever
+// reads it.
+func NewLab(p *Platform, opts ...LabOption) (*Lab, error) {
+	if p == nil || p.inner == nil {
+		return nil, fmt.Errorf("advdiag: NewLab needs a designed platform")
+	}
+	l := &Lab{p: p, seed: p.seed, plan: p.inner.Plan}
+	for _, opt := range opts {
+		opt(l)
+	}
+	if l.workers <= 0 {
+		l.workers = runtime.NumCPU()
+	}
+	if err := p.calib.warm(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Workers reports the pool size.
+func (l *Lab) Workers() int { return l.workers }
+
+// sampleSeed mixes the lab seed with a sample index (splitmix64
+// finalizer) so every sample owns an independent, deterministic noise
+// stream regardless of which worker runs it.
+func sampleSeed(base uint64, idx int) uint64 {
+	z := base + 0x9E3779B97F4A7C15*(uint64(idx)+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// runOne executes one panel and updates the aggregate stats.
+func (l *Lab) runOne(idx int, s Sample) PanelOutcome {
+	start := time.Now()
+	res, err := l.p.runPanelSeeded(s.Concentrations, sampleSeed(l.seed, idx))
+	end := time.Now()
+
+	l.statMu.Lock()
+	l.panels++
+	if err != nil {
+		l.failures++
+	}
+	if l.firstStart.IsZero() || start.Before(l.firstStart) {
+		l.firstStart = start
+	}
+	if end.After(l.lastEnd) {
+		l.lastEnd = end
+	}
+	l.statMu.Unlock()
+
+	return PanelOutcome{
+		Index:                 idx,
+		ID:                    s.ID,
+		Result:                res,
+		Err:                   err,
+		ScheduledStartSeconds: float64(idx) * l.plan.CycleTime(),
+		WallSeconds:           end.Sub(start).Seconds(),
+	}
+}
+
+// RunPanels measures a batch of samples on the worker pool and returns
+// one outcome per sample, in sample order. Per-sample failures land in
+// the outcome's Err; the rest of the batch is unaffected.
+func (l *Lab) RunPanels(samples []Sample) []PanelOutcome {
+	out := make([]PanelOutcome, len(samples))
+	conc.ForEach(len(samples), l.workers, func(i int) {
+		out[i] = l.runOne(i, samples[i])
+	})
+	return out
+}
+
+// Submit queues one sample on the streaming pool, starting the pool on
+// first use. It blocks while every worker is busy and the result buffer
+// is full (natural backpressure); consume Results concurrently.
+// Submitting after Close is an error.
+func (l *Lab) Submit(s Sample) error {
+	l.streamMu.Lock()
+	if l.closed {
+		l.streamMu.Unlock()
+		return fmt.Errorf("advdiag: lab submit after Close")
+	}
+	if l.pool == nil {
+		l.pool = conc.NewPool(l.workers)
+	}
+	l.ensureResultsLocked()
+	idx := l.submitted
+	l.submitted++
+	pool, results := l.pool, l.results
+	l.submitWG.Add(1)
+	l.streamMu.Unlock()
+
+	defer l.submitWG.Done()
+	pool.Submit(func() { results <- l.runOne(idx, s) })
+	return nil
+}
+
+// Results returns the streaming output channel. Outcomes arrive in
+// completion order (each carries its submission Index); the channel is
+// closed by Close after every submitted sample has been measured.
+func (l *Lab) Results() <-chan PanelOutcome {
+	l.streamMu.Lock()
+	defer l.streamMu.Unlock()
+	l.ensureResultsLocked()
+	return l.results
+}
+
+// ensureResultsLocked creates the streaming output channel exactly once
+// (callers hold streamMu); Submit and Results must agree on the same
+// channel no matter which is called first.
+func (l *Lab) ensureResultsLocked() {
+	if l.results == nil {
+		l.results = make(chan PanelOutcome, 4*l.workers)
+		if l.closed {
+			close(l.results)
+		}
+	}
+}
+
+// Close stops accepting submissions, waits for in-flight panels, and
+// closes the Results channel. It is idempotent and safe against
+// concurrent Submit calls: a Submit that already passed its
+// closed-check completes normally, later ones get the error. The
+// caller must keep draining Results until Close returns (or run Close
+// from the producer while a consumer reads).
+func (l *Lab) Close() {
+	l.streamMu.Lock()
+	if l.closed {
+		l.streamMu.Unlock()
+		return
+	}
+	l.closed = true
+	pool, results := l.pool, l.results
+	l.streamMu.Unlock()
+
+	// Wait out submissions caught between their closed-check and the
+	// pool handoff before shutting the pool down.
+	l.submitWG.Wait()
+	if pool != nil {
+		pool.Close()
+	}
+	if results != nil {
+		close(results)
+	}
+}
+
+// LabStats is an aggregate snapshot of a Lab's service counters.
+type LabStats struct {
+	// Workers is the pool size.
+	Workers int
+	// PanelsRun counts finished panels (including failed ones);
+	// Failures counts the failed subset.
+	PanelsRun, Failures uint64
+	// CacheHits/CacheMisses count calibration-cache lookups on the
+	// underlying platform (warm-up computations are the misses).
+	CacheHits, CacheMisses uint64
+	// CacheHitRate is CacheHits over all lookups (0 when none).
+	CacheHitRate float64
+	// WallSeconds spans the first panel start to the last panel end.
+	WallSeconds float64
+	// PanelsPerSecond is PanelsRun over WallSeconds (simulation
+	// throughput, not instrument throughput).
+	PanelsPerSecond float64
+	// PanelSeconds and CycleSeconds come from the platform's
+	// acquisition schedule; InstrumentPanelsPerHour is the physical
+	// instrument's ceiling (schedule.Plan.Throughput).
+	PanelSeconds, CycleSeconds float64
+	InstrumentPanelsPerHour    float64
+}
+
+// String renders the snapshot as one report line.
+func (s LabStats) String() string {
+	return fmt.Sprintf("lab: %d workers, %d panels (%d failed), %.1f panels/s wall, cache %.0f%% hit (%d/%d), instrument %.1f panels/h",
+		s.Workers, s.PanelsRun, s.Failures, s.PanelsPerSecond,
+		100*s.CacheHitRate, s.CacheHits, s.CacheHits+s.CacheMisses,
+		s.InstrumentPanelsPerHour)
+}
+
+// Stats returns the current aggregate counters.
+func (l *Lab) Stats() LabStats {
+	hits, misses := l.p.calib.counts()
+	st := LabStats{
+		Workers:                 l.workers,
+		CacheHits:               hits,
+		CacheMisses:             misses,
+		PanelSeconds:            l.plan.PanelTime(),
+		CycleSeconds:            l.plan.CycleTime(),
+		InstrumentPanelsPerHour: l.plan.Throughput(),
+	}
+	if hits+misses > 0 {
+		st.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	l.statMu.Lock()
+	st.PanelsRun, st.Failures = l.panels, l.failures
+	if !l.firstStart.IsZero() {
+		st.WallSeconds = l.lastEnd.Sub(l.firstStart).Seconds()
+	}
+	l.statMu.Unlock()
+	if st.WallSeconds > 0 {
+		st.PanelsPerSecond = float64(st.PanelsRun) / st.WallSeconds
+	}
+	return st
+}

@@ -1,7 +1,10 @@
 package advdiag
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
 	"strings"
 
@@ -19,6 +22,9 @@ type Platform struct {
 	inner   *core.Platform
 	seed    uint64
 	explore core.ExploreOptions
+	// calib memoizes the per-electrode calibration state shared by
+	// RunPanel and every Lab over this platform.
+	calib *calibCache
 }
 
 // PlatformOption customizes platform design.
@@ -72,6 +78,9 @@ func WithReplicas(k int) PlatformOption {
 // synthesizes the cheapest feasible candidate — the workflow of the
 // paper's §III platform example.
 func DesignPlatform(targets []string, opts ...PlatformOption) (*Platform, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("advdiag: a platform needs at least one target")
+	}
 	req := core.Requirements{}
 	for _, t := range targets {
 		req.Targets = append(req.Targets, core.TargetSpec{Species: t})
@@ -89,6 +98,7 @@ func DesignPlatform(targets []string, opts ...PlatformOption) (*Platform, error)
 		return nil, err
 	}
 	p.inner = inner
+	p.calib = newCalibCache(p)
 	return p, nil
 }
 
@@ -174,21 +184,65 @@ func (pr PanelResult) String() string {
 	return b.String()
 }
 
+// Fingerprint hashes the result exactly: every label and the raw
+// float64 bit pattern of every numeric field feed an FNV-1a stream.
+// Equal fingerprints mean byte-identical results — the determinism
+// tests and cmd/labbench use this to prove panel results do not depend
+// on the Lab worker count.
+func (pr PanelResult) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	f := func(v float64) { word(math.Float64bits(v)) }
+	str := func(s string) { word(uint64(len(s))); h.Write([]byte(s)) }
+	f(pr.PanelSeconds)
+	word(uint64(len(pr.Readings)))
+	for _, r := range pr.Readings {
+		str(r.Target)
+		str(r.WE)
+		str(r.Probe)
+		f(r.MeasuredMicroAmps)
+		f(r.EstimatedMM)
+		f(r.TrueMM)
+		f(r.PeakMV)
+	}
+	return h.Sum64()
+}
+
 // RunPanel measures one sample: sample maps target names to
 // concentrations in mM. Every chamber receives the same sample (the
-// platform's fluidics distribute it).
+// platform's fluidics distribute it). Concentrations must be finite,
+// non-negative and below MaxSampleConcentrationMM, and every species
+// must be registered; anything else is an error before the instrument
+// is touched. For batches or streaming
+// use a Lab, which runs panels concurrently and shares this platform's
+// calibration cache.
 func (p *Platform) RunPanel(sample map[string]float64) (PanelResult, error) {
+	return p.runPanelSeeded(sample, p.seed)
+}
+
+// runPanelSeeded is the shared panel executor behind RunPanel and the
+// Lab: one measurement engine (and so one noise stream) per call, all
+// calibration state served from the platform cache. Two calls with the
+// same sample and seed produce byte-identical results on any goroutine.
+func (p *Platform) runPanelSeeded(sample map[string]float64, seed uint64) (PanelResult, error) {
+	if err := validateSample(sample); err != nil {
+		return PanelResult{}, err
+	}
 	cand := p.inner.Candidate
 
 	// Build per-chamber solutions holding the full sample.
+	names := make([]string, 0, len(sample))
+	for name := range sample {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	solutions := map[string]*cell.Solution{}
 	for _, ch := range cand.Chambers {
 		sol := cell.NewSolution()
-		names := make([]string, 0, len(sample))
-		for name := range sample {
-			names = append(names, name)
-		}
-		sort.Strings(names)
 		for _, name := range names {
 			sol.Set(name, phys.MilliMolar(sample[name]))
 		}
@@ -198,7 +252,7 @@ func (p *Platform) RunPanel(sample map[string]float64) (PanelResult, error) {
 	if err != nil {
 		return PanelResult{}, err
 	}
-	eng, err := measure.NewEngine(c, p.seed)
+	eng, err := measure.NewEngine(c, seed)
 	if err != nil {
 		return PanelResult{}, err
 	}
@@ -208,6 +262,10 @@ func (p *Platform) RunPanel(sample map[string]float64) (PanelResult, error) {
 	for _, ep := range cand.Electrodes {
 		if ep.Blank {
 			continue
+		}
+		cal, err := p.calib.forElectrode(ep)
+		if err != nil {
+			return PanelResult{}, err
 		}
 		chain, err := p.inner.ChainFor(ep.Name, eng.RNG())
 		if err != nil {
@@ -227,7 +285,7 @@ func (p *Platform) RunPanel(sample map[string]float64) (PanelResult, error) {
 			}
 			a := ep.Assays[0]
 			step := res.StepCurrent()
-			est := invertOxidase(a, ep.Nano.Gain(), step)
+			est := cal.invertCA(step)
 			out.Readings = append(out.Readings, TargetReading{
 				Target:            a.Target.Name,
 				WE:                ep.Name,
@@ -237,32 +295,22 @@ func (p *Platform) RunPanel(sample map[string]float64) (PanelResult, error) {
 				TrueMM:            sample[a.Target.Name],
 			})
 		case enzyme.CyclicVoltammetry:
-			var peaks []phys.Voltage
-			for _, a := range ep.Assays {
-				peaks = append(peaks, a.Binding.PeakPotential)
-			}
-			start, vertex := measure.CVWindowFor(peaks...)
-			proto := measure.CyclicVoltammetry{Start: start, Vertex: vertex}
-			res, err := eng.RunCV(ep.Name, chain, proto)
+			res, err := eng.RunCV(ep.Name, chain, cal.proto)
 			if err != nil {
 				return PanelResult{}, err
 			}
 			// Quantify by template decomposition (exact for the linear
-			// diffusion problem); report the detected peak potential
-			// when the peak is prominent enough to stand alone.
-			_, templates, err := eng.CVTemplates(ep.Name, proto)
-			if err != nil {
-				return PanelResult{}, err
-			}
-			fit, err := analysis.FitCVComponents(res.Voltammogram, templates,
-				filmNuisances(res.Voltammogram.X, ep.Assays[0].CYP)...)
+			// diffusion problem) against the cached unit templates;
+			// report the detected peak potential when the peak is
+			// prominent enough to stand alone.
+			fit, err := analysis.FitCVComponents(res.Voltammogram, cal.templates, cal.nuisances...)
 			if err != nil {
 				return PanelResult{}, fmt.Errorf("advdiag: %s: %w", ep.Name, err)
 			}
 			for _, a := range ep.Assays {
 				b := a.Binding
 				amp := fit.Amplitudes[a.Target.Name]
-				height := amp * unitPeakHeight(templates[a.Target.Name])
+				height := amp * cal.unitPeak[a.Target.Name]
 				est := invertEffective(b, amp)
 				peakMV := 0.0
 				if pk, err := analysis.PeakNear(res.Voltammogram, b.PeakPotential, phys.MilliVolts(80), 0); err == nil {
@@ -328,24 +376,6 @@ func mergeReplicas(in []TargetReading) []TargetReading {
 		out = append(out, *m)
 	}
 	return out
-}
-
-// invertOxidase converts a steady-state current into a concentration
-// estimate using the probe's factory calibration (Michaelis–Menten
-// inversion: C = I·Km/(I_max−I)).
-func invertOxidase(a enzyme.Assay, gain float64, i phys.Current) phys.Concentration {
-	ox := a.Oxidase
-	area := 0.23e-6 // m², the platform electrode
-	slope := float64(ox.SensitivityAt(ox.Applied, gain)) * area
-	iMax := slope * float64(ox.Km) // n·F·g·Vmax·η·A
-	x := float64(i)
-	if x <= 0 {
-		return 0
-	}
-	if x >= 0.99*iMax {
-		x = 0.99 * iMax
-	}
-	return phys.Concentration(x * float64(ox.Km) / (iMax - x))
 }
 
 // invertEffective converts a fitted effective concentration back to a
