@@ -40,6 +40,12 @@ type weCalib struct {
 	templates map[string][]float64
 	unitPeak  map[string]float64
 	nuisances [][]float64
+	// basis holds the full-length unit flux traces behind the
+	// templates; RunPanel feeds it to measure.RunCVWithBasis so the
+	// per-sample hot path scales cached traces instead of re-running
+	// the diffusion solver. Immutable after warm-up, shared read-only
+	// by every concurrent panel run.
+	basis *measure.CVBasis
 }
 
 // invertCA converts a baseline-subtracted steady current into a bulk
@@ -135,10 +141,25 @@ func (cc *calibCache) compute(ep core.ElectrodePlan) (*weCalib, error) {
 		if err != nil {
 			return nil, err
 		}
-		grid, templates, err := eng.CVTemplates(ep.Name, c.proto)
+		// One set of unit diffusion simulations yields both the
+		// run-time flux basis and the fitting templates. The basis is
+		// driven by the chain-applied (potentiostat-corrected)
+		// potential — exactly what a per-sample RunCV would have
+		// simulated — so templates and measured traces share one
+		// potential axis.
+		chain, err := cc.p.inner.ChainFor(ep.Name, eng.RNG())
 		if err != nil {
 			return nil, err
 		}
+		basis, err := eng.CVFluxBasis(ep.Name, c.proto, chain)
+		if err != nil {
+			return nil, err
+		}
+		grid, templates, err := eng.CVTemplatesFromBasis(basis)
+		if err != nil {
+			return nil, err
+		}
+		c.basis = basis
 		c.templates = templates
 		c.unitPeak = make(map[string]float64, len(templates))
 		for name, tpl := range templates {

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"advdiag/internal/experiments"
+)
+
+// BenchMetric is one benchmark's headline numbers in the baseline file.
+type BenchMetric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the schema of BENCH_PR3.json: the tracked performance
+// floor future PRs regress against. Panels/sec is the headline number
+// (single-worker Lab throughput on the Fig. 4 panel); the Fig. 1–4
+// experiment benchmarks pin the per-protocol costs.
+type Baseline struct {
+	// GeneratedAt and Host document where the numbers came from —
+	// absolute throughput is only comparable on similar hardware.
+	GeneratedAt string `json:"generated_at"`
+	Host        string `json:"host"`
+	// Patients is the cohort size the throughput was measured over.
+	Patients int `json:"patients"`
+	// SingleWorkerPanelsPerSec is the 1-worker RunPanels rate.
+	SingleWorkerPanelsPerSec float64 `json:"single_worker_panels_per_sec"`
+	// Benchmarks maps experiment name → cost of one full run.
+	Benchmarks map[string]BenchMetric `json:"benchmarks"`
+}
+
+// figExperiments are the paper-figure experiments the baseline tracks.
+var figExperiments = map[string]func() (*experiments.Result, error){
+	"Fig1_PotentiostatTIA":     experiments.Fig1,
+	"Fig2_AcquisitionChain":    experiments.Fig2,
+	"Fig3_GlucoseTimeResponse": experiments.Fig3,
+	"Fig4_MultiPanelPlatform":  experiments.Fig4,
+}
+
+// measureFigBenchmarks runs each figure experiment under the testing
+// benchmark driver and collects ns/op, B/op and allocs/op.
+func measureFigBenchmarks(w io.Writer) (map[string]BenchMetric, error) {
+	names := make([]string, 0, len(figExperiments))
+	for name := range figExperiments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]BenchMetric, len(names))
+	for _, name := range names {
+		fn := figExperiments[name]
+		var failure error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fn(); err != nil {
+					failure = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if failure != nil {
+			return nil, fmt.Errorf("labbench: benchmark %s: %w", name, failure)
+		}
+		m := BenchMetric{
+			NsPerOp:     float64(res.NsPerOp()),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		out[name] = m
+		fmt.Fprintf(w, "bench %-26s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+	return out, nil
+}
+
+// writeBaseline measures the figure benchmarks and writes the full
+// baseline file.
+func writeBaseline(w io.Writer, path string, patients int, panelsPerSec float64) error {
+	fmt.Fprintf(w, "\nmeasuring Fig. 1-4 benchmarks for %s...\n", path)
+	benches, err := measureFigBenchmarks(w)
+	if err != nil {
+		return err
+	}
+	b := Baseline{
+		GeneratedAt:              time.Now().UTC().Format(time.RFC3339),
+		Host:                     fmt.Sprintf("%s/%s, %d cpu", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		Patients:                 patients,
+		SingleWorkerPanelsPerSec: panelsPerSec,
+		Benchmarks:               benches,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote baseline %s (%.1f panels/sec single-worker)\n", path, panelsPerSec)
+	return nil
+}
+
+// requireSingleWorker guards the baseline flags: the tracked number is
+// the single-worker rate, so writing or diffing a baseline from a sweep
+// without a 1-worker row would silently record (or compare against) a
+// multi-worker figure.
+func requireSingleWorker(workers []int) error {
+	for _, n := range workers {
+		if n == 1 {
+			return nil
+		}
+	}
+	return fmt.Errorf("labbench: -json/-baseline track the single-worker rate; include 1 in -workers (got %v)", workers)
+}
+
+// readBaseline loads a committed baseline file.
+func readBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("labbench: parse %s: %w", path, err)
+	}
+	if b.SingleWorkerPanelsPerSec <= 0 {
+		return nil, fmt.Errorf("labbench: %s has no single_worker_panels_per_sec", path)
+	}
+	return &b, nil
+}
+
+// checkBaseline compares a measured single-worker rate against the
+// committed baseline and errors on a regression beyond tolerance
+// (e.g. 0.30 = fail when more than 30% slower).
+func checkBaseline(w io.Writer, base *Baseline, measured, tolerance float64) error {
+	floor := base.SingleWorkerPanelsPerSec * (1 - tolerance)
+	ratio := measured / base.SingleWorkerPanelsPerSec
+	fmt.Fprintf(w, "\nbaseline: %.1f panels/sec recorded (%s), measured %.1f (%.0f%%), floor %.1f\n",
+		base.SingleWorkerPanelsPerSec, base.Host, measured, 100*ratio, floor)
+	if measured < floor {
+		return fmt.Errorf("labbench: panels/sec regressed beyond %.0f%%: measured %.1f vs baseline %.1f",
+			100*tolerance, measured, base.SingleWorkerPanelsPerSec)
+	}
+	return nil
+}

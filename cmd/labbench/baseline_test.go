@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"advdiag/internal/experiments"
+)
+
+func TestBaselineRoundTripAndCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{
+  "generated_at": "2026-07-29T00:00:00Z",
+  "host": "test",
+  "patients": 8,
+  "single_worker_panels_per_sec": 100,
+  "benchmarks": {"Fig4_MultiPanelPlatform": {"ns_per_op": 1e6, "bytes_per_op": 1000, "allocs_per_op": 10}}
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SingleWorkerPanelsPerSec != 100 || base.Patients != 8 {
+		t.Fatalf("parsed %+v", base)
+	}
+
+	var b strings.Builder
+	// Within tolerance: 80 ≥ 100·(1−0.30).
+	if err := checkBaseline(&b, base, 80, 0.30); err != nil {
+		t.Fatalf("80 vs 100 at 30%% tolerance must pass: %v", err)
+	}
+	// Beyond tolerance.
+	if err := checkBaseline(&b, base, 60, 0.30); err == nil {
+		t.Fatal("60 vs 100 at 30% tolerance must fail")
+	}
+	// Improvements always pass.
+	if err := checkBaseline(&b, base, 500, 0.30); err != nil {
+		t.Fatalf("improvement must pass: %v", err)
+	}
+	if !strings.Contains(b.String(), "baseline:") {
+		t.Fatalf("comparison report missing:\n%s", b.String())
+	}
+}
+
+// TestWriteBaselineRoundTrip exercises the writer end to end with the
+// figure table swapped for a cheap stub (the real Fig. 1–4 runs are
+// covered by the bench suite; here we only need the measurement and
+// serialization plumbing).
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	old := figExperiments
+	defer func() { figExperiments = old }()
+	calls := 0
+	figExperiments = map[string]func() (*experiments.Result, error){
+		"Stub": func() (*experiments.Result, error) {
+			calls++
+			time.Sleep(time.Millisecond) // keep b.N small
+			return &experiments.Result{}, nil
+		},
+	}
+	path := filepath.Join(t.TempDir(), "out.json")
+	var b strings.Builder
+	if err := writeBaseline(&b, path, 5, 123.4); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("stub experiment never ran")
+	}
+	base, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SingleWorkerPanelsPerSec != 123.4 || base.Patients != 5 {
+		t.Fatalf("round-tripped %+v", base)
+	}
+	m, ok := base.Benchmarks["Stub"]
+	if !ok || m.NsPerOp <= 0 {
+		t.Fatalf("stub benchmark metric missing or empty: %+v", base.Benchmarks)
+	}
+	if !strings.Contains(b.String(), "wrote baseline") {
+		t.Fatalf("report missing write confirmation:\n%s", b.String())
+	}
+
+	// A failing experiment must surface as an error.
+	figExperiments = map[string]func() (*experiments.Result, error){
+		"Broken": func() (*experiments.Result, error) { return nil, os.ErrInvalid },
+	}
+	if err := writeBaseline(&b, filepath.Join(t.TempDir(), "x.json"), 1, 1); err == nil {
+		t.Fatal("failing experiment did not fail writeBaseline")
+	}
+}
+
+func TestRequireSingleWorker(t *testing.T) {
+	if err := requireSingleWorker([]int{1, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := requireSingleWorker([]int{2, 4}); err == nil {
+		t.Fatal("sweep without a 1-worker row accepted for baseline tracking")
+	}
+}
+
+func TestReadBaselineErrors(t *testing.T) {
+	if _, err := readBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(bad); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(empty); err == nil {
+		t.Fatal("baseline without panels/sec accepted")
+	}
+}

@@ -9,7 +9,7 @@
 //
 //	labbench                         # 64 patients, workers 1,2,4,8
 //	labbench -patients 256 -workers 1,4,16
-//	labbench -quick                  # CI smoke: 6 patients, workers 1,2
+//	labbench -quick                  # CI smoke: 16 patients, workers 1,2
 package main
 
 import (
@@ -97,24 +97,39 @@ func batchFingerprint(outcomes []advdiag.PanelOutcome) (uint64, error) {
 	return h, nil
 }
 
-// run executes the sweep and writes the report to w.
-func run(w io.Writer, cfg config) error {
+// run executes the sweep and writes the report to w. It returns the
+// single-worker panels/sec (the baseline-tracked headline number: the
+// 1-worker row when the sweep has one, the first row otherwise).
+func run(w io.Writer, cfg config) (float64, error) {
 	fmt.Fprintf(w, "designing %d-target platform (%s)...\n", len(cfg.targets), strings.Join(cfg.targets, ", "))
 	platform, err := advdiag.DesignPlatform(cfg.targets, advdiag.WithPlatformSeed(cfg.seed))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	samples := cohort(cfg.targets, cfg.patients, cfg.seed)
+	// Warm up with a couple of panels so the timed rows measure the
+	// steady-state service cost, not first-touch effects (heap growth,
+	// page faults). This matters most for the -quick CI smoke, which
+	// times only a handful of panels against the tracked baseline.
+	warm := samples
+	if len(warm) > 2 {
+		warm = warm[:2]
+	}
+	warmLab, err := advdiag.NewLab(platform, advdiag.WithLabWorkers(1))
+	if err != nil {
+		return 0, err
+	}
+	warmLab.RunPanels(warm)
 	fmt.Fprintf(w, "cohort: %d patients; sweep workers %v\n\n", cfg.patients, cfg.workers)
 	fmt.Fprintf(w, "%8s %10s %12s %9s %11s\n", "workers", "wall", "panels/sec", "speedup", "cache hit")
 
-	var base float64
+	var base, singleRate float64
 	var fp uint64
 	var last *advdiag.Lab
 	for i, workers := range cfg.workers {
 		lab, err := advdiag.NewLab(platform, advdiag.WithLabWorkers(workers))
 		if err != nil {
-			return err
+			return 0, err
 		}
 		last = lab
 		// The cache counters are cumulative per platform; snapshot
@@ -125,17 +140,20 @@ func run(w io.Writer, cfg config) error {
 		wall := time.Since(start).Seconds()
 		got, err := batchFingerprint(outcomes)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if i == 0 {
 			fp = got
 		} else if got != fp {
-			return fmt.Errorf("labbench: results at %d workers differ from %d workers (fingerprint %x vs %x)",
+			return 0, fmt.Errorf("labbench: results at %d workers differ from %d workers (fingerprint %x vs %x)",
 				workers, cfg.workers[0], got, fp)
 		}
 		rate := float64(cfg.patients) / wall
 		if i == 0 {
 			base = rate
+		}
+		if workers == 1 || singleRate == 0 {
+			singleRate = rate
 		}
 		after := lab.Stats()
 		hits := after.CacheHits - before.CacheHits
@@ -153,15 +171,18 @@ func run(w io.Writer, cfg config) error {
 	fmt.Fprintf(w, "calibration cache: %d hits / %d misses over the whole sweep\n", st.CacheHits, st.CacheMisses)
 	fmt.Fprintf(w, "instrument schedule: panel %.0fs, cycle %.0fs, ceiling %.1f panels/h\n",
 		st.PanelSeconds, st.CycleSeconds, st.InstrumentPanelsPerHour)
-	return nil
+	return singleRate, nil
 }
 
 func main() {
 	var (
-		patients = flag.Int("patients", 64, "number of patient samples in the cohort")
-		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
-		seed     = flag.Uint64("seed", 9, "platform and cohort seed")
-		quick    = flag.Bool("quick", false, "CI smoke: 6 patients, workers 1,2")
+		patients  = flag.Int("patients", 64, "number of patient samples in the cohort")
+		workers   = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+		seed      = flag.Uint64("seed", 9, "platform and cohort seed")
+		quick     = flag.Bool("quick", false, "CI smoke: 16 patients, workers 1,2")
+		jsonOut   = flag.String("json", "", "write a performance baseline (panels/sec + Fig. 1-4 benchmarks) to this file")
+		baseline  = flag.String("baseline", "", "compare single-worker panels/sec against this committed baseline file")
+		tolerance = flag.Float64("tolerance", 0.30, "allowed fractional panels/sec regression vs -baseline before failing")
 	)
 	flag.Parse()
 
@@ -172,13 +193,36 @@ func main() {
 		fatal(err)
 	}
 	if *quick {
-		cfg.patients, cfg.workers = 6, []int{1, 2}
+		cfg.patients, cfg.workers = 16, []int{1, 2}
 	}
 	if cfg.patients < 1 {
 		fatal(fmt.Errorf("labbench: need at least one patient"))
 	}
-	if err := run(os.Stdout, cfg); err != nil {
+	if *tolerance < 0 || *tolerance >= 1 {
+		fatal(fmt.Errorf("labbench: tolerance %g outside [0,1)", *tolerance))
+	}
+	if *jsonOut != "" || *baseline != "" {
+		if err := requireSingleWorker(cfg.workers); err != nil {
+			fatal(err)
+		}
+	}
+	singleRate, err := run(os.Stdout, cfg)
+	if err != nil {
 		fatal(err)
+	}
+	if *baseline != "" {
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := checkBaseline(os.Stdout, base, singleRate, *tolerance); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeBaseline(os.Stdout, *jsonOut, cfg.patients, singleRate); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -49,8 +49,12 @@ func TestRunQuickSweep(t *testing.T) {
 		workers:  []int{1, 2},
 		seed:     7,
 	}
-	if err := run(&b, cfg); err != nil {
+	rate, err := run(&b, cfg)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Fatalf("run reported non-positive single-worker rate %g", rate)
 	}
 	out := b.String()
 	for _, frag := range []string{"panels/sec", "byte-identical", "calibration cache", "panels/h"} {

@@ -55,4 +55,38 @@
 // Lab applies the rule at run time: every panel execution builds its
 // own engine, seeded from the sample index, so batch and streaming
 // results are byte-identical at any worker count.
+//
+// # Performance
+//
+// The per-sample hot path is engineered to be allocation-free in steady
+// state and to avoid redundant physics:
+//
+//   - internal/diffusion integrates Fick's second law with an
+//     unconditionally stable Crank–Nicolson scheme on an exponentially
+//     graded mesh — one prefactored tridiagonal solve per external
+//     sample (see mathx.SolveTridiag) instead of stability-bound
+//     explicit substeps, validated against the Cottrell and
+//     Randles–Ševčík analytic results at tighter tolerance than the
+//     explicit scheme it replaced.
+//
+//   - The measurement loops (measure.RunCA, measure.RunCV) hoist all
+//     loop-invariant work — species lookups, cross-talk and interferent
+//     classification, efficiency sigmoids, concentration timelines —
+//     out of the per-timestep code; a timestep allocates nothing.
+//
+//   - The diffusion problem is linear in bulk concentration, so the
+//     panel path never re-simulates it per sample: the calibration
+//     cache precomputes each voltammetric electrode's unit flux basis
+//     (measure.CVFluxBasis) once, and panels scale it by the sample's
+//     effective concentration (measure.RunCVWithBasis).
+//
+// Retention contract: everything a run returns (trace series, panel
+// readings) is freshly allocated and caller-owned; results never alias
+// engine scratch and remain valid after later runs on the same engine.
+// A CVBasis is immutable after construction and safe for concurrent
+// readers.
+//
+// BENCH_PR3.json at the repository root records the tracked performance
+// baseline (single-worker panels/sec plus the Fig. 1–4 benchmark costs);
+// cmd/labbench -json regenerates it and -baseline diffs against it.
 package advdiag

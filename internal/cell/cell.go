@@ -7,6 +7,7 @@ package cell
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"advdiag/internal/electrode"
@@ -31,11 +32,26 @@ type Injection struct {
 type Solution struct {
 	initial    map[string]phys.Concentration
 	injections []Injection
+	// names is the sorted species list, maintained incrementally by Set
+	// and Inject so the read paths (Species, Sampler construction) never
+	// re-sort.
+	names []string
 }
 
 // NewSolution returns an empty solution (all concentrations zero).
 func NewSolution() *Solution {
 	return &Solution{initial: make(map[string]phys.Concentration)}
+}
+
+// noteSpecies records a species name in the sorted name cache.
+func (s *Solution) noteSpecies(species string) {
+	i := sort.SearchStrings(s.names, species)
+	if i < len(s.names) && s.names[i] == species {
+		return
+	}
+	s.names = append(s.names, "")
+	copy(s.names[i+1:], s.names[i:])
+	s.names[i] = species
 }
 
 // Set fixes the initial concentration of a species.
@@ -44,6 +60,7 @@ func (s *Solution) Set(species string, c phys.Concentration) *Solution {
 		c = 0
 	}
 	s.initial[species] = c
+	s.noteSpecies(species)
 	return s
 }
 
@@ -52,6 +69,7 @@ func (s *Solution) Set(species string, c phys.Concentration) *Solution {
 func (s *Solution) Inject(t float64, species string, delta phys.Concentration) *Solution {
 	s.injections = append(s.injections, Injection{Time: t, Species: species, Delta: delta})
 	sort.SliceStable(s.injections, func(i, j int) bool { return s.injections[i].Time < s.injections[j].Time })
+	s.noteSpecies(species)
 	return s
 }
 
@@ -73,20 +91,67 @@ func (s *Solution) At(species string, t float64) phys.Concentration {
 }
 
 // Species returns every species name mentioned by the solution, sorted.
+// The list is maintained incrementally by Set/Inject; the returned
+// slice is a copy the caller may keep or mutate.
 func (s *Solution) Species() []string {
-	set := map[string]bool{}
-	for name := range s.initial {
-		set[name] = true
-	}
+	return append([]string(nil), s.names...)
+}
+
+// Sampler is an O(1)-per-call view of one species' concentration
+// timeline. Where Solution.At pays a map lookup plus a scan of the full
+// injection list on every call, a Sampler resolves the map once at
+// construction and walks its private injection cursor forward as time
+// advances — the fast path the per-timestep measurement loops use.
+//
+// At calls with non-decreasing t are O(1); a time before the previous
+// call rewinds the cursor (O(k) in the species' injection count), so a
+// Sampler is correct for any call pattern and merely fastest for the
+// monotone one. A Sampler belongs to one goroutine.
+type Sampler struct {
+	initial phys.Concentration
+	steps   []Injection // this species only, time-ordered
+	idx     int
+	cur     phys.Concentration
+	lastT   float64
+}
+
+// Sampler builds the single-species cursor for the given species name.
+// The zero concentration timeline of an unknown species is itself valid
+// (every concentration is 0), mirroring Solution.At.
+func (s *Solution) Sampler(species string) *Sampler {
+	sm := &Sampler{initial: s.initial[species]}
 	for _, inj := range s.injections {
-		set[inj.Species] = true
+		if inj.Species == species {
+			sm.steps = append(sm.steps, inj)
+		}
 	}
-	out := make([]string, 0, len(set))
-	for name := range set {
-		out = append(out, name)
+	sm.rewind()
+	return sm
+}
+
+// rewind resets the cursor to t = −∞.
+func (sm *Sampler) rewind() {
+	sm.idx = 0
+	sm.cur = sm.initial
+	sm.lastT = math.Inf(-1)
+}
+
+// At returns the species concentration at time t, matching
+// Solution.At exactly (including the floor-at-zero of the running
+// total after each injection).
+func (sm *Sampler) At(t float64) phys.Concentration {
+	if t < sm.lastT {
+		sm.rewind()
 	}
-	sort.Strings(out)
-	return out
+	sm.lastT = t
+	for sm.idx < len(sm.steps) && sm.steps[sm.idx].Time <= t {
+		sm.cur += sm.steps[sm.idx].Delta
+		if sm.cur < 0 {
+			sm.cur = 0
+		}
+		sm.idx++
+	}
+	return sm.cur
 }
 
 // Chamber is one fluidic volume with its electrodes.

@@ -1,0 +1,96 @@
+package mathx
+
+import "errors"
+
+// ErrBadTridiag is returned for structurally invalid tridiagonal
+// systems (mismatched band lengths or an empty diagonal).
+var ErrBadTridiag = errors.New("mathx: invalid tridiagonal system")
+
+// SolveTridiag solves the tridiagonal system
+//
+//	diag[0]·x[0]  + upper[0]·x[1]                      = rhs[0]
+//	lower[i-1]·x[i-1] + diag[i]·x[i] + upper[i]·x[i+1] = rhs[i]
+//	lower[n-2]·x[n-2] + diag[n-1]·x[n-1]               = rhs[n-1]
+//
+// by the Thomas algorithm (Gaussian elimination without pivoting —
+// exact for the diagonally dominant systems an implicit diffusion
+// discretization produces). lower and upper have n−1 entries, diag and
+// rhs have n. The inputs are not modified; the solution is returned in
+// a fresh slice. Hot paths that solve the same matrix repeatedly should
+// factor once with NewTridiag and call Solve with caller-owned scratch.
+func SolveTridiag(lower, diag, upper, rhs []float64) ([]float64, error) {
+	t, err := NewTridiag(lower, diag, upper)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(diag))
+	if err := t.Solve(rhs, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// Tridiag is a prefactored tridiagonal matrix: the Thomas forward
+// elimination is done once at construction, so each Solve is a single
+// O(n) sweep over the right-hand side with zero allocations. One
+// factored matrix may serve any number of sequential Solve calls (it is
+// read-only after construction, so concurrent readers are safe).
+type Tridiag struct {
+	lower []float64 // original sub-diagonal (n−1)
+	cp    []float64 // upper[i] / (pivot i) — eliminated super-diagonal
+	inv   []float64 // 1 / (pivot i) — reciprocal pivots
+}
+
+// NewTridiag factors the matrix given by its three bands. It fails on
+// band length mismatches and on zero pivots (the matrix is then
+// singular or needs pivoting — not the case for diffusion operators,
+// which are strictly diagonally dominant).
+func NewTridiag(lower, diag, upper []float64) (*Tridiag, error) {
+	n := len(diag)
+	if n == 0 || len(lower) != n-1 || len(upper) != n-1 {
+		return nil, ErrBadTridiag
+	}
+	t := &Tridiag{
+		lower: append([]float64(nil), lower...),
+		cp:    make([]float64, n-1),
+		inv:   make([]float64, n),
+	}
+	piv := diag[0]
+	if piv == 0 {
+		return nil, ErrSingular
+	}
+	t.inv[0] = 1 / piv
+	for i := 1; i < n; i++ {
+		t.cp[i-1] = upper[i-1] * t.inv[i-1]
+		piv = diag[i] - lower[i-1]*t.cp[i-1]
+		if piv == 0 {
+			return nil, ErrSingular
+		}
+		t.inv[i] = 1 / piv
+	}
+	return t, nil
+}
+
+// N returns the system size.
+func (t *Tridiag) N() int { return len(t.inv) }
+
+// Solve writes the solution of T·x = rhs into x. rhs and x must both
+// have length N; they may alias (in-place solve). Solve allocates
+// nothing.
+func (t *Tridiag) Solve(rhs, x []float64) error {
+	n := len(t.inv)
+	if len(rhs) != n || len(x) != n {
+		return ErrBadTridiag
+	}
+	// Forward sweep: dp[i] = (rhs[i] − lower[i−1]·dp[i−1]) / pivot[i],
+	// stored in x.
+	x[0] = rhs[0] * t.inv[0]
+	for i := 1; i < n; i++ {
+		x[i] = (rhs[i] - t.lower[i-1]*x[i-1]) * t.inv[i]
+	}
+	// Back substitution.
+	for i := n - 2; i >= 0; i-- {
+		x[i] -= t.cp[i] * x[i+1]
+	}
+	return nil
+}

@@ -33,6 +33,34 @@ type Engine struct {
 	rng  *mathx.RNG
 	// busy flags an in-flight protocol run; see acquire.
 	busy atomic.Bool
+
+	// Engine-owned scratch reused across protocol runs (an engine is
+	// single-goroutine, so no locking): the precomputed per-run source
+	// tables the measurement loops iterate. Nothing here survives a run
+	// — results never alias these slices.
+	crosstalks   []caCrosstalk
+	interferents []caInterferent
+}
+
+// caCrosstalk is one precomputed co-chambered oxidase source: the
+// classification, efficiency sigmoid and constant factors that the old
+// RunCA loop re-derived on every timestep.
+type caCrosstalk struct {
+	ox      *enzyme.Oxidase
+	sampler *cell.Sampler
+	gain    float64
+	// factor folds crosstalk coefficient × n × F × the receiving
+	// electrode's potential efficiency (constant at fixed potential).
+	factor float64
+}
+
+// caInterferent is one precomputed direct-oxidizer source present in
+// the chamber solution.
+type caInterferent struct {
+	sampler *cell.Sampler
+	// coeff folds the direct-response slope × the potential efficiency
+	// sigmoid at the run's fixed applied potential.
+	coeff float64
 }
 
 // NewEngine builds an engine over c with a deterministic seed. Two
@@ -162,6 +190,10 @@ func (e *Engine) RunCA(weName string, chain *analog.Chain, proto Chronoamperomet
 	if err != nil {
 		return nil, err
 	}
+	cur, err := trace.NewSeries(0, dt, n, "A")
+	if err != nil {
+		return nil, err
+	}
 
 	chain.Reset(dt)
 	dl := we.DoubleLayer()
@@ -184,58 +216,91 @@ func (e *Engine) RunCA(weName string, chain *analog.Chain, proto Chronoamperomet
 	// fluctuation. Both carry the calibrated σ.
 	runOffset := noise.NormScaled(sigma)
 
+	// Precompute every per-step source once: the target's membrane
+	// relaxation constants, the cross-talk neighbours (co-chambered
+	// oxidase electrodes), and the direct-oxidizer interferents. The
+	// potential is fixed for the whole run, so each source's efficiency
+	// sigmoid collapses to a constant, and each concentration timeline
+	// becomes an O(1) sampler — the per-timestep loop below touches no
+	// map and allocates nothing. An unknown species in the chamber
+	// solution fails here, before the instrument is touched, instead of
+	// being silently skipped on every timestep.
+	var targetSampler *cell.Sampler
+	etaOx, membStep := 0.0, 0.0
+	if ox != nil {
+		targetSampler = ch.Solution.Sampler(ox.Target.Name)
+		etaOx = echem.SigmoidEfficiency(actual, ox.EHalf, ox.N)
+		// Exact first-order membrane relaxation over dt.
+		membStep = 1 - math.Exp(-dt/we.Func.MembraneTau)
+	}
+	// Cross-talk: a fixed fraction of each co-chambered oxidase
+	// neighbour's H₂O₂ production appears here. The leaked H₂O₂
+	// oxidizes with the *receiving* electrode's half-wave (it is a
+	// surface property of the electrode that collects it).
+	rxHalf := hydrogenPeroxideHalfWave
+	if ox != nil {
+		rxHalf = ox.EHalf
+	}
+	neighbours, err := e.Cell.Neighbours(weName)
+	if err != nil {
+		return nil, err
+	}
+	e.crosstalks = e.crosstalks[:0]
+	for _, nb := range neighbours {
+		if nb.Func.IsBlank() || nb.Func.Assay.Technique != enzyme.Chronoamperometry {
+			continue
+		}
+		nox := nb.Func.Assay.Oxidase
+		e.crosstalks = append(e.crosstalks, caCrosstalk{
+			ox:      nox,
+			sampler: ch.Solution.Sampler(nox.Target.Name),
+			gain:    nb.Gain(),
+			factor: e.Cell.Crosstalk * float64(nox.N) * phys.Faraday *
+				echem.SigmoidEfficiency(actual, rxHalf, nox.N),
+		})
+	}
+	// Direct-oxidizer interferents react at any electrode.
+	e.interferents = e.interferents[:0]
+	for _, name := range ch.Solution.Species() {
+		sp, err := species.Lookup(name)
+		if err != nil {
+			return nil, fmt.Errorf("measure: chamber %s solution: %w", ch.Name, err)
+		}
+		if !sp.DirectOxidizer {
+			continue
+		}
+		e.interferents = append(e.interferents, caInterferent{
+			sampler: ch.Solution.Sampler(name),
+			coeff:   sp.DirectResponse * echem.SigmoidEfficiency(actual, sp.OxidationPotential, sp.Electrons),
+		})
+	}
+
 	// Surface concentration state behind the membrane: equilibrated
 	// with the sample for single-phase runs, buffer-clean for two-phase
 	// runs.
 	cs := 0.0
 	if ox != nil && proto.BaselinePhase <= 0 {
-		cs = float64(ch.Solution.At(ox.Target.Name, 0))
-	}
-	// Neighbour cross-talk sources (co-chambered oxidase electrodes).
-	neighbours, err := e.Cell.Neighbours(weName)
-	if err != nil {
-		return nil, err
+		cs = float64(targetSampler.At(0))
 	}
 
 	for i := 0; i < n; i++ {
 		t := float64(i) * dt
 		j := 0.0 // current density, A/m²
 		if ox != nil {
-			cb := float64(ch.Solution.At(ox.Target.Name, t))
+			cb := float64(targetSampler.At(t))
 			if t < proto.BaselinePhase {
 				cb = 0 // buffer-only phase of the two-phase protocol
 			}
-			// Exact first-order relaxation over dt.
-			tau := we.Func.MembraneTau
-			cs += (cb - cs) * (1 - math.Exp(-dt/tau))
-			j += ox.CurrentDensity(phys.Concentration(cs), actual, gain)
+			cs += (cb - cs) * membStep
+			j += float64(ox.N) * phys.Faraday * ox.TurnoverRate(phys.Concentration(cs), gain) * etaOx
 		}
-		// Cross-talk: a fixed fraction of each co-chambered oxidase
-		// neighbour's H₂O₂ production appears here. The leaked H₂O₂
-		// oxidizes with the *receiving* electrode's half-wave (it is a
-		// surface property of the electrode that collects it).
-		rxHalf := hydrogenPeroxideHalfWave
-		if ox != nil {
-			rxHalf = ox.EHalf
+		for k := range e.crosstalks {
+			x := &e.crosstalks[k]
+			j += x.factor * x.ox.TurnoverRate(x.sampler.At(t), x.gain)
 		}
-		for _, nb := range neighbours {
-			if nb.Func.IsBlank() || nb.Func.Assay.Technique != enzyme.Chronoamperometry {
-				continue
-			}
-			nox := nb.Func.Assay.Oxidase
-			cbn := float64(ch.Solution.At(nox.Target.Name, t))
-			rate := nox.TurnoverRate(phys.Concentration(cbn), nb.Gain())
-			j += e.Cell.Crosstalk * float64(nox.N) * phys.Faraday * rate *
-				echem.SigmoidEfficiency(actual, rxHalf, nox.N)
-		}
-		// Direct-oxidizer interferents react at any electrode.
-		for _, name := range ch.Solution.Species() {
-			sp, err := species.Lookup(name)
-			if err != nil || !sp.DirectOxidizer {
-				continue
-			}
-			c := float64(ch.Solution.At(name, t))
-			j += sp.DirectResponse * c * echem.SigmoidEfficiency(actual, sp.OxidationPotential, sp.Electrons)
+		for k := range e.interferents {
+			in := &e.interferents[k]
+			j += in.coeff * float64(in.sampler.At(t))
 		}
 		// Stochastic blank background: run offset plus sample noise.
 		j += runOffset + noise.NormScaled(sigma)
@@ -245,12 +310,14 @@ func (e *Engine) RunCA(weName string, chain *analog.Chain, proto Chronoamperomet
 		i0 += dl.ChargingCurrent(actual, t+dt/2)
 
 		raw.Values[i] = float64(i0)
-		rec.Values[i] = float64(chain.Digitize(i0))
+		rv := chain.Digitize(i0)
+		rec.Values[i] = float64(rv)
+		// Recover the current estimate inline (the nominal
+		// transimpedance inversion is pure) instead of a second full
+		// pass over the recorded trace.
+		cur.Values[i] = float64(chain.CurrentFromVoltage(rv))
 	}
 
-	cur := rec.Map(func(v float64) float64 {
-		return float64(chain.CurrentFromVoltage(phys.Voltage(v)))
-	}, "A")
 	return &CAResult{WE: weName, Applied: actual, Baseline: proto.BaselinePhase,
 		Raw: raw, Recorded: rec, Current: cur}, nil
 }
@@ -301,7 +368,31 @@ type CVResult struct {
 // current scaled by the binding's catalytic efficiency; the double
 // layer contributes C·dE/dt; blank noise adds on top; the chain
 // digitizes the sum.
+//
+// RunCV simulates the diffusion field of every active binding from
+// scratch. Serving paths that execute the same electrode protocol for
+// many samples should precompute a CVBasis once and use RunCVWithBasis:
+// the diffusion problem is linear in bulk concentration, so the basis'
+// unit flux traces scaled by each sample's effective concentration
+// reproduce the simulation at a fraction of the cost.
 func (e *Engine) RunCV(weName string, chain *analog.Chain, proto CyclicVoltammetry) (*CVResult, error) {
+	return e.runCV(weName, chain, proto, nil)
+}
+
+// RunCVWithBasis is RunCV with the per-binding diffusion simulations
+// replaced by the precomputed unit flux traces of basis (see
+// CVFluxBasis). The basis must have been computed for the same
+// electrode and protocol. Noise, film background, double layer and
+// digitization are identical to RunCV; only the faradaic term comes
+// from the basis.
+func (e *Engine) RunCVWithBasis(weName string, chain *analog.Chain, proto CyclicVoltammetry, basis *CVBasis) (*CVResult, error) {
+	if basis == nil {
+		return nil, fmt.Errorf("measure: RunCVWithBasis needs a basis (use RunCV to simulate)")
+	}
+	return e.runCV(weName, chain, proto, basis)
+}
+
+func (e *Engine) runCV(weName string, chain *analog.Chain, proto CyclicVoltammetry, basis *CVBasis) (*CVResult, error) {
 	defer e.acquire()()
 	proto = proto.WithDefaults()
 	if err := proto.Validate(); err != nil {
@@ -339,16 +430,42 @@ func (e *Engine) RunCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 	total := sweep.Duration()
 	n := int(total/dt) + 1
 
-	// One diffusion solver per active binding.
+	// One diffusion solver — or one scaled basis trace — per active
+	// binding.
 	type activeBinding struct {
-		b   *enzyme.Binding
-		sim *diffusion.CoupleSim
+		b      *enzyme.Binding
+		sim    *diffusion.CoupleSim
+		flux   []float64 // unit flux trace (basis mode)
+		factor float64   // Θ·gain·Current(n, A, C_eff) scale (basis mode)
 	}
+	// Nanostructure gain degraded by film aging — used by both the
+	// faradaic scaling below and the basis factors here; one site so
+	// the two modes can never diverge.
+	gain := we.Gain() * we.Func.StabilityFactor()
+
 	var active []activeBinding
+	if basis != nil {
+		if err := basis.check(weName, proto); err != nil {
+			return nil, err
+		}
+	}
 	if cyp != nil {
 		for _, b := range cyp.Bindings {
 			conc := ch.Solution.At(b.Substrate.Name, 0)
 			if conc <= 0 {
+				continue
+			}
+			if basis != nil {
+				tr := basis.flux[b.Substrate.Name]
+				if len(tr) < n {
+					return nil, fmt.Errorf("measure: basis for %s lacks a %s trace", weName, b.Substrate.Name)
+				}
+				ceff := b.EffectiveConcentration(conc)
+				active = append(active, activeBinding{
+					b:      b,
+					flux:   tr,
+					factor: b.Theta * gain * float64(diffusion.Current(b.N, we.Area, float64(ceff))),
+				})
 				continue
 			}
 			sim, err := diffusion.New(diffusion.Config{
@@ -377,10 +494,13 @@ func (e *Engine) RunCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 	if err != nil {
 		return nil, err
 	}
+	cur, err := trace.NewSeries(0, dt, n, "A")
+	if err != nil {
+		return nil, err
+	}
 
 	chain.Reset(dt)
 	dl := we.DoubleLayer()
-	gain := we.Gain() * we.Func.StabilityFactor()
 	area := float64(we.Area)
 	// The blank current-density noise is a property of the electrode's
 	// enzyme film, present whether or not substrate is in solution.
@@ -419,9 +539,14 @@ func (e *Engine) RunCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 		eAct := chain.ApplyPotential(eProg)
 
 		var iF phys.Current
-		for _, ab := range active {
-			flux := ab.sim.Step(eAct)
-			iF += phys.Current(ab.b.Theta * gain * float64(diffusion.Current(ab.b.N, we.Area, flux)))
+		for k := range active {
+			ab := &active[k]
+			if ab.sim != nil {
+				flux := ab.sim.Step(eAct)
+				iF += phys.Current(ab.b.Theta * gain * float64(diffusion.Current(ab.b.N, we.Area, flux)))
+			} else {
+				iF += phys.Current(ab.factor * ab.flux[i])
+			}
 		}
 		// Double-layer charging tracks dE/dt.
 		dEdt := float64(eAct-prevE) / dt
@@ -437,21 +562,18 @@ func (e *Engine) RunCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 
 		pot.Values[i] = float64(eProg)
 		raw.Values[i] = float64(i0)
-		rec.Values[i] = float64(chain.Digitize(i0))
+		rv := chain.Digitize(i0)
+		rec.Values[i] = float64(rv)
+		cur.Values[i] = float64(chain.CurrentFromVoltage(rv))
 	}
 
-	cur := rec.Map(func(v float64) float64 {
-		return float64(chain.CurrentFromVoltage(phys.Voltage(v)))
-	}, "A")
-
 	// Voltammogram: the final full cycle.
+	first := finalCycleFirstIndex(n, dt, total-2*sweep.HalfPeriod())
 	vg := trace.NewXY("V", "A")
-	cycleStart := total - 2*sweep.HalfPeriod()
-	for i := 0; i < n; i++ {
-		t := float64(i) * dt
-		if t >= cycleStart {
-			vg.Append(pot.Values[i], cur.Values[i])
-		}
+	vg.X = make([]float64, 0, n-first)
+	vg.Y = make([]float64, 0, n-first)
+	for i := first; i < n; i++ {
+		vg.Append(pot.Values[i], cur.Values[i])
 	}
 	return &CVResult{
 		WE:           weName,

@@ -9,6 +9,106 @@ import (
 	"advdiag/internal/trace"
 )
 
+// finalCycleFirstIndex returns the first sample index of the final full
+// sweep cycle. RunCV's voltammogram and the fitting templates must
+// agree on this boundary sample-for-sample (analysis.FitCVComponents
+// aligns them by position), so both use this one definition.
+func finalCycleFirstIndex(n int, dt, cycleStart float64) int {
+	for i := 0; i < n; i++ {
+		if float64(i)*dt >= cycleStart {
+			return i
+		}
+	}
+	return n
+}
+
+// CVBasis holds the unit-concentration surface-flux traces of every
+// binding of one voltammetric electrode over a full protocol: the
+// expensive diffusion simulations, run once. Because the diffusion
+// problem is linear in bulk concentration, the faradaic current of a
+// binding at effective concentration C_eff is exactly C_eff times its
+// unit trace — which is how RunCVWithBasis serves per-sample
+// voltammograms without touching the solver.
+//
+// A basis is immutable after construction and safe for any number of
+// concurrent readers; the serving layer computes one per electrode
+// construction and shares it across panel workers.
+type CVBasis struct {
+	we    string
+	proto CyclicVoltammetry
+	flux  map[string][]float64 // substrate → flux at every sample
+}
+
+// check verifies the basis was computed for this electrode and
+// protocol (the numeric protocol fields; flag fields like
+// NoFilmBackground do not change the flux).
+func (b *CVBasis) check(weName string, proto CyclicVoltammetry) error {
+	if b.we != weName {
+		return fmt.Errorf("measure: basis computed for %s, used on %s", b.we, weName)
+	}
+	p := b.proto
+	if p.Start != proto.Start || p.Vertex != proto.Vertex || p.Rate != proto.Rate ||
+		p.Cycles != proto.Cycles || p.SampleInterval != proto.SampleInterval {
+		return fmt.Errorf("measure: basis protocol %+v does not match run protocol %+v", p, proto)
+	}
+	return nil
+}
+
+// CVFluxBasis runs the unit-concentration diffusion simulation of every
+// binding of the named electrode's CYP isoform over the full protocol
+// and records the surface-flux traces. When chain is non-nil the
+// electrode potential driving the simulations is the chain-applied
+// (potentiostat-corrected) potential — pass the electrode's chain to
+// make RunCVWithBasis reproduce what RunCV would have simulated; pass
+// nil to drive with the programmed sweep (the convention of the
+// template fitting side).
+func (e *Engine) CVFluxBasis(weName string, proto CyclicVoltammetry, chain *analog.Chain) (*CVBasis, error) {
+	proto = proto.WithDefaults()
+	if err := proto.Validate(); err != nil {
+		return nil, err
+	}
+	we, err := e.Cell.FindWE(weName)
+	if err != nil {
+		return nil, err
+	}
+	if we.Func.IsBlank() || we.Func.Assay.Technique != enzyme.CyclicVoltammetry {
+		return nil, fmt.Errorf("measure: %s is not a voltammetric electrode", weName)
+	}
+	cyp := we.Func.Assay.CYP
+
+	sweep := analog.TriangleSweep{Start: proto.Start, Vertex: proto.Vertex, Rate: proto.Rate, Cycles: proto.Cycles}
+	if err := sweep.Validate(); err != nil {
+		return nil, err
+	}
+	dt := proto.SampleInterval
+	total := sweep.Duration()
+	n := int(total/dt) + 1
+
+	basis := &CVBasis{we: weName, proto: proto, flux: make(map[string][]float64, len(cyp.Bindings))}
+	for _, b := range cyp.Bindings {
+		sim, err := diffusion.New(diffusion.Config{
+			Kinetics:  b.Kinetics(),
+			Diffusion: b.Substrate.Diffusion,
+			BulkO:     1, // unit concentration
+			TotalTime: total,
+			Dt:        dt,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("measure: basis for %s: %w", b.Substrate.Name, err)
+		}
+		tr := make([]float64, n)
+		for i := 0; i < n; i++ {
+			eDrive := sweep.VoltageAt(float64(i) * dt)
+			if chain != nil {
+				eDrive = chain.ApplyPotential(eDrive)
+			}
+			tr[i] = sim.Step(eDrive)
+		}
+		basis.flux[b.Substrate.Name] = tr
+	}
+	return basis, nil
+}
+
 // CVTemplates computes noise-free unit-concentration voltammetric
 // responses for every binding of the named electrode's CYP isoform,
 // over the same final-cycle grid RunCV's Voltammogram uses.
@@ -21,18 +121,27 @@ import (
 // larger neighbouring wave as a mere shoulder — the situation of the
 // CYP2B4 benzphetamine + aminopyrine electrode.
 func (e *Engine) CVTemplates(weName string, proto CyclicVoltammetry) (*trace.XY, map[string][]float64, error) {
-	proto = proto.WithDefaults()
-	if err := proto.Validate(); err != nil {
+	basis, err := e.CVFluxBasis(weName, proto, nil)
+	if err != nil {
 		return nil, nil, err
 	}
-	we, err := e.Cell.FindWE(weName)
+	return e.CVTemplatesFromBasis(basis)
+}
+
+// CVTemplatesFromBasis derives the final-cycle fitting templates from
+// an existing basis without re-running any diffusion simulation. The
+// serving layer uses this to get both the run-time basis and the
+// fitting templates from one set of simulations.
+func (e *Engine) CVTemplatesFromBasis(basis *CVBasis) (*trace.XY, map[string][]float64, error) {
+	we, err := e.Cell.FindWE(basis.we)
 	if err != nil {
 		return nil, nil, err
 	}
 	if we.Func.IsBlank() || we.Func.Assay.Technique != enzyme.CyclicVoltammetry {
-		return nil, nil, fmt.Errorf("measure: %s is not a voltammetric electrode", weName)
+		return nil, nil, fmt.Errorf("measure: %s is not a voltammetric electrode", basis.we)
 	}
 	cyp := we.Func.Assay.CYP
+	proto := basis.proto
 
 	sweep := analog.TriangleSweep{Start: proto.Start, Vertex: proto.Vertex, Rate: proto.Rate, Cycles: proto.Cycles}
 	if err := sweep.Validate(); err != nil {
@@ -41,39 +150,26 @@ func (e *Engine) CVTemplates(weName string, proto CyclicVoltammetry) (*trace.XY,
 	dt := proto.SampleInterval
 	total := sweep.Duration()
 	n := int(total/dt) + 1
-	cycleStart := total - 2*sweep.HalfPeriod()
+	first := finalCycleFirstIndex(n, dt, total-2*sweep.HalfPeriod())
 	gain := we.Gain()
 
 	grid := trace.NewXY("V", "A")
+	grid.X = make([]float64, 0, n-first)
+	grid.Y = make([]float64, 0, n-first)
+	for i := first; i < n; i++ {
+		grid.Append(float64(sweep.VoltageAt(float64(i)*dt)), 0)
+	}
 	templates := make(map[string][]float64, len(cyp.Bindings))
 	for _, b := range cyp.Bindings {
-		sim, err := diffusion.New(diffusion.Config{
-			Kinetics:  b.Kinetics(),
-			Diffusion: b.Substrate.Diffusion,
-			BulkO:     1, // unit concentration
-			TotalTime: total,
-			Dt:        dt,
-		})
-		if err != nil {
-			return nil, nil, fmt.Errorf("measure: template for %s: %w", b.Substrate.Name, err)
+		tr, ok := basis.flux[b.Substrate.Name]
+		if !ok || len(tr) < n {
+			return nil, nil, fmt.Errorf("measure: basis for %s lacks a %s trace", basis.we, b.Substrate.Name)
 		}
-		var vals []float64
-		first := len(grid.X) == 0
-		for i := 0; i < nSteps(n); i++ {
-			t := float64(i) * dt
-			eProg := sweep.VoltageAt(t)
-			flux := sim.Step(eProg)
-			if t >= cycleStart {
-				iF := b.Theta * gain * float64(diffusion.Current(b.N, we.Area, flux))
-				vals = append(vals, iF)
-				if first {
-					grid.Append(float64(eProg), 0)
-				}
-			}
+		vals := make([]float64, 0, n-first)
+		for i := first; i < n; i++ {
+			vals = append(vals, b.Theta*gain*float64(diffusion.Current(b.N, we.Area, tr[i])))
 		}
 		templates[b.Substrate.Name] = vals
 	}
 	return grid, templates, nil
 }
-
-func nSteps(n int) int { return n }

@@ -295,7 +295,11 @@ func (p *Platform) runPanelSeeded(sample map[string]float64, seed uint64) (Panel
 				TrueMM:            sample[a.Target.Name],
 			})
 		case enzyme.CyclicVoltammetry:
-			res, err := eng.RunCV(ep.Name, chain, cal.proto)
+			// The cached basis replaces the per-sample diffusion
+			// simulations: the linearity of the diffusion problem makes
+			// scaled unit flux traces exact, and it is what makes panel
+			// throughput independent of the solver's cost.
+			res, err := eng.RunCVWithBasis(ep.Name, chain, cal.proto, cal.basis)
 			if err != nil {
 				return PanelResult{}, err
 			}
