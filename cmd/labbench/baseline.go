@@ -33,6 +33,12 @@ type Baseline struct {
 	Patients int `json:"patients"`
 	// SingleWorkerPanelsPerSec is the 1-worker RunPanels rate.
 	SingleWorkerPanelsPerSec float64 `json:"single_worker_panels_per_sec"`
+	// FleetPanelsPerSec is the Fleet throughput on mixed panel traffic
+	// at the largest swept shard count (single worker per shard); 0
+	// when the baseline predates the fleet sweep or -fleet was off.
+	FleetPanelsPerSec float64 `json:"fleet_panels_per_sec,omitempty"`
+	// FleetShards records the shard count behind FleetPanelsPerSec.
+	FleetShards int `json:"fleet_shards,omitempty"`
 	// Benchmarks maps experiment name → cost of one full run.
 	Benchmarks map[string]BenchMetric `json:"benchmarks"`
 }
@@ -83,7 +89,7 @@ func measureFigBenchmarks(w io.Writer) (map[string]BenchMetric, error) {
 
 // writeBaseline measures the figure benchmarks and writes the full
 // baseline file.
-func writeBaseline(w io.Writer, path string, patients int, panelsPerSec float64) error {
+func writeBaseline(w io.Writer, path string, cfg config, panelsPerSec, fleetPanelsPerSec float64) error {
 	fmt.Fprintf(w, "\nmeasuring Fig. 1-4 benchmarks for %s...\n", path)
 	benches, err := measureFigBenchmarks(w)
 	if err != nil {
@@ -92,9 +98,13 @@ func writeBaseline(w io.Writer, path string, patients int, panelsPerSec float64)
 	b := Baseline{
 		GeneratedAt:              time.Now().UTC().Format(time.RFC3339),
 		Host:                     fmt.Sprintf("%s/%s, %d cpu", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
-		Patients:                 patients,
+		Patients:                 cfg.patients,
 		SingleWorkerPanelsPerSec: panelsPerSec,
 		Benchmarks:               benches,
+	}
+	if fleetPanelsPerSec > 0 {
+		b.FleetPanelsPerSec = fleetPanelsPerSec
+		b.FleetShards = cfg.shards[len(cfg.shards)-1]
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
@@ -137,10 +147,11 @@ func readBaseline(path string) (*Baseline, error) {
 	return &b, nil
 }
 
-// checkBaseline compares a measured single-worker rate against the
-// committed baseline and errors on a regression beyond tolerance
-// (e.g. 0.30 = fail when more than 30% slower).
-func checkBaseline(w io.Writer, base *Baseline, measured, tolerance float64) error {
+// checkBaseline compares the measured single-worker rate — and, when
+// both sides have one at the same shard count, the fleet rate —
+// against the committed baseline and errors on a regression beyond
+// tolerance (e.g. 0.30 = fail when more than 30% slower).
+func checkBaseline(w io.Writer, base *Baseline, measured, measuredFleet float64, measuredFleetShards int, tolerance float64) error {
 	floor := base.SingleWorkerPanelsPerSec * (1 - tolerance)
 	ratio := measured / base.SingleWorkerPanelsPerSec
 	fmt.Fprintf(w, "\nbaseline: %.1f panels/sec recorded (%s), measured %.1f (%.0f%%), floor %.1f\n",
@@ -148,6 +159,26 @@ func checkBaseline(w io.Writer, base *Baseline, measured, tolerance float64) err
 	if measured < floor {
 		return fmt.Errorf("labbench: panels/sec regressed beyond %.0f%%: measured %.1f vs baseline %.1f",
 			100*tolerance, measured, base.SingleWorkerPanelsPerSec)
+	}
+	switch {
+	case measuredFleet <= 0:
+		// -fleet was off; nothing to diff.
+	case base.FleetPanelsPerSec <= 0:
+		fmt.Fprintf(w, "baseline has no fleet_panels_per_sec yet; measured %.1f not diffed (regenerate with -fleet -json)\n", measuredFleet)
+	case base.FleetShards != measuredFleetShards:
+		// Rates at different shard counts are not like-for-like (the
+		// sweep parallelizes with shards on multi-core hosts).
+		fmt.Fprintf(w, "fleet baseline recorded at %d shards but measured at %d; not diffed (align -shards or regenerate)\n",
+			base.FleetShards, measuredFleetShards)
+	default:
+		fleetFloor := base.FleetPanelsPerSec * (1 - tolerance)
+		fmt.Fprintf(w, "fleet baseline: %.1f panels/sec recorded (%d shards), measured %.1f (%.0f%%), floor %.1f\n",
+			base.FleetPanelsPerSec, base.FleetShards, measuredFleet,
+			100*measuredFleet/base.FleetPanelsPerSec, fleetFloor)
+		if measuredFleet < fleetFloor {
+			return fmt.Errorf("labbench: fleet panels/sec regressed beyond %.0f%%: measured %.1f vs baseline %.1f",
+				100*tolerance, measuredFleet, base.FleetPanelsPerSec)
+		}
 	}
 	return nil
 }

@@ -31,19 +31,44 @@ func TestBaselineRoundTripAndCheck(t *testing.T) {
 
 	var b strings.Builder
 	// Within tolerance: 80 ≥ 100·(1−0.30).
-	if err := checkBaseline(&b, base, 80, 0.30); err != nil {
+	if err := checkBaseline(&b, base, 80, 0, 0, 0.30); err != nil {
 		t.Fatalf("80 vs 100 at 30%% tolerance must pass: %v", err)
 	}
 	// Beyond tolerance.
-	if err := checkBaseline(&b, base, 60, 0.30); err == nil {
+	if err := checkBaseline(&b, base, 60, 0, 0, 0.30); err == nil {
 		t.Fatal("60 vs 100 at 30% tolerance must fail")
 	}
 	// Improvements always pass.
-	if err := checkBaseline(&b, base, 500, 0.30); err != nil {
+	if err := checkBaseline(&b, base, 500, 0, 0, 0.30); err != nil {
 		t.Fatalf("improvement must pass: %v", err)
+	}
+	// A measured fleet rate against a pre-fleet baseline is reported
+	// but not diffed.
+	if err := checkBaseline(&b, base, 80, 50, 2, 0.30); err != nil {
+		t.Fatalf("fleet rate without a fleet baseline must not fail: %v", err)
 	}
 	if !strings.Contains(b.String(), "baseline:") {
 		t.Fatalf("comparison report missing:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "not diffed") {
+		t.Fatalf("missing fleet skip note:\n%s", b.String())
+	}
+
+	// With a fleet baseline present the fleet rate is enforced too —
+	// but only at the same shard count (rates parallelize with shards,
+	// so cross-count diffs are not like-for-like).
+	base.FleetPanelsPerSec, base.FleetShards = 200, 4
+	if err := checkBaseline(&b, base, 80, 150, 4, 0.30); err != nil {
+		t.Fatalf("fleet 150 vs 200 at 30%% tolerance must pass: %v", err)
+	}
+	if err := checkBaseline(&b, base, 80, 100, 4, 0.30); err == nil {
+		t.Fatal("fleet 100 vs 200 at 30% tolerance must fail")
+	}
+	if err := checkBaseline(&b, base, 80, 100, 2, 0.30); err != nil {
+		t.Fatalf("mismatched shard counts must skip the fleet diff, not fail: %v", err)
+	}
+	if !strings.Contains(b.String(), "recorded at 4 shards but measured at 2") {
+		t.Fatalf("missing shard-mismatch note:\n%s", b.String())
 	}
 }
 
@@ -64,7 +89,8 @@ func TestWriteBaselineRoundTrip(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "out.json")
 	var b strings.Builder
-	if err := writeBaseline(&b, path, 5, 123.4); err != nil {
+	cfg := config{patients: 5, shards: []int{1, 2}}
+	if err := writeBaseline(&b, path, cfg, 123.4, 456.7); err != nil {
 		t.Fatal(err)
 	}
 	if calls == 0 {
@@ -76,6 +102,9 @@ func TestWriteBaselineRoundTrip(t *testing.T) {
 	}
 	if base.SingleWorkerPanelsPerSec != 123.4 || base.Patients != 5 {
 		t.Fatalf("round-tripped %+v", base)
+	}
+	if base.FleetPanelsPerSec != 456.7 || base.FleetShards != 2 {
+		t.Fatalf("fleet numbers lost in the round trip: %+v", base)
 	}
 	m, ok := base.Benchmarks["Stub"]
 	if !ok || m.NsPerOp <= 0 {
@@ -89,7 +118,7 @@ func TestWriteBaselineRoundTrip(t *testing.T) {
 	figExperiments = map[string]func() (*experiments.Result, error){
 		"Broken": func() (*experiments.Result, error) { return nil, os.ErrInvalid },
 	}
-	if err := writeBaseline(&b, filepath.Join(t.TempDir(), "x.json"), 1, 1); err == nil {
+	if err := writeBaseline(&b, filepath.Join(t.TempDir(), "x.json"), config{patients: 1, shards: []int{1}}, 1, 0); err == nil {
 		t.Fatal("failing experiment did not fail writeBaseline")
 	}
 }

@@ -45,7 +45,37 @@ type config struct {
 	targets  []string
 	patients int
 	workers  []int
+	shards   []int
 	seed     uint64
+}
+
+// mixedTraffic generates the fleet cohort: a deterministic mix of
+// partial metabolite panels, partial drug panels, and full panels —
+// the heterogeneous traffic shape a multi-assay dispatcher sees. Every
+// third sample of each kind keeps the cohort reproducible across shard
+// counts.
+func mixedTraffic(targets []string, n int, seed uint64) []advdiag.Sample {
+	full := cohort(targets, n, seed)
+	metabolites := []string{"glucose", "lactate", "glutamate", "cholesterol"}
+	drugs := []string{"benzphetamine", "aminopyrine"}
+	subset := func(concs map[string]float64, keep []string) map[string]float64 {
+		out := make(map[string]float64, len(keep))
+		for _, k := range keep {
+			if v, ok := concs[k]; ok {
+				out[k] = v
+			}
+		}
+		return out
+	}
+	for i := range full {
+		switch i % 3 {
+		case 0:
+			full[i].Concentrations = subset(full[i].Concentrations, metabolites)
+		case 1:
+			full[i].Concentrations = subset(full[i].Concentrations, drugs)
+		}
+	}
+	return full
 }
 
 // parseWorkers turns "1,2,4,8" into a slice.
@@ -174,14 +204,84 @@ func run(w io.Writer, cfg config) (float64, error) {
 	return singleRate, nil
 }
 
+// runFleet sweeps shard counts over mixed Fig. 1–4 panel traffic (one
+// worker per shard — the single-CPU reference configuration) and
+// verifies every shard count produces byte-identical results. It
+// returns the panels/sec of the largest shard count, the tracked fleet
+// headline number.
+func runFleet(w io.Writer, cfg config) (float64, error) {
+	fmt.Fprintf(w, "\nfleet mode: designing the %d-target platform once, sharing it across shards...\n", len(cfg.targets))
+	platform, err := advdiag.DesignPlatform(cfg.targets, advdiag.WithPlatformSeed(cfg.seed))
+	if err != nil {
+		return 0, err
+	}
+	samples := mixedTraffic(cfg.targets, cfg.patients, cfg.seed)
+	// The calibration cache warms inside NewLab; run a couple of
+	// panels on top so the timed rows measure the steady-state service
+	// cost, not first-touch effects (heap growth, page faults) — the
+	// same pattern as the worker sweep. Surfacing errors here keeps a
+	// broken platform or cohort from failing mid-sweep instead.
+	warmLab, err := advdiag.NewLab(platform, advdiag.WithLabWorkers(1))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := batchFingerprint(warmLab.RunPanels(samples[:min(2, len(samples))])); err != nil {
+		return 0, fmt.Errorf("labbench: fleet warm-up: %w", err)
+	}
+
+	fmt.Fprintf(w, "mixed traffic: %d samples (1/3 metabolite, 1/3 drug, 1/3 full panel); sweep shards %v\n\n", cfg.patients, cfg.shards)
+	fmt.Fprintf(w, "%8s %10s %12s %9s %11s\n", "shards", "wall", "panels/sec", "speedup", "cache hit")
+
+	var base, lastRate float64
+	var fp uint64
+	for i, shards := range cfg.shards {
+		platforms := make([]*advdiag.Platform, shards)
+		for j := range platforms {
+			platforms[j] = platform
+		}
+		fleet, err := advdiag.NewFleet(platforms, advdiag.WithFleetWorkers(1))
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		outs := fleet.RunPanels(samples)
+		wall := time.Since(start).Seconds()
+		got, err := batchFingerprint(outs)
+		if err != nil {
+			return 0, err
+		}
+		st := fleet.Stats()
+		if err := fleet.Close(); err != nil {
+			return 0, err
+		}
+		if i == 0 {
+			fp = got
+		} else if got != fp {
+			return 0, fmt.Errorf("labbench: results at %d shards differ from %d shards (fingerprint %x vs %x)",
+				shards, cfg.shards[0], got, fp)
+		}
+		rate := float64(cfg.patients) / wall
+		if i == 0 {
+			base = rate
+		}
+		lastRate = rate
+		fmt.Fprintf(w, "%8d %9.2fs %12.1f %8.2fx %10.0f%%\n",
+			shards, wall, rate, rate/base, 100*st.CacheHitRate)
+	}
+	fmt.Fprintf(w, "\nfleet results byte-identical across all shard counts (fingerprint %016x)\n", fp)
+	return lastRate, nil
+}
+
 func main() {
 	var (
 		patients  = flag.Int("patients", 64, "number of patient samples in the cohort")
 		workers   = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+		fleet     = flag.Bool("fleet", false, "also sweep Fleet shard counts on mixed panel traffic")
+		shards    = flag.String("shards", "1,2,4", "comma-separated shard counts for the -fleet sweep")
 		seed      = flag.Uint64("seed", 9, "platform and cohort seed")
-		quick     = flag.Bool("quick", false, "CI smoke: 16 patients, workers 1,2")
+		quick     = flag.Bool("quick", false, "CI smoke: 16 patients, workers 1,2 (and shards 1,2 with -fleet)")
 		jsonOut   = flag.String("json", "", "write a performance baseline (panels/sec + Fig. 1-4 benchmarks) to this file")
-		baseline  = flag.String("baseline", "", "compare single-worker panels/sec against this committed baseline file")
+		baseline  = flag.String("baseline", "", "compare measured panels/sec against this committed baseline file")
 		tolerance = flag.Float64("tolerance", 0.30, "allowed fractional panels/sec regression vs -baseline before failing")
 	)
 	flag.Parse()
@@ -192,7 +292,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cfg.shards, err = parseWorkers(*shards)
+	if err != nil {
+		fatal(err)
+	}
 	if *quick {
+		// Quick mode trims the cohort and the worker sweep but keeps
+		// the shard sweep: the tracked fleet rate is defined at the
+		// largest swept shard count, so CI must measure the same shard
+		// count the committed baseline records.
 		cfg.patients, cfg.workers = 16, []int{1, 2}
 	}
 	if cfg.patients < 1 {
@@ -210,17 +318,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fleetRate := 0.0
+	if *fleet {
+		fleetRate, err = runFleet(os.Stdout, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	if *baseline != "" {
 		base, err := readBaseline(*baseline)
 		if err != nil {
 			fatal(err)
 		}
-		if err := checkBaseline(os.Stdout, base, singleRate, *tolerance); err != nil {
+		fleetShards := cfg.shards[len(cfg.shards)-1]
+		if err := checkBaseline(os.Stdout, base, singleRate, fleetRate, fleetShards, *tolerance); err != nil {
 			fatal(err)
 		}
 	}
 	if *jsonOut != "" {
-		if err := writeBaseline(os.Stdout, *jsonOut, cfg.patients, singleRate); err != nil {
+		if err := writeBaseline(os.Stdout, *jsonOut, cfg, singleRate, fleetRate); err != nil {
 			fatal(err)
 		}
 	}

@@ -38,6 +38,58 @@ func TestCohortIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestMixedTrafficShape: the fleet cohort alternates metabolite-only,
+// drug-only and full panels deterministically.
+func TestMixedTrafficShape(t *testing.T) {
+	a := mixedTraffic(fig4Targets, 9, 42)
+	b := mixedTraffic(fig4Targets, 9, 42)
+	for i := range a {
+		if len(a[i].Concentrations) != len(b[i].Concentrations) {
+			t.Fatalf("sample %d not deterministic", i)
+		}
+		switch i % 3 {
+		case 0:
+			if _, drug := a[i].Concentrations["benzphetamine"]; drug {
+				t.Fatalf("sample %d is a metabolite panel but carries a drug", i)
+			}
+		case 1:
+			if _, met := a[i].Concentrations["glucose"]; met {
+				t.Fatalf("sample %d is a drug panel but carries a metabolite", i)
+			}
+		default:
+			if len(a[i].Concentrations) != len(fig4Targets) {
+				t.Fatalf("sample %d should be a full panel, has %d species", i, len(a[i].Concentrations))
+			}
+		}
+	}
+}
+
+// TestRunFleetSweep exercises the -fleet sweep end to end on a small
+// cohort: shard counts must produce byte-identical results and a
+// positive headline rate.
+func TestRunFleetSweep(t *testing.T) {
+	var b strings.Builder
+	cfg := config{
+		targets:  fig4Targets,
+		patients: 6,
+		shards:   []int{1, 2},
+		seed:     7,
+	}
+	rate, err := runFleet(&b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Fatalf("fleet sweep reported non-positive rate %g", rate)
+	}
+	out := b.String()
+	for _, frag := range []string{"mixed traffic", "shards", "byte-identical"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("fleet report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
 // TestRunQuickSweep exercises the full bench end to end on a small
 // two-target platform (fast) and checks the report shape, including
 // the byte-identity verification across worker counts.

@@ -31,6 +31,54 @@
 //     per-sample seeding, per-panel timing from the acquisition
 //     schedule, and aggregate throughput/cache statistics.
 //
+//   - Fleet: the scale-out dispatcher over many Platforms. Each shard
+//     is a platform with its own worker pool and bounded queue; a
+//     pluggable Router (panel-type affinity, least-loaded, or
+//     consistent-hash by patient) places each sample, Submit blocks on
+//     backpressure while TrySubmit sheds load with ErrFleetSaturated,
+//     and FleetStats aggregates the per-shard service counters.
+//
+// # Architecture
+//
+// The execution stack is three layers over one engine; every layer
+// above internal/runtime is an adapter, never a re-implementation:
+//
+//	              ┌──────────────────────────────────────────┐
+//	              │            advdiag.Fleet                 │
+//	              │  Router ▸ shard queues ▸ FleetStats      │
+//	              └───────┬──────────┬──────────┬────────────┘
+//	                      │ shard 0  │ shard 1  │ shard N-1
+//	              ┌───────▼──┐  ┌────▼─────┐  ┌─▼────────┐
+//	              │ advdiag. │  │ advdiag. │  │ advdiag. │
+//	              │   Lab    │  │   Lab    │  │   Lab    │
+//	              │ batching · streaming · stats · timing │
+//	              └───────┬──────────┬──────────┬─────────┘
+//	                      └──────────┼──────────┘
+//	              ┌──────────────────▼───────────────────────┐
+//	              │        internal/runtime.Executor         │
+//	              │ validation · seeding · calibration cache │
+//	              │            · panel assembly              │
+//	              └──────────────────────────────────────────┘
+//
+// Platform.RunPanel is the zero-concurrency adapter over the same
+// Executor (it runs with the raw platform seed); a Lab is one shard's
+// worth of service; a Fleet multiplexes samples across shards without
+// ever touching execution logic. Because a Lab or Fleet sample's noise
+// stream is seeded from the base seed and its submission index alone
+// (runtime.SampleSeed), the two serving layers are bit-for-bit
+// interchangeable: a Lab at any worker count and a Fleet at any shard
+// count under any router produce identical PanelResult.Fingerprint
+// values for the same submission sequence (indices count from the
+// service's first accepted sample; see Fleet's determinism note for
+// reused dispatchers).
+//
+// Use a Lab when one platform design serves all traffic and a single
+// machine's worker pool is enough. Use a Fleet when traffic mixes
+// panel types that belong on different platform designs (route by
+// AffinityRouter), when one instrument's throughput ceiling is the
+// bottleneck (identical shards behind LeastLoadedRouter), or when
+// per-patient affinity matters for longitudinal tracking (HashRouter).
+//
 // All public values use the paper's units: mM for concentrations, mV for
 // potentials, µA for currents, µA/(mM·cm²) for sensitivities, seconds
 // for time. The internal simulator works in SI.

@@ -8,9 +8,9 @@ import (
 	"advdiag"
 )
 
-// TestMonitorErrorPaths covers every documented failure mode of
-// Sensor.Monitor: wrong technique, non-positive duration, and an empty
-// injection list.
+// TestMonitorErrorPaths covers the documented failure modes of
+// Sensor.Monitor: wrong technique and non-positive duration. An empty
+// injection list is NOT an error — see TestMonitorBaselineOnly.
 func TestMonitorErrorPaths(t *testing.T) {
 	cv, err := advdiag.NewSensor("benzphetamine")
 	if err != nil {
@@ -24,13 +24,48 @@ func TestMonitorErrorPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range []float64{0, -5} {
+	for _, d := range []float64{-0.5, -5} {
 		if _, err := ca.Monitor(d, advdiag.InjectionEvent{AtSeconds: 1, DeltaMM: 1}); err == nil {
 			t.Fatalf("duration %g must fail", d)
 		}
 	}
-	if _, err := ca.Monitor(60); err == nil {
-		t.Fatal("monitoring without injections must fail")
+	if _, err := ca.Monitor(-1); err == nil {
+		t.Fatal("negative duration must fail even without injections")
+	}
+	// Zero duration is not an error: it selects the protocol default.
+	if res, err := ca.Monitor(0, advdiag.InjectionEvent{AtSeconds: 5, DeltaMM: 1}); err != nil {
+		t.Fatalf("zero duration must select the default: %v", err)
+	} else if last := res.TimesSeconds[len(res.TimesSeconds)-1]; last < 59 {
+		t.Fatalf("default-duration run ends at %g s", last)
+	}
+}
+
+// TestMonitorBaselineOnly: a zero-injection run records the blank/drift
+// trace — the way a deployed sensor logs its noise floor — instead of
+// erroring out.
+func TestMonitorBaselineOnly(t *testing.T) {
+	ca, err := advdiag.NewSensor("glucose", advdiag.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ca.Monitor(60)
+	if err != nil {
+		t.Fatalf("baseline-only monitoring must run: %v", err)
+	}
+	if len(res.TimesSeconds) == 0 || len(res.TimesSeconds) != len(res.CurrentsMicroAmps) {
+		t.Fatalf("trace not recorded: %d times, %d currents", len(res.TimesSeconds), len(res.CurrentsMicroAmps))
+	}
+	if got := res.TimesSeconds[len(res.TimesSeconds)-1]; got < 59 {
+		t.Fatalf("trace ends at %g s, want ≥ 59", got)
+	}
+	if res.BaselineMicroAmps != res.SteadyMicroAmps {
+		t.Fatalf("baseline %g ≠ steady %g on a flat run", res.BaselineMicroAmps, res.SteadyMicroAmps)
+	}
+	if res.T90Seconds != 0 || res.TransientSeconds != 0 {
+		t.Fatalf("no-injection run reported transients: T90=%g, transient=%g", res.T90Seconds, res.TransientSeconds)
+	}
+	if !res.Settled {
+		t.Fatal("a blank trace is settled by definition")
 	}
 }
 

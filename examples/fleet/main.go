@@ -1,0 +1,69 @@
+// Fleet: scale the paper's platform out to a multi-instrument
+// deployment. Two specialised backends — a metabolite analyzer and a
+// drug-panel analyzer — sit behind one dispatcher that routes each
+// incoming sample to the right instrument by panel-type affinity,
+// applies bounded-queue backpressure, and aggregates per-shard service
+// statistics. The same front door would serve a rack of identical
+// analyzers with the least-loaded or consistent-hash policy instead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"advdiag"
+)
+
+func main() {
+	// Two differently-specialised platforms, one shard each.
+	metabolite, err := advdiag.DesignPlatform(
+		[]string{"glucose", "lactate", "glutamate"},
+		advdiag.WithPlatformSeed(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	drugs, err := advdiag.DesignPlatform(
+		[]string{"benzphetamine", "aminopyrine"},
+		advdiag.WithPlatformSeed(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fleet, err := advdiag.NewFleet(
+		[]*advdiag.Platform{metabolite, drugs},
+		advdiag.WithFleetRouter(advdiag.AffinityRouter{}),
+		advdiag.WithFleetWorkers(2),
+		advdiag.WithFleetQueueDepth(8),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("fleet shards:")
+	for i, p := range []*advdiag.Platform{metabolite, drugs} {
+		fmt.Printf("  shard %d: %v\n", i, p.Targets())
+	}
+
+	// Mixed traffic: ward metabolic panels interleaved with
+	// drug-monitoring draws. The router sends each to its instrument.
+	samples := []advdiag.Sample{
+		{ID: "icu-07", Concentrations: map[string]float64{"glucose": 6.1, "lactate": 2.8}},
+		{ID: "tox-12", Concentrations: map[string]float64{"benzphetamine": 0.6}},
+		{ID: "icu-07-t2", Concentrations: map[string]float64{"glucose": 5.2, "lactate": 2.1, "glutamate": 0.7}},
+		{ID: "tox-19", Concentrations: map[string]float64{"aminopyrine": 3.2, "benzphetamine": 0.4}},
+	}
+	outcomes := fleet.RunPanels(samples)
+	for _, o := range outcomes {
+		if o.Err != nil {
+			log.Fatalf("%s: %v", o.ID, o.Err)
+		}
+		fmt.Printf("\n%s → shard %d (t+%.0fs on that instrument)\n%s",
+			o.ID, o.Shard, o.ScheduledStartSeconds, o.Result)
+	}
+
+	fmt.Println()
+	fmt.Print(fleet.Stats())
+	if err := fleet.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

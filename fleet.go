@@ -1,0 +1,534 @@
+package advdiag
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrFleetSaturated is returned by TrySubmit when the routed shard's
+// bounded queue is full: explicit backpressure for callers that would
+// rather shed load (or route elsewhere) than block.
+var ErrFleetSaturated = errors.New("advdiag: fleet shard queue is full")
+
+// ErrFleetClosed is the sentinel a closed Fleet returns from Submit,
+// TrySubmit and a second Close.
+var ErrFleetClosed = errors.New("advdiag: fleet is closed")
+
+// Fleet is a sharded multi-platform dispatcher: N shards, each a
+// designed Platform with its own worker pool and bounded input queue,
+// behind one routing front door. It is the scale-out layer above the
+// Lab — where a Lab serves one platform, a Fleet multiplexes
+// heterogeneous panel traffic across many (possibly different)
+// platforms, the way a clinical integration layer multiplexes assay
+// requests across backend analyzers.
+//
+// Determinism: every accepted sample gets a fleet-wide submission
+// index, and its noise stream is seeded from the fleet seed and that
+// index alone (runtime.SampleSeed — the same derivation a Lab uses).
+// Which shard runs a sample, how many shards exist, and which routing
+// policy chose the shard therefore never influence the result: for the
+// same submission sequence, a Fleet of identical platforms is
+// byte-identical to a single Lab, at any shard count, under any
+// Router. The index is the fleet's lifetime acceptance counter (like a
+// Lab's streaming Submit counter), so the k-th sample ever accepted
+// matches the k-th sample of the Lab run — a second RunPanels batch on
+// a reused Fleet continues the sequence rather than restarting at 0
+// the way Lab.RunPanels does; compare whole submission histories (or
+// use a fresh Fleet per comparison).
+//
+// Backpressure: each shard's queue is bounded. Submit blocks until the
+// routed shard has room (natural backpressure for pipelines);
+// TrySubmit returns ErrFleetSaturated instead of blocking (explicit
+// load-shedding for latency-sensitive front ends). Rejections are
+// counted in FleetStats.
+//
+// Lifecycle: Drain waits for everything accepted so far to finish
+// (keep consuming Results); Close stops intake, drains, and closes
+// Results. Both are safe under concurrent submissions.
+type Fleet struct {
+	shards  []*fleetShard
+	router  Router
+	seed    uint64
+	workers int
+	depth   int
+
+	results chan PanelOutcome
+	workWG  sync.WaitGroup // shard worker goroutines
+
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast when completed advances
+	submitted int
+	completed int
+	rejected  uint64
+	routeErrs uint64
+	closed    bool
+	submitWG  sync.WaitGroup // Submits between closed-check and enqueue
+	first     time.Time
+	last      time.Time
+}
+
+// fleetShard is one backend: a Lab over its platform plus the shard's
+// dispatch state.
+type fleetShard struct {
+	index   int
+	lab     *Lab
+	targets []string
+	queue   chan fleetJob
+	// sched is the shard's instrument-timeline position counter:
+	// assigned at routing time, so back-to-back cycles follow arrival
+	// order on the shard.
+	sched int
+	// pending counts samples accepted for this shard and not yet
+	// delivered to Results (queued + executing). It is guarded by the
+	// Fleet mutex and updated at accept/complete time, so the router's
+	// load snapshot never loses sight of a job in the dequeue window.
+	pending int
+	// routed counts everything ever enqueued.
+	routed atomic.Uint64
+}
+
+// fleetJob carries one routed sample: seedIdx is the fleet-wide
+// submission index (the determinism anchor), schedIdx the per-shard
+// instrument slot.
+type fleetJob struct {
+	seedIdx, schedIdx int
+	sample            Sample
+}
+
+// FleetOption customizes a Fleet.
+type FleetOption func(*Fleet)
+
+// WithFleetRouter selects the routing policy (default
+// LeastLoadedRouter).
+func WithFleetRouter(r Router) FleetOption {
+	return func(f *Fleet) { f.router = r }
+}
+
+// WithFleetWorkers sets each shard's worker count (default 1). Worker
+// count changes wall-clock time only, never results.
+func WithFleetWorkers(n int) FleetOption {
+	return func(f *Fleet) { f.workers = n }
+}
+
+// WithFleetQueueDepth bounds each shard's input queue (default
+// 2×workers, minimum 1). A fuller queue means more buffering before
+// Submit blocks or TrySubmit rejects.
+func WithFleetQueueDepth(n int) FleetOption {
+	return func(f *Fleet) { f.depth = n }
+}
+
+// WithFleetSeed sets the base noise seed per-sample streams derive
+// from (default: the first platform's seed). A Lab with the same seed
+// over the same platform produces byte-identical results.
+func WithFleetSeed(seed uint64) FleetOption {
+	return func(f *Fleet) { f.seed = seed }
+}
+
+// NewFleet builds a dispatcher over the given designed platforms (one
+// shard each — they may serve different target panels) and starts the
+// shard workers. Every shard's calibration cache is warmed here, so
+// the serving path only ever reads it.
+func NewFleet(platforms []*Platform, opts ...FleetOption) (*Fleet, error) {
+	if len(platforms) == 0 {
+		return nil, fmt.Errorf("advdiag: NewFleet needs at least one platform")
+	}
+	for i, p := range platforms {
+		if p == nil || p.inner == nil {
+			return nil, fmt.Errorf("advdiag: NewFleet shard %d: platform is not designed", i)
+		}
+	}
+	f := &Fleet{router: LeastLoadedRouter{}, seed: platforms[0].seed, workers: 1}
+	for _, opt := range opts {
+		opt(f)
+	}
+	if f.workers < 1 {
+		f.workers = 1
+	}
+	if f.depth < 1 {
+		f.depth = 2 * f.workers
+	}
+	if f.router == nil {
+		f.router = LeastLoadedRouter{}
+	}
+	f.cond = sync.NewCond(&f.mu)
+	f.results = make(chan PanelOutcome, len(platforms)*f.depth)
+	// Build every shard before starting any worker: a construction
+	// failure on a later shard must not leak goroutines blocked on the
+	// earlier shards' queues.
+	for i, p := range platforms {
+		lab, err := NewLab(p, WithLabWorkers(f.workers), WithLabSeed(f.seed))
+		if err != nil {
+			return nil, fmt.Errorf("advdiag: NewFleet shard %d: %w", i, err)
+		}
+		f.shards = append(f.shards, &fleetShard{
+			index:   i,
+			lab:     lab,
+			targets: p.Targets(),
+			queue:   make(chan fleetJob, f.depth),
+		})
+	}
+	for _, sh := range f.shards {
+		for w := 0; w < f.workers; w++ {
+			f.workWG.Add(1)
+			go f.shardWorker(sh)
+		}
+	}
+	return f, nil
+}
+
+// Shards reports the shard count.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// shardWorker executes routed jobs for one shard until its queue
+// closes.
+func (f *Fleet) shardWorker(sh *fleetShard) {
+	defer f.workWG.Done()
+	for job := range sh.queue {
+		out := sh.lab.runIndexed(job.seedIdx, job.schedIdx, job.sample)
+		out.Shard = sh.index
+		f.results <- out
+		now := time.Now()
+		f.mu.Lock()
+		f.completed++
+		sh.pending--
+		if f.last.Before(now) {
+			f.last = now
+		}
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}
+}
+
+// snapshotLocked builds the router's view (callers hold f.mu).
+func (f *Fleet) snapshotLocked() []ShardInfo {
+	view := make([]ShardInfo, len(f.shards))
+	for i, sh := range f.shards {
+		// pending covers queued + executing; whatever is not in the
+		// queue right now is on a worker (or about to be — either way
+		// it is load the router must see).
+		ql := len(sh.queue)
+		inflight := sh.pending - ql
+		if inflight < 0 {
+			inflight = 0
+		}
+		view[i] = ShardInfo{
+			Index:    i,
+			Targets:  sh.targets,
+			QueueLen: ql,
+			QueueCap: f.depth,
+			InFlight: inflight,
+			Load:     float64(sh.pending) / float64(f.depth+f.workers),
+		}
+	}
+	return view
+}
+
+// route runs the router on the current view and validates its answer.
+// Callers hold f.mu.
+func (f *Fleet) routeLocked(s Sample) (*fleetShard, error) {
+	idx, err := f.router.Route(s, f.snapshotLocked())
+	if err != nil {
+		f.routeErrs++
+		return nil, err
+	}
+	if idx < 0 || idx >= len(f.shards) {
+		f.routeErrs++
+		return nil, fmt.Errorf("advdiag: router returned shard %d outside [0,%d)", idx, len(f.shards))
+	}
+	return f.shards[idx], nil
+}
+
+// Submit routes one sample and enqueues it on its shard, blocking
+// while that shard's queue is full (backpressure). It returns the
+// router's error for unroutable samples and ErrFleetClosed after
+// Close. Consume Results concurrently.
+func (f *Fleet) Submit(s Sample) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrFleetClosed
+	}
+	sh, err := f.routeLocked(s)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	job := f.acceptLocked(sh, s)
+	f.submitWG.Add(1)
+	f.mu.Unlock()
+
+	defer f.submitWG.Done()
+	sh.queue <- job
+	return nil
+}
+
+// TrySubmit is Submit without blocking: when the routed shard's queue
+// is full it returns ErrFleetSaturated (counted in FleetStats) and the
+// sample is not accepted.
+func (f *Fleet) TrySubmit(s Sample) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrFleetClosed
+	}
+	sh, err := f.routeLocked(s)
+	if err != nil {
+		return err
+	}
+	select {
+	case sh.queue <- f.acceptLocked(sh, s):
+		return nil
+	default:
+		// Roll back the acceptance: the sample never entered the
+		// queue, so neither the submission index nor the shard slot
+		// may advance (a later Lab comparison would desync).
+		f.submitted--
+		sh.sched--
+		sh.pending--
+		sh.routed.Add(^uint64(0))
+		f.rejected++
+		return ErrFleetSaturated
+	}
+}
+
+// acceptLocked assigns the fleet-wide submission index and the shard's
+// instrument slot for one accepted sample (callers hold f.mu).
+func (f *Fleet) acceptLocked(sh *fleetShard, s Sample) fleetJob {
+	if f.submitted == 0 {
+		f.first = time.Now()
+	}
+	job := fleetJob{seedIdx: f.submitted, schedIdx: sh.sched, sample: s}
+	f.submitted++
+	sh.sched++
+	sh.pending++
+	sh.routed.Add(1)
+	return job
+}
+
+// Results returns the merged output channel. Outcomes arrive in
+// completion order, each tagged with its fleet-wide Index and the
+// Shard that ran it; Close closes the channel once every accepted
+// sample has been measured.
+func (f *Fleet) Results() <-chan PanelOutcome { return f.results }
+
+// Drain blocks until every sample accepted before the call has been
+// measured and delivered to Results. Submissions may continue from
+// other goroutines; Drain tracks the count it observed at entry. The
+// caller must keep consuming Results (or rely on its buffering) while
+// draining.
+func (f *Fleet) Drain() {
+	f.mu.Lock()
+	target := f.submitted
+	for f.completed < target {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// Close stops intake, waits for in-flight panels, and closes Results.
+// The first Close returns nil; later ones return ErrFleetClosed.
+// Like Drain, Close requires Results to keep being consumed (or to
+// have buffer room) while the queues empty.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrFleetClosed
+	}
+	f.closed = true
+	f.mu.Unlock()
+
+	// Wait out Submits caught between their closed-check and the queue
+	// handoff, then shut the shard queues down.
+	f.submitWG.Wait()
+	for _, sh := range f.shards {
+		close(sh.queue)
+	}
+	f.workWG.Wait()
+	close(f.results)
+	return nil
+}
+
+// RunPanels routes and measures a batch, returning one outcome per
+// sample in sample order. Per-sample failures land in the outcome's
+// Err: a sample rejected before acceptance (unroutable, or the fleet
+// closed) carries Index and Shard -1, while one that failed during
+// measurement carries its real submission Index and Shard. Successful
+// outcomes carry their fleet-wide submission Index.
+//
+// RunPanels drives the same Submit/Results machinery as streaming and
+// owns the Results channel for its duration: it must not run
+// concurrently with Submit, TrySubmit, another RunPanels, or a
+// Results consumer. When switching from streaming to a batch, first
+// Drain and consume every streamed outcome — any outcome still
+// undelivered on Results when RunPanels starts belongs to no batch
+// sample and is discarded.
+func (f *Fleet) RunPanels(samples []Sample) []PanelOutcome {
+	out := make([]PanelOutcome, len(samples))
+	f.mu.Lock()
+	base := f.submitted
+	f.mu.Unlock()
+
+	// The k-th accepted sample gets submission index base+k (RunPanels
+	// is the only submitter, per the contract above); accepted[k] maps
+	// it back to its batch position. The collector goroutine reads the
+	// slice concurrently with the submit loop's appends, hence the
+	// mutex.
+	var posMu sync.Mutex
+	var accepted []int
+	place := func(o PanelOutcome) {
+		off := o.Index - base
+		posMu.Lock()
+		ok := off >= 0 && off < len(accepted)
+		pos := 0
+		if ok {
+			pos = accepted[off]
+		}
+		posMu.Unlock()
+		if ok {
+			out[pos] = o
+		}
+	}
+
+	// Drain Results while submitting so bounded queues and the results
+	// buffer cannot deadlock the batch. quit fires after Drain, when
+	// every outcome of this batch has already been sent; the final
+	// non-blocking loop empties what is still buffered.
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case o, ok := <-f.results:
+				if !ok {
+					return
+				}
+				place(o)
+			case <-quit:
+				for {
+					select {
+					case o, ok := <-f.results:
+						if !ok {
+							return
+						}
+						place(o)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	for i, s := range samples {
+		// Record the mapping before Submit: the outcome can race ahead
+		// of Submit's return. Roll back when the sample is not
+		// accepted.
+		posMu.Lock()
+		accepted = append(accepted, i)
+		posMu.Unlock()
+		if err := f.Submit(s); err != nil {
+			posMu.Lock()
+			accepted = accepted[:len(accepted)-1]
+			posMu.Unlock()
+			out[i] = PanelOutcome{Index: -1, ID: s.ID, Shard: -1, Err: err}
+		}
+	}
+	f.Drain()
+	close(quit)
+	<-done
+	return out
+}
+
+// FleetStats is an aggregate snapshot of the dispatcher and its
+// shards.
+type FleetStats struct {
+	// Shards holds one entry per shard, in index order.
+	Shards []FleetShardStats
+	// Submitted counts accepted samples; Completed the measured
+	// subset; Rejected the TrySubmit load-shed count; RouteErrors the
+	// samples no shard could serve.
+	Submitted, Completed, Rejected, RouteErrors uint64
+	// PanelsPerSecond is fleet-wide throughput: completed panels over
+	// the wall-clock span from first acceptance to last completion.
+	PanelsPerSecond float64
+	// WallSeconds is that span.
+	WallSeconds float64
+	// CacheHitRate aggregates every shard's calibration-cache
+	// counters.
+	CacheHitRate float64
+}
+
+// FleetShardStats is one shard's slice of the snapshot.
+type FleetShardStats struct {
+	// Index is the shard number; Targets its panel.
+	Index int
+	// Targets lists the species the shard's platform measures.
+	Targets []string
+	// Lab is the shard's service-layer snapshot (panels/sec, cache hit
+	// rate, schedule-derived timing).
+	Lab LabStats
+	// QueueLen/QueueCap/InFlight describe the dispatch state at
+	// snapshot time; Routed counts everything ever enqueued here.
+	QueueLen, QueueCap, InFlight int
+	Routed                       uint64
+}
+
+// String renders the snapshot as a small report.
+func (s FleetStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d shards, %d submitted / %d completed (%d rejected, %d unroutable), %.1f panels/s, cache %.0f%% hit\n",
+		len(s.Shards), s.Submitted, s.Completed, s.Rejected, s.RouteErrors, s.PanelsPerSecond, 100*s.CacheHitRate)
+	for _, sh := range s.Shards {
+		fmt.Fprintf(&b, "  shard %d [%s]: %d routed, queue %d/%d, %d in flight, %.1f panels/s, cache %.0f%% hit\n",
+			sh.Index, strings.Join(sh.Targets, ","), sh.Routed, sh.QueueLen, sh.QueueCap, sh.InFlight,
+			sh.Lab.PanelsPerSecond, 100*sh.Lab.CacheHitRate)
+	}
+	return b.String()
+}
+
+// Stats returns the current aggregate counters.
+func (f *Fleet) Stats() FleetStats {
+	f.mu.Lock()
+	st := FleetStats{
+		Submitted:   uint64(f.submitted),
+		Completed:   uint64(f.completed),
+		Rejected:    f.rejected,
+		RouteErrors: f.routeErrs,
+	}
+	if !f.first.IsZero() && f.last.After(f.first) {
+		st.WallSeconds = f.last.Sub(f.first).Seconds()
+	}
+	view := f.snapshotLocked()
+	f.mu.Unlock()
+	if st.WallSeconds > 0 {
+		st.PanelsPerSecond = float64(st.Completed) / st.WallSeconds
+	}
+	var hits, lookups uint64
+	for i, sh := range f.shards {
+		ls := sh.lab.Stats()
+		hits += ls.CacheHits
+		lookups += ls.CacheHits + ls.CacheMisses
+		st.Shards = append(st.Shards, FleetShardStats{
+			Index:    sh.index,
+			Targets:  sh.targets,
+			Lab:      ls,
+			QueueLen: view[i].QueueLen,
+			QueueCap: f.depth,
+			InFlight: view[i].InFlight,
+			Routed:   sh.routed.Load(),
+		})
+	}
+	if lookups > 0 {
+		// Shards sharing one Platform also share its cache counters,
+		// so the absolute sums may count the same platform N times;
+		// the rate is unaffected.
+		st.CacheHitRate = float64(hits) / float64(lookups)
+	}
+	return st
+}

@@ -1,0 +1,291 @@
+package advdiag_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"advdiag"
+)
+
+// fleetPlatforms designs n identical platforms (same targets, same
+// seed) — the configuration under which a Fleet must be byte-identical
+// to a single Lab.
+func fleetPlatforms(t *testing.T, n int) []*advdiag.Platform {
+	t.Helper()
+	out := make([]*advdiag.Platform, n)
+	for i := range out {
+		p, err := advdiag.DesignPlatform([]string{"glucose", "benzphetamine"},
+			advdiag.WithPlatformSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// mixedCohort builds a deterministic 64-sample mixed workload: a third
+// metabolite-only, a third drug-only, a third full-panel — the shape of
+// traffic a multi-assay dispatcher sees.
+func mixedCohort(n int) []advdiag.Sample {
+	out := make([]advdiag.Sample, n)
+	for i := range out {
+		var concs map[string]float64
+		switch i % 3 {
+		case 0:
+			concs = map[string]float64{"glucose": 0.5 + 0.1*float64(i%16)}
+		case 1:
+			concs = map[string]float64{"benzphetamine": 0.2 + 0.05*float64(i%8)}
+		default:
+			concs = map[string]float64{
+				"glucose":       0.5 + 0.1*float64(i%16),
+				"benzphetamine": 0.2 + 0.05*float64(i%8),
+			}
+		}
+		out[i] = advdiag.Sample{ID: fmt.Sprintf("patient-%02d", i), Concentrations: concs}
+	}
+	return out
+}
+
+// TestFleetDeterminismAcrossShardCounts is the tentpole guarantee: the
+// same 64-sample mixed workload must produce identical per-sample
+// fingerprints through a single Lab and through Fleets of 1, 2 and 4
+// shards, regardless of which shard ran which sample.
+func TestFleetDeterminismAcrossShardCounts(t *testing.T) {
+	samples := mixedCohort(64)
+
+	lab, err := advdiag.NewLab(fleetPlatforms(t, 1)[0], advdiag.WithLabWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprints(t, lab.RunPanels(samples))
+
+	for _, shards := range []int{1, 2, 4} {
+		fleet, err := advdiag.NewFleet(fleetPlatforms(t, shards),
+			advdiag.WithFleetWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs := fleet.RunPanels(samples)
+		if err := fleet.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range outs {
+			if o.Err != nil {
+				t.Fatalf("%d shards: sample %d: %v", shards, i, o.Err)
+			}
+			if got := o.Result.Fingerprint(); got != want[i] {
+				t.Fatalf("%d shards: sample %d fingerprint %016x, want %016x (single Lab)",
+					shards, i, got, want[i])
+			}
+			if o.Shard < 0 || o.Shard >= shards {
+				t.Fatalf("%d shards: sample %d ran on shard %d", shards, i, o.Shard)
+			}
+		}
+		st := fleet.Stats()
+		if st.Submitted != 64 || st.Completed != 64 {
+			t.Fatalf("%d shards: stats %+v", shards, st)
+		}
+	}
+}
+
+// TestFleetDeterminismAcrossRouters: the routing policy shifts which
+// shard runs a sample but must never change its bytes.
+func TestFleetDeterminismAcrossRouters(t *testing.T) {
+	samples := mixedCohort(24)
+	lab, err := advdiag.NewLab(fleetPlatforms(t, 1)[0], advdiag.WithLabWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprints(t, lab.RunPanels(samples))
+
+	routers := map[string]advdiag.Router{
+		"least-loaded":    advdiag.LeastLoadedRouter{},
+		"affinity":        advdiag.AffinityRouter{},
+		"consistent-hash": &advdiag.HashRouter{},
+	}
+	for name, r := range routers {
+		fleet, err := advdiag.NewFleet(fleetPlatforms(t, 3), advdiag.WithFleetRouter(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs := fleet.RunPanels(samples)
+		if err := fleet.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range outs {
+			if o.Err != nil {
+				t.Fatalf("router %s: sample %d: %v", name, i, o.Err)
+			}
+			if got := o.Result.Fingerprint(); got != want[i] {
+				t.Fatalf("router %s: sample %d fingerprint differs from single Lab", name, i)
+			}
+		}
+	}
+}
+
+// TestFleetStreaming drives the Submit/Results path: every accepted
+// sample surfaces exactly once with its fleet-wide index, and Close
+// ends the stream.
+func TestFleetStreaming(t *testing.T) {
+	samples := mixedCohort(12)
+	fleet, err := advdiag.NewFleet(fleetPlatforms(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	seen := map[int]bool{}
+	go func() {
+		defer wg.Done()
+		for o := range fleet.Results() {
+			if o.Err != nil {
+				t.Errorf("%s: %v", o.ID, o.Err)
+			}
+			if seen[o.Index] {
+				t.Errorf("index %d delivered twice", o.Index)
+			}
+			seen[o.Index] = true
+		}
+	}()
+	for _, s := range samples {
+		if err := fleet.Submit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fleet.Drain()
+	if st := fleet.Stats(); st.Completed != uint64(len(samples)) {
+		t.Fatalf("after Drain: %+v", st)
+	}
+	if err := fleet.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(seen) != len(samples) {
+		t.Fatalf("streamed %d outcomes for %d samples", len(seen), len(samples))
+	}
+	if err := fleet.Submit(samples[0]); !errors.Is(err, advdiag.ErrFleetClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrFleetClosed", err)
+	}
+	if err := fleet.TrySubmit(samples[0]); !errors.Is(err, advdiag.ErrFleetClosed) {
+		t.Fatalf("TrySubmit after Close = %v, want ErrFleetClosed", err)
+	}
+	if err := fleet.Close(); !errors.Is(err, advdiag.ErrFleetClosed) {
+		t.Fatalf("second Close = %v, want ErrFleetClosed", err)
+	}
+}
+
+// TestFleetBackpressure: with a single slow shard and a depth-1 queue,
+// TrySubmit must shed load with ErrFleetSaturated (counted in stats)
+// instead of blocking, and the accepted samples must still all
+// complete.
+func TestFleetBackpressure(t *testing.T) {
+	fleet, err := advdiag.NewFleet(fleetPlatforms(t, 1),
+		advdiag.WithFleetQueueDepth(1), advdiag.WithFleetWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := mixedCohort(30)
+	got := map[int]bool{}
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for o := range fleet.Results() {
+			got[o.Index] = true
+		}
+	}()
+	accepted, rejected := 0, 0
+	for _, s := range samples {
+		switch err := fleet.TrySubmit(s); {
+		case err == nil:
+			accepted++
+		case errors.Is(err, advdiag.ErrFleetSaturated):
+			rejected++
+		default:
+			t.Fatal(err)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("a depth-1 queue never saturated over 30 back-to-back TrySubmits")
+	}
+	fleet.Drain()
+	st := fleet.Stats()
+	if st.Submitted != uint64(accepted) || st.Completed != uint64(accepted) {
+		t.Fatalf("accepted %d but stats say %+v", accepted, st)
+	}
+	if st.Rejected != uint64(rejected) {
+		t.Fatalf("rejected %d but stats say %d", rejected, st.Rejected)
+	}
+	if err := fleet.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-collected
+	// Accepted outcomes must carry consecutive submission indexes:
+	// rejections must not burn indexes, or Lab-equivalence would
+	// desync.
+	if len(got) != accepted {
+		t.Fatalf("collected %d outcomes for %d accepted samples", len(got), accepted)
+	}
+	for i := 0; i < accepted; i++ {
+		if !got[i] {
+			t.Fatalf("submission index %d missing", i)
+		}
+	}
+}
+
+// TestFleetMixedPlatformsAffinity: a heterogeneous fleet (one
+// metabolite shard, one drug shard) must route each sample to the
+// shard that measures it, and reject samples neither shard serves.
+func TestFleetMixedPlatformsAffinity(t *testing.T) {
+	glucose, err := advdiag.DesignPlatform([]string{"glucose"}, advdiag.WithPlatformSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drug, err := advdiag.DesignPlatform([]string{"benzphetamine"}, advdiag.WithPlatformSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := advdiag.NewFleet([]*advdiag.Platform{glucose, drug},
+		advdiag.WithFleetRouter(advdiag.AffinityRouter{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	outs := fleet.RunPanels([]advdiag.Sample{
+		{ID: "met", Concentrations: map[string]float64{"glucose": 1.0}},
+		{ID: "drg", Concentrations: map[string]float64{"benzphetamine": 0.4}},
+		{ID: "org", Concentrations: map[string]float64{"cholesterol": 0.1}},
+	})
+	if outs[0].Err != nil || outs[0].Shard != 0 {
+		t.Fatalf("glucose sample: shard %d err %v", outs[0].Shard, outs[0].Err)
+	}
+	if outs[1].Err != nil || outs[1].Shard != 1 {
+		t.Fatalf("drug sample: shard %d err %v", outs[1].Shard, outs[1].Err)
+	}
+	if !errors.Is(outs[2].Err, advdiag.ErrNoShard) {
+		t.Fatalf("unroutable sample err = %v, want ErrNoShard", outs[2].Err)
+	}
+	st := fleet.Stats()
+	if st.RouteErrors != 1 {
+		t.Fatalf("route errors = %d, want 1", st.RouteErrors)
+	}
+	if len(st.Shards) != 2 || st.Shards[0].Routed != 1 || st.Shards[1].Routed != 1 {
+		t.Fatalf("per-shard routing counts wrong: %+v", st.Shards)
+	}
+	if s := st.String(); s == "" {
+		t.Fatal("empty stats report")
+	}
+}
+
+// TestFleetValidation covers constructor error paths.
+func TestFleetValidation(t *testing.T) {
+	if _, err := advdiag.NewFleet(nil); err == nil {
+		t.Fatal("empty fleet must fail")
+	}
+	if _, err := advdiag.NewFleet([]*advdiag.Platform{{}}); err == nil {
+		t.Fatal("undesigned platform must fail")
+	}
+}

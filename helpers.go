@@ -58,14 +58,3 @@ func allAssays() []assayInfo {
 // enzymeAllAssays is a thin indirection so helpers.go keeps a single
 // import site for the enzyme registry.
 func enzymeAllAssays() []enzyme.Assay { return enzyme.AllAssays() }
-
-// filmNuisances builds the known-shape film-background columns for
-// every binding of an isoform (see analysis.GaussianColumn and
-// measure.FilmBumpWidth).
-func filmNuisances(potentials []float64, cyp *enzyme.CYP) [][]float64 {
-	var out [][]float64
-	for _, b := range cyp.Bindings {
-		out = append(out, analysis.GaussianColumn(potentials, float64(b.PeakPotential), measure.FilmBumpWidth))
-	}
-	return out
-}

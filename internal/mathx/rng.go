@@ -23,13 +23,25 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
-// Uint64 returns the next 64-bit value in the stream.
-func (r *RNG) Uint64() uint64 {
-	r.state += 0x9E3779B97F4A7C15
-	z := r.state
+// SplitmixGamma is the splitmix64 stream increment (the golden-ratio
+// constant).
+const SplitmixGamma = 0x9E3779B97F4A7C15
+
+// Mix64 is the splitmix64 avalanche finalizer: a bijective mix whose
+// output bits all depend on all input bits. It is the shared scrambler
+// behind the RNG stream, per-sample seed derivation, and hash-ring
+// point spreading (raw FNV of short similar strings leaves high bits
+// correlated).
+func Mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64-bit value in the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += SplitmixGamma
+	return Mix64(r.state)
 }
 
 // Float64 returns a uniform variate in [0, 1).

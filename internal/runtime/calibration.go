@@ -1,4 +1,4 @@
-package advdiag
+package runtime
 
 import (
 	"fmt"
@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"advdiag/internal/analysis"
 	"advdiag/internal/core"
 	"advdiag/internal/enzyme"
 	"advdiag/internal/measure"
@@ -14,9 +15,9 @@ import (
 	"advdiag/internal/species"
 )
 
-// platformElectrodeArea is the working-electrode area of the
+// PlatformElectrodeArea is the working-electrode area of the
 // synthesized platform (m²), shared by every calibration inversion.
-const platformElectrodeArea = 0.23e-6
+const PlatformElectrodeArea = 0.23e-6
 
 // weCalib is the per-electrode calibration state a panel run needs to
 // turn raw currents into concentration estimates. All of it is
@@ -41,7 +42,7 @@ type weCalib struct {
 	unitPeak  map[string]float64
 	nuisances [][]float64
 	// basis holds the full-length unit flux traces behind the
-	// templates; RunPanel feeds it to measure.RunCVWithBasis so the
+	// templates; Executor.Run feeds it to measure.RunCVWithBasis so the
 	// per-sample hot path scales cached traces instead of re-running
 	// the diffusion solver. Immutable after warm-up, shared read-only
 	// by every concurrent panel run.
@@ -62,13 +63,13 @@ func (c *weCalib) invertCA(i phys.Current) phys.Concentration {
 	return phys.Concentration(x * c.caKm / (c.caIMax - x))
 }
 
-// calibCache memoizes weCalib entries keyed by sensor construction plus
-// the platform noise seed. Replicated electrodes (WithReplicas) share a
-// construction and therefore one entry. The cache belongs to one
-// Platform; it is safe for concurrent use and counts hits and misses so
-// the Lab can report its effectiveness.
-type calibCache struct {
-	p *Platform
+// cache memoizes weCalib entries keyed by sensor construction plus the
+// platform noise seed. Replicated electrodes share a construction and
+// therefore one entry. The cache belongs to one Executor; it is safe
+// for concurrent use and counts hits and misses so the serving layers
+// can report its effectiveness.
+type cache struct {
+	e *Executor
 
 	mu      sync.Mutex
 	entries map[string]*weCalib
@@ -77,17 +78,17 @@ type calibCache struct {
 	misses atomic.Uint64
 }
 
-func newCalibCache(p *Platform) *calibCache {
-	return &calibCache{p: p, entries: map[string]*weCalib{}}
+func newCache(e *Executor) *cache {
+	return &cache{e: e, entries: map[string]*weCalib{}}
 }
 
 // key derives the cache key from everything the calibration state
 // depends on: surface treatment, technique, the assay set, and the
 // platform seed (part of the platform's identity; entries never leak
 // across differently-seeded platforms even if caches were ever shared).
-func (cc *calibCache) key(ep core.ElectrodePlan) string {
+func (cc *cache) key(ep core.ElectrodePlan) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%v|%v|seed=%d", ep.Nano, ep.Technique, cc.p.seed)
+	fmt.Fprintf(&b, "%v|%v|seed=%d", ep.Nano, ep.Technique, cc.e.seed)
 	for _, a := range ep.Assays {
 		fmt.Fprintf(&b, "|%s:%s", a.Target.Name, a.Probe)
 	}
@@ -96,7 +97,7 @@ func (cc *calibCache) key(ep core.ElectrodePlan) string {
 
 // forElectrode returns the calibration state for one planned electrode,
 // computing and caching it on first use.
-func (cc *calibCache) forElectrode(ep core.ElectrodePlan) (*weCalib, error) {
+func (cc *cache) forElectrode(ep core.ElectrodePlan) (*weCalib, error) {
 	k := cc.key(ep)
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
@@ -115,15 +116,15 @@ func (cc *calibCache) forElectrode(ep core.ElectrodePlan) (*weCalib, error) {
 
 // compute derives the calibration state from the platform design. For
 // voltammetric electrodes this runs the unit-concentration diffusion
-// simulations (measure.CVTemplates) once, over a throwaway buffer-only
+// simulations (measure.CVFluxBasis) once, over a throwaway buffer-only
 // cell — the templates depend only on the electrode construction, not
 // on any sample.
-func (cc *calibCache) compute(ep core.ElectrodePlan) (*weCalib, error) {
+func (cc *cache) compute(ep core.ElectrodePlan) (*weCalib, error) {
 	c := &weCalib{}
 	switch ep.Technique {
 	case enzyme.Chronoamperometry:
 		ox := ep.Assays[0].Oxidase
-		slope := float64(ox.SensitivityAt(ox.Applied, ep.Nano.Gain())) * platformElectrodeArea
+		slope := float64(ox.SensitivityAt(ox.Applied, ep.Nano.Gain())) * PlatformElectrodeArea
 		c.caIMax = slope * float64(ox.Km)
 		c.caKm = float64(ox.Km)
 	case enzyme.CyclicVoltammetry:
@@ -133,11 +134,11 @@ func (cc *calibCache) compute(ep core.ElectrodePlan) (*weCalib, error) {
 		}
 		start, vertex := measure.CVWindowFor(peaks...)
 		c.proto = measure.CyclicVoltammetry{Start: start, Vertex: vertex}
-		blank, err := cc.p.inner.Instantiate(nil)
+		blank, err := cc.e.inner.Instantiate(nil)
 		if err != nil {
 			return nil, err
 		}
-		eng, err := measure.NewEngine(blank, cc.p.seed)
+		eng, err := measure.NewEngine(blank, cc.e.seed)
 		if err != nil {
 			return nil, err
 		}
@@ -147,7 +148,7 @@ func (cc *calibCache) compute(ep core.ElectrodePlan) (*weCalib, error) {
 		// potential — exactly what a per-sample RunCV would have
 		// simulated — so templates and measured traces share one
 		// potential axis.
-		chain, err := cc.p.inner.ChainFor(ep.Name, eng.RNG())
+		chain, err := cc.e.inner.ChainFor(ep.Name, eng.RNG())
 		if err != nil {
 			return nil, err
 		}
@@ -163,19 +164,20 @@ func (cc *calibCache) compute(ep core.ElectrodePlan) (*weCalib, error) {
 		c.templates = templates
 		c.unitPeak = make(map[string]float64, len(templates))
 		for name, tpl := range templates {
-			c.unitPeak[name] = unitPeakHeight(tpl)
+			c.unitPeak[name] = UnitPeakHeight(tpl)
 		}
-		c.nuisances = filmNuisances(grid.X, ep.Assays[0].CYP)
+		c.nuisances = FilmNuisances(grid.X, ep.Assays[0].CYP)
 	default:
 		return nil, fmt.Errorf("advdiag: electrode %s has unsupported technique %v", ep.Name, ep.Technique)
 	}
 	return c, nil
 }
 
-// warm precomputes every electrode's calibration state (the Lab calls
-// this once at construction so the serving path only ever hits).
-func (cc *calibCache) warm() error {
-	for _, ep := range cc.p.inner.Candidate.Electrodes {
+// warm precomputes every electrode's calibration state (the serving
+// layers call this once at construction so the hot path only ever
+// hits).
+func (cc *cache) warm() error {
+	for _, ep := range cc.e.inner.Candidate.Electrodes {
 		if ep.Blank {
 			continue
 		}
@@ -187,8 +189,31 @@ func (cc *calibCache) warm() error {
 }
 
 // counts returns the cache hit/miss counters.
-func (cc *calibCache) counts() (hits, misses uint64) {
+func (cc *cache) counts() (hits, misses uint64) {
 	return cc.hits.Load(), cc.misses.Load()
+}
+
+// UnitPeakHeight returns the cathodic peak magnitude of a unit
+// template (templates are IUPAC currents: reduction negative).
+func UnitPeakHeight(tpl []float64) float64 {
+	peak := 0.0
+	for _, v := range tpl {
+		if -v > peak {
+			peak = -v
+		}
+	}
+	return peak
+}
+
+// FilmNuisances builds the known-shape film-background columns for
+// every binding of an isoform (see analysis.GaussianColumn and
+// measure.FilmBumpWidth).
+func FilmNuisances(potentials []float64, cyp *enzyme.CYP) [][]float64 {
+	var out [][]float64
+	for _, b := range cyp.Bindings {
+		out = append(out, analysis.GaussianColumn(potentials, float64(b.PeakPotential), measure.FilmBumpWidth))
+	}
+	return out
 }
 
 // MaxSampleConcentrationMM bounds accepted sample concentrations. Pure
@@ -197,12 +222,12 @@ func (cc *calibCache) counts() (hits, misses uint64) {
 // NaN estimates behind a nil error.
 const MaxSampleConcentrationMM = 1e5
 
-// validateSample rejects sample maps no real fluidics could deliver:
+// ValidateSample rejects sample maps no real fluidics could deliver:
 // non-finite, negative, or unphysically large concentrations and
 // species the registry does not know. Public panel entry points
-// (Platform.RunPanel, the Lab) return these as errors rather than
-// feeding them to the simulation.
-func validateSample(sample map[string]float64) error {
+// (Platform.RunPanel, the Lab, the Fleet) return these as errors
+// rather than feeding them to the simulation.
+func ValidateSample(sample map[string]float64) error {
 	for name, mm := range sample {
 		if math.IsNaN(mm) || math.IsInf(mm, 0) {
 			return fmt.Errorf("advdiag: sample[%q] = %g is not a finite concentration", name, mm)

@@ -1,0 +1,277 @@
+// Package runtime is the shared panel-execution engine behind the
+// public serving layers. It owns the four concerns every panel run
+// needs, exactly once:
+//
+//   - sample validation (ValidateSample — finite, non-negative,
+//     physically plausible, registered species);
+//   - deterministic per-sample seeding (SampleSeed — a splitmix64 mix
+//     of a base seed and the sample index);
+//   - calibration-cache access (the per-electrode inversion constants,
+//     unit CV templates and flux bases, computed once per platform);
+//   - panel assembly (Executor.Run — protocol dispatch, template
+//     decomposition, replica merging, concentration inversion).
+//
+// Platform.RunPanel, the Lab and the Fleet are thin adapters over an
+// Executor: they add batching, scheduling and statistics but never
+// duplicate execution logic. An Executor is safe for any number of
+// concurrent Run calls — each run builds its own measurement engine
+// and only reads the warmed calibration cache.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"advdiag/internal/analysis"
+	"advdiag/internal/cell"
+	"advdiag/internal/core"
+	"advdiag/internal/enzyme"
+	"advdiag/internal/mathx"
+	"advdiag/internal/measure"
+	"advdiag/internal/phys"
+	"advdiag/internal/schedule"
+)
+
+// Reading is one assay result inside a panel. The public
+// advdiag.TargetReading converts from it field-for-field.
+type Reading struct {
+	// Target is the molecule; WE the electrode; Probe the assay.
+	Target, WE, Probe string
+	// MeasuredMicroAmps is the raw signal, EstimatedMM the inverted
+	// concentration estimate, TrueMM the sample's known value, PeakMV
+	// the detected CV peak potential (0 for chronoamperometry).
+	MeasuredMicroAmps, EstimatedMM, TrueMM, PeakMV float64
+}
+
+// Panel is one full multi-target acquisition, in schedule order.
+type Panel struct {
+	Readings     []Reading
+	PanelSeconds float64
+}
+
+// Executor runs panels over one synthesized platform. It pairs the
+// design (core.Platform) with the calibration cache and the base noise
+// seed that together define the platform's run-time identity.
+type Executor struct {
+	inner *core.Platform
+	seed  uint64
+	calib *cache
+}
+
+// NewExecutor builds the execution engine for a synthesized platform.
+// The calibration cache starts cold; Warm precomputes it.
+func NewExecutor(inner *core.Platform, seed uint64) *Executor {
+	e := &Executor{inner: inner, seed: seed}
+	e.calib = newCache(e)
+	return e
+}
+
+// Plan returns the platform's acquisition schedule.
+func (e *Executor) Plan() *schedule.Plan { return e.inner.Plan }
+
+// Seed returns the platform's base noise seed.
+func (e *Executor) Seed() uint64 { return e.seed }
+
+// Targets returns the sorted species names the platform's electrodes
+// measure (blank electrodes excluded). Routers use it for panel-type
+// affinity.
+func (e *Executor) Targets() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ep := range e.inner.Candidate.Electrodes {
+		if ep.Blank {
+			continue
+		}
+		for _, a := range ep.Assays {
+			if !seen[a.Target.Name] {
+				seen[a.Target.Name] = true
+				out = append(out, a.Target.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Warm precomputes every electrode's calibration state so the serving
+// path only ever reads the cache.
+func (e *Executor) Warm() error { return e.calib.warm() }
+
+// CacheCounts returns the calibration cache's hit/miss counters.
+func (e *Executor) CacheCounts() (hits, misses uint64) { return e.calib.counts() }
+
+// SampleSeed mixes a base seed with a sample index (splitmix64
+// finalizer) so every sample owns an independent, deterministic noise
+// stream regardless of which worker — or which shard — runs it.
+func SampleSeed(base uint64, idx int) uint64 {
+	return mathx.Mix64(base + mathx.SplitmixGamma*(uint64(idx)+1))
+}
+
+// Run executes one panel: one measurement engine (and so one noise
+// stream) per call, all calibration state served from the cache. Two
+// calls with the same sample and seed produce byte-identical results
+// on any goroutine.
+func (e *Executor) Run(sample map[string]float64, seed uint64) (Panel, error) {
+	if err := ValidateSample(sample); err != nil {
+		return Panel{}, err
+	}
+	cand := e.inner.Candidate
+
+	// Build per-chamber solutions holding the full sample.
+	names := make([]string, 0, len(sample))
+	for name := range sample {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	solutions := map[string]*cell.Solution{}
+	for _, ch := range cand.Chambers {
+		sol := cell.NewSolution()
+		for _, name := range names {
+			sol.Set(name, phys.MilliMolar(sample[name]))
+		}
+		solutions[ch] = sol
+	}
+	c, err := e.inner.Instantiate(solutions)
+	if err != nil {
+		return Panel{}, err
+	}
+	eng, err := measure.NewEngine(c, seed)
+	if err != nil {
+		return Panel{}, err
+	}
+
+	var out Panel
+	out.PanelSeconds = cand.PanelTime
+	for _, ep := range cand.Electrodes {
+		if ep.Blank {
+			continue
+		}
+		cal, err := e.calib.forElectrode(ep)
+		if err != nil {
+			return Panel{}, err
+		}
+		chain, err := e.inner.ChainFor(ep.Name, eng.RNG())
+		if err != nil {
+			return Panel{}, err
+		}
+		switch ep.Technique {
+		case enzyme.Chronoamperometry:
+			// Two-phase protocol: buffer baseline, then the sample. The
+			// baseline-subtracted step cancels run offsets and direct-
+			// oxidizer interferent currents.
+			res, err := eng.RunCA(ep.Name, chain, measure.Chronoamperometry{
+				Duration:      ep.ProtocolTime,
+				BaselinePhase: core.CABaselinePhase,
+			})
+			if err != nil {
+				return Panel{}, err
+			}
+			a := ep.Assays[0]
+			step := res.StepCurrent()
+			est := cal.invertCA(step)
+			out.Readings = append(out.Readings, Reading{
+				Target:            a.Target.Name,
+				WE:                ep.Name,
+				Probe:             a.Probe,
+				MeasuredMicroAmps: step.MicroAmps(),
+				EstimatedMM:       est.MilliMolar(),
+				TrueMM:            sample[a.Target.Name],
+			})
+		case enzyme.CyclicVoltammetry:
+			// The cached basis replaces the per-sample diffusion
+			// simulations: the linearity of the diffusion problem makes
+			// scaled unit flux traces exact, and it is what makes panel
+			// throughput independent of the solver's cost.
+			res, err := eng.RunCVWithBasis(ep.Name, chain, cal.proto, cal.basis)
+			if err != nil {
+				return Panel{}, err
+			}
+			// Quantify by template decomposition (exact for the linear
+			// diffusion problem) against the cached unit templates;
+			// report the detected peak potential when the peak is
+			// prominent enough to stand alone.
+			fit, err := analysis.FitCVComponents(res.Voltammogram, cal.templates, cal.nuisances...)
+			if err != nil {
+				return Panel{}, fmt.Errorf("advdiag: %s: %w", ep.Name, err)
+			}
+			for _, a := range ep.Assays {
+				b := a.Binding
+				amp := fit.Amplitudes[a.Target.Name]
+				height := amp * cal.unitPeak[a.Target.Name]
+				est := InvertEffective(b, amp)
+				peakMV := 0.0
+				if pk, err := analysis.PeakNear(res.Voltammogram, b.PeakPotential, phys.MilliVolts(80), 0); err == nil {
+					peakMV = pk.Potential.MilliVolts()
+				}
+				out.Readings = append(out.Readings, Reading{
+					Target:            a.Target.Name,
+					WE:                ep.Name,
+					Probe:             a.Probe,
+					MeasuredMicroAmps: height * 1e6,
+					EstimatedMM:       est.MilliMolar(),
+					TrueMM:            sample[a.Target.Name],
+					PeakMV:            peakMV,
+				})
+			}
+		}
+	}
+	out.Readings = MergeReplicas(out.Readings)
+	return out, nil
+}
+
+// MergeReplicas averages replicate readings of the same target (array
+// platforms measure each target on several electrodes). Single readings
+// pass through unchanged.
+func MergeReplicas(in []Reading) []Reading {
+	counts := map[string]int{}
+	for _, r := range in {
+		counts[r.Target]++
+	}
+	merged := map[string]*Reading{}
+	for _, r := range in {
+		if counts[r.Target] == 1 {
+			continue
+		}
+		m, ok := merged[r.Target]
+		if !ok {
+			cp := r
+			cp.WE = r.WE + "+"
+			merged[r.Target] = &cp
+			continue
+		}
+		m.MeasuredMicroAmps += r.MeasuredMicroAmps
+		m.EstimatedMM += r.EstimatedMM
+	}
+	var out []Reading
+	seen := map[string]bool{}
+	for _, r := range in {
+		if counts[r.Target] == 1 {
+			out = append(out, r)
+			continue
+		}
+		if seen[r.Target] {
+			continue
+		}
+		seen[r.Target] = true
+		m := merged[r.Target]
+		n := float64(counts[r.Target])
+		m.MeasuredMicroAmps /= n
+		m.EstimatedMM /= n
+		m.WE = fmt.Sprintf("%s(×%d)", m.WE, counts[r.Target])
+		out = append(out, *m)
+	}
+	return out
+}
+
+// InvertEffective converts a fitted effective concentration back to a
+// bulk concentration (saturation inversion: C = x·Km/(Km−x)).
+func InvertEffective(b *enzyme.Binding, x float64) phys.Concentration {
+	if x <= 0 {
+		return 0
+	}
+	km := float64(b.Km)
+	if x >= 0.99*km {
+		x = 0.99 * km
+	}
+	return phys.Concentration(x * km / (km - x))
+}

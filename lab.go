@@ -1,19 +1,27 @@
 package advdiag
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"advdiag/internal/conc"
+	rt "advdiag/internal/runtime"
 	"advdiag/internal/schedule"
 )
+
+// ErrLabClosed is the sentinel a closed Lab returns: Submit after Close
+// and a second Close both report it (test with errors.Is).
+var ErrLabClosed = errors.New("advdiag: lab is closed")
 
 // Sample is one specimen queued for a panel: an identifier (patient,
 // tube, time point) plus the target concentrations in mM.
 type Sample struct {
-	// ID labels the sample in results; it carries no semantics.
+	// ID labels the sample in results; the Fleet's consistent-hash
+	// router also keys on it (same ID → same shard), but it carries no
+	// other semantics.
 	ID string
 	// Concentrations maps species name → mM. The same validation as
 	// Platform.RunPanel applies: finite, non-negative, known species.
@@ -25,17 +33,22 @@ type PanelOutcome struct {
 	// Index is the sample's position in the batch (RunPanels) or its
 	// submission order (Submit). It also seeds the panel's noise
 	// stream, which is why outcomes are byte-identical at any worker
-	// count.
+	// count — and, in a Fleet, at any shard count.
 	Index int
 	// ID echoes the sample ID.
 	ID string
+	// Shard is the index of the Fleet shard that ran the panel (0 for
+	// a plain Lab).
+	Shard int
 	// Result is the panel; valid only when Err is nil.
 	Result PanelResult
 	// Err is the per-sample failure; other samples are unaffected.
 	Err error
 	// ScheduledStartSeconds is when this panel starts on the physical
 	// instrument's timeline: back-to-back cycles of the platform's
-	// acquisition schedule (index × schedule cycle time).
+	// acquisition schedule (position × schedule cycle time; in a Fleet
+	// the position is per-shard, since each shard is its own
+	// instrument).
 	ScheduledStartSeconds float64
 	// WallSeconds is the simulation wall-clock cost of this panel.
 	WallSeconds float64
@@ -45,7 +58,9 @@ type PanelOutcome struct {
 // Platform — the run-time counterpart of the design-time explorer. A
 // Lab precomputes the platform's per-electrode calibration state once
 // (unit voltammetric templates, Michaelis–Menten inversion constants)
-// and then serves panels from a bounded worker pool.
+// and then serves panels from a bounded worker pool. All execution
+// logic lives in internal/runtime; the Lab adds batching, streaming,
+// scheduling and statistics.
 //
 // Concurrency model: every panel run builds its own measurement engine
 // (NewEngine is cheap), seeded deterministically from the lab seed and
@@ -57,7 +72,8 @@ type PanelOutcome struct {
 //
 // A Lab has two entry points: RunPanels for a batch with results in
 // sample order, and Submit/Results for streaming workloads where
-// samples arrive over time.
+// samples arrive over time. For dispatching across several platforms,
+// see Fleet.
 type Lab struct {
 	p       *Platform
 	workers int
@@ -115,7 +131,7 @@ func NewLab(p *Platform, opts ...LabOption) (*Lab, error) {
 	if l.workers <= 0 {
 		l.workers = runtime.NumCPU()
 	}
-	if err := p.calib.warm(); err != nil {
+	if err := p.exec.Warm(); err != nil {
 		return nil, err
 	}
 	return l, nil
@@ -124,20 +140,19 @@ func NewLab(p *Platform, opts ...LabOption) (*Lab, error) {
 // Workers reports the pool size.
 func (l *Lab) Workers() int { return l.workers }
 
-// sampleSeed mixes the lab seed with a sample index (splitmix64
-// finalizer) so every sample owns an independent, deterministic noise
-// stream regardless of which worker runs it.
-func sampleSeed(base uint64, idx int) uint64 {
-	z := base + 0x9E3779B97F4A7C15*(uint64(idx)+1)
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
+// runOne executes one panel at batch/submission position idx.
+func (l *Lab) runOne(idx int, s Sample) PanelOutcome {
+	return l.runIndexed(idx, idx, s)
 }
 
-// runOne executes one panel and updates the aggregate stats.
-func (l *Lab) runOne(idx int, s Sample) PanelOutcome {
+// runIndexed executes one panel and updates the aggregate stats.
+// seedIdx picks the sample's deterministic noise stream (in a Fleet it
+// is the fleet-wide submission index, which is what makes results
+// independent of sharding); schedIdx is the panel's position on this
+// platform's instrument timeline.
+func (l *Lab) runIndexed(seedIdx, schedIdx int, s Sample) PanelOutcome {
 	start := time.Now()
-	res, err := l.p.runPanelSeeded(s.Concentrations, sampleSeed(l.seed, idx))
+	res, err := l.p.exec.Run(s.Concentrations, rt.SampleSeed(l.seed, seedIdx))
 	end := time.Now()
 
 	l.statMu.Lock()
@@ -153,14 +168,17 @@ func (l *Lab) runOne(idx int, s Sample) PanelOutcome {
 	}
 	l.statMu.Unlock()
 
-	return PanelOutcome{
-		Index:                 idx,
+	out := PanelOutcome{
+		Index:                 seedIdx,
 		ID:                    s.ID,
-		Result:                res,
 		Err:                   err,
-		ScheduledStartSeconds: float64(idx) * l.plan.CycleTime(),
+		ScheduledStartSeconds: float64(schedIdx) * l.plan.CycleTime(),
 		WallSeconds:           end.Sub(start).Seconds(),
 	}
+	if err == nil {
+		out.Result = panelResult(res)
+	}
+	return out
 }
 
 // RunPanels measures a batch of samples on the worker pool and returns
@@ -177,12 +195,12 @@ func (l *Lab) RunPanels(samples []Sample) []PanelOutcome {
 // Submit queues one sample on the streaming pool, starting the pool on
 // first use. It blocks while every worker is busy and the result buffer
 // is full (natural backpressure); consume Results concurrently.
-// Submitting after Close is an error.
+// Submitting after Close returns ErrLabClosed.
 func (l *Lab) Submit(s Sample) error {
 	l.streamMu.Lock()
 	if l.closed {
 		l.streamMu.Unlock()
-		return fmt.Errorf("advdiag: lab submit after Close")
+		return ErrLabClosed
 	}
 	if l.pool == nil {
 		l.pool = conc.NewPool(l.workers)
@@ -222,16 +240,18 @@ func (l *Lab) ensureResultsLocked() {
 }
 
 // Close stops accepting submissions, waits for in-flight panels, and
-// closes the Results channel. It is idempotent and safe against
-// concurrent Submit calls: a Submit that already passed its
-// closed-check completes normally, later ones get the error. The
-// caller must keep draining Results until Close returns (or run Close
-// from the producer while a consumer reads).
-func (l *Lab) Close() {
+// closes the Results channel. The first Close returns nil; every later
+// Close returns ErrLabClosed (it performs no work — the first call
+// already owns the shutdown). Close is safe against concurrent Submit
+// calls: a Submit that already passed its closed-check completes
+// normally, later ones get ErrLabClosed. The caller must keep draining
+// Results until Close returns (or run Close from the producer while a
+// consumer reads).
+func (l *Lab) Close() error {
 	l.streamMu.Lock()
 	if l.closed {
 		l.streamMu.Unlock()
-		return
+		return ErrLabClosed
 	}
 	l.closed = true
 	pool, results := l.pool, l.results
@@ -246,6 +266,7 @@ func (l *Lab) Close() {
 	if results != nil {
 		close(results)
 	}
+	return nil
 }
 
 // LabStats is an aggregate snapshot of a Lab's service counters.
@@ -282,7 +303,7 @@ func (s LabStats) String() string {
 
 // Stats returns the current aggregate counters.
 func (l *Lab) Stats() LabStats {
-	hits, misses := l.p.calib.counts()
+	hits, misses := l.p.exec.CacheCounts()
 	st := LabStats{
 		Workers:                 l.workers,
 		CacheHits:               hits,

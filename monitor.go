@@ -7,6 +7,7 @@ import (
 	"advdiag/internal/cell"
 	"advdiag/internal/measure"
 	"advdiag/internal/phys"
+	rt "advdiag/internal/runtime"
 	"advdiag/internal/signalproc"
 )
 
@@ -41,15 +42,22 @@ type MonitorResult struct {
 // Monitor runs a continuous chronoamperometric measurement with the
 // given injections, reproducing the paper's Fig. 3 experiment. Only
 // chronoamperometric (oxidase) sensors support monitoring.
+//
+// An empty injection list is a valid baseline-only run: the sensor
+// records its blank/drift trace over the full duration (useful for
+// characterizing noise floors and long-term drift), the baseline and
+// steady levels both report the trace mean, and no transient analysis
+// is attempted (T90 and the transient time stay zero, Settled is
+// true).
+//
+// Only a negative duration is an error; zero means the protocol's
+// default duration (60 s).
 func (s *Sensor) Monitor(durationSeconds float64, injections ...InjectionEvent) (*MonitorResult, error) {
 	if s.Technique() != "chronoamperometry" {
 		return nil, fmt.Errorf("advdiag: continuous monitoring needs an oxidase sensor, %s uses %s", s.target, s.Technique())
 	}
-	if durationSeconds <= 0 {
-		return nil, fmt.Errorf("advdiag: non-positive monitoring duration")
-	}
-	if len(injections) == 0 {
-		return nil, fmt.Errorf("advdiag: monitoring needs at least one injection")
+	if durationSeconds < 0 {
+		return nil, fmt.Errorf("advdiag: negative monitoring duration %g s", durationSeconds)
 	}
 	sol := cell.NewSolution()
 	for _, inj := range injections {
@@ -67,6 +75,24 @@ func (s *Sensor) Monitor(durationSeconds float64, injections ...InjectionEvent) 
 	curs := make([]float64, res.Current.Len())
 	for i, v := range res.Current.Values {
 		curs[i] = v * 1e6
+	}
+	// Baseline-only run: no step to analyze — report the flat trace
+	// with its mean as both baseline and steady level.
+	if len(injections) == 0 {
+		mean := 0.0
+		for _, v := range curs {
+			mean += v
+		}
+		if len(curs) > 0 {
+			mean /= float64(len(curs))
+		}
+		return &MonitorResult{
+			TimesSeconds:      times,
+			CurrentsMicroAmps: curs,
+			BaselineMicroAmps: mean,
+			SteadyMicroAmps:   mean,
+			Settled:           true,
+		}, nil
 	}
 	// The step analysis characterizes the FIRST injection, so truncate
 	// the analysed segment at the second injection (if any).
@@ -154,13 +180,13 @@ func (s *Sensor) RunVoltammetry(sample map[string]float64) (*Voltammogram, error
 		return nil, err
 	}
 	fit, err := analysis.FitCVComponents(res.Voltammogram, templates,
-		filmNuisances(res.Voltammogram.X, s.assay.CYP)...)
+		rt.FilmNuisances(res.Voltammogram.X, s.assay.CYP)...)
 	if err != nil {
 		return nil, err
 	}
 	for _, b := range s.assay.CYP.Bindings {
 		amp := fit.Amplitudes[b.Substrate.Name]
-		height := amp * unitPeakHeight(templates[b.Substrate.Name])
+		height := amp * rt.UnitPeakHeight(templates[b.Substrate.Name])
 		// Report only substrates with a meaningful fitted signal
 		// (above ~3× the per-sample blank noise current).
 		floor := 3 * b.BlankSigmaAt(1) * 0.23e-6

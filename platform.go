@@ -5,16 +5,16 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"sort"
 	"strings"
 
-	"advdiag/internal/analysis"
-	"advdiag/internal/cell"
 	"advdiag/internal/core"
-	"advdiag/internal/enzyme"
-	"advdiag/internal/measure"
-	"advdiag/internal/phys"
+	rt "advdiag/internal/runtime"
 )
+
+// MaxSampleConcentrationMM bounds accepted sample concentrations (see
+// runtime.ValidateSample): pure water is 5.5e4 mM, so no aqueous sample
+// can reach this.
+const MaxSampleConcentrationMM = rt.MaxSampleConcentrationMM
 
 // Platform is a synthesized multi-target sensing platform: the outcome
 // of the paper's design-space exploration, ready to run full panels.
@@ -22,9 +22,10 @@ type Platform struct {
 	inner   *core.Platform
 	seed    uint64
 	explore core.ExploreOptions
-	// calib memoizes the per-electrode calibration state shared by
-	// RunPanel and every Lab over this platform.
-	calib *calibCache
+	// exec is the shared panel-execution engine (internal/runtime): it
+	// owns sample validation, seeding, the calibration cache and panel
+	// assembly. RunPanel, the Lab and the Fleet all delegate to it.
+	exec *rt.Executor
 }
 
 // PlatformOption customizes platform design.
@@ -98,7 +99,7 @@ func DesignPlatform(targets []string, opts ...PlatformOption) (*Platform, error)
 		return nil, err
 	}
 	p.inner = inner
-	p.calib = newCalibCache(p)
+	p.exec = rt.NewExecutor(inner, p.seed)
 	return p, nil
 }
 
@@ -120,6 +121,11 @@ func (p *Platform) WorkingElectrodes() []string {
 	}
 	return out
 }
+
+// Targets returns the sorted species names this platform's panel
+// measures (blank electrodes excluded). The Fleet's affinity router
+// matches samples against it.
+func (p *Platform) Targets() []string { return p.exec.Targets() }
 
 // CostSummary reports the platform budget.
 func (p *Platform) CostSummary() string {
@@ -174,6 +180,21 @@ type PanelResult struct {
 	PanelSeconds float64
 }
 
+// panelResult converts the runtime package's panel into the public
+// type. runtime.Reading and TargetReading are field-for-field
+// identical, so the conversion cannot change any bit the Fingerprint
+// hashes.
+func panelResult(p rt.Panel) PanelResult {
+	out := PanelResult{PanelSeconds: p.PanelSeconds}
+	if len(p.Readings) > 0 {
+		out.Readings = make([]TargetReading, len(p.Readings))
+		for i, r := range p.Readings {
+			out.Readings[i] = TargetReading(r)
+		}
+	}
+	return out
+}
+
 // String renders the panel like a report table.
 func (pr PanelResult) String() string {
 	var b strings.Builder
@@ -188,7 +209,7 @@ func (pr PanelResult) String() string {
 // float64 bit pattern of every numeric field feed an FNV-1a stream.
 // Equal fingerprints mean byte-identical results — the determinism
 // tests and cmd/labbench use this to prove panel results do not depend
-// on the Lab worker count.
+// on the Lab worker count or the Fleet shard count.
 func (pr PanelResult) Fingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -217,182 +238,15 @@ func (pr PanelResult) Fingerprint() uint64 {
 // platform's fluidics distribute it). Concentrations must be finite,
 // non-negative and below MaxSampleConcentrationMM, and every species
 // must be registered; anything else is an error before the instrument
-// is touched. For batches or streaming
-// use a Lab, which runs panels concurrently and shares this platform's
-// calibration cache.
+// is touched. For batches or streaming use a Lab; for multi-platform
+// dispatch use a Fleet — both run the same execution engine and share
+// this platform's calibration cache.
 func (p *Platform) RunPanel(sample map[string]float64) (PanelResult, error) {
-	return p.runPanelSeeded(sample, p.seed)
-}
-
-// runPanelSeeded is the shared panel executor behind RunPanel and the
-// Lab: one measurement engine (and so one noise stream) per call, all
-// calibration state served from the platform cache. Two calls with the
-// same sample and seed produce byte-identical results on any goroutine.
-func (p *Platform) runPanelSeeded(sample map[string]float64, seed uint64) (PanelResult, error) {
-	if err := validateSample(sample); err != nil {
-		return PanelResult{}, err
-	}
-	cand := p.inner.Candidate
-
-	// Build per-chamber solutions holding the full sample.
-	names := make([]string, 0, len(sample))
-	for name := range sample {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	solutions := map[string]*cell.Solution{}
-	for _, ch := range cand.Chambers {
-		sol := cell.NewSolution()
-		for _, name := range names {
-			sol.Set(name, phys.MilliMolar(sample[name]))
-		}
-		solutions[ch] = sol
-	}
-	c, err := p.inner.Instantiate(solutions)
+	res, err := p.exec.Run(sample, p.seed)
 	if err != nil {
 		return PanelResult{}, err
 	}
-	eng, err := measure.NewEngine(c, seed)
-	if err != nil {
-		return PanelResult{}, err
-	}
-
-	var out PanelResult
-	out.PanelSeconds = cand.PanelTime
-	for _, ep := range cand.Electrodes {
-		if ep.Blank {
-			continue
-		}
-		cal, err := p.calib.forElectrode(ep)
-		if err != nil {
-			return PanelResult{}, err
-		}
-		chain, err := p.inner.ChainFor(ep.Name, eng.RNG())
-		if err != nil {
-			return PanelResult{}, err
-		}
-		switch ep.Technique {
-		case enzyme.Chronoamperometry:
-			// Two-phase protocol: buffer baseline, then the sample. The
-			// baseline-subtracted step cancels run offsets and direct-
-			// oxidizer interferent currents.
-			res, err := eng.RunCA(ep.Name, chain, measure.Chronoamperometry{
-				Duration:      ep.ProtocolTime,
-				BaselinePhase: core.CABaselinePhase,
-			})
-			if err != nil {
-				return PanelResult{}, err
-			}
-			a := ep.Assays[0]
-			step := res.StepCurrent()
-			est := cal.invertCA(step)
-			out.Readings = append(out.Readings, TargetReading{
-				Target:            a.Target.Name,
-				WE:                ep.Name,
-				Probe:             a.Probe,
-				MeasuredMicroAmps: step.MicroAmps(),
-				EstimatedMM:       est.MilliMolar(),
-				TrueMM:            sample[a.Target.Name],
-			})
-		case enzyme.CyclicVoltammetry:
-			// The cached basis replaces the per-sample diffusion
-			// simulations: the linearity of the diffusion problem makes
-			// scaled unit flux traces exact, and it is what makes panel
-			// throughput independent of the solver's cost.
-			res, err := eng.RunCVWithBasis(ep.Name, chain, cal.proto, cal.basis)
-			if err != nil {
-				return PanelResult{}, err
-			}
-			// Quantify by template decomposition (exact for the linear
-			// diffusion problem) against the cached unit templates;
-			// report the detected peak potential when the peak is
-			// prominent enough to stand alone.
-			fit, err := analysis.FitCVComponents(res.Voltammogram, cal.templates, cal.nuisances...)
-			if err != nil {
-				return PanelResult{}, fmt.Errorf("advdiag: %s: %w", ep.Name, err)
-			}
-			for _, a := range ep.Assays {
-				b := a.Binding
-				amp := fit.Amplitudes[a.Target.Name]
-				height := amp * cal.unitPeak[a.Target.Name]
-				est := invertEffective(b, amp)
-				peakMV := 0.0
-				if pk, err := analysis.PeakNear(res.Voltammogram, b.PeakPotential, phys.MilliVolts(80), 0); err == nil {
-					peakMV = pk.Potential.MilliVolts()
-				}
-				out.Readings = append(out.Readings, TargetReading{
-					Target:            a.Target.Name,
-					WE:                ep.Name,
-					Probe:             a.Probe,
-					MeasuredMicroAmps: height * 1e6,
-					EstimatedMM:       est.MilliMolar(),
-					TrueMM:            sample[a.Target.Name],
-					PeakMV:            peakMV,
-				})
-			}
-		}
-	}
-	out.Readings = mergeReplicas(out.Readings)
-	return out, nil
-}
-
-// mergeReplicas averages replicate readings of the same target (array
-// platforms measure each target on several electrodes). Single readings
-// pass through unchanged.
-func mergeReplicas(in []TargetReading) []TargetReading {
-	counts := map[string]int{}
-	for _, r := range in {
-		counts[r.Target]++
-	}
-	merged := map[string]*TargetReading{}
-	var order []string
-	for _, r := range in {
-		if counts[r.Target] == 1 {
-			continue
-		}
-		m, ok := merged[r.Target]
-		if !ok {
-			cp := r
-			cp.WE = r.WE + "+"
-			merged[r.Target] = &cp
-			order = append(order, r.Target)
-			continue
-		}
-		m.MeasuredMicroAmps += r.MeasuredMicroAmps
-		m.EstimatedMM += r.EstimatedMM
-	}
-	var out []TargetReading
-	seen := map[string]bool{}
-	for _, r := range in {
-		if counts[r.Target] == 1 {
-			out = append(out, r)
-			continue
-		}
-		if seen[r.Target] {
-			continue
-		}
-		seen[r.Target] = true
-		m := merged[r.Target]
-		n := float64(counts[r.Target])
-		m.MeasuredMicroAmps /= n
-		m.EstimatedMM /= n
-		m.WE = fmt.Sprintf("%s(×%d)", m.WE, counts[r.Target])
-		out = append(out, *m)
-	}
-	return out
-}
-
-// invertEffective converts a fitted effective concentration back to a
-// bulk concentration (saturation inversion: C = x·Km/(Km−x)).
-func invertEffective(b *enzyme.Binding, x float64) phys.Concentration {
-	if x <= 0 {
-		return 0
-	}
-	km := float64(b.Km)
-	if x >= 0.99*km {
-		x = 0.99 * km
-	}
-	return phys.Concentration(x * km / (km - x))
+	return panelResult(res), nil
 }
 
 // ExploreDesigns runs the full design-space exploration and returns a

@@ -1,0 +1,212 @@
+package advdiag
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"advdiag/internal/mathx"
+)
+
+// ErrNoShard is returned by routers (and therefore by Fleet.Submit)
+// when no shard can serve a sample — e.g. the affinity router saw a
+// panel type no shard's platform measures.
+var ErrNoShard = errors.New("advdiag: no shard can serve this sample")
+
+// ShardInfo is the read-only snapshot of one shard a Router sees when
+// placing a sample.
+type ShardInfo struct {
+	// Index identifies the shard (0-based, stable for the Fleet's
+	// lifetime).
+	Index int
+	// Targets are the sorted species names the shard's platform panel
+	// measures.
+	Targets []string
+	// QueueLen and QueueCap describe the shard's bounded input queue;
+	// InFlight counts panels currently executing on its workers.
+	QueueLen, QueueCap, InFlight int
+	// Load is the shard's fractional occupancy — accepted-but-
+	// undelivered samples over (QueueCap+workers). Usually in [0,1],
+	// but it can transiently exceed 1 while accepted Submits are still
+	// blocked on the queue handoff. Routers must tolerate degenerate
+	// values (>1, NaN, ±Inf, negatives) without panicking — FuzzRouter
+	// feeds them on purpose.
+	Load float64
+}
+
+// Router places one sample onto one shard. Route returns the chosen
+// shard index, or an error when no shard qualifies; it must never
+// panic, whatever the sample or the shard view look like. Routers are
+// called under the Fleet's submission lock and must not call back into
+// the Fleet.
+//
+// Three policies are built in:
+//
+//	AffinityRouter{}    panel-type affinity — the shard whose panel
+//	                    covers the most of the sample's species
+//	LeastLoadedRouter{} lowest fractional occupancy
+//	HashRouter{}        consistent-hash by Sample.ID — the same
+//	                    patient always lands on the same shard, and
+//	                    resizing the fleet moves only ~1/N of keys
+type Router interface {
+	Route(s Sample, shards []ShardInfo) (int, error)
+}
+
+// safeLoad maps degenerate load values (NaN, -Inf) to +Inf so a
+// corrupted or fuzzed snapshot can only make a shard less attractive,
+// never crash a comparison.
+func safeLoad(l float64) float64 {
+	if math.IsNaN(l) || l < 0 {
+		return math.Inf(1)
+	}
+	return l
+}
+
+// LeastLoadedRouter routes every sample to the shard with the lowest
+// fractional occupancy, breaking ties toward the lowest index. The
+// zero value is ready to use.
+type LeastLoadedRouter struct{}
+
+// Route implements Router.
+func (LeastLoadedRouter) Route(_ Sample, shards []ShardInfo) (int, error) {
+	if len(shards) == 0 {
+		return 0, ErrNoShard
+	}
+	best, bestLoad := -1, math.Inf(1)
+	for _, sh := range shards {
+		if l := safeLoad(sh.Load); best == -1 || l < bestLoad {
+			best, bestLoad = sh.Index, l
+		}
+	}
+	return best, nil
+}
+
+// AffinityRouter routes by panel-type affinity: the shard whose target
+// panel covers the largest number of the sample's species wins; among
+// equally-covering shards the least loaded (then lowest index) wins.
+// A sample with species no shard measures at all — an unknown panel
+// type — is rejected with ErrNoShard. An empty sample (no
+// concentrations) matches every shard and falls back to least-loaded.
+// The zero value is ready to use.
+type AffinityRouter struct{}
+
+// Route implements Router.
+func (AffinityRouter) Route(s Sample, shards []ShardInfo) (int, error) {
+	if len(shards) == 0 {
+		return 0, ErrNoShard
+	}
+	if len(s.Concentrations) == 0 {
+		return LeastLoadedRouter{}.Route(s, shards)
+	}
+	best, bestCover, bestLoad := -1, 0, math.Inf(1)
+	for _, sh := range shards {
+		cover := 0
+		for _, t := range sh.Targets {
+			if _, ok := s.Concentrations[t]; ok {
+				cover++
+			}
+		}
+		if cover == 0 {
+			continue
+		}
+		l := safeLoad(sh.Load)
+		if cover > bestCover || (cover == bestCover && l < bestLoad) {
+			best, bestCover, bestLoad = sh.Index, cover, l
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("%w: none of %d shards measures any of the sample's species", ErrNoShard, len(shards))
+	}
+	return best, nil
+}
+
+// hashVnodes is the number of virtual nodes per shard on the hash
+// ring; enough for an even spread at small shard counts without making
+// ring construction noticeable.
+const hashVnodes = 64
+
+// mix64 finalizes a raw FNV hash with the splitmix64 avalanche
+// (mathx.Mix64). FNV-1a over short, similar strings ("patient-001",
+// "patient-002", …) leaves the high bits strongly correlated — without
+// this step every key lands in one narrow arc of the ring and a single
+// shard takes all the traffic.
+func mix64(z uint64) uint64 { return mathx.Mix64(z) }
+
+// HashRouter is a consistent-hash-by-patient router: Sample.ID hashes
+// onto a ring of virtual nodes, so the same ID always routes to the
+// same shard (stable patient→instrument affinity, e.g. for longitudinal
+// drift tracking), and changing the shard count remaps only ~1/N of
+// IDs. The zero value is ready to use; rings are built lazily per
+// shard count and cached.
+type HashRouter struct {
+	mu    sync.Mutex
+	rings map[int]hashRing
+}
+
+// hashRing is a sorted list of (point, shard) pairs.
+type hashRing struct {
+	points []uint64
+	shards []int
+}
+
+func buildRing(n int) hashRing {
+	type node struct {
+		point uint64
+		shard int
+	}
+	nodes := make([]node, 0, n*hashVnodes)
+	for s := 0; s < n; s++ {
+		for v := 0; v < hashVnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "shard-%d-vnode-%d", s, v)
+			nodes = append(nodes, node{point: mix64(h.Sum64()), shard: s})
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].point < nodes[j].point })
+	r := hashRing{points: make([]uint64, len(nodes)), shards: make([]int, len(nodes))}
+	for i, nd := range nodes {
+		r.points[i] = nd.point
+		r.shards[i] = nd.shard
+	}
+	return r
+}
+
+// ring returns the cached ring for n shards, building it on first use.
+func (hr *HashRouter) ring(n int) hashRing {
+	hr.mu.Lock()
+	defer hr.mu.Unlock()
+	if hr.rings == nil {
+		hr.rings = map[int]hashRing{}
+	}
+	r, ok := hr.rings[n]
+	if !ok {
+		r = buildRing(n)
+		hr.rings[n] = r
+	}
+	return r
+}
+
+// Route implements Router. The returned index is a position into the
+// shards slice's index space [0, len(shards)); the router assumes
+// shard indices are dense (the Fleet's always are).
+func (hr *HashRouter) Route(s Sample, shards []ShardInfo) (int, error) {
+	n := len(shards)
+	if n == 0 {
+		return 0, ErrNoShard
+	}
+	if n == 1 {
+		return shards[0].Index, nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte(s.ID))
+	key := mix64(h.Sum64())
+	r := hr.ring(n)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return shards[r.shards[i]].Index, nil
+}

@@ -1,0 +1,156 @@
+package advdiag_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"advdiag"
+)
+
+// view builds a dense n-shard router view with the given targets per
+// shard.
+func view(targets ...[]string) []advdiag.ShardInfo {
+	out := make([]advdiag.ShardInfo, len(targets))
+	for i, ts := range targets {
+		out[i] = advdiag.ShardInfo{Index: i, Targets: ts, QueueCap: 4}
+	}
+	return out
+}
+
+func TestLeastLoadedRouter(t *testing.T) {
+	r := advdiag.LeastLoadedRouter{}
+	v := view([]string{"glucose"}, []string{"glucose"}, []string{"glucose"})
+	v[0].Load, v[1].Load, v[2].Load = 0.8, 0.2, 0.5
+	idx, err := r.Route(advdiag.Sample{}, v)
+	if err != nil || idx != 1 {
+		t.Fatalf("Route = %d, %v; want 1", idx, err)
+	}
+	// NaN and negative loads must lose to any finite load, not crash
+	// or win the comparison.
+	v[1].Load = math.NaN()
+	v[0].Load = -3
+	idx, err = r.Route(advdiag.Sample{}, v)
+	if err != nil || idx != 2 {
+		t.Fatalf("Route with NaN/negative loads = %d, %v; want 2", idx, err)
+	}
+	if _, err := r.Route(advdiag.Sample{}, nil); !errors.Is(err, advdiag.ErrNoShard) {
+		t.Fatalf("empty view must return ErrNoShard, got %v", err)
+	}
+}
+
+func TestAffinityRouter(t *testing.T) {
+	r := advdiag.AffinityRouter{}
+	v := view([]string{"glucose", "lactate"}, []string{"benzphetamine"})
+	s := advdiag.Sample{Concentrations: map[string]float64{"benzphetamine": 0.3}}
+	idx, err := r.Route(s, v)
+	if err != nil || idx != 1 {
+		t.Fatalf("drug sample routed to %d, %v; want 1", idx, err)
+	}
+	// Unknown panel type: no shard covers cholesterol.
+	s = advdiag.Sample{Concentrations: map[string]float64{"cholesterol": 0.1}}
+	if _, err := r.Route(s, v); !errors.Is(err, advdiag.ErrNoShard) {
+		t.Fatalf("uncovered sample must return ErrNoShard, got %v", err)
+	}
+	// Empty sample: any shard will do; least-loaded fallback.
+	v[0].Load, v[1].Load = 0.9, 0.1
+	idx, err = r.Route(advdiag.Sample{}, v)
+	if err != nil || idx != 1 {
+		t.Fatalf("empty sample routed to %d, %v; want 1 (least loaded)", idx, err)
+	}
+	// Coverage beats load: shard 0 covers both species even when
+	// busier.
+	s = advdiag.Sample{Concentrations: map[string]float64{"glucose": 1, "lactate": 1}}
+	idx, err = r.Route(s, v)
+	if err != nil || idx != 0 {
+		t.Fatalf("two-species sample routed to %d, %v; want 0", idx, err)
+	}
+}
+
+func TestHashRouterStableAndBalanced(t *testing.T) {
+	r := &advdiag.HashRouter{}
+	v := view([]string{"glucose"}, []string{"glucose"}, []string{"glucose"}, []string{"glucose"})
+	counts := make([]int, len(v))
+	const n = 400
+	for i := 0; i < n; i++ {
+		s := advdiag.Sample{ID: fmt.Sprintf("patient-%03d", i)}
+		idx, err := r.Route(s, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := r.Route(s, v)
+		if err != nil || again != idx {
+			t.Fatalf("patient %d moved shards: %d then %d", i, idx, again)
+		}
+		counts[idx]++
+	}
+	for sh, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no keys: %v", sh, counts)
+		}
+	}
+	// Consistent-hash property: removing one shard moves only a
+	// fraction of keys (well under a full reshuffle; allow a generous
+	// 2/n + slack bound).
+	small := v[:3]
+	moved := 0
+	for i := 0; i < n; i++ {
+		s := advdiag.Sample{ID: fmt.Sprintf("patient-%03d", i)}
+		a, _ := r.Route(s, v)
+		b, _ := r.Route(s, small)
+		if a != b && a != 3 {
+			moved++
+		}
+	}
+	if frac := float64(moved) / n; frac > 0.2 {
+		t.Fatalf("%.0f%% of keys on surviving shards moved after removing one shard; consistent hashing should move ~none", 100*frac)
+	}
+}
+
+// FuzzRouter throws adversarial samples and shard views at every
+// built-in router: unknown panel types, empty samples, NaN loads,
+// degenerate queue numbers. Routers must never panic and, when they
+// succeed on a dense view, must return an index inside it.
+func FuzzRouter(f *testing.F) {
+	f.Add("patient-1", "glucose", 1.0, math.NaN(), 3, uint8(0))
+	f.Add("", "", math.Inf(1), -1.0, 0, uint8(1))
+	f.Add("p", "unobtainium", -5.0, 0.5, 1, uint8(2))
+	f.Add("q", "benzphetamine", 0.3, math.Inf(-1), 8, uint8(0))
+	f.Fuzz(func(t *testing.T, id, species string, conc, load float64, shardCount int, which uint8) {
+		// Reduce before negating: -math.MinInt overflows back to
+		// MinInt, but |MinInt % 6| is safe.
+		shardCount %= 6
+		if shardCount < 0 {
+			shardCount = -shardCount
+		}
+		shards := make([]advdiag.ShardInfo, shardCount)
+		for i := range shards {
+			shards[i] = advdiag.ShardInfo{
+				Index:    i,
+				Targets:  []string{"glucose", "benzphetamine"}[:1+i%2],
+				QueueLen: i - 2,
+				QueueCap: i % 3,
+				InFlight: -i,
+				Load:     load * float64(i),
+			}
+		}
+		s := advdiag.Sample{ID: id}
+		if species != "" {
+			s.Concentrations = map[string]float64{species: conc}
+		}
+		routers := []advdiag.Router{
+			advdiag.LeastLoadedRouter{},
+			advdiag.AffinityRouter{},
+			&advdiag.HashRouter{},
+		}
+		r := routers[int(which)%len(routers)]
+		idx, err := r.Route(s, shards)
+		if err != nil {
+			return
+		}
+		if idx < 0 || idx >= len(shards) {
+			t.Fatalf("%T returned %d for a %d-shard view", r, idx, len(shards))
+		}
+	})
+}

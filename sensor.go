@@ -12,6 +12,7 @@ import (
 	"advdiag/internal/mathx"
 	"advdiag/internal/measure"
 	"advdiag/internal/phys"
+	rt "advdiag/internal/runtime"
 )
 
 // Sensor is a single functionalized working electrode with its
@@ -164,26 +165,14 @@ func (s *Sensor) MeasureSteadyState(concMM float64) (float64, error) {
 			return 0, err
 		}
 		fit, err := analysis.FitCVComponents(res.Voltammogram, templates,
-			filmNuisances(res.Voltammogram.X, s.assay.CYP)...)
+			rt.FilmNuisances(res.Voltammogram.X, s.assay.CYP)...)
 		if err != nil {
 			return 0, err
 		}
-		unitPeak := unitPeakHeight(templates[s.target])
+		unitPeak := rt.UnitPeakHeight(templates[s.target])
 		return fit.Amplitudes[s.target] * unitPeak * 1e6, nil
 	}
 	return 0, fmt.Errorf("advdiag: unsupported technique")
-}
-
-// unitPeakHeight returns the cathodic peak magnitude of a unit
-// template (templates are IUPAC currents: reduction negative).
-func unitPeakHeight(tpl []float64) float64 {
-	peak := 0.0
-	for _, v := range tpl {
-		if -v > peak {
-			peak = -v
-		}
-	}
-	return peak
 }
 
 // FOMReport is a Table III row measured on this sensor.
