@@ -1,0 +1,329 @@
+package advdiag
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"advdiag/wire"
+)
+
+// Client talks to a Server over HTTP, speaking the wire format. It is
+// the remote twin of a Lab's batch API: RunPanel/RunPanels/StreamPanels
+// return the same PanelOutcome values a local Lab produces — including
+// byte-identical PanelResult fingerprints, because the wire format is
+// lossless for float64 and the server preserves submission order.
+//
+// A Client is safe for concurrent use; it holds no per-request state.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the transport (timeouts, TLS, proxies,
+// or an httptest server's client). Default: http.DefaultClient.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// NewClient builds a client for the server at baseURL (scheme://host[:port],
+// no trailing path).
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// BaseURL reports the server address the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// remoteError maps an HTTP error response to the package's sentinel
+// errors where one exists, so remote and local callers handle
+// saturation and shutdown identically:
+//
+//	429 → ErrFleetSaturated    503 → ErrServerDraining
+func remoteError(status int, body []byte) error {
+	msg := strings.TrimSpace(string(body))
+	switch status {
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("advdiag: server %s: %w", msg, ErrFleetSaturated)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("advdiag: server %s: %w", msg, ErrServerDraining)
+	default:
+		return fmt.Errorf("advdiag: server returned %d: %s", status, msg)
+	}
+}
+
+func (c *Client) post(ctx context.Context, path, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return c.hc.Do(req)
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.hc.Do(req)
+}
+
+// Health checks GET /healthz: nil while the server accepts work.
+func (c *Client) Health(ctx context.Context) error {
+	resp, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp.StatusCode, body)
+	}
+	return nil
+}
+
+// Stats fetches the server fleet's aggregate snapshot.
+func (c *Client) Stats(ctx context.Context) (FleetStats, error) {
+	resp, err := c.get(ctx, "/v1/stats")
+	if err != nil {
+		return FleetStats{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return FleetStats{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return FleetStats{}, remoteError(resp.StatusCode, body)
+	}
+	var st FleetStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return FleetStats{}, fmt.Errorf("advdiag: stats: %w", err)
+	}
+	return st, nil
+}
+
+// RunPanel submits one sample and waits for its outcome. A saturated
+// fleet surfaces as ErrFleetSaturated (check with errors.Is and back
+// off); a draining server as ErrServerDraining. A per-sample
+// measurement failure comes back inside the outcome's Err, exactly as
+// it would from a local Lab.
+func (c *Client) RunPanel(ctx context.Context, s Sample) (PanelOutcome, error) {
+	data, err := wire.MarshalSample(toWireSample(s))
+	if err != nil {
+		return PanelOutcome{}, err
+	}
+	resp, err := c.post(ctx, "/v1/panels", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return PanelOutcome{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return PanelOutcome{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return PanelOutcome{}, remoteError(resp.StatusCode, body)
+	}
+	wo, err := wire.UnmarshalOutcome(body)
+	if err != nil {
+		return PanelOutcome{}, err
+	}
+	return outcomeFromWire(wo), nil
+}
+
+// RunPanels submits a batch and returns one outcome per sample in
+// request order — the remote counterpart of Lab.RunPanels. Per-sample
+// failures (including samples shed by backpressure mid-batch) land in
+// the outcome's Err; a batch rejected wholesale maps to the sentinel
+// errors like RunPanel.
+func (c *Client) RunPanels(ctx context.Context, samples []Sample) ([]PanelOutcome, error) {
+	elems := make([]json.RawMessage, len(samples))
+	for i, s := range samples {
+		// Per-element MarshalSample keeps client-side validation
+		// consistent with RunPanel/StreamPanels: a bad sample errors
+		// here with the wire message instead of travelling to the
+		// server (or failing opaquely inside json.Marshal on NaN).
+		e, err := wire.MarshalSample(toWireSample(s))
+		if err != nil {
+			return nil, fmt.Errorf("advdiag: batch sample %d: %w", i, err)
+		}
+		elems[i] = e
+	}
+	data, err := json.Marshal(elems)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.post(ctx, "/v1/panels/batch", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp.StatusCode, body)
+	}
+	var wos []wire.Outcome
+	if err := json.Unmarshal(body, &wos); err != nil {
+		return nil, fmt.Errorf("advdiag: batch response: %w", err)
+	}
+	if len(wos) != len(samples) {
+		return nil, fmt.Errorf("advdiag: batch response has %d outcomes for %d samples", len(wos), len(samples))
+	}
+	out := make([]PanelOutcome, len(wos))
+	for i, wo := range wos {
+		if err := wo.Validate(); err != nil {
+			return nil, err
+		}
+		out[i] = outcomeFromWire(wo)
+	}
+	return out, nil
+}
+
+// StreamPanels submits samples over the NDJSON streaming endpoint and
+// invokes fn for each outcome as the server reports it, in completion
+// order. seq is the outcome's position in the submitted slice. fn runs
+// on the caller's goroutine; StreamPanels returns after the server
+// closes the stream (every sample answered) or the context ends.
+func (c *Client) StreamPanels(ctx context.Context, samples []Sample, fn func(seq int, o PanelOutcome)) error {
+	var buf bytes.Buffer
+	for _, s := range samples {
+		data, err := wire.MarshalSample(toWireSample(s))
+		if err != nil {
+			return err
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	resp, err := c.post(ctx, "/v1/panels/stream", "application/x-ndjson", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return remoteError(resp.StatusCode, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	// An outcome line is strictly larger than the sample it answers
+	// (it echoes the ID and adds the result), so the response buffer
+	// must be sized above the request-line bound.
+	sc.Buffer(make([]byte, 64*1024), maxOutcomeBytes)
+	n := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		wo, err := wire.UnmarshalOutcome(line)
+		if err != nil {
+			return err
+		}
+		fn(wo.Seq, outcomeFromWire(wo))
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if n != len(samples) {
+		return fmt.Errorf("advdiag: stream answered %d of %d samples", n, len(samples))
+	}
+	return nil
+}
+
+// --- wire bridge -----------------------------------------------------
+//
+// The conversions between the root types and their wire twins. The
+// structs are field-for-field identical, so these cannot change any
+// bit the PanelResult fingerprint hashes (pinned by
+// TestWireBridgeFingerprint).
+
+func toWireSample(s Sample) wire.Sample {
+	return wire.Sample{Schema: wire.SchemaVersion, ID: s.ID, Concentrations: s.Concentrations}
+}
+
+func sampleFromWire(ws wire.Sample) Sample {
+	return Sample{ID: ws.ID, Concentrations: ws.Concentrations}
+}
+
+func toWireResult(pr PanelResult) wire.PanelResult {
+	out := wire.PanelResult{Schema: wire.SchemaVersion, PanelSeconds: pr.PanelSeconds}
+	if len(pr.Readings) > 0 {
+		out.Readings = make([]wire.Reading, len(pr.Readings))
+		for i, r := range pr.Readings {
+			out.Readings[i] = wire.Reading(r)
+		}
+	}
+	return out
+}
+
+func resultFromWire(wr wire.PanelResult) PanelResult {
+	out := PanelResult{PanelSeconds: wr.PanelSeconds}
+	if len(wr.Readings) > 0 {
+		out.Readings = make([]TargetReading, len(wr.Readings))
+		for i, r := range wr.Readings {
+			out.Readings[i] = TargetReading(r)
+		}
+	}
+	return out
+}
+
+// toWireOutcome renders a service outcome for the wire; seq is the
+// sample's position within the request being answered.
+func toWireOutcome(seq int, o PanelOutcome) wire.Outcome {
+	wo := wire.Outcome{
+		Schema:                wire.SchemaVersion,
+		Seq:                   seq,
+		Index:                 o.Index,
+		ID:                    o.ID,
+		Shard:                 o.Shard,
+		ScheduledStartSeconds: o.ScheduledStartSeconds,
+		WallSeconds:           o.WallSeconds,
+	}
+	if o.Err != nil {
+		wo.Error = o.Err.Error()
+	} else {
+		res := toWireResult(o.Result)
+		wo.Result = &res
+	}
+	return wo
+}
+
+// errorOutcome is the wire form of a sample that never entered the
+// fleet (parse failure, backpressure shed, draining server).
+func errorOutcome(seq int, id string, err error) wire.Outcome {
+	return wire.Outcome{Schema: wire.SchemaVersion, Seq: seq, Index: -1, ID: id, Shard: -1, Error: err.Error()}
+}
+
+func outcomeFromWire(wo wire.Outcome) PanelOutcome {
+	out := PanelOutcome{
+		Index:                 wo.Index,
+		ID:                    wo.ID,
+		Shard:                 wo.Shard,
+		ScheduledStartSeconds: wo.ScheduledStartSeconds,
+		WallSeconds:           wo.WallSeconds,
+	}
+	if wo.Error != "" {
+		out.Err = errors.New(wo.Error)
+	} else if wo.Result != nil {
+		out.Result = resultFromWire(*wo.Result)
+	}
+	return out
+}

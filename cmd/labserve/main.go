@@ -1,0 +1,252 @@
+// Command labserve is the network front door over a panel fleet: it
+// designs a platform for the requested targets, shards it behind an
+// advdiag.Fleet, and serves the wire-format HTTP API (see the advdiag
+// Server type: POST /v1/panels[, /batch, /stream], GET /v1/stats,
+// GET /healthz). SIGTERM/SIGINT drain gracefully: health flips to 503,
+// new submissions are refused, accepted panels finish, then the
+// process exits.
+//
+// Examples:
+//
+//	labserve                             # Fig. 4 panel on :8080, 2 shards
+//	labserve -addr :9090 -shards 4 -workers 2 -router hash
+//	labserve -targets glucose,lactate -depth 16
+//	labserve -smoke                      # CI: serve, submit a Fig. 4
+//	                                     # batch via the client, diff
+//	                                     # fingerprints against a local
+//	                                     # Lab, exit non-zero on any bit
+//	                                     # difference
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"advdiag"
+)
+
+// fig4Targets is the paper's §III six-target demonstrator panel.
+var fig4Targets = []string{
+	"glucose", "lactate", "glutamate",
+	"benzphetamine", "aminopyrine", "cholesterol",
+}
+
+// baselineMM centers the smoke cohort on physiologic values.
+var baselineMM = map[string]float64{
+	"glucose":       2.0,
+	"lactate":       1.0,
+	"glutamate":     1.0,
+	"benzphetamine": 0.8,
+	"aminopyrine":   4.0,
+	"cholesterol":   0.05,
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		targets  = flag.String("targets", strings.Join(fig4Targets, ","), "comma-separated panel targets")
+		shards   = flag.Int("shards", 2, "fleet shard count")
+		workers  = flag.Int("workers", 1, "workers per shard")
+		depth    = flag.Int("depth", 8, "bounded queue depth per shard")
+		seed     = flag.Uint64("seed", 1, "platform noise seed")
+		router   = flag.String("router", "leastloaded", "routing policy: leastloaded|affinity|hash")
+		smoke    = flag.Bool("smoke", false, "CI smoke: serve, run a client batch, diff fingerprints against a local Lab")
+		patients = flag.Int("patients", 16, "smoke batch size")
+	)
+	flag.Parse()
+
+	tl := splitTargets(*targets)
+	if *smoke {
+		if err := runSmoke(os.Stdout, tl, *patients, *shards, *workers, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "labserve smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := serve(*addr, tl, *shards, *workers, *depth, *seed, *router); err != nil {
+		fmt.Fprintln(os.Stderr, "labserve:", err)
+		os.Exit(1)
+	}
+}
+
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// buildServer designs the platform once and stands the fleet + front
+// door up over n shards of it (shards share the design and its warmed
+// calibration cache).
+func buildServer(targets []string, shards, workers, depth int, seed uint64, router string) (*advdiag.Platform, *advdiag.Server, error) {
+	var r advdiag.Router
+	switch router {
+	case "leastloaded":
+		r = advdiag.LeastLoadedRouter{}
+	case "affinity":
+		r = advdiag.AffinityRouter{}
+	case "hash":
+		r = &advdiag.HashRouter{}
+	default:
+		return nil, nil, fmt.Errorf("unknown router %q (want leastloaded, affinity or hash)", router)
+	}
+	p, err := advdiag.DesignPlatform(targets, advdiag.WithPlatformSeed(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	plats := make([]*advdiag.Platform, shards)
+	for i := range plats {
+		plats[i] = p
+	}
+	fleet, err := advdiag.NewFleet(plats,
+		advdiag.WithFleetRouter(r),
+		advdiag.WithFleetWorkers(workers),
+		advdiag.WithFleetQueueDepth(depth),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := advdiag.NewServer(fleet)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, srv, nil
+}
+
+// serve runs the front door until SIGTERM/SIGINT, then drains: intake
+// flips to 503, in-flight requests and accepted panels finish, and the
+// process exits cleanly — the rollout dance a load-balanced deployment
+// expects.
+func serve(addr string, targets []string, shards, workers, depth int, seed uint64, router string) error {
+	p, srv, err := buildServer(targets, shards, workers, depth, seed, router)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("labserve: %d shards × %d workers over %v (queue depth %d, %s router)\n",
+		shards, workers, p.Targets(), depth, router)
+	fmt.Printf("labserve: listening on %s\n", addr)
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-sigc
+		fmt.Println("labserve: signal received, draining")
+		srv.Drain() // refuse new work, wait for accepted panels
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck // best-effort teardown
+	}()
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-drained
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Println("labserve: drained, bye")
+	return nil
+}
+
+// smokeCohort builds the deterministic patient batch the smoke
+// submits: uniform spreads around physiologic baselines, seeded by
+// index so the local Lab reference sees byte-identical inputs.
+func smokeCohort(targets []string, n int) []advdiag.Sample {
+	out := make([]advdiag.Sample, n)
+	for i := range out {
+		concs := make(map[string]float64, len(targets))
+		for j, t := range targets {
+			base := baselineMM[t]
+			if base == 0 {
+				base = 1
+			}
+			concs[t] = base * (0.5 + 0.1*float64((i+j)%13))
+		}
+		out[i] = advdiag.Sample{ID: fmt.Sprintf("patient-%03d", i+1), Concentrations: concs}
+	}
+	return out
+}
+
+// runSmoke is the CI end-to-end: start a real HTTP server on a
+// loopback port, submit a batch through the client, and require every
+// returned PanelResult fingerprint to be byte-identical to the same
+// samples run on a local Lab over the same platform. It also checks
+// that /v1/stats accounted for the batch.
+func runSmoke(w *os.File, targets []string, patients, shards, workers int, seed uint64) error {
+	p, srv, err := buildServer(targets, shards, workers, 2*patients, seed, "leastloaded")
+	if err != nil {
+		return err
+	}
+	defer srv.Close() //nolint:errcheck // second close after success path is the fleet sentinel
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	go httpSrv.Serve(ln) //nolint:errcheck // torn down below
+	defer httpSrv.Close()
+
+	client := advdiag.NewClient("http://" + ln.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := client.Health(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	samples := smokeCohort(targets, patients)
+	remote, err := client.RunPanels(ctx, samples)
+	if err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+
+	lab, err := advdiag.NewLab(p, advdiag.WithLabWorkers(workers))
+	if err != nil {
+		return err
+	}
+	local := lab.RunPanels(samples)
+
+	mismatches := 0
+	for i := range samples {
+		if remote[i].Err != nil {
+			return fmt.Errorf("remote sample %d (%s): %w", i, samples[i].ID, remote[i].Err)
+		}
+		if local[i].Err != nil {
+			return fmt.Errorf("local sample %d (%s): %w", i, samples[i].ID, local[i].Err)
+		}
+		rf, lf := remote[i].Result.Fingerprint(), local[i].Result.Fingerprint()
+		if rf != lf {
+			mismatches++
+			fmt.Fprintf(w, "MISMATCH %s: remote %016x != local %016x\n", samples[i].ID, rf, lf)
+		}
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d of %d fingerprints differ between HTTP client and local Lab", mismatches, len(samples))
+	}
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if st.Submitted != uint64(len(samples)) || st.Completed != uint64(len(samples)) {
+		return fmt.Errorf("stats did not account for the batch: %+v", st)
+	}
+	fmt.Fprintf(w, "labserve smoke: %d/%d fingerprints byte-identical over HTTP (%d shards × %d workers, %v)\n",
+		len(samples), len(samples), shards, workers, p.Targets())
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRunSmokeSmallPanel drives the full smoke — real TCP listener,
+// HTTP client batch, fingerprint diff against a local Lab — on a small
+// two-target platform so the test stays fast while covering exactly
+// the path CI runs against the Fig. 4 panel.
+func TestRunSmokeSmallPanel(t *testing.T) {
+	if err := runSmoke(os.Stdout, []string{"glucose", "benzphetamine"}, 8, 2, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitTargets(t *testing.T) {
+	got := splitTargets(" glucose, lactate ,,benzphetamine ")
+	want := []string{"glucose", "lactate", "benzphetamine"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestBuildServerUnknownRouter(t *testing.T) {
+	if _, _, err := buildServer([]string{"glucose"}, 1, 1, 1, 1, "roundrobin"); err == nil {
+		t.Fatal("unknown router must fail")
+	}
+}

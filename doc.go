@@ -38,12 +38,24 @@
 //     backpressure while TrySubmit sheds load with ErrFleetSaturated,
 //     and FleetStats aggregates the per-shard service counters.
 //
+//   - Server and Client: the network front door over a Fleet and its
+//     Go twin, speaking the versioned JSON wire format of the
+//     advdiag/wire package. Backpressure maps to HTTP 429 (TrySubmit,
+//     never a blocked handler), SIGTERM drains gracefully via
+//     cmd/labserve, and batches submitted through the client return
+//     PanelResult fingerprints byte-identical to a local Lab.
+//
 // # Architecture
 //
-// The execution stack is three layers over one engine; every layer
-// above internal/runtime is an adapter, never a re-implementation:
+// The execution stack is layered over one engine; every layer above
+// internal/runtime is an adapter, never a re-implementation:
 //
 //	              ┌──────────────────────────────────────────┐
+//	              │      advdiag.Server (HTTP front door)    │
+//	              │  wire format ▸ 429 backpressure ▸ drain  │
+//	              └──────────────────┬───────────────────────┘
+//	                                 │ TrySubmit / Results
+//	              ┌──────────────────▼───────────────────────┐
 //	              │            advdiag.Fleet                 │
 //	              │  Router ▸ shard queues ▸ FleetStats      │
 //	              └───────┬──────────┬──────────┬────────────┘
@@ -78,6 +90,29 @@
 // AffinityRouter), when one instrument's throughput ceiling is the
 // bottleneck (identical shards behind LeastLoadedRouter), or when
 // per-patient affinity matters for longitudinal tracking (HashRouter).
+//
+// # Serving panels over HTTP
+//
+// The Server publishes a Fleet on the network; the Client consumes it.
+// Samples and results travel in the advdiag/wire package's versioned
+// JSON (schema version 1, strict decoding: unknown fields, version
+// skew, and concentrations the runtime would refuse are all HTTP 400
+// before anything reaches the fleet):
+//
+//	POST /v1/panels        one wire.Sample        → one wire.Outcome
+//	POST /v1/panels/batch  [wire.Sample, …]       → [wire.Outcome, …] (request order)
+//	POST /v1/panels/stream NDJSON wire.Sample     → NDJSON wire.Outcome (completion order)
+//	GET  /v1/stats         FleetStats as JSON
+//	GET  /healthz          200 while serving, 503 while draining
+//
+// Backpressure is explicit: every submission uses Fleet.TrySubmit, so
+// a saturated shard queue is HTTP 429 (ErrFleetSaturated through the
+// Client) rather than a blocked handler, and every reject is counted
+// in /v1/stats. The wire format is lossless for float64, so results
+// fetched through the Client carry fingerprints byte-identical to a
+// local Lab run of the same batch. cmd/labserve is the deployable
+// front door (graceful SIGTERM drain); examples/remote shows the whole
+// boundary in one process.
 //
 // All public values use the paper's units: mM for concentrations, mV for
 // potentials, µA for currents, µA/(mM·cm²) for sensitivities, seconds

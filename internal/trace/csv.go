@@ -4,12 +4,29 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
 // WriteCSV encodes the series as two columns, time and value, with a
-// header row naming the units.
+// header row naming the units. Series shorter than two samples are an
+// error: ReadSeriesCSV infers the sample interval from the rows, so a
+// 0- or 1-sample file could never be read back — write must imply
+// readable.
 func (s *Series) WriteCSV(w io.Writer) error {
+	if len(s.Values) < 2 {
+		return fmt.Errorf("trace: WriteCSV needs ≥2 samples to round-trip (Dt is inferred on read), got %d", len(s.Values))
+	}
+	// The same write-implies-readable contract covers the grid itself:
+	// a non-finite Start/Dt, or a Dt below the float resolution at
+	// Start (every timestamp formatting identically), would produce a
+	// file ReadSeriesCSV rejects.
+	last := s.Time(len(s.Values) - 1)
+	if math.IsNaN(s.Start) || math.IsInf(s.Start, 0) ||
+		math.IsNaN(s.Dt) || math.IsInf(s.Dt, 0) || s.Dt <= 0 ||
+		math.IsInf(last, 0) || !(last > s.Start) {
+		return fmt.Errorf("trace: WriteCSV needs a finite, strictly increasing time grid to round-trip (start %g, dt %g, %d samples)", s.Start, s.Dt, len(s.Values))
+	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"time_s", "value_" + s.Unit}); err != nil {
 		return err
@@ -56,6 +73,9 @@ func ReadSeriesCSV(r io.Reader) (*Series, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: bad time %q: %w", rec[0], err)
 		}
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("trace: non-finite time %q", rec[0])
+		}
 		v, err := strconv.ParseFloat(rec[1], 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: bad value %q: %w", rec[1], err)
@@ -63,16 +83,39 @@ func ReadSeriesCSV(r io.Reader) (*Series, error) {
 		times = append(times, t)
 		vals = append(vals, v)
 	}
-	dt := times[1] - times[0]
-	if dt <= 0 {
+	// Infer Dt from the endpoints — the exact slope of a uniform grid.
+	// The first row pair alone carries the full rounding error of
+	// Start+Dt, which matters when Start is large relative to Dt (a
+	// day-long drift trace sampled at 1 ms).
+	n := len(times)
+	dt := (times[n-1] - times[0]) / float64(n-1)
+	if dt <= 0 || math.IsInf(dt, 0) {
+		// dt can overflow to +Inf for finite-but-extreme endpoints
+		// (±1e308); that is no more a grid than a non-positive step.
 		return nil, ErrBadSeries
 	}
-	for i := 2; i < len(times); i++ {
-		if d := times[i] - times[i-1]; d < 0.999*dt || d > 1.001*dt {
-			return nil, fmt.Errorf("trace: non-uniform sampling at row %d", i)
+	// Check uniformity against the reconstructed grid times[0]+i·dt
+	// with an absolute tolerance. A row-to-row ratio test falsely
+	// rejects genuine grids once float rounding of Start+i·Dt
+	// approaches 0.1% of Dt; the grid comparison bounds the deviation
+	// of every row at once, and the tolerance — 0.1% of Dt plus a few
+	// ulps of the timestamp magnitude — covers rounding at any
+	// Start/Dt ratio while still rejecting genuinely non-uniform
+	// sampling.
+	tol := 1e-3*dt + 64*ulp(math.Max(math.Abs(times[0]), math.Abs(times[n-1])))
+	for i, ti := range times {
+		if math.Abs(ti-(times[0]+float64(i)*dt)) > tol {
+			return nil, fmt.Errorf("trace: non-uniform sampling at row %d", i+2)
 		}
 	}
 	return &Series{Start: times[0], Dt: dt, Unit: unit, Values: vals}, nil
+}
+
+// ulp returns the distance from |x| to the next larger float64 — the
+// unit of rounding error at x's magnitude.
+func ulp(x float64) float64 {
+	x = math.Abs(x)
+	return math.Nextafter(x, math.Inf(1)) - x
 }
 
 // WriteCSV encodes the XY as two columns with a unit header.
@@ -112,16 +155,18 @@ func ReadXYCSV(r io.Reader) (*XY, error) {
 		p.XUnit, p.YUnit = recs[0][0], recs[0][1]
 	}
 	for i, rec := range recs[1:] {
+		// Row numbers are 1-based counting the header, so data row i
+		// of recs[1:] is file row i+2.
 		if len(rec) != 2 {
-			return nil, fmt.Errorf("trace: CSV row %d has %d fields, want 2", i+1, len(rec))
+			return nil, fmt.Errorf("trace: CSV row %d has %d fields, want 2", i+2, len(rec))
 		}
 		x, err := strconv.ParseFloat(rec[0], 64)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: row %d: bad x %q: %w", i+2, rec[0], err)
 		}
 		y, err := strconv.ParseFloat(rec[1], 64)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: row %d: bad y %q: %w", i+2, rec[1], err)
 		}
 		p.Append(x, y)
 	}

@@ -1,0 +1,294 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSeriesCSVLargeStart is the regression for the float-rounding
+// false reject: a day-long monitoring trace sampled at 1 ms has
+// Start/Dt ≈ 9e7, so the rounding of Start+i·Dt approaches the old
+// 0.1% row-to-row band and long uniform traces were refused as
+// "non-uniform sampling". The grid-based check must accept them.
+func TestSeriesCSVLargeStart(t *testing.T) {
+	cases := []struct {
+		name      string
+		start, dt float64
+		n         int
+	}{
+		{"day-long drift at 1 ms", 86400, 1e-3, 5000},
+		{"week-long at 10 ms", 7 * 86400, 1e-2, 3000},
+		{"microsecond steps late in a run", 3600, 1e-6, 2000},
+		{"zero start control", 0, 1e-3, 5000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSeries(tc.start, tc.dt, tc.n, "A")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range s.Values {
+				s.Values[i] = float64(i%7) - 3
+			}
+			var buf bytes.Buffer
+			if err := s.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ReadSeriesCSV(&buf)
+			if err != nil {
+				t.Fatalf("uniform series rejected: %v", err)
+			}
+			if back.Start != s.Start {
+				t.Fatalf("Start: %g vs %g", back.Start, s.Start)
+			}
+			if math.Abs(back.Dt-s.Dt) > 1e-9*s.Dt {
+				t.Fatalf("Dt: %g vs %g", back.Dt, s.Dt)
+			}
+			for i := range s.Values {
+				if back.Values[i] != s.Values[i] {
+					t.Fatalf("value %d: %g vs %g", i, back.Values[i], s.Values[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReadSeriesCSVStillRejectsNonUniform pins that the absolute-
+// epsilon check keeps rejecting genuinely non-uniform grids, including
+// ones the old row-to-row test caught.
+func TestReadSeriesCSVStillRejectsNonUniform(t *testing.T) {
+	cases := []struct{ name, csv string }{
+		{"doubled step", "time_s,value_A\n0,1\n1,2\n3,3\n"},
+		{"one percent jitter", "time_s,value_A\n0,1\n1,2\n2.01,3\n3,4\n"},
+		{"large start jitter", "time_s,value_A\n86400,1\n86400.001,2\n86400.0021,3\n86400.003,4\n"},
+		{"reversed time", "time_s,value_A\n1,1\n0,2\n-1,3\n"},
+		{"repeated time", "time_s,value_A\n1,1\n1,2\n1,3\n"},
+		// Finite endpoints whose span overflows float64: dt would be
+		// +Inf and the tolerance check vacuous without the guard.
+		{"dt overflow", "time_s,value_A\n-1e308,1\n1e308,2\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadSeriesCSV(strings.NewReader(tc.csv)); err == nil {
+				t.Fatal("non-uniform sampling must fail")
+			}
+		})
+	}
+}
+
+// TestWriteCSVShortSeries pins the write-implies-readable contract:
+// series that ReadSeriesCSV could never decode (fewer than the two
+// rows needed to infer Dt) must be refused at write time rather than
+// silently producing an unreadable file.
+func TestWriteCSVShortSeries(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		s := &Series{Start: 0, Dt: 0.1, Unit: "A", Values: make([]float64, n)}
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err == nil {
+			t.Fatalf("%d-sample series must fail WriteCSV", n)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%d-sample series wrote %d bytes before failing", n, buf.Len())
+		}
+	}
+	// Two samples is the floor: write then read back.
+	s := mustSeries(t, 0, 0.1, []float64{1, 2})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSeriesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteCSVBadGrid extends write-implies-readable to the grid
+// itself: time bases ReadSeriesCSV could never decode must be refused
+// at write time.
+func TestWriteCSVBadGrid(t *testing.T) {
+	cases := []struct {
+		name      string
+		start, dt float64
+	}{
+		{"collapsed grid (dt below float resolution at start)", 1e9, 1e-9},
+		{"NaN start", math.NaN(), 0.1},
+		{"Inf start", math.Inf(1), 0.1},
+		{"Inf dt", 0, math.Inf(1)},
+		{"zero dt", 0, 0},
+		{"negative dt", 0, -0.1},
+		{"grid overflows to Inf", 1e308, 1e308},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &Series{Start: tc.start, Dt: tc.dt, Unit: "A", Values: make([]float64, 3)}
+			var buf bytes.Buffer
+			if err := s.WriteCSV(&buf); err == nil {
+				t.Fatalf("unreadable grid (start %g, dt %g) must fail WriteCSV", tc.start, tc.dt)
+			}
+		})
+	}
+}
+
+// TestReadSeriesCSVNonFiniteTime: a time column that parses to ±Inf
+// cannot define a grid and must error instead of yielding a NaN Dt.
+func TestReadSeriesCSVNonFiniteTime(t *testing.T) {
+	csv := "time_s,value_A\n0,1\n+Inf,2\n1,3\n"
+	if _, err := ReadSeriesCSV(strings.NewReader(csv)); err == nil {
+		t.Fatal("non-finite time must fail")
+	}
+}
+
+// TestReadXYCSVRowErrors pins the row numbering (1-based counting the
+// header, so the first data row is row 2) and the wrapped value-parse
+// context.
+func TestReadXYCSVRowErrors(t *testing.T) {
+	cases := []struct{ name, csv, want string }{
+		// Rows with a field count differing from the header are caught
+		// by csv.Reader itself; our check fires on files that are
+		// consistently not two columns wide.
+		{"three columns", "V,A,extra\n0.1,1,9\n", "row 2"},
+		{"one column", "V\n0.1\n0.2\n", "row 2"},
+		{"bad x", "V,A\n0.1,1\nnope,2\n", `row 3: bad x "nope"`},
+		{"bad y", "V,A\n0.1,1\n0.2,nope\n", `row 3: bad y "nope"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadXYCSV(strings.NewReader(tc.csv))
+			if err == nil {
+				t.Fatal("malformed CSV must fail")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// floatEq compares round-tripped values: exact bits, except NaN (the
+// CSV text "NaN" carries no payload or sign, so any NaN matches).
+func floatEq(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}
+
+// FuzzSeriesCSV: any series WriteCSV accepts must be decodable by
+// ReadSeriesCSV with the same start, values, and a Dt within rounding
+// of the original — write implies readable at every Start/Dt ratio the
+// fuzzer can reach.
+func FuzzSeriesCSV(f *testing.F) {
+	f.Add(0.0, 0.1, 16, uint8(1), "A")
+	f.Add(86400.0, 1e-3, 512, uint8(3), "V")
+	f.Add(7*86400.0, 1e-2, 300, uint8(7), "µA")
+	f.Add(1.5, 0.25, 3, uint8(0), "unit,with\"quotes")
+	f.Add(-10.0, 1e-6, 2, uint8(9), "")
+
+	f.Fuzz(func(t *testing.T, start, dt float64, n int, valSeed uint8, unit string) {
+		// Constrain to grids whose timestamps stay finite and whose
+		// text form is unambiguous; everything inside the range must
+		// round-trip.
+		if math.IsNaN(start) || math.IsInf(start, 0) || math.Abs(start) > 1e12 {
+			t.Skip()
+		}
+		if !(dt > 1e-9 && dt < 1e6) {
+			t.Skip()
+		}
+		if n < 2 || n > 2048 {
+			t.Skip()
+		}
+		// The csv reader reduces \r\n to \n inside quoted fields, so a
+		// unit containing \r cannot round-trip byte-for-byte.
+		if strings.Contains(unit, "\r") {
+			t.Skip()
+		}
+		s, err := NewSeries(start, dt, n, unit)
+		if err != nil {
+			t.Skip()
+		}
+		// A Dt below the float resolution at Start collapses the grid
+		// (every timestamp rounds to the same float); nothing could
+		// represent that series, so it is out of contract.
+		if s.Time(n-1) <= s.Time(0) {
+			t.Skip()
+		}
+		for i := range s.Values {
+			s.Values[i] = float64(int(valSeed)+i%11) * 0.37
+		}
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV(%v): %v", s, err)
+		}
+		back, err := ReadSeriesCSV(&buf)
+		if err != nil {
+			t.Fatalf("ReadSeriesCSV rejected its own writer's output (start=%g dt=%g n=%d): %v", start, dt, n, err)
+		}
+		if back.Start != s.Time(0) {
+			t.Fatalf("Start: %g vs %g", back.Start, s.Time(0))
+		}
+		// Dt is recovered from the endpoints: exact up to the float
+		// quantization of the timestamps themselves.
+		scale := math.Max(math.Abs(s.Time(0)), math.Abs(s.Time(n-1)))
+		ulp := math.Nextafter(scale, math.Inf(1)) - scale
+		if math.Abs(back.Dt-dt) > 1e-9*dt+2*ulp {
+			t.Fatalf("Dt: %g vs %g", back.Dt, dt)
+		}
+		if back.Unit != unit {
+			t.Fatalf("Unit: %q vs %q", back.Unit, unit)
+		}
+		if len(back.Values) != n {
+			t.Fatalf("len: %d vs %d", len(back.Values), n)
+		}
+		for i := range s.Values {
+			if back.Values[i] != s.Values[i] {
+				t.Fatalf("value %d: %g vs %g", i, back.Values[i], s.Values[i])
+			}
+		}
+	})
+}
+
+// FuzzXYCSV: WriteCSV ∘ ReadXYCSV is the identity on XY records,
+// including non-finite sample values (the CSV text "NaN"/"±Inf" round-
+// trips) and units that need CSV quoting.
+func FuzzXYCSV(f *testing.F) {
+	f.Add("V", "A", 0.1, -2e-9, 0.2, 3e-9, 4)
+	f.Add("", "", 0.0, 0.0, 0.0, 0.0, 0)
+	f.Add("x,unit", "y\nunit", math.NaN(), math.Inf(1), math.Inf(-1), -0.0, 7)
+	f.Add("mM", "µA", 1e308, -1e308, 5e-324, 1.0, 33)
+
+	f.Fuzz(func(t *testing.T, xUnit, yUnit string, x0, y0, dx, dy float64, n int) {
+		if n < 0 || n > 2048 {
+			t.Skip()
+		}
+		// \r cannot round-trip through quoted csv fields (the reader
+		// folds \r\n to \n).
+		if strings.Contains(xUnit, "\r") || strings.Contains(yUnit, "\r") {
+			t.Skip()
+		}
+		p := NewXY(xUnit, yUnit)
+		for i := 0; i < n; i++ {
+			p.Append(x0+float64(i)*dx, y0+float64(i)*dy)
+		}
+		var buf bytes.Buffer
+		if err := p.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		back, err := ReadXYCSV(&buf)
+		if err != nil {
+			t.Fatalf("ReadXYCSV rejected its own writer's output: %v", err)
+		}
+		if back.XUnit != xUnit || back.YUnit != yUnit {
+			t.Fatalf("units: %q/%q vs %q/%q", back.XUnit, back.YUnit, xUnit, yUnit)
+		}
+		if back.Len() != p.Len() {
+			t.Fatalf("len: %d vs %d", back.Len(), p.Len())
+		}
+		for i := 0; i < p.Len(); i++ {
+			if !floatEq(back.X[i], p.X[i]) || !floatEq(back.Y[i], p.Y[i]) {
+				t.Fatalf("point %d: (%g,%g) vs (%g,%g)", i, back.X[i], back.Y[i], p.X[i], p.Y[i])
+			}
+		}
+	})
+}

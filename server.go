@@ -1,0 +1,410 @@
+package advdiag
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"advdiag/wire"
+)
+
+// ErrServerDraining is the sentinel a draining or closed Server
+// returns for new submissions; the HTTP layer maps it to 503.
+var ErrServerDraining = errors.New("advdiag: server is draining")
+
+// Server is the network front door over a Fleet: it owns the mapping
+// from HTTP requests to fleet submissions and back, speaking the wire
+// package's versioned JSON format.
+//
+//	POST /v1/panels        one wire.Sample        → one wire.Outcome
+//	POST /v1/panels/batch  [wire.Sample, …]       → [wire.Outcome, …] (request order)
+//	POST /v1/panels/stream NDJSON wire.Sample     → NDJSON wire.Outcome (completion order)
+//	GET  /v1/stats         FleetStats as JSON
+//	GET  /healthz          200 while serving, 503 while draining
+//
+// Backpressure is explicit and non-blocking: every submission goes
+// through Fleet.TrySubmit, so a saturated shard queue surfaces as HTTP
+// 429 (single; per-outcome error for batch/stream) instead of a
+// handler blocked on a full queue. Invalid payloads — malformed JSON,
+// unknown fields, schema-version skew, concentrations the execution
+// runtime would refuse — are 400 before anything reaches the fleet.
+//
+// Determinism: the Server preserves the Fleet's contract. Samples are
+// accepted in request order (a batch holds the intake lock for its
+// whole submission loop), and each panel's noise stream is seeded from
+// its fleet-wide submission index, so a batch POSTed to a fresh
+// server returns PanelResult fingerprints byte-identical to the same
+// samples run on a local Lab.
+//
+// The Server must be its Fleet's only submitter and Results consumer:
+// it mirrors the fleet's acceptance counter to route outcomes back to
+// waiting requests, and any out-of-band Submit would desynchronize the
+// mapping. Construct the Fleet, hand it to NewServer, and use only the
+// HTTP surface (or the Server's methods) from then on.
+//
+// Lifecycle: Drain stops intake (new submissions get 503) and waits
+// for accepted panels; Close additionally shuts the fleet down.
+// cmd/labserve wires Drain+Close to SIGTERM for graceful rollouts.
+type Server struct {
+	fleet *Fleet
+	mux   *http.ServeMux
+
+	// subMu serializes acceptance: a batch holds it for its whole
+	// submission loop so its samples get contiguous fleet indices.
+	// next mirrors the fleet's acceptance counter — valid only while
+	// every acceptance flows through submitOne.
+	subMu    sync.Mutex
+	next     int
+	draining bool
+
+	// waitMu guards the outcome demux map. It is separate from subMu
+	// so the collector keeps draining fleet results (and shard workers
+	// keep pulling from their queues) while a batch is mid-submission.
+	waitMu  sync.Mutex
+	waiters map[int]chan PanelOutcome
+
+	collectorDone chan struct{}
+}
+
+// NewServer builds the front door over a fleet and starts the outcome
+// collector. The fleet must be exclusively owned by the server from
+// this point on (see the type comment).
+func NewServer(f *Fleet) (*Server, error) {
+	if f == nil {
+		return nil, fmt.Errorf("advdiag: NewServer needs a fleet")
+	}
+	s := &Server{
+		fleet:         f,
+		next:          int(f.Stats().Submitted),
+		waiters:       map[int]chan PanelOutcome{},
+		collectorDone: make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/panels", s.handlePanel)
+	s.mux.HandleFunc("POST /v1/panels/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/panels/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	go s.collect()
+	return s, nil
+}
+
+// collect demultiplexes the fleet's merged Results stream back to the
+// per-request waiter channels. It exits when Close shuts the fleet's
+// Results channel.
+func (s *Server) collect() {
+	defer close(s.collectorDone)
+	for o := range s.fleet.Results() {
+		s.waitMu.Lock()
+		ch := s.waiters[o.Index]
+		delete(s.waiters, o.Index)
+		s.waitMu.Unlock()
+		if ch != nil {
+			ch <- o // buffered (cap 1): never blocks the collector
+		}
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// submitOne routes one sample into the fleet and registers a waiter
+// for its outcome. Callers hold s.subMu, which keeps s.next in
+// lockstep with the fleet's acceptance counter. The waiter is
+// registered before TrySubmit: once the sample is in a shard queue its
+// outcome can race back through the collector immediately.
+func (s *Server) submitOne(sm Sample) (<-chan PanelOutcome, error) {
+	if s.draining {
+		return nil, ErrServerDraining
+	}
+	ch := make(chan PanelOutcome, 1)
+	idx := s.next
+	s.waitMu.Lock()
+	s.waiters[idx] = ch
+	s.waitMu.Unlock()
+	if err := s.fleet.TrySubmit(sm); err != nil {
+		s.waitMu.Lock()
+		delete(s.waiters, idx)
+		s.waitMu.Unlock()
+		return nil, err
+	}
+	s.next++
+	return ch, nil
+}
+
+func (s *Server) submit(sm Sample) (<-chan PanelOutcome, error) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	return s.submitOne(sm)
+}
+
+// submitStatus maps a submission error to its HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrFleetSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrServerDraining), errors.Is(err, ErrFleetClosed):
+		return http.StatusServiceUnavailable
+	default:
+		// Routing errors: no shard serves the sample's panel type.
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the status line is already gone
+}
+
+// maxSampleBytes bounds a single wire.Sample (or one NDJSON request
+// line); maxBatchBytes bounds a whole batch request body.
+// maxOutcomeBytes bounds one NDJSON response line: an outcome echoes
+// the sample's ID and adds a result whose size is set by the panel,
+// so twice the sample bound leaves ample headroom.
+const (
+	maxSampleBytes  = 1 << 20
+	maxBatchBytes   = 64 << 20
+	maxOutcomeBytes = 2 * maxSampleBytes
+)
+
+// decodeSampleBody reads and strictly decodes one wire.Sample request
+// body, writing the HTTP error itself on failure.
+func decodeSampleBody(w http.ResponseWriter, r *http.Request) (Sample, bool) {
+	body, err := readAll(w, r, maxSampleBytes)
+	if err != nil {
+		return Sample{}, false
+	}
+	ws, err := wire.UnmarshalSample(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return Sample{}, false
+	}
+	return sampleFromWire(ws), true
+}
+
+// readAll slurps a bounded request body, writing the HTTP error
+// itself on failure.
+func readAll(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			httpError(w, http.StatusBadRequest, err)
+		}
+		return nil, err
+	}
+	return data, nil
+}
+
+// handlePanel serves POST /v1/panels: one sample in, one outcome out.
+// Saturation is 429; a measurement failure is still HTTP 200 with the
+// error inside the outcome (the request was served — the sample
+// failed).
+func (s *Server) handlePanel(w http.ResponseWriter, r *http.Request) {
+	sm, ok := decodeSampleBody(w, r)
+	if !ok {
+		return
+	}
+	ch, err := s.submit(sm)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	select {
+	case out := <-ch:
+		writeJSON(w, toWireOutcome(0, out))
+	case <-r.Context().Done():
+		// The client went away; the panel still completes and the
+		// collector drops its outcome into the buffered channel.
+	}
+}
+
+// handleBatch serves POST /v1/panels/batch: a JSON array of samples in,
+// an array of outcomes in request order out. The whole array is
+// validated before anything is submitted, so a malformed batch is
+// atomic-reject (400). Submission itself is per-sample: outcomes of
+// samples shed by backpressure carry the error while the rest of the
+// batch proceeds; if every sample was shed the response is 429.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := readAll(w, r, maxBatchBytes)
+	if err != nil {
+		return
+	}
+	var raw []json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("wire: batch: %w", err))
+		return
+	}
+	samples := make([]Sample, len(raw))
+	for i, msg := range raw {
+		ws, err := wire.UnmarshalSample(msg)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("sample %d: %w", i, err))
+			return
+		}
+		samples[i] = sampleFromWire(ws)
+	}
+
+	chans := make([]<-chan PanelOutcome, len(samples))
+	outs := make([]wire.Outcome, len(samples))
+	accepted := 0
+	var firstErr error
+	// One subMu hold for the whole loop: batch samples are accepted
+	// contiguously in request order, which is what makes a batch
+	// reproducible against a local Lab run of the same slice. The
+	// collector drains completed panels concurrently (it only needs
+	// waitMu), so shard queues keep emptying while the batch submits.
+	s.subMu.Lock()
+	for i, sm := range samples {
+		ch, err := s.submitOne(sm)
+		if err != nil {
+			outs[i] = errorOutcome(i, sm.ID, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		chans[i] = ch
+		accepted++
+	}
+	s.subMu.Unlock()
+
+	if accepted == 0 && len(samples) > 0 {
+		// Nothing entered the fleet; surface the first error's status
+		// for the whole request (typically 429 on saturation).
+		httpError(w, submitStatus(firstErr), fmt.Errorf("batch rejected: %w", firstErr))
+		return
+	}
+	for i, ch := range chans {
+		if ch == nil {
+			continue
+		}
+		select {
+		case out := <-ch:
+			outs[i] = toWireOutcome(i, out)
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, outs)
+}
+
+// handleStream serves POST /v1/panels/stream: NDJSON samples in,
+// NDJSON outcomes out, written in completion order as panels finish
+// (each line carries seq, the request line it answers). Per-line
+// failures — parse errors, shed samples — become error outcomes on the
+// stream; the connection stays up.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	results := make(chan wire.Outcome, 16)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		enc := json.NewEncoder(w)
+		for out := range results {
+			enc.Encode(out) //nolint:errcheck // client gone = stream over
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+	sc.Buffer(make([]byte, 64*1024), maxSampleBytes)
+	seq := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue // blank lines are NDJSON keep-alives
+		}
+		ws, err := wire.UnmarshalSample(line)
+		if err != nil {
+			results <- errorOutcome(seq, "", err)
+			seq++
+			continue
+		}
+		sm := sampleFromWire(ws)
+		ch, err := s.submit(sm)
+		if err != nil {
+			results <- errorOutcome(seq, sm.ID, err)
+			seq++
+			continue
+		}
+		wg.Add(1)
+		go func(seq int, ch <-chan PanelOutcome) {
+			defer wg.Done()
+			results <- toWireOutcome(seq, <-ch)
+		}(seq, ch)
+		seq++
+	}
+	if err := sc.Err(); err != nil {
+		results <- errorOutcome(seq, "", fmt.Errorf("wire: stream: %w", err))
+	}
+	wg.Wait()
+	close(results)
+	<-writerDone
+}
+
+// handleStats serves GET /v1/stats: the FleetStats snapshot as JSON —
+// submitted/completed/rejected counters (rejects include every 429
+// this server returned), per-shard queue depths and Lab stats.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.fleet.Stats())
+}
+
+// handleHealth serves GET /healthz: 200 while accepting work, 503 once
+// draining — load balancers stop routing before the listener goes
+// away.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.subMu.Lock()
+	draining := s.draining
+	s.subMu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Drain stops accepting new submissions (they get 503) and blocks
+// until every accepted panel has been measured and delivered. In-
+// flight requests complete normally.
+func (s *Server) Drain() {
+	s.subMu.Lock()
+	s.draining = true
+	s.subMu.Unlock()
+	s.fleet.Drain()
+}
+
+// Close drains the server, shuts the fleet down, and waits for the
+// outcome collector to exit. The first Close returns nil; later ones
+// return ErrFleetClosed (from the fleet).
+func (s *Server) Close() error {
+	s.subMu.Lock()
+	s.draining = true
+	s.subMu.Unlock()
+	err := s.fleet.Close()
+	if err == nil {
+		<-s.collectorDone
+	}
+	return err
+}
