@@ -1,0 +1,29 @@
+package advdiag_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"advdiag"
+)
+
+// Probe: a stream request whose NDJSON body exceeds the server-side
+// scanner's read-ahead, so outcome writes begin before the body is
+// fully read.
+func TestStreamLargeBodyProbe(t *testing.T) {
+	samples := make([]advdiag.Sample, 2000)
+	for i := range samples {
+		samples[i] = advdiag.Sample{
+			ID:             fmt.Sprintf("probe-%04d-%s", i, string(bytes.Repeat([]byte{'x'}, 40))),
+			Concentrations: map[string]float64{"glucose": 5.5},
+		}
+	}
+	_, client := newTestServer(t, 2, advdiag.WithFleetWorkers(2), advdiag.WithFleetQueueDepth(4))
+	n := 0
+	err := client.StreamPanels(context.Background(), samples, func(seq int, o advdiag.PanelOutcome) { n++ })
+	if err != nil {
+		t.Fatalf("answered %d of %d before error: %v", n, len(samples), err)
+	}
+}
