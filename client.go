@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"advdiag/wire"
 )
@@ -96,23 +97,26 @@ func (c *Client) Health(ctx context.Context) error {
 	return nil
 }
 
-// Stats fetches the server fleet's aggregate snapshot.
-func (c *Client) Stats(ctx context.Context) (FleetStats, error) {
+// Stats fetches the server's aggregate snapshot: the fleet counters
+// plus, when the server runs an attached scheduler, its population-
+// campaign stats (the FleetStats fields are promoted, so existing
+// callers read them unchanged).
+func (c *Client) Stats(ctx context.Context) (ServerStats, error) {
 	resp, err := c.get(ctx, "/v1/stats")
 	if err != nil {
-		return FleetStats{}, err
+		return ServerStats{}, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return FleetStats{}, err
+		return ServerStats{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return FleetStats{}, remoteError(resp.StatusCode, body)
+		return ServerStats{}, remoteError(resp.StatusCode, body)
 	}
-	var st FleetStats
+	var st ServerStats
 	if err := json.Unmarshal(body, &st); err != nil {
-		return FleetStats{}, fmt.Errorf("advdiag: stats: %w", err)
+		return ServerStats{}, fmt.Errorf("advdiag: stats: %w", err)
 	}
 	return st, nil
 }
@@ -203,17 +207,32 @@ func (c *Client) RunPanels(ctx context.Context, samples []Sample) ([]PanelOutcom
 // on the caller's goroutine; StreamPanels returns after the server
 // closes the stream (every sample answered) or the context ends.
 func (c *Client) StreamPanels(ctx context.Context, samples []Sample, fn func(seq int, o PanelOutcome)) error {
-	var buf bytes.Buffer
-	for _, s := range samples {
+	lines := make([][]byte, len(samples))
+	for i, s := range samples {
 		data, err := wire.MarshalSample(toWireSample(s))
 		if err != nil {
 			return err
 		}
-		buf.Write(data)
-		buf.WriteByte('\n')
+		lines[i] = append(data, '\n')
 	}
-	resp, err := c.post(ctx, "/v1/panels/stream", "application/x-ndjson", &buf)
+	// Stream the body through a pipe instead of buffering it: the
+	// server answers in completion order while the request is still
+	// being written, so a client that finishes uploading before reading
+	// deadlocks against the server's bounded outcome queue once the
+	// cohort outgrows the transport buffers.
+	pr, pw := io.Pipe()
+	go func() {
+		for _, line := range lines {
+			if _, err := pw.Write(line); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+	resp, err := c.post(ctx, "/v1/panels/stream", "application/x-ndjson", pr)
 	if err != nil {
+		pr.Close() //nolint:errcheck // unblocks the writer goroutine
 		return err
 	}
 	defer resp.Body.Close()
@@ -247,6 +266,127 @@ func (c *Client) StreamPanels(ctx context.Context, samples []Sample, fn func(seq
 	}
 	return nil
 }
+
+// ErrMonitorPending is the sentinel GetMonitor returns while accepted
+// acquisitions for the campaign are still in flight and none has
+// completed yet (HTTP 202) — poll again shortly.
+var ErrMonitorPending = errors.New("advdiag: monitor outcome pending")
+
+// RunMonitor submits one monitoring acquisition and waits for its
+// outcome — the remote twin of Lab.RunMonitor. Saturation surfaces as
+// ErrFleetSaturated, a draining server as ErrServerDraining; a
+// measurement failure comes back inside the outcome's Err. Because the
+// request carries its own noise seed, the returned trace is
+// byte-identical to a local run of the same request (the wire format
+// is lossless for float64) — MonitorResult.Fingerprint proves it.
+func (c *Client) RunMonitor(ctx context.Context, req MonitorRequest) (MonitorOutcome, error) {
+	data, err := wire.MarshalMonitorRequest(toWireMonitorRequest(req))
+	if err != nil {
+		return MonitorOutcome{}, err
+	}
+	resp, err := c.post(ctx, "/v1/monitors", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return MonitorOutcome{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return MonitorOutcome{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return MonitorOutcome{}, remoteError(resp.StatusCode, body)
+	}
+	wo, err := wire.UnmarshalMonitorOutcome(body)
+	if err != nil {
+		return MonitorOutcome{}, err
+	}
+	return monitorOutcomeFromWire(wo), nil
+}
+
+// GetMonitor fetches the latest completed outcome stored for a
+// campaign ID. ErrMonitorPending means acquisitions are in flight but
+// none has completed; any other non-200 (including an unknown or
+// evicted ID) is an error.
+func (c *Client) GetMonitor(ctx context.Context, id string) (MonitorOutcome, error) {
+	resp, err := c.get(ctx, "/v1/monitors/"+id)
+	if err != nil {
+		return MonitorOutcome{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return MonitorOutcome{}, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusAccepted:
+		return MonitorOutcome{}, fmt.Errorf("advdiag: %s: %w", strings.TrimSpace(string(body)), ErrMonitorPending)
+	default:
+		return MonitorOutcome{}, remoteError(resp.StatusCode, body)
+	}
+	wo, err := wire.UnmarshalMonitorOutcome(body)
+	if err != nil {
+		return MonitorOutcome{}, err
+	}
+	return monitorOutcomeFromWire(wo), nil
+}
+
+// MonitorBackend adapts the client into the MonitorScheduler's backend
+// interface, so one scheduler drives a remote labserve exactly as it
+// drives an in-process Fleet. Each submission runs as its own
+// goroutine POSTing /v1/monitors (the endpoint is synchronous); a 429
+// is retried with backoff until the server accepts — the remote twin
+// of Fleet.SubmitMonitor's blocking backpressure — and any other
+// transport or server error is delivered as a failed outcome, never
+// lost. The context cancels in-flight requests.
+//
+// Both SubmitMonitor and TrySubmitMonitor accept immediately (the
+// queueing happens server-side), so a scheduler over this backend
+// never counts sheds locally; the server's rejected counter holds
+// them.
+func (c *Client) MonitorBackend(ctx context.Context) MonitorBackend {
+	return &clientMonitorBackend{c: c, ctx: ctx, results: make(chan MonitorOutcome, 256)}
+}
+
+type clientMonitorBackend struct {
+	c       *Client
+	ctx     context.Context
+	results chan MonitorOutcome
+}
+
+func (b *clientMonitorBackend) SubmitMonitor(req MonitorRequest) error {
+	go func() {
+		backoff := 5 * time.Millisecond
+		for {
+			out, err := b.c.RunMonitor(b.ctx, req)
+			if errors.Is(err, ErrFleetSaturated) {
+				select {
+				case <-time.After(backoff):
+				case <-b.ctx.Done():
+					err = b.ctx.Err()
+					b.results <- MonitorOutcome{Index: -1, ID: req.ID, Tick: req.Tick, Shard: -1, Err: err}
+					return
+				}
+				if backoff *= 2; backoff > 200*time.Millisecond {
+					backoff = 200 * time.Millisecond
+				}
+				continue
+			}
+			if err != nil {
+				out = MonitorOutcome{Index: -1, ID: req.ID, Tick: req.Tick, Shard: -1, Err: err}
+			}
+			b.results <- out
+			return
+		}
+	}()
+	return nil
+}
+
+func (b *clientMonitorBackend) TrySubmitMonitor(req MonitorRequest) error {
+	return b.SubmitMonitor(req)
+}
+
+func (b *clientMonitorBackend) MonitorResults() <-chan MonitorOutcome { return b.results }
 
 // --- wire bridge -----------------------------------------------------
 //
@@ -324,6 +464,112 @@ func outcomeFromWire(wo wire.Outcome) PanelOutcome {
 		out.Err = errors.New(wo.Error)
 	} else if wo.Result != nil {
 		out.Result = resultFromWire(*wo.Result)
+	}
+	return out
+}
+
+func toWireMonitorRequest(r MonitorRequest) wire.MonitorRequest {
+	out := wire.MonitorRequest{
+		Schema:          wire.SchemaVersion,
+		ID:              r.ID,
+		Tick:            r.Tick,
+		Target:          r.Target,
+		ConcentrationMM: r.ConcentrationMM,
+		DurationSeconds: r.DurationSeconds,
+		BaselineSeconds: r.BaselineSeconds,
+		AgeHours:        r.AgeHours,
+		Polymer:         r.Polymer,
+		Seed:            r.Seed,
+	}
+	if len(r.Injections) > 0 {
+		out.Injections = make([]wire.Injection, len(r.Injections))
+		for i, inj := range r.Injections {
+			out.Injections[i] = wire.Injection(inj)
+		}
+	}
+	return out
+}
+
+func monitorRequestFromWire(wr wire.MonitorRequest) MonitorRequest {
+	out := MonitorRequest{
+		ID:              wr.ID,
+		Tick:            wr.Tick,
+		Target:          wr.Target,
+		ConcentrationMM: wr.ConcentrationMM,
+		DurationSeconds: wr.DurationSeconds,
+		BaselineSeconds: wr.BaselineSeconds,
+		AgeHours:        wr.AgeHours,
+		Polymer:         wr.Polymer,
+		Seed:            wr.Seed,
+	}
+	if len(wr.Injections) > 0 {
+		out.Injections = make([]InjectionEvent, len(wr.Injections))
+		for i, inj := range wr.Injections {
+			out.Injections[i] = InjectionEvent(inj)
+		}
+	}
+	return out
+}
+
+func toWireMonitorResult(mr MonitorResult) wire.MonitorResult {
+	return wire.MonitorResult{
+		Schema:            wire.SchemaVersion,
+		TimesSeconds:      mr.TimesSeconds,
+		CurrentsMicroAmps: mr.CurrentsMicroAmps,
+		T90Seconds:        mr.T90Seconds,
+		TransientSeconds:  mr.TransientSeconds,
+		BaselineMicroAmps: mr.BaselineMicroAmps,
+		SteadyMicroAmps:   mr.SteadyMicroAmps,
+		Settled:           mr.Settled,
+		StepMicroAmps:     mr.StepMicroAmps,
+		EstimatedMM:       mr.EstimatedMM,
+	}
+}
+
+func monitorResultFromWire(wr wire.MonitorResult) MonitorResult {
+	return MonitorResult{
+		TimesSeconds:      wr.TimesSeconds,
+		CurrentsMicroAmps: wr.CurrentsMicroAmps,
+		T90Seconds:        wr.T90Seconds,
+		TransientSeconds:  wr.TransientSeconds,
+		BaselineMicroAmps: wr.BaselineMicroAmps,
+		SteadyMicroAmps:   wr.SteadyMicroAmps,
+		Settled:           wr.Settled,
+		StepMicroAmps:     wr.StepMicroAmps,
+		EstimatedMM:       wr.EstimatedMM,
+	}
+}
+
+func toWireMonitorOutcome(o MonitorOutcome) wire.MonitorOutcome {
+	wo := wire.MonitorOutcome{
+		Schema:      wire.SchemaVersion,
+		Index:       o.Index,
+		ID:          o.ID,
+		Tick:        o.Tick,
+		Shard:       o.Shard,
+		WallSeconds: o.WallSeconds,
+	}
+	if o.Err != nil {
+		wo.Error = o.Err.Error()
+	} else {
+		res := toWireMonitorResult(o.Result)
+		wo.Result = &res
+	}
+	return wo
+}
+
+func monitorOutcomeFromWire(wo wire.MonitorOutcome) MonitorOutcome {
+	out := MonitorOutcome{
+		Index:       wo.Index,
+		ID:          wo.ID,
+		Tick:        wo.Tick,
+		Shard:       wo.Shard,
+		WallSeconds: wo.WallSeconds,
+	}
+	if wo.Error != "" {
+		out.Err = errors.New(wo.Error)
+	} else if wo.Result != nil {
+		out.Result = monitorResultFromWire(*wo.Result)
 	}
 	return out
 }

@@ -16,6 +16,12 @@
 //	                                     # fingerprints against a local
 //	                                     # Lab, exit non-zero on any bit
 //	                                     # difference
+//	labserve -monitor-smoke              # CI: drive a monitoring cohort
+//	                                     # through a scheduler over the
+//	                                     # HTTP backend, diff the cohort
+//	                                     # fingerprint against an
+//	                                     # in-process scheduler on a
+//	                                     # local fleet
 package main
 
 import (
@@ -61,6 +67,8 @@ func main() {
 		router   = flag.String("router", "leastloaded", "routing policy: leastloaded|affinity|hash")
 		smoke    = flag.Bool("smoke", false, "CI smoke: serve, run a client batch, diff fingerprints against a local Lab")
 		patients = flag.Int("patients", 16, "smoke batch size")
+		msmoke   = flag.Bool("monitor-smoke", false, "CI smoke: drive a monitoring cohort through an HTTP-backed scheduler, diff the cohort fingerprint against an in-process fleet")
+		cohort   = flag.Int("campaigns", 24, "monitor-smoke cohort size")
 	)
 	flag.Parse()
 
@@ -68,6 +76,13 @@ func main() {
 	if *smoke {
 		if err := runSmoke(os.Stdout, tl, *patients, *shards, *workers, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "labserve smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *msmoke {
+		if err := runMonitorSmoke(os.Stdout, tl, *cohort, *shards, *workers, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "labserve monitor-smoke:", err)
 			os.Exit(1)
 		}
 		return
@@ -248,5 +263,141 @@ func runSmoke(w *os.File, targets []string, patients, shards, workers int, seed 
 	}
 	fmt.Fprintf(w, "labserve smoke: %d/%d fingerprints byte-identical over HTTP (%d shards × %d workers, %v)\n",
 		len(samples), len(samples), shards, workers, p.Targets())
+	return nil
+}
+
+// monitorSmokeCohort spreads n deterministic campaigns over the
+// platform's monitorable (oxidase-served) targets, cycling through
+// every campaign shape the scheduler serves: plain drift tracking,
+// scheduled recalibration, polymer films, drift-triggered
+// recalibration and injection experiments. Short traces keep the smoke
+// fast; the virtual timeline is what it exercises.
+func monitorSmokeCohort(monitorable []string, n int) ([]advdiag.MonitorCampaign, error) {
+	if len(monitorable) == 0 {
+		return nil, fmt.Errorf("the platform has no chronoamperometric electrode — monitoring needs an oxidase target")
+	}
+	out := make([]advdiag.MonitorCampaign, n)
+	for i := range out {
+		tgt := monitorable[i%len(monitorable)]
+		base := baselineMM[tgt]
+		if base == 0 {
+			base = 1
+		}
+		c := advdiag.MonitorCampaign{
+			ID:              fmt.Sprintf("cohort-%03d", i),
+			Target:          tgt,
+			SampleMM:        base * (0.8 + 0.1*float64(i%5)),
+			DurationHours:   60 + 20*float64(i%3),
+			IntervalHours:   20,
+			TraceSeconds:    6,
+			BaselineSeconds: 2,
+		}
+		switch i % 5 {
+		case 1:
+			c.RecalEveryHours = 40
+		case 2:
+			c.Polymer = true
+		case 3:
+			c.RecalOnDrift = true
+			c.DriftThresholdPct = 5
+			c.DriftWindow = 2
+		case 4:
+			c.Injections = []advdiag.InjectionEvent{{AtSeconds: 3, DeltaMM: base / 2}}
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// runMonitorSmoke is the longitudinal-monitoring CI end-to-end: a
+// scheduler drives the cohort through the HTTP backend of a real
+// loopback server, a second scheduler drives the same cohort over a
+// fresh in-process fleet on the same platform, and the two cohort
+// fingerprints must match bit for bit. The served fleet's monitor
+// results belong to the server's collector, so the in-process
+// reference runs on its OWN fleet — the exclusive-consumer contract.
+func runMonitorSmoke(w *os.File, targets []string, campaigns, shards, workers int, seed uint64) error {
+	p, srv, err := buildServer(targets, shards, workers, 2*campaigns, seed, "leastloaded")
+	if err != nil {
+		return err
+	}
+	cohort, err := monitorSmokeCohort(p.MonitorTargets(), campaigns)
+	if err != nil {
+		srv.Close() //nolint:errcheck // build-time bailout
+		return err
+	}
+	defer srv.Close() //nolint:errcheck // second close after success path is the fleet sentinel
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	go httpSrv.Serve(ln) //nolint:errcheck // torn down below
+	defer httpSrv.Close()
+
+	client := advdiag.NewClient("http://" + ln.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := client.Health(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	ms, err := advdiag.NewMonitorScheduler(client.MonitorBackend(ctx), advdiag.WithSchedulerSeed(seed))
+	if err != nil {
+		return err
+	}
+	srv.AttachScheduler(ms)
+	for _, c := range cohort {
+		if err := ms.Add(c); err != nil {
+			return fmt.Errorf("campaign %s: %w", c.ID, err)
+		}
+	}
+	remote, err := ms.Run()
+	if err != nil {
+		return fmt.Errorf("HTTP cohort: %w", err)
+	}
+	for _, c := range remote.Campaigns {
+		if c.Err != nil {
+			return fmt.Errorf("campaign %s over HTTP: %w", c.ID, c.Err)
+		}
+	}
+
+	fleet, err := advdiag.NewFleet([]*advdiag.Platform{p})
+	if err != nil {
+		return err
+	}
+	defer fleet.Close() //nolint:errcheck // reference fleet, drained by Run
+	ref, err := advdiag.NewMonitorScheduler(fleet, advdiag.WithSchedulerSeed(seed))
+	if err != nil {
+		return err
+	}
+	for _, c := range cohort {
+		if err := ref.Add(c); err != nil {
+			return err
+		}
+	}
+	local, err := ref.Run()
+	if err != nil {
+		return fmt.Errorf("in-process cohort: %w", err)
+	}
+
+	rf, lf := remote.Fingerprint(), local.Fingerprint()
+	if rf != lf {
+		return fmt.Errorf("cohort fingerprint over HTTP %016x != in-process %016x", rf, lf)
+	}
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if st.MonitorsSubmitted == 0 || st.MonitorsCompleted != st.MonitorsSubmitted {
+		return fmt.Errorf("stats did not account for the monitor ticks: %+v", st.FleetStats)
+	}
+	if st.Scheduler == nil || st.Scheduler.Finished != len(cohort) {
+		return fmt.Errorf("stats did not carry the scheduler snapshot: %+v", st.Scheduler)
+	}
+	fmt.Fprintf(w, "labserve monitor-smoke: %d campaigns, %d ticks, cohort fingerprint %016x byte-identical over HTTP (%d shards × %d workers)\n",
+		len(cohort), st.Scheduler.TicksCompleted, rf, shards, workers)
 	return nil
 }

@@ -45,32 +45,45 @@
 //     cmd/labserve, and batches submitted through the client return
 //     PanelResult fingerprints byte-identical to a local Lab.
 //
+//   - MonitorScheduler: population-scale longitudinal monitoring. It
+//     multiplexes thousands of recurring MonitorCampaigns — calibrate,
+//     read on a cadence, recalibrate on schedule or when the rolling
+//     drift detector fires — over one MonitorBackend (a Fleet, or a
+//     Client across the HTTP boundary) in virtual time, and reports
+//     one CampaignReport per campaign with a topology-independent
+//     cohort fingerprint.
+//
 // # Architecture
 //
 // The execution stack is layered over one engine; every layer above
 // internal/runtime is an adapter, never a re-implementation:
 //
-//	              ┌──────────────────────────────────────────┐
-//	              │      advdiag.Server (HTTP front door)    │
-//	              │  wire format ▸ 429 backpressure ▸ drain  │
-//	              └──────────────────┬───────────────────────┘
-//	                                 │ TrySubmit / Results
-//	              ┌──────────────────▼───────────────────────┐
-//	              │            advdiag.Fleet                 │
-//	              │  Router ▸ shard queues ▸ FleetStats      │
-//	              └───────┬──────────┬──────────┬────────────┘
-//	                      │ shard 0  │ shard 1  │ shard N-1
-//	              ┌───────▼──┐  ┌────▼─────┐  ┌─▼────────┐
-//	              │ advdiag. │  │ advdiag. │  │ advdiag. │
-//	              │   Lab    │  │   Lab    │  │   Lab    │
-//	              │ batching · streaming · stats · timing │
-//	              └───────┬──────────┬──────────┬─────────┘
-//	                      └──────────┼──────────┘
-//	              ┌──────────────────▼───────────────────────┐
-//	              │        internal/runtime.Executor         │
-//	              │ validation · seeding · calibration cache │
-//	              │            · panel assembly              │
-//	              └──────────────────────────────────────────┘
+//	┌──────────────────────────────────────────┐
+//	│   advdiag.MonitorScheduler (campaigns)   │
+//	│ virtual time ▸ drift detection ▸ recals  │
+//	└──────────────────┬───────────────────────┘
+//	                   │ MonitorBackend (a Fleet, or a Client over HTTP)
+//	┌──────────────────▼───────────────────────┐
+//	│      advdiag.Server (HTTP front door)    │
+//	│  wire format ▸ 429 backpressure ▸ drain  │
+//	└──────────────────┬───────────────────────┘
+//	                   │ TrySubmit / Results
+//	┌──────────────────▼───────────────────────┐
+//	│            advdiag.Fleet                 │
+//	│  Router ▸ shard queues ▸ FleetStats      │
+//	└───────┬──────────┬──────────┬────────────┘
+//	        │ shard 0  │ shard 1  │ shard N-1
+//	┌───────▼──┐  ┌────▼─────┐  ┌─▼────────┐
+//	│ advdiag. │  │ advdiag. │  │ advdiag. │
+//	│   Lab    │  │   Lab    │  │   Lab    │
+//	│ batching · streaming · stats · timing │
+//	└───────┬──────────┬──────────┬─────────┘
+//	        └──────────┼──────────┘
+//	┌──────────────────▼───────────────────────┐
+//	│        internal/runtime.Executor         │
+//	│ validation · seeding · calibration cache │
+//	│     · panel assembly · monitor traces    │
+//	└──────────────────────────────────────────┘
 //
 // Platform.RunPanel is the zero-concurrency adapter over the same
 // Executor (it runs with the raw platform seed); a Lab is one shard's
@@ -99,10 +112,12 @@
 // skew, and concentrations the runtime would refuse are all HTTP 400
 // before anything reaches the fleet):
 //
-//	POST /v1/panels        one wire.Sample        → one wire.Outcome
-//	POST /v1/panels/batch  [wire.Sample, …]       → [wire.Outcome, …] (request order)
-//	POST /v1/panels/stream NDJSON wire.Sample     → NDJSON wire.Outcome (completion order)
-//	GET  /v1/stats         FleetStats as JSON
+//	POST /v1/panels        one wire.Sample         → one wire.Outcome
+//	POST /v1/panels/batch  [wire.Sample, …]        → [wire.Outcome, …] (request order)
+//	POST /v1/panels/stream NDJSON wire.Sample      → NDJSON wire.Outcome (completion order)
+//	POST /v1/monitors      one wire.MonitorRequest → one wire.MonitorOutcome
+//	GET  /v1/monitors/{id} latest stored outcome for a campaign (202 while pending)
+//	GET  /v1/stats         ServerStats as JSON (fleet counters + scheduler snapshot)
 //	GET  /healthz          200 while serving, 503 while draining
 //
 // Backpressure is explicit: every submission uses Fleet.TrySubmit, so
@@ -113,6 +128,25 @@
 // local Lab run of the same batch. cmd/labserve is the deployable
 // front door (graceful SIGTERM drain); examples/remote shows the whole
 // boundary in one process.
+//
+// # Population-scale monitoring
+//
+// A MonitorRequest is one continuous chronoamperometric acquisition on
+// an aged film — optionally two-phase (baseline first, sample after)
+// and with Fig. 3-style injections — executed by Lab.RunMonitor, the
+// Fleet's monitor lanes (SubmitMonitor/MonitorResults: separate
+// counters and result channel, so panel seeding is untouched), or
+// Client.RunMonitor across HTTP. Sensor.Monitor and the longterm drift
+// model are thin adapters over the same internal/runtime analysis.
+//
+// The monitor determinism contract is stronger than the panel one: a
+// tick's noise seed derives from the campaign's identity alone
+// (MonitorSeed: base seed, campaign ID, tick index) and travels in the
+// request, so a MonitorScheduler cohort's fingerprint is
+// byte-identical at any worker count, shard count, submission
+// interleaving, or across the HTTP boundary. examples/population
+// proves it on a 10,000-campaign cohort; cmd/labserve -monitor-smoke
+// proves it across a real TCP connection in CI.
 //
 // All public values use the paper's units: mM for concentrations, mV for
 // potentials, µA for currents, µA/(mM·cm²) for sensitivities, seconds

@@ -1,0 +1,143 @@
+// Population: longitudinal monitoring at cohort scale. Ten thousand
+// implanted-sensor campaigns — each its own deployment timeline of
+// calibrations, readings, scheduled recalibrations, drift checks and
+// injection experiments — multiplexed over one four-shard Fleet by the
+// MonitorScheduler.
+//
+// The punchline is the determinism proof at the end: the exact same
+// cohort run on a single shard with a single worker produces a
+// bit-identical cohort fingerprint. Every campaign tick seeds its
+// noise from the campaign's identity (ID + tick index), never from
+// submission order, so parallelism changes wall-clock time and
+// nothing else.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"advdiag"
+)
+
+const cohortSize = 10000
+
+// cohort builds the deterministic 10k-campaign population: two
+// monitorable metabolites at concentrations comfortably above their
+// detection limits (glutamate's 1.6 mM LOD rules it out at physiologic
+// levels), staggered deployment lengths, and all five campaign shapes
+// the scheduler serves.
+func cohort() []advdiag.MonitorCampaign {
+	targets := []string{"glucose", "lactate"}
+	base := map[string]float64{"glucose": 2.0, "lactate": 1.2}
+	out := make([]advdiag.MonitorCampaign, cohortSize)
+	for i := range out {
+		tgt := targets[i%len(targets)]
+		c := advdiag.MonitorCampaign{
+			ID:              fmt.Sprintf("patient-%05d", i),
+			Target:          tgt,
+			SampleMM:        base[tgt] * (0.8 + 0.1*float64(i%5)),
+			DurationHours:   40 + 20*float64(i%2),
+			IntervalHours:   20,
+			TraceSeconds:    6,
+			BaselineSeconds: 2,
+		}
+		switch i % 5 {
+		case 1:
+			c.RecalEveryHours = 40
+		case 2:
+			c.Polymer = true
+		case 3:
+			c.RecalOnDrift = true
+			c.DriftThresholdPct = 5
+			c.DriftWindow = 2
+		case 4:
+			c.Injections = []advdiag.InjectionEvent{{AtSeconds: 3, DeltaMM: base[tgt] / 2}}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// run drives the full cohort over a fresh fleet with the given
+// topology and returns the report plus the scheduler's statistics.
+func run(campaigns []advdiag.MonitorCampaign, shards, workers int) (*advdiag.CohortReport, advdiag.MonitorSchedulerStats) {
+	platforms := make([]*advdiag.Platform, shards)
+	for i := range platforms {
+		p, err := advdiag.DesignPlatform(
+			[]string{"glucose", "lactate"},
+			advdiag.WithPlatformSeed(31))
+		if err != nil {
+			log.Fatal(err)
+		}
+		platforms[i] = p
+	}
+	fleet, err := advdiag.NewFleet(platforms,
+		advdiag.WithFleetWorkers(workers),
+		advdiag.WithFleetQueueDepth(64),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+
+	ms, err := advdiag.NewMonitorScheduler(fleet, advdiag.WithSchedulerSeed(2011))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range campaigns {
+		if err := ms.Add(c); err != nil {
+			log.Fatalf("campaign %s: %v", c.ID, err)
+		}
+	}
+	rep, err := ms.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n := rep.Failed(); n > 0 {
+		for _, c := range rep.Campaigns {
+			if c.Err != nil {
+				log.Fatalf("%d campaigns failed; first: %s: %v", n, c.ID, c.Err)
+			}
+		}
+	}
+	return rep, ms.Stats()
+}
+
+func main() {
+	campaigns := cohort()
+	workers := runtime.NumCPU()
+	fmt.Printf("population: %d campaigns over a 4-shard fleet (%d workers/shard)\n",
+		len(campaigns), workers)
+
+	start := time.Now()
+	rep, st := run(campaigns, 4, workers)
+	elapsed := time.Since(start)
+
+	fmt.Printf("\n%s\n", st)
+	fmt.Printf("drift flagged on %d campaigns, %d failed, wall %.1fs\n",
+		rep.DriftFlagged(), rep.Failed(), elapsed.Seconds())
+
+	// A few campaign timelines, one per shape.
+	for _, id := range []string{"patient-00000", "patient-00001", "patient-00003", "patient-00004"} {
+		for _, c := range rep.Campaigns {
+			if c.ID != id {
+				continue
+			}
+			fmt.Printf("  %s: %d readings, %d recals (%d drift-triggered), final error %+.1f%%\n",
+				c.ID, len(c.Readings), c.Recals, c.DriftRecals, c.FinalErrorPct)
+		}
+	}
+
+	// The determinism proof: one shard, one worker, same cohort — the
+	// fingerprint must not move by a bit.
+	fmt.Printf("\nre-running the cohort on 1 shard × 1 worker for the byte-identity proof…\n")
+	ref, _ := run(campaigns, 1, 1)
+	fp, rfp := rep.Fingerprint(), ref.Fingerprint()
+	fmt.Printf("4-shard cohort fingerprint %016x\n1-shard cohort fingerprint %016x\n", fp, rfp)
+	if fp != rfp {
+		log.Fatal("fingerprints differ: scheduling must never leak into results")
+	}
+	fmt.Println("byte-identical: topology changed wall-clock time and nothing else")
+}

@@ -56,8 +56,9 @@ type Fleet struct {
 	workers int
 	depth   int
 
-	results chan PanelOutcome
-	workWG  sync.WaitGroup // shard worker goroutines
+	results  chan PanelOutcome
+	mresults chan MonitorOutcome
+	workWG   sync.WaitGroup // shard worker goroutines
 
 	mu        sync.Mutex
 	cond      *sync.Cond // broadcast when completed advances
@@ -65,10 +66,16 @@ type Fleet struct {
 	completed int
 	rejected  uint64
 	routeErrs uint64
-	closed    bool
-	submitWG  sync.WaitGroup // Submits between closed-check and enqueue
-	first     time.Time
-	last      time.Time
+	// Monitor counters, separate from the panel counters above: panel
+	// seeds derive from the panel submission index, so monitor traffic
+	// must never advance it.
+	msubmitted int
+	mcompleted int
+	mrejected  uint64
+	closed     bool
+	submitWG   sync.WaitGroup // Submits between closed-check and enqueue
+	first      time.Time
+	last       time.Time
 }
 
 // fleetShard is one backend: a Lab over its platform plus the shard's
@@ -93,10 +100,15 @@ type fleetShard struct {
 
 // fleetJob carries one routed sample: seedIdx is the fleet-wide
 // submission index (the determinism anchor), schedIdx the per-shard
-// instrument slot.
+// instrument slot. When monitor is non-nil the job is a monitoring
+// acquisition instead: seedIdx is then the monitor acceptance index
+// (ordering only — the request carries its own seed) and schedIdx is
+// unused, because monitor campaigns live on a virtual timeline, not
+// the shard's back-to-back instrument schedule.
 type fleetJob struct {
 	seedIdx, schedIdx int
 	sample            Sample
+	monitor           *MonitorRequest
 }
 
 // FleetOption customizes a Fleet.
@@ -156,6 +168,7 @@ func NewFleet(platforms []*Platform, opts ...FleetOption) (*Fleet, error) {
 	}
 	f.cond = sync.NewCond(&f.mu)
 	f.results = make(chan PanelOutcome, len(platforms)*f.depth)
+	f.mresults = make(chan MonitorOutcome, len(platforms)*f.depth)
 	// Build every shard before starting any worker: a construction
 	// failure on a later shard must not leak goroutines blocked on the
 	// earlier shards' queues.
@@ -188,19 +201,35 @@ func (f *Fleet) Shards() int { return len(f.shards) }
 func (f *Fleet) shardWorker(sh *fleetShard) {
 	defer f.workWG.Done()
 	for job := range sh.queue {
+		if job.monitor != nil {
+			out := sh.lab.runMonitor(job.seedIdx, *job.monitor)
+			out.Shard = sh.index
+			f.mresults <- out
+			f.complete(sh, true)
+			continue
+		}
 		out := sh.lab.runIndexed(job.seedIdx, job.schedIdx, job.sample)
 		out.Shard = sh.index
 		f.results <- out
-		now := time.Now()
-		f.mu.Lock()
-		f.completed++
-		sh.pending--
-		if f.last.Before(now) {
-			f.last = now
-		}
-		f.cond.Broadcast()
-		f.mu.Unlock()
+		f.complete(sh, false)
 	}
+}
+
+// complete records one finished job (taking the fleet mutex itself).
+func (f *Fleet) complete(sh *fleetShard, monitor bool) {
+	now := time.Now()
+	f.mu.Lock()
+	if monitor {
+		f.mcompleted++
+	} else {
+		f.completed++
+	}
+	sh.pending--
+	if f.last.Before(now) {
+		f.last = now
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
 }
 
 // snapshotLocked builds the router's view (callers hold f.mu).
@@ -298,7 +327,7 @@ func (f *Fleet) TrySubmit(s Sample) error {
 // acceptLocked assigns the fleet-wide submission index and the shard's
 // instrument slot for one accepted sample (callers hold f.mu).
 func (f *Fleet) acceptLocked(sh *fleetShard, s Sample) fleetJob {
-	if f.submitted == 0 {
+	if f.first.IsZero() {
 		f.first = time.Now()
 	}
 	job := fleetJob{seedIdx: f.submitted, schedIdx: sh.sched, sample: s}
@@ -308,6 +337,91 @@ func (f *Fleet) acceptLocked(sh *fleetShard, s Sample) fleetJob {
 	sh.routed.Add(1)
 	return job
 }
+
+// monitorRoutingSample is the router's view of a monitor request: the
+// campaign ID keys consistent-hash routing (same campaign → same
+// shard, the patient→instrument affinity longitudinal tracking wants)
+// and the target keys panel-type affinity.
+func monitorRoutingSample(req MonitorRequest) Sample {
+	return Sample{ID: req.ID, Concentrations: map[string]float64{req.Target: req.ConcentrationMM}}
+}
+
+// acceptMonitorLocked assigns the monitor acceptance index for one
+// accepted request (callers hold f.mu). Monitors never advance the
+// shard's instrument slot counter: campaigns run on a virtual
+// timeline, and panel schedule positions must not depend on monitor
+// traffic.
+func (f *Fleet) acceptMonitorLocked(sh *fleetShard, req MonitorRequest) fleetJob {
+	if f.first.IsZero() {
+		f.first = time.Now()
+	}
+	job := fleetJob{seedIdx: f.msubmitted, monitor: &req}
+	f.msubmitted++
+	sh.pending++
+	sh.routed.Add(1)
+	return job
+}
+
+// SubmitMonitor routes one monitoring acquisition and enqueues it on
+// its shard, blocking while that shard's queue is full. Monitors share
+// the shard queues and workers with panel traffic but keep their own
+// acceptance counter and Results channel; because every monitor
+// carries its own seed, interleaving with panels (or other monitors)
+// never changes any result. Consume MonitorResults concurrently.
+func (f *Fleet) SubmitMonitor(req MonitorRequest) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrFleetClosed
+	}
+	sh, err := f.routeLocked(monitorRoutingSample(req))
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	job := f.acceptMonitorLocked(sh, req)
+	f.submitWG.Add(1)
+	f.mu.Unlock()
+
+	defer f.submitWG.Done()
+	sh.queue <- job
+	return nil
+}
+
+// TrySubmitMonitor is SubmitMonitor without blocking: when the routed
+// shard's queue is full it returns ErrFleetSaturated (counted in
+// FleetStats.MonitorsRejected) and the request is not accepted.
+func (f *Fleet) TrySubmitMonitor(req MonitorRequest) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrFleetClosed
+	}
+	sh, err := f.routeLocked(monitorRoutingSample(req))
+	if err != nil {
+		return err
+	}
+	select {
+	case sh.queue <- f.acceptMonitorLocked(sh, req):
+		return nil
+	default:
+		// Roll back the acceptance — the request never entered the
+		// queue.
+		f.msubmitted--
+		sh.pending--
+		sh.routed.Add(^uint64(0))
+		f.mrejected++
+		return ErrFleetSaturated
+	}
+}
+
+// MonitorResults returns the merged monitor output channel. Outcomes
+// arrive in completion order, each tagged with its acceptance Index,
+// campaign ID and Tick, and the Shard that ran it; Close closes the
+// channel once every accepted request has been measured. The channel
+// has a single-consumer contract: a Server's monitor collector or one
+// MonitorScheduler, never both.
+func (f *Fleet) MonitorResults() <-chan MonitorOutcome { return f.mresults }
 
 // Results returns the merged output channel. Outcomes arrive in
 // completion order, each tagged with its fleet-wide Index and the
@@ -322,8 +436,8 @@ func (f *Fleet) Results() <-chan PanelOutcome { return f.results }
 // draining.
 func (f *Fleet) Drain() {
 	f.mu.Lock()
-	target := f.submitted
-	for f.completed < target {
+	target, mtarget := f.submitted, f.msubmitted
+	for f.completed < target || f.mcompleted < mtarget {
 		f.cond.Wait()
 	}
 	f.mu.Unlock()
@@ -350,6 +464,7 @@ func (f *Fleet) Close() error {
 	}
 	f.workWG.Wait()
 	close(f.results)
+	close(f.mresults)
 	return nil
 }
 
@@ -454,6 +569,10 @@ type FleetStats struct {
 	// subset; Rejected the TrySubmit load-shed count; RouteErrors the
 	// samples no shard could serve.
 	Submitted, Completed, Rejected, RouteErrors uint64
+	// MonitorsSubmitted/MonitorsCompleted/MonitorsRejected are the same
+	// counters for monitoring acquisitions, which keep their own
+	// acceptance sequence (RouteErrors covers both kinds).
+	MonitorsSubmitted, MonitorsCompleted, MonitorsRejected uint64
 	// PanelsPerSecond is fleet-wide throughput: completed panels over
 	// the wall-clock span from first acceptance to last completion.
 	PanelsPerSecond float64
@@ -484,6 +603,10 @@ func (s FleetStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet: %d shards, %d submitted / %d completed (%d rejected, %d unroutable), %.1f panels/s, cache %.0f%% hit\n",
 		len(s.Shards), s.Submitted, s.Completed, s.Rejected, s.RouteErrors, s.PanelsPerSecond, 100*s.CacheHitRate)
+	if s.MonitorsSubmitted > 0 || s.MonitorsCompleted > 0 || s.MonitorsRejected > 0 {
+		fmt.Fprintf(&b, "  monitors: %d submitted / %d completed (%d rejected)\n",
+			s.MonitorsSubmitted, s.MonitorsCompleted, s.MonitorsRejected)
+	}
 	for _, sh := range s.Shards {
 		fmt.Fprintf(&b, "  shard %d [%s]: %d routed, queue %d/%d, %d in flight, %.1f panels/s, cache %.0f%% hit\n",
 			sh.Index, strings.Join(sh.Targets, ","), sh.Routed, sh.QueueLen, sh.QueueCap, sh.InFlight,
@@ -496,10 +619,13 @@ func (s FleetStats) String() string {
 func (f *Fleet) Stats() FleetStats {
 	f.mu.Lock()
 	st := FleetStats{
-		Submitted:   uint64(f.submitted),
-		Completed:   uint64(f.completed),
-		Rejected:    f.rejected,
-		RouteErrors: f.routeErrs,
+		Submitted:         uint64(f.submitted),
+		Completed:         uint64(f.completed),
+		Rejected:          f.rejected,
+		RouteErrors:       f.routeErrs,
+		MonitorsSubmitted: uint64(f.msubmitted),
+		MonitorsCompleted: uint64(f.mcompleted),
+		MonitorsRejected:  f.mrejected,
 	}
 	if !f.first.IsZero() && f.last.After(f.first) {
 		st.WallSeconds = f.last.Sub(f.first).Seconds()

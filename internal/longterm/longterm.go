@@ -7,14 +7,6 @@ package longterm
 
 import (
 	"fmt"
-	"math"
-
-	"advdiag/internal/cell"
-	"advdiag/internal/core"
-	"advdiag/internal/electrode"
-	"advdiag/internal/enzyme"
-	"advdiag/internal/measure"
-	"advdiag/internal/phys"
 )
 
 // Campaign describes one long-term deployment.
@@ -80,6 +72,9 @@ type Result struct {
 	MaxErrorPct, FinalErrorPct float64
 	// Recals counts calibrations performed (including the initial one).
 	Recals int
+	// DriftFlagged reports whether the rolling drift detector (see
+	// Tracker) ever fired during the campaign.
+	DriftFlagged bool
 }
 
 // Run executes the campaign: at each reading the electrode's film age
@@ -87,108 +82,51 @@ type Result struct {
 // recent recalibration, so sensitivity decay since then appears as a
 // negative reading bias — the drift the paper's stability measures
 // fight.
+//
+// Run is a thin loop over the package's reusable halves: a Prober
+// produces the timed readings (one fresh cell per measurement, the
+// noise seed advancing per call) and a Tracker maintains the one-point
+// calibration slope and the drift summary. Schedulers that multiplex
+// many campaigns drive the same two components directly.
 func (c Campaign) Run() (*Result, error) {
 	c = c.WithDefaults()
-	var assay enzyme.Assay
-	found := false
-	for _, a := range enzyme.AssaysFor(c.Target) {
-		if a.Technique == enzyme.Chronoamperometry {
-			assay, found = a, true
-			break
-		}
-	}
-	if !found {
-		return nil, fmt.Errorf("longterm: no chronoamperometric probe for %q", c.Target)
-	}
 	if c.SampleEveryHours <= 0 || c.DurationHours <= 0 {
 		return nil, fmt.Errorf("longterm: non-positive campaign timing")
 	}
-
-	nano := electrode.Bare
-	if assay.Perf().NanostructureGain > 1 {
-		nano = electrode.CNT
+	p, err := NewProber(c.Target, c.Polymer, c.Seed)
+	if err != nil {
+		return nil, err
 	}
-
-	// measureAt runs one two-phase reading at the given film age and
-	// returns the baseline-subtracted current.
-	seed := c.Seed
-	measureAt := func(ageHours float64, concMM float64) (phys.Current, error) {
-		we := electrode.NewWorking("WE1", nano, assay)
-		we.Func.PolymerStabilized = c.Polymer
-		we.Func.AgeSeconds = ageHours * 3600
-		sol := cell.NewSolution().Set(c.Target, phys.MilliMolar(concMM))
-		cl := cell.NewSingleChamber(sol, we, electrode.NewReference("RE1"), electrode.NewCounter("CE1"))
-		seed++
-		eng, err := measure.NewEngine(cl, seed)
-		if err != nil {
-			return 0, err
-		}
-		plan := core.ElectrodePlan{Name: "WE1", Nano: nano, Assays: []enzyme.Assay{assay},
-			Specs: []core.TargetSpec{{Species: c.Target}}, Technique: assay.Technique}
-		if err := plan.PlanCurrents(); err != nil {
-			return 0, err
-		}
-		rc, err := core.SelectReadout(plan.MaxCurrent, plan.ResRequired)
-		if err != nil {
-			return 0, err
-		}
-		chain := rc.NewChain(nil, eng.RNG())
-		res, err := eng.RunCA("WE1", chain, measure.Chronoamperometry{
-			Duration: 90, BaselinePhase: 15,
-		})
-		if err != nil {
-			return 0, err
-		}
-		return res.StepCurrent(), nil
-	}
+	tr := NewTracker(c.SampleMM)
 
 	// calibrate measures the working-point slope (A per mM) with a
 	// single standard at the monitored concentration — the one-point
 	// field recalibration continuous monitors perform (it avoids the
 	// Michaelis–Menten linearization bias a two-point cal would carry).
-	calibrate := func(ageHours float64) (float64, error) {
-		ref, err := measureAt(ageHours, c.SampleMM)
+	calibrate := func(ageHours float64) error {
+		ref, err := p.MeasureAt(ageHours, c.SampleMM)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		return float64(ref) / c.SampleMM, nil
+		return tr.Recalibrate(ageHours, ref)
 	}
 
-	out := &Result{}
-	slope, err := calibrate(0)
-	if err != nil {
+	if err := calibrate(0); err != nil {
 		return nil, err
 	}
-	out.Recals = 1
-	lastRecal := 0.0
-
 	for t := c.SampleEveryHours; t <= c.DurationHours+1e-9; t += c.SampleEveryHours {
-		if c.RecalEveryHours > 0 && t-lastRecal >= c.RecalEveryHours {
-			slope, err = calibrate(t)
-			if err != nil {
+		if c.RecalEveryHours > 0 && t-tr.LastRecalHours() >= c.RecalEveryHours {
+			if err := calibrate(t); err != nil {
 				return nil, err
 			}
-			lastRecal = t
-			out.Recals++
 		}
-		i, err := measureAt(t, c.SampleMM)
+		i, err := p.MeasureAt(t, c.SampleMM)
 		if err != nil {
 			return nil, err
 		}
-		est := float64(i) / slope
-		errPct := (est - c.SampleMM) / c.SampleMM * 100
-		out.Readings = append(out.Readings, Reading{
-			AtHours:         t,
-			EstimateMM:      est,
-			ErrorPct:        errPct,
-			SinceRecalHours: t - lastRecal,
-		})
-		if a := math.Abs(errPct); a > out.MaxErrorPct {
-			out.MaxErrorPct = a
+		if _, err := tr.Reading(t, i); err != nil {
+			return nil, err
 		}
 	}
-	if n := len(out.Readings); n > 0 {
-		out.FinalErrorPct = out.Readings[n-1].ErrorPct
-	}
-	return out, nil
+	return tr.Result(), nil
 }

@@ -75,3 +75,83 @@ func TestCampaignValidation(t *testing.T) {
 		t.Fatal("negative duration must fail")
 	}
 }
+
+// TestCampaignTimingEdges is the table of timing edge cases the thin
+// Campaign.Run loop must keep honoring now that it delegates to
+// Prober/Tracker: a recalibration cadence longer than the deployment
+// never fires mid-run, and a sampling interval equal to the duration
+// yields exactly one reading.
+func TestCampaignTimingEdges(t *testing.T) {
+	cases := []struct {
+		name         string
+		c            Campaign
+		wantReadings int
+		wantRecals   int
+	}{
+		{
+			name:         "recal cadence longer than deployment",
+			c:            Campaign{DurationHours: 40, SampleEveryHours: 10, RecalEveryHours: 100, Seed: 3},
+			wantReadings: 4,
+			wantRecals:   1, // only the deployment calibration
+		},
+		{
+			name:         "sampling interval equals duration",
+			c:            Campaign{DurationHours: 48, SampleEveryHours: 48, Seed: 3},
+			wantReadings: 1,
+			wantRecals:   1,
+		},
+		{
+			name:         "recal cadence equals sampling interval",
+			c:            Campaign{DurationHours: 60, SampleEveryHours: 20, RecalEveryHours: 20, Seed: 3},
+			wantReadings: 3,
+			wantRecals:   4, // deployment + one before every reading
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := tc.c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Readings) != tc.wantReadings {
+				t.Fatalf("%d readings, want %d", len(res.Readings), tc.wantReadings)
+			}
+			if res.Recals != tc.wantRecals {
+				t.Fatalf("%d recals, want %d", res.Recals, tc.wantRecals)
+			}
+			last := res.Readings[len(res.Readings)-1]
+			if last.AtHours != tc.c.DurationHours {
+				t.Fatalf("last reading at %g h, want %g", last.AtHours, tc.c.DurationHours)
+			}
+		})
+	}
+}
+
+// TestPolymerDriftOrdering: at every shared reading time, the
+// polymer-stabilized film's error magnitude must stay at or below the
+// plain film's — the §III stabilization claim holds pointwise, not
+// just at the end of the campaign.
+func TestPolymerDriftOrdering(t *testing.T) {
+	plain, err := Campaign{DurationHours: 100, SampleEveryHours: 20, Seed: 5}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, err := Campaign{DurationHours: 100, SampleEveryHours: 20, Polymer: true, Seed: 5}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Readings) != len(poly.Readings) {
+		t.Fatalf("reading counts differ: %d vs %d", len(plain.Readings), len(poly.Readings))
+	}
+	for i := range plain.Readings {
+		pe := math.Abs(plain.Readings[i].ErrorPct)
+		ye := math.Abs(poly.Readings[i].ErrorPct)
+		if ye > pe {
+			t.Fatalf("reading %d (t=%g h): polymer error %.2f%% exceeds plain %.2f%%",
+				i, plain.Readings[i].AtHours, ye, pe)
+		}
+	}
+	if poly.DriftFlagged && !plain.DriftFlagged {
+		t.Fatal("polymer campaign drift-flagged while the plain one was not")
+	}
+}

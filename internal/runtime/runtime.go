@@ -93,6 +93,28 @@ func (e *Executor) Targets() []string {
 	return out
 }
 
+// MonitorTargets returns the sorted species names the platform can
+// continuously monitor — the subset of Targets served by a
+// chronoamperometric (oxidase) electrode. A species the design serves
+// by cyclic voltammetry is measurable in a panel but not monitorable.
+func (e *Executor) MonitorTargets() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ep := range e.inner.Candidate.Electrodes {
+		if ep.Blank || ep.Technique != enzyme.Chronoamperometry {
+			continue
+		}
+		for _, a := range ep.Assays {
+			if !seen[a.Target.Name] {
+				seen[a.Target.Name] = true
+				out = append(out, a.Target.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Warm precomputes every electrode's calibration state so the serving
 // path only ever reads the cache.
 func (e *Executor) Warm() error { return e.calib.warm() }

@@ -81,11 +81,13 @@ type Lab struct {
 	plan    *schedule.Plan
 
 	// Aggregate stats.
-	statMu     sync.Mutex
-	panels     uint64
-	failures   uint64
-	firstStart time.Time
-	lastEnd    time.Time
+	statMu          sync.Mutex
+	panels          uint64
+	failures        uint64
+	monitors        uint64
+	monitorFailures uint64
+	firstStart      time.Time
+	lastEnd         time.Time
 
 	// Streaming state. submitWG spans each Submit from its closed-check
 	// to the pool handoff, so Close cannot shut the pool down between
@@ -276,6 +278,9 @@ type LabStats struct {
 	// PanelsRun counts finished panels (including failed ones);
 	// Failures counts the failed subset.
 	PanelsRun, Failures uint64
+	// MonitorsRun counts finished monitoring acquisitions (including
+	// failed ones); MonitorFailures the failed subset.
+	MonitorsRun, MonitorFailures uint64
 	// CacheHits/CacheMisses count calibration-cache lookups on the
 	// underlying platform (warm-up computations are the misses).
 	CacheHits, CacheMisses uint64
@@ -317,6 +322,7 @@ func (l *Lab) Stats() LabStats {
 	}
 	l.statMu.Lock()
 	st.PanelsRun, st.Failures = l.panels, l.failures
+	st.MonitorsRun, st.MonitorFailures = l.monitors, l.monitorFailures
 	if !l.firstStart.IsZero() {
 		st.WallSeconds = l.lastEnd.Sub(l.firstStart).Seconds()
 	}

@@ -1,14 +1,16 @@
 package advdiag
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 
 	"advdiag/internal/analysis"
 	"advdiag/internal/cell"
 	"advdiag/internal/measure"
 	"advdiag/internal/phys"
 	rt "advdiag/internal/runtime"
-	"advdiag/internal/signalproc"
 )
 
 // InjectionEvent is a concentration step added to the measurement
@@ -23,20 +25,77 @@ type InjectionEvent struct {
 
 // MonitorResult is a continuous-monitoring trace with its transient
 // analysis.
+//
+// The recorded series always covers the full run, but the analysis
+// fields characterize the FIRST injection only: with more than one
+// injection, the analyzed segment is the trace truncated at the second
+// injection time, and every analysis field below describes that segment
+// — not the whole trace.
 type MonitorResult struct {
-	// TimesSeconds and CurrentsMicroAmps are the recorded series.
+	// TimesSeconds and CurrentsMicroAmps are the recorded series over
+	// the full run, injections included.
 	TimesSeconds, CurrentsMicroAmps []float64
 	// T90Seconds is the 90 % steady-state response time after the first
-	// injection (the paper's Fig. 3 shows ≈30 s for glucose).
+	// injection (the paper's Fig. 3 shows ≈30 s for glucose), within
+	// the first-injection segment.
 	T90Seconds float64
 	// TransientSeconds is the time of maximum dV/dt after the first
-	// injection (the paper's "transient response time").
+	// injection (the paper's "transient response time"), within the
+	// first-injection segment.
 	TransientSeconds float64
 	// BaselineMicroAmps and SteadyMicroAmps are the pre-injection and
-	// settled levels.
+	// settled levels of the first-injection segment — SteadyMicroAmps is
+	// NOT the level the full trace ends at when later injections step
+	// the concentration again.
 	BaselineMicroAmps, SteadyMicroAmps float64
-	// Settled reports whether the trace reached a flat steady state.
+	// Settled reports whether the first-injection segment reached a flat
+	// steady state before the second injection (or the trace end);
+	// later segments are not analyzed.
 	Settled bool
+	// StepMicroAmps is the baseline-subtracted step current: the
+	// settled two-phase step when the acquisition ran a baseline phase
+	// (service monitor requests), otherwise the analyzed segment's
+	// steady−baseline difference.
+	StepMicroAmps float64
+	// EstimatedMM inverts StepMicroAmps through the electrode's factory
+	// calibration. Only service runs (Lab/Fleet monitor requests) set
+	// it; a hand-held Sensor.Monitor reports 0 — the Sensor carries no
+	// platform calibration cache.
+	EstimatedMM float64
+}
+
+// Fingerprint folds every numeric field and series of the result into
+// one 64-bit value (FNV-1a over exact float64 bit patterns), so two
+// monitor runs are byte-identical exactly when their fingerprints
+// match. The serving layers diff remote and local runs with it.
+func (m *MonitorResult) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	f := func(v float64) { word(math.Float64bits(v)) }
+	series := func(vs []float64) {
+		word(uint64(len(vs)))
+		for _, v := range vs {
+			f(v)
+		}
+	}
+	series(m.TimesSeconds)
+	series(m.CurrentsMicroAmps)
+	f(m.T90Seconds)
+	f(m.TransientSeconds)
+	f(m.BaselineMicroAmps)
+	f(m.SteadyMicroAmps)
+	if m.Settled {
+		word(1)
+	} else {
+		word(0)
+	}
+	f(m.StepMicroAmps)
+	f(m.EstimatedMM)
+	return h.Sum64()
 }
 
 // Monitor runs a continuous chronoamperometric measurement with the
@@ -50,14 +109,41 @@ type MonitorResult struct {
 // is attempted (T90 and the transient time stay zero, Settled is
 // true).
 //
-// Only a negative duration is an error; zero means the protocol's
-// default duration (60 s).
+// With more than one injection, the analysis fields of the result
+// describe the first-injection segment only (the trace truncated at
+// the second injection) — see MonitorResult for the exact contract.
+//
+// Only a non-finite or negative duration is an error; zero means the
+// protocol's default duration (60 s). Injections are validated against
+// the effective duration: non-finite or negative injection times,
+// non-finite concentration steps, and injections scheduled past the
+// trace end are rejected instead of flowing silently into the solver.
+//
+// Monitor is a thin adapter over the shared runtime analysis
+// (internal/runtime.AnalyzeMonitorTrace): the Sensor owns the cell and
+// the noise stream, the runtime owns validation and the transient
+// analysis, so the hand-held sensor and the Fleet's monitor campaigns
+// cannot drift apart.
 func (s *Sensor) Monitor(durationSeconds float64, injections ...InjectionEvent) (*MonitorResult, error) {
 	if s.Technique() != "chronoamperometry" {
 		return nil, fmt.Errorf("advdiag: continuous monitoring needs an oxidase sensor, %s uses %s", s.target, s.Technique())
 	}
+	if math.IsNaN(durationSeconds) || math.IsInf(durationSeconds, 0) {
+		return nil, fmt.Errorf("advdiag: monitoring duration %g s is not finite", durationSeconds)
+	}
 	if durationSeconds < 0 {
 		return nil, fmt.Errorf("advdiag: negative monitoring duration %g s", durationSeconds)
+	}
+	effective := durationSeconds
+	if effective == 0 {
+		effective = rt.DefaultMonitorDurationSeconds
+	}
+	rinj := make([]rt.Injection, len(injections))
+	for i, inj := range injections {
+		rinj[i] = rt.Injection{AtSeconds: inj.AtSeconds, DeltaMM: inj.DeltaMM}
+	}
+	if err := rt.ValidateInjections(effective, rinj); err != nil {
+		return nil, err
 	}
 	sol := cell.NewSolution()
 	for _, inj := range injections {
@@ -76,49 +162,19 @@ func (s *Sensor) Monitor(durationSeconds float64, injections ...InjectionEvent) 
 	for i, v := range res.Current.Values {
 		curs[i] = v * 1e6
 	}
-	// Baseline-only run: no step to analyze — report the flat trace
-	// with its mean as both baseline and steady level.
-	if len(injections) == 0 {
-		mean := 0.0
-		for _, v := range curs {
-			mean += v
-		}
-		if len(curs) > 0 {
-			mean /= float64(len(curs))
-		}
-		return &MonitorResult{
-			TimesSeconds:      times,
-			CurrentsMicroAmps: curs,
-			BaselineMicroAmps: mean,
-			SteadyMicroAmps:   mean,
-			Settled:           true,
-		}, nil
-	}
-	// The step analysis characterizes the FIRST injection, so truncate
-	// the analysed segment at the second injection (if any).
-	aTimes, aCurs := times, curs
-	if len(injections) > 1 {
-		cut := len(times)
-		for i, tv := range times {
-			if tv >= injections[1].AtSeconds {
-				cut = i
-				break
-			}
-		}
-		aTimes, aCurs = times[:cut], curs[:cut]
-	}
-	step, err := signalproc.AnalyzeStep(aTimes, aCurs, injections[0].AtSeconds, 0.2)
+	an, err := rt.AnalyzeMonitorTrace(times, curs, 0, rinj)
 	if err != nil {
 		return nil, err
 	}
 	return &MonitorResult{
 		TimesSeconds:      times,
 		CurrentsMicroAmps: curs,
-		T90Seconds:        step.T90,
-		TransientSeconds:  step.TTransient,
-		BaselineMicroAmps: step.Baseline,
-		SteadyMicroAmps:   step.Steady,
-		Settled:           step.Settled,
+		T90Seconds:        an.T90Seconds,
+		TransientSeconds:  an.TransientSeconds,
+		BaselineMicroAmps: an.BaselineMicroAmps,
+		SteadyMicroAmps:   an.SteadyMicroAmps,
+		Settled:           an.Settled,
+		StepMicroAmps:     an.SteadyMicroAmps - an.BaselineMicroAmps,
 	}, nil
 }
 

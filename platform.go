@@ -127,6 +127,12 @@ func (p *Platform) WorkingElectrodes() []string {
 // matches samples against it.
 func (p *Platform) Targets() []string { return p.exec.Targets() }
 
+// MonitorTargets returns the sorted species names this platform can
+// continuously monitor: the subset of Targets served by a
+// chronoamperometric (oxidase) electrode. Monitor campaigns against
+// any other target fail inside their outcome.
+func (p *Platform) MonitorTargets() []string { return p.exec.MonitorTargets() }
+
 // CostSummary reports the platform budget.
 func (p *Platform) CostSummary() string {
 	c := p.inner.Candidate

@@ -1,0 +1,304 @@
+package advdiag_test
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"advdiag"
+)
+
+// monitorCohort builds a deterministic mixed cohort of n campaigns:
+// plain drift-tracking deployments, scheduled-recalibration ones,
+// polymer-stabilized films, drift-triggered recalibration, and Fig.
+// 3-style injection campaigns — every shape the scheduler serves.
+// Short traces keep each tick cheap; the virtual timeline is what the
+// campaigns stress.
+func monitorCohort(n int) []advdiag.MonitorCampaign {
+	out := make([]advdiag.MonitorCampaign, n)
+	for i := range out {
+		c := advdiag.MonitorCampaign{
+			ID:              fmt.Sprintf("patient-%03d", i),
+			Target:          "glucose",
+			SampleMM:        2 + 0.5*float64(i%4),
+			DurationHours:   60 + 20*float64(i%3),
+			IntervalHours:   20,
+			TraceSeconds:    6,
+			BaselineSeconds: 2,
+		}
+		switch i % 5 {
+		case 1:
+			c.RecalEveryHours = 40
+		case 2:
+			c.Polymer = true
+		case 3:
+			c.RecalOnDrift = true
+			c.DriftThresholdPct = 5
+			c.DriftWindow = 2
+		case 4:
+			c.Injections = []advdiag.InjectionEvent{{AtSeconds: 3, DeltaMM: 1.0}}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// runCohort drives the cohort over a fresh fleet with the given
+// topology and returns the report.
+func runCohort(t *testing.T, campaigns []advdiag.MonitorCampaign, shards, workers int) *advdiag.CohortReport {
+	t.Helper()
+	platforms := make([]*advdiag.Platform, shards)
+	for i := range platforms {
+		p, err := advdiag.DesignPlatform([]string{"glucose"}, advdiag.WithPlatformSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		platforms[i] = p
+	}
+	fleet, err := advdiag.NewFleet(platforms, advdiag.WithFleetWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	ms, err := advdiag.NewMonitorScheduler(fleet, advdiag.WithSchedulerSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range campaigns {
+		if err := ms.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ms.Stats()
+	if st.Finished != len(campaigns) {
+		t.Fatalf("%d shards / %d workers: %d of %d campaigns finished: %s",
+			shards, workers, st.Finished, len(campaigns), st)
+	}
+	if st.TicksSubmitted != st.TicksCompleted {
+		t.Fatalf("%d shards / %d workers: %d ticks submitted, %d completed",
+			shards, workers, st.TicksSubmitted, st.TicksCompleted)
+	}
+	return rep
+}
+
+// TestSchedulerDeterminismAcrossTopologies is the tentpole guarantee
+// of the population scheduler: the same cohort must produce a
+// byte-identical cohort fingerprint at any worker count and any shard
+// count, because tick seeds derive from (campaign ID, tick index)
+// alone — never from submission interleaving.
+func TestSchedulerDeterminismAcrossTopologies(t *testing.T) {
+	campaigns := monitorCohort(12)
+	ref := runCohort(t, campaigns, 1, 1)
+	want := ref.Fingerprint()
+	if ref.Failed() != 0 {
+		for _, c := range ref.Campaigns {
+			if c.Err != nil {
+				t.Fatalf("campaign %s failed: %v", c.ID, c.Err)
+			}
+		}
+	}
+	for _, c := range ref.Campaigns {
+		if len(c.Readings) == 0 || c.Recals == 0 {
+			t.Fatalf("campaign %s: %d readings, %d recals", c.ID, len(c.Readings), c.Recals)
+		}
+	}
+
+	for _, topo := range []struct{ shards, workers int }{
+		{1, 4},
+		{2, 4},
+		{4, runtime.NumCPU()},
+	} {
+		rep := runCohort(t, campaigns, topo.shards, topo.workers)
+		if got := rep.Fingerprint(); got != want {
+			t.Fatalf("%d shards / %d workers: cohort fingerprint %016x, want %016x",
+				topo.shards, topo.workers, got, want)
+		}
+	}
+}
+
+// TestSchedulerDriftAndRecal pins the campaign state machine's
+// behavior: an unstabilized film drifts low and the rolling detector
+// flags it; RecalOnDrift converts the flag into recalibrations that
+// bound the error; a scheduled cadence recalibrates on schedule.
+func TestSchedulerDriftAndRecal(t *testing.T) {
+	campaigns := []advdiag.MonitorCampaign{
+		{ID: "drifter", Target: "glucose", SampleMM: 3, DurationHours: 160, IntervalHours: 20,
+			TraceSeconds: 6, BaselineSeconds: 2},
+		{ID: "self-healing", Target: "glucose", SampleMM: 3, DurationHours: 160, IntervalHours: 20,
+			TraceSeconds: 6, BaselineSeconds: 2, RecalOnDrift: true},
+		{ID: "cadence", Target: "glucose", SampleMM: 3, DurationHours: 160, IntervalHours: 20,
+			RecalEveryHours: 40, TraceSeconds: 6, BaselineSeconds: 2},
+	}
+	rep := runCohort(t, campaigns, 2, 4)
+	byID := map[string]advdiag.CampaignReport{}
+	for _, c := range rep.Campaigns {
+		if c.Err != nil {
+			t.Fatalf("campaign %s: %v", c.ID, c.Err)
+		}
+		byID[c.ID] = c
+	}
+
+	drifter := byID["drifter"]
+	if !drifter.DriftFlagged {
+		t.Fatalf("unstabilized 160 h film must trip the drift detector: %+v", drifter)
+	}
+	if drifter.FinalErrorPct > -10 {
+		t.Fatalf("drifter final error %.1f%%, want well below -10%%", drifter.FinalErrorPct)
+	}
+	if drifter.Recals != 1 {
+		t.Fatalf("drifter recalibrated %d times, want only the deployment calibration", drifter.Recals)
+	}
+
+	healing := byID["self-healing"]
+	if healing.DriftRecals == 0 {
+		t.Fatalf("RecalOnDrift campaign performed no drift-triggered recalibrations: %+v", healing)
+	}
+	if healing.Recals <= 1 {
+		t.Fatalf("self-healing campaign recalibrated %d times", healing.Recals)
+	}
+	if math.Abs(healing.FinalErrorPct) >= math.Abs(drifter.FinalErrorPct) {
+		t.Fatalf("drift-triggered recalibration did not bound the error: %.1f%% vs drifter %.1f%%",
+			healing.FinalErrorPct, drifter.FinalErrorPct)
+	}
+
+	cadence := byID["cadence"]
+	// 160 h at a 40 h cadence: the deployment calibration plus a recal
+	// before the readings at 40, 80, 120 and 160 h.
+	if cadence.Recals != 5 {
+		t.Fatalf("cadence campaign recalibrated %d times, want 5", cadence.Recals)
+	}
+	if math.Abs(cadence.FinalErrorPct) >= math.Abs(drifter.FinalErrorPct) {
+		t.Fatalf("scheduled recalibration did not bound the error: %.1f%% vs drifter %.1f%%",
+			cadence.FinalErrorPct, drifter.FinalErrorPct)
+	}
+}
+
+// TestSchedulerInjectionCampaignsSkipDriftDetection: drift detection is
+// defined on zero-injection baseline runs only — an injection trace's
+// step measures the injected delta, not the standing concentration, so
+// the detector must never fire however wild the per-reading error is.
+func TestSchedulerInjectionCampaignsSkipDriftDetection(t *testing.T) {
+	campaigns := []advdiag.MonitorCampaign{
+		{ID: "fig3", Target: "glucose", SampleMM: 3, DurationHours: 200, IntervalHours: 20,
+			TraceSeconds: 6, BaselineSeconds: 2, DriftThresholdPct: 0.1, DriftWindow: 1,
+			Injections: []advdiag.InjectionEvent{{AtSeconds: 3, DeltaMM: 2}}},
+	}
+	rep := runCohort(t, campaigns, 1, 2)
+	c := rep.Campaigns[0]
+	if c.Err != nil {
+		t.Fatal(c.Err)
+	}
+	if c.DriftFlagged {
+		t.Fatalf("injection campaign must never trip the drift detector: %+v", c)
+	}
+	if rep.DriftFlagged() != 0 {
+		t.Fatalf("cohort reports %d drift flags", rep.DriftFlagged())
+	}
+}
+
+// TestSchedulerUnroutableCampaign: a campaign whose target no shard
+// serves fails in its report; the rest of the cohort is unaffected.
+func TestSchedulerUnroutableCampaign(t *testing.T) {
+	p, err := advdiag.DesignPlatform([]string{"glucose", "benzphetamine"}, advdiag.WithPlatformSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := advdiag.NewFleet([]*advdiag.Platform{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	ms, err := advdiag.NewMonitorScheduler(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// benzphetamine is a CYP (voltammetric) target: validation accepts
+	// the species, but no chronoamperometric electrode monitors it.
+	for _, c := range []advdiag.MonitorCampaign{
+		{ID: "ok", Target: "glucose", SampleMM: 3, DurationHours: 40, IntervalHours: 20,
+			TraceSeconds: 6, BaselineSeconds: 2},
+		{ID: "cv-target", Target: "benzphetamine", SampleMM: 0.5, DurationHours: 40, IntervalHours: 20,
+			TraceSeconds: 6, BaselineSeconds: 2},
+	} {
+		if err := ms.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() != 1 {
+		t.Fatalf("%d campaigns failed, want exactly the CV-target one", rep.Failed())
+	}
+	for _, c := range rep.Campaigns {
+		switch c.ID {
+		case "ok":
+			if c.Err != nil || len(c.Readings) != 2 {
+				t.Fatalf("glucose campaign: err %v, %d readings", c.Err, len(c.Readings))
+			}
+		case "cv-target":
+			if c.Err == nil || !strings.Contains(c.Err.Error(), "chronoamperometric") {
+				t.Fatalf("CV-target campaign error: %v", c.Err)
+			}
+		}
+	}
+}
+
+// TestSchedulerValidation pins Add's up-front rejections and Run's
+// single-shot contract.
+func TestSchedulerValidation(t *testing.T) {
+	p, err := advdiag.DesignPlatform([]string{"glucose"}, advdiag.WithPlatformSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := advdiag.NewFleet([]*advdiag.Platform{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	ms, err := advdiag.NewMonitorScheduler(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := advdiag.MonitorCampaign{ID: "c1", Target: "glucose", SampleMM: 3,
+		DurationHours: 40, IntervalHours: 20, TraceSeconds: 6, BaselineSeconds: 2}
+	if err := ms.Add(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		name string
+		c    advdiag.MonitorCampaign
+		want string
+	}{
+		{"no id", advdiag.MonitorCampaign{Target: "glucose", SampleMM: 3, DurationHours: 40, IntervalHours: 20}, "ID"},
+		{"duplicate id", good, "duplicate"},
+		{"bad interval", advdiag.MonitorCampaign{ID: "x1", Target: "glucose", SampleMM: 3, DurationHours: 40}, "interval"},
+		{"bad duration", advdiag.MonitorCampaign{ID: "x2", Target: "glucose", SampleMM: 3, IntervalHours: 20, DurationHours: -1}, "duration"},
+		{"bad sample", advdiag.MonitorCampaign{ID: "x3", Target: "glucose", SampleMM: math.NaN(), DurationHours: 40, IntervalHours: 20}, "concentration"},
+		{"unknown species", advdiag.MonitorCampaign{ID: "x4", Target: "unobtainium", SampleMM: 3, DurationHours: 40, IntervalHours: 20}, "unknown species"},
+		{"injection past trace", advdiag.MonitorCampaign{ID: "x5", Target: "glucose", SampleMM: 3, DurationHours: 40, IntervalHours: 20,
+			TraceSeconds: 6, Injections: []advdiag.InjectionEvent{{AtSeconds: 7, DeltaMM: 1}}}, "past"},
+	}
+	for _, tc := range bad {
+		if err := ms.Add(tc.c); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := ms.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.Run(); err == nil {
+		t.Fatal("second Run must refuse (single-shot scheduler)")
+	}
+	if _, err := advdiag.NewMonitorScheduler(nil); err == nil {
+		t.Fatal("nil backend must be rejected")
+	}
+	var _ advdiag.MonitorBackend = fleet // the Fleet is a backend by construction
+}

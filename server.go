@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"advdiag/wire"
 )
@@ -20,10 +21,12 @@ var ErrServerDraining = errors.New("advdiag: server is draining")
 // from HTTP requests to fleet submissions and back, speaking the wire
 // package's versioned JSON format.
 //
-//	POST /v1/panels        one wire.Sample        → one wire.Outcome
-//	POST /v1/panels/batch  [wire.Sample, …]       → [wire.Outcome, …] (request order)
-//	POST /v1/panels/stream NDJSON wire.Sample     → NDJSON wire.Outcome (completion order)
-//	GET  /v1/stats         FleetStats as JSON
+//	POST /v1/panels        one wire.Sample          → one wire.Outcome
+//	POST /v1/panels/batch  [wire.Sample, …]         → [wire.Outcome, …] (request order)
+//	POST /v1/panels/stream NDJSON wire.Sample       → NDJSON wire.Outcome (completion order)
+//	POST /v1/monitors      one wire.MonitorRequest  → one wire.MonitorOutcome
+//	GET  /v1/monitors/{id} latest stored outcome for a campaign ID (202 while pending)
+//	GET  /v1/stats         ServerStats as JSON (FleetStats plus scheduler)
 //	GET  /healthz          200 while serving, 503 while draining
 //
 // Backpressure is explicit and non-blocking: every submission goes
@@ -40,11 +43,14 @@ var ErrServerDraining = errors.New("advdiag: server is draining")
 // server returns PanelResult fingerprints byte-identical to the same
 // samples run on a local Lab.
 //
-// The Server must be its Fleet's only submitter and Results consumer:
-// it mirrors the fleet's acceptance counter to route outcomes back to
-// waiting requests, and any out-of-band Submit would desynchronize the
-// mapping. Construct the Fleet, hand it to NewServer, and use only the
-// HTTP surface (or the Server's methods) from then on.
+// The Server must be its Fleet's only submitter and Results consumer —
+// for panels AND monitors: it mirrors the fleet's acceptance counters
+// to route outcomes back to waiting requests, and any out-of-band
+// Submit (or a MonitorScheduler driving the same fleet in-process)
+// would desynchronize the mapping. Construct the Fleet, hand it to
+// NewServer, and use only the HTTP surface (or the Server's methods)
+// from then on; a scheduler drives a served fleet remotely, through
+// Client.MonitorBackend.
 //
 // Lifecycle: Drain stops intake (new submissions get 503) and waits
 // for accepted panels; Close additionally shuts the fleet down.
@@ -52,44 +58,94 @@ var ErrServerDraining = errors.New("advdiag: server is draining")
 type Server struct {
 	fleet *Fleet
 	mux   *http.ServeMux
+	sched atomic.Pointer[MonitorScheduler]
 
 	// subMu serializes acceptance: a batch holds it for its whole
 	// submission loop so its samples get contiguous fleet indices.
-	// next mirrors the fleet's acceptance counter — valid only while
-	// every acceptance flows through submitOne.
+	// next mirrors the fleet's panel acceptance counter and mnext the
+	// monitor one — valid only while every acceptance flows through
+	// submitOne / submitMonitor.
 	subMu    sync.Mutex
 	next     int
+	mnext    int
 	draining bool
 
-	// waitMu guards the outcome demux map. It is separate from subMu
-	// so the collector keeps draining fleet results (and shard workers
+	// waitMu guards the outcome demux maps. It is separate from subMu
+	// so the collectors keep draining fleet results (and shard workers
 	// keep pulling from their queues) while a batch is mid-submission.
-	waitMu  sync.Mutex
-	waiters map[int]chan PanelOutcome
+	waitMu   sync.Mutex
+	waiters  map[int]chan PanelOutcome
+	mwaiters map[int]chan MonitorOutcome
 
-	collectorDone chan struct{}
+	// monMu guards the monitor outcome store behind GET /v1/monitors:
+	// the latest completed outcome per campaign ID, the count of
+	// accepted-but-unfinished requests per ID, and the FIFO eviction
+	// order that bounds the store at monitorStoreCap IDs.
+	monMu    sync.Mutex
+	mlatest  map[string]MonitorOutcome
+	mpending map[string]int
+	morder   []string
+
+	collectorDone  chan struct{}
+	mcollectorDone chan struct{}
 }
 
+// monitorStoreCap bounds the monitor outcome store: completed outcomes
+// for at most this many distinct campaign IDs are retained, oldest
+// first evicted. Population schedulers consume their outcomes through
+// the synchronous POST anyway; the store serves ad-hoc lookups.
+const monitorStoreCap = 4096
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithServerScheduler attaches a MonitorScheduler whose stats are
+// merged into GET /v1/stats — typically a scheduler running in the
+// same process and driving this server through a loopback client (it
+// must NOT consume the served fleet's MonitorResults directly; see the
+// type comment).
+func WithServerScheduler(ms *MonitorScheduler) ServerOption {
+	return func(s *Server) { s.sched.Store(ms) }
+}
+
+// AttachScheduler is WithServerScheduler after construction, for the
+// common ordering where the scheduler is built over a client of the
+// already-listening server (cmd/labserve's monitor smoke). Safe
+// against concurrent stats requests.
+func (s *Server) AttachScheduler(ms *MonitorScheduler) { s.sched.Store(ms) }
+
 // NewServer builds the front door over a fleet and starts the outcome
-// collector. The fleet must be exclusively owned by the server from
+// collectors. The fleet must be exclusively owned by the server from
 // this point on (see the type comment).
-func NewServer(f *Fleet) (*Server, error) {
+func NewServer(f *Fleet, opts ...ServerOption) (*Server, error) {
 	if f == nil {
 		return nil, fmt.Errorf("advdiag: NewServer needs a fleet")
 	}
+	st := f.Stats()
 	s := &Server{
-		fleet:         f,
-		next:          int(f.Stats().Submitted),
-		waiters:       map[int]chan PanelOutcome{},
-		collectorDone: make(chan struct{}),
+		fleet:          f,
+		next:           int(st.Submitted),
+		mnext:          int(st.MonitorsSubmitted),
+		waiters:        map[int]chan PanelOutcome{},
+		mwaiters:       map[int]chan MonitorOutcome{},
+		mlatest:        map[string]MonitorOutcome{},
+		mpending:       map[string]int{},
+		collectorDone:  make(chan struct{}),
+		mcollectorDone: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/panels", s.handlePanel)
 	s.mux.HandleFunc("POST /v1/panels/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/panels/stream", s.handleStream)
+	s.mux.HandleFunc("POST /v1/monitors", s.handleMonitor)
+	s.mux.HandleFunc("GET /v1/monitors/{id}", s.handleMonitorGet)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	go s.collect()
+	go s.collectMonitors()
 	return s, nil
 }
 
@@ -107,6 +163,45 @@ func (s *Server) collect() {
 			ch <- o // buffered (cap 1): never blocks the collector
 		}
 	}
+}
+
+// collectMonitors demultiplexes the fleet's merged MonitorResults
+// stream back to waiting POST /v1/monitors requests and folds each
+// completed outcome into the GET store. It exits when Close shuts the
+// fleet's channel.
+func (s *Server) collectMonitors() {
+	defer close(s.mcollectorDone)
+	for o := range s.fleet.MonitorResults() {
+		s.waitMu.Lock()
+		ch := s.mwaiters[o.Index]
+		delete(s.mwaiters, o.Index)
+		s.waitMu.Unlock()
+		s.storeMonitor(o)
+		if ch != nil {
+			ch <- o // buffered (cap 1): never blocks the collector
+		}
+	}
+}
+
+// storeMonitor records a completed outcome as its campaign's latest
+// and settles the pending count, evicting the oldest campaign when the
+// store exceeds monitorStoreCap IDs.
+func (s *Server) storeMonitor(o MonitorOutcome) {
+	s.monMu.Lock()
+	defer s.monMu.Unlock()
+	if s.mpending[o.ID] > 1 {
+		s.mpending[o.ID]--
+	} else {
+		delete(s.mpending, o.ID)
+	}
+	if _, known := s.mlatest[o.ID]; !known {
+		s.morder = append(s.morder, o.ID)
+		if len(s.morder) > monitorStoreCap {
+			delete(s.mlatest, s.morder[0])
+			s.morder = s.morder[1:]
+		}
+	}
+	s.mlatest[o.ID] = o
 }
 
 // ServeHTTP implements http.Handler.
@@ -140,6 +235,45 @@ func (s *Server) submit(sm Sample) (<-chan PanelOutcome, error) {
 	s.subMu.Lock()
 	defer s.subMu.Unlock()
 	return s.submitOne(sm)
+}
+
+// submitMonitor routes one monitor request into the fleet and
+// registers a waiter for its outcome, mirroring the fleet's monitor
+// acceptance counter the way submitOne mirrors the panel one. The
+// pending count for GET /v1/monitors/{id} is bumped only after the
+// fleet accepts.
+func (s *Server) submitMonitor(req MonitorRequest) (<-chan MonitorOutcome, error) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.draining {
+		return nil, ErrServerDraining
+	}
+	ch := make(chan MonitorOutcome, 1)
+	idx := s.mnext
+	s.waitMu.Lock()
+	s.mwaiters[idx] = ch
+	s.waitMu.Unlock()
+	// Pending is bumped before the fleet can possibly answer: once
+	// TrySubmitMonitor accepts, the outcome may race back through the
+	// collector (whose decrement must always observe this increment).
+	s.monMu.Lock()
+	s.mpending[req.ID]++
+	s.monMu.Unlock()
+	if err := s.fleet.TrySubmitMonitor(req); err != nil {
+		s.waitMu.Lock()
+		delete(s.mwaiters, idx)
+		s.waitMu.Unlock()
+		s.monMu.Lock()
+		if s.mpending[req.ID] > 1 {
+			s.mpending[req.ID]--
+		} else {
+			delete(s.mpending, req.ID)
+		}
+		s.monMu.Unlock()
+		return nil, err
+	}
+	s.mnext++
+	return ch, nil
 }
 
 // submitStatus maps a submission error to its HTTP status.
@@ -311,6 +445,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // stream; the connection stays up.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Outcomes start flowing before the request body is fully read;
+	// without full duplex the HTTP/1 server discards the unread body at
+	// the first write and the stream dies mid-request.
+	http.NewResponseController(w).EnableFullDuplex() //nolint:errcheck // HTTP/2 has it unconditionally
 	flusher, _ := w.(http.Flusher)
 
 	results := make(chan wire.Outcome, 16)
@@ -363,11 +501,83 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	<-writerDone
 }
 
-// handleStats serves GET /v1/stats: the FleetStats snapshot as JSON —
-// submitted/completed/rejected counters (rejects include every 429
-// this server returned), per-shard queue depths and Lab stats.
+// handleMonitor serves POST /v1/monitors: one monitor request in, one
+// outcome out, synchronously. Saturation is 429; a measurement failure
+// is still HTTP 200 with the error inside the outcome.
+func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
+	body, err := readAll(w, r, maxSampleBytes)
+	if err != nil {
+		return
+	}
+	wreq, err := wire.UnmarshalMonitorRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ch, err := s.submitMonitor(monitorRequestFromWire(wreq))
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	select {
+	case out := <-ch:
+		writeJSON(w, toWireMonitorOutcome(out))
+	case <-r.Context().Done():
+		// The client went away; the acquisition still completes and the
+		// collector stores its outcome for GET /v1/monitors/{id}.
+	}
+}
+
+// handleMonitorGet serves GET /v1/monitors/{id}: the latest completed
+// outcome for a campaign ID (200), 202 while accepted requests are
+// still in flight and nothing has completed yet, 404 for an unknown
+// ID. The store is bounded (monitorStoreCap campaigns, oldest
+// evicted), so a 404 can also mean "evicted long ago".
+func (s *Server) handleMonitorGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.monMu.Lock()
+	out, ok := s.mlatest[id]
+	pending := s.mpending[id]
+	s.monMu.Unlock()
+	if ok {
+		writeJSON(w, toWireMonitorOutcome(out))
+		return
+	}
+	if pending > 0 {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("monitor %q: %d acquisitions in flight", id, pending), http.StatusAccepted)
+		return
+	}
+	http.Error(w, fmt.Sprintf("monitor %q: no stored outcome", id), http.StatusNotFound)
+}
+
+// ServerStats is the GET /v1/stats snapshot: the fleet's counters
+// (flattened — a FleetStats decoder still parses it) plus, when a
+// scheduler is attached, its population-campaign stats.
+type ServerStats struct {
+	FleetStats
+	// Scheduler is the attached MonitorScheduler's snapshot; nil (and
+	// absent from the JSON) when the server runs without one.
+	Scheduler *MonitorSchedulerStats `json:"scheduler,omitempty"`
+}
+
+// Stats returns the server's aggregate snapshot — the same value GET
+// /v1/stats serves.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{FleetStats: s.fleet.Stats()}
+	if ms := s.sched.Load(); ms != nil {
+		snap := ms.Stats()
+		st.Scheduler = &snap
+	}
+	return st
+}
+
+// handleStats serves GET /v1/stats: the ServerStats snapshot as JSON —
+// submitted/completed/rejected counters for both panels and monitors
+// (rejects include every 429 this server returned), per-shard queue
+// depths, Lab stats, and the attached scheduler's snapshot if any.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.fleet.Stats())
+	writeJSON(w, s.Stats())
 }
 
 // handleHealth serves GET /healthz: 200 while accepting work, 503 once
@@ -405,6 +615,7 @@ func (s *Server) Close() error {
 	err := s.fleet.Close()
 	if err == nil {
 		<-s.collectorDone
+		<-s.mcollectorDone
 	}
 	return err
 }

@@ -1,0 +1,234 @@
+package wire
+
+import (
+	"fmt"
+
+	"encoding/json"
+
+	"advdiag/internal/runtime"
+)
+
+// Injection is one concentration step scheduled during a monitoring
+// acquisition — the wire twin of advdiag.InjectionEvent.
+type Injection struct {
+	// AtSeconds is the injection time from the start of the trace.
+	AtSeconds float64 `json:"at_s"`
+	// DeltaMM is the concentration step in mM.
+	DeltaMM float64 `json:"delta_mm"`
+}
+
+// MonitorRequest is one continuous-monitoring acquisition on the wire:
+// the JSON shape POST /v1/monitors ingests, twin of the root package's
+// MonitorRequest.
+type MonitorRequest struct {
+	// Schema is the wire schema version (SchemaVersion).
+	Schema int `json:"schema"`
+	// ID names the campaign the acquisition belongs to; Tick is its
+	// 0-based index within the campaign.
+	ID   string `json:"id,omitempty"`
+	Tick int    `json:"tick"`
+	// Target is the monitored metabolite; ConcentrationMM the standing
+	// concentration presented in the chamber.
+	Target          string  `json:"target"`
+	ConcentrationMM float64 `json:"concentration_mm"`
+	// DurationSeconds is the trace length (0 selects the protocol
+	// default); BaselineSeconds, when positive, runs the two-phase
+	// protocol.
+	DurationSeconds float64 `json:"duration_s"`
+	BaselineSeconds float64 `json:"baseline_s,omitempty"`
+	// Injections are concentration steps during the run.
+	Injections []Injection `json:"injections,omitempty"`
+	// AgeHours is the film age at acquisition time; Polymer applies the
+	// paper's §III polymer stabilization.
+	AgeHours float64 `json:"age_hours,omitempty"`
+	Polymer  bool    `json:"polymer,omitempty"`
+	// Seed fixes the acquisition's noise stream. It travels with the
+	// request (content-derived, never index-derived), which is what
+	// makes remote cohort runs byte-identical to local ones.
+	Seed uint64 `json:"seed"`
+}
+
+// MonitorResult is one monitoring trace with its analysis on the wire —
+// field-for-field the root package's MonitorResult.
+type MonitorResult struct {
+	// Schema is the wire schema version (SchemaVersion).
+	Schema int `json:"schema"`
+	// TimesSeconds and CurrentsMicroAmps are the recorded series over
+	// the full run.
+	TimesSeconds      []float64 `json:"times_s"`
+	CurrentsMicroAmps []float64 `json:"currents_ua"`
+	// The analysis fields describe the first-injection segment (see the
+	// root package's MonitorResult for the exact contract).
+	T90Seconds        float64 `json:"t90_s"`
+	TransientSeconds  float64 `json:"transient_s"`
+	BaselineMicroAmps float64 `json:"baseline_ua"`
+	SteadyMicroAmps   float64 `json:"steady_ua"`
+	Settled           bool    `json:"settled"`
+	// StepMicroAmps is the baseline-subtracted step current;
+	// EstimatedMM its inversion through the factory calibration.
+	StepMicroAmps float64 `json:"step_ua"`
+	EstimatedMM   float64 `json:"estimated_mm"`
+}
+
+// MonitorOutcome is the service's answer to one monitor request: the
+// response body of POST /v1/monitors and GET /v1/monitors/{id}.
+type MonitorOutcome struct {
+	// Schema is the wire schema version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Index is the fleet-wide monitor acceptance index (-1 when the
+	// request never entered a fleet). It orders outcomes only — a
+	// monitor's noise seed travels in its request.
+	Index int `json:"index"`
+	// ID and Tick echo the request.
+	ID   string `json:"id,omitempty"`
+	Tick int    `json:"tick"`
+	// Shard is the fleet shard that ran the acquisition (-1 when
+	// rejected).
+	Shard int `json:"shard"`
+	// Error is the per-request failure, empty on success.
+	Error string `json:"error,omitempty"`
+	// Result is the trace, present only when Error is empty.
+	Result *MonitorResult `json:"result,omitempty"`
+	// WallSeconds is the simulation cost.
+	WallSeconds float64 `json:"wall_s"`
+}
+
+// Validate checks the request against the schema and the execution
+// runtime's monitor contract, so a request that decodes is a request a
+// platform will accept (assuming it serves the target at all).
+func (r *MonitorRequest) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("wire: monitor request schema %d, this server speaks %d", r.Schema, SchemaVersion)
+	}
+	inj := make([]runtime.Injection, len(r.Injections))
+	for i, v := range r.Injections {
+		inj[i] = runtime.Injection{AtSeconds: v.AtSeconds, DeltaMM: v.DeltaMM}
+	}
+	spec := runtime.MonitorSpec{
+		Target:          r.Target,
+		ConcentrationMM: r.ConcentrationMM,
+		DurationSeconds: r.DurationSeconds,
+		BaselineSeconds: r.BaselineSeconds,
+		Injections:      inj,
+		AgeHours:        r.AgeHours,
+		Polymer:         r.Polymer,
+	}
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("wire: %w", err)
+	}
+	return nil
+}
+
+// Validate checks the result's schema and that every numeric field and
+// series element is finite (JSON cannot carry NaN or ±Inf).
+func (r *MonitorResult) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("wire: monitor result schema %d, this decoder speaks %d", r.Schema, SchemaVersion)
+	}
+	for _, s := range [...][]float64{r.TimesSeconds, r.CurrentsMicroAmps} {
+		for i, v := range s {
+			if !isFinite(v) {
+				return fmt.Errorf("wire: monitor series point %d is non-finite (%g)", i, v)
+			}
+		}
+	}
+	for _, v := range [...]float64{r.T90Seconds, r.TransientSeconds, r.BaselineMicroAmps, r.SteadyMicroAmps, r.StepMicroAmps, r.EstimatedMM} {
+		if !isFinite(v) {
+			return fmt.Errorf("wire: monitor result has non-finite field %g", v)
+		}
+	}
+	return nil
+}
+
+// Validate checks the outcome's schema and, when a result is present,
+// the result.
+func (o *MonitorOutcome) Validate() error {
+	if o.Schema != SchemaVersion {
+		return fmt.Errorf("wire: monitor outcome schema %d, this decoder speaks %d", o.Schema, SchemaVersion)
+	}
+	if o.Result != nil {
+		if err := o.Result.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalMonitorRequest encodes the request, stamping the schema
+// version when the zero value was left in place and validating first.
+func MarshalMonitorRequest(r MonitorRequest) ([]byte, error) {
+	if r.Schema == 0 {
+		r.Schema = SchemaVersion
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(r)
+}
+
+// UnmarshalMonitorRequest strictly decodes one monitor request: unknown
+// fields, a mismatched schema version, and specs the runtime would
+// refuse are all errors.
+func UnmarshalMonitorRequest(data []byte) (MonitorRequest, error) {
+	var r MonitorRequest
+	if err := strictUnmarshal(data, &r); err != nil {
+		return MonitorRequest{}, fmt.Errorf("wire: monitor request: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return MonitorRequest{}, err
+	}
+	return r, nil
+}
+
+// MarshalMonitorResult encodes the result, stamping the schema version
+// when the zero value was left in place and validating first.
+func MarshalMonitorResult(r MonitorResult) ([]byte, error) {
+	if r.Schema == 0 {
+		r.Schema = SchemaVersion
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(r)
+}
+
+// UnmarshalMonitorResult strictly decodes one monitor result.
+func UnmarshalMonitorResult(data []byte) (MonitorResult, error) {
+	var r MonitorResult
+	if err := strictUnmarshal(data, &r); err != nil {
+		return MonitorResult{}, fmt.Errorf("wire: monitor result: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return MonitorResult{}, err
+	}
+	return r, nil
+}
+
+// MarshalMonitorOutcome encodes one outcome, stamping schema versions
+// left at zero (the outcome's and its result's) and validating first.
+func MarshalMonitorOutcome(o MonitorOutcome) ([]byte, error) {
+	if o.Schema == 0 {
+		o.Schema = SchemaVersion
+	}
+	if o.Result != nil && o.Result.Schema == 0 {
+		cp := *o.Result
+		cp.Schema = SchemaVersion
+		o.Result = &cp
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(o)
+}
+
+// UnmarshalMonitorOutcome strictly decodes one monitor outcome.
+func UnmarshalMonitorOutcome(data []byte) (MonitorOutcome, error) {
+	var o MonitorOutcome
+	if err := strictUnmarshal(data, &o); err != nil {
+		return MonitorOutcome{}, fmt.Errorf("wire: monitor outcome: %w", err)
+	}
+	if err := o.Validate(); err != nil {
+		return MonitorOutcome{}, err
+	}
+	return o, nil
+}
