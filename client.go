@@ -121,6 +121,31 @@ func (c *Client) Stats(ctx context.Context) (ServerStats, error) {
 	return st, nil
 }
 
+// Diagnosis fetches GET /v1/diagnosis: the server's current automated
+// root-cause verdict. Every call also advances the server-side
+// diagnoser by one observation, so a client polling this method is
+// what drives rate-anomaly detection (stalls, saturation) — and, with
+// auto-quarantine on, what triggers the quarantine itself.
+func (c *Client) Diagnosis(ctx context.Context) (Diagnosis, error) {
+	resp, err := c.get(ctx, "/v1/diagnosis")
+	if err != nil {
+		return Diagnosis{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return Diagnosis{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Diagnosis{}, remoteError(resp.StatusCode, body)
+	}
+	wd, err := wire.UnmarshalDiagnosis(body)
+	if err != nil {
+		return Diagnosis{}, fmt.Errorf("advdiag: diagnosis: %w", err)
+	}
+	return diagnosisFromWire(wd), nil
+}
+
 // RunPanel submits one sample and waits for its outcome. A saturated
 // fleet surfaces as ErrFleetSaturated (check with errors.Is and back
 // off); a draining server as ErrServerDraining. A per-sample

@@ -22,6 +22,12 @@
 //	                                     # fingerprint against an
 //	                                     # in-process scheduler on a
 //	                                     # local fleet
+//	labserve -diag-smoke                 # CI: kill a shard under live
+//	                                     # load, require /v1/diagnosis
+//	                                     # to convict and quarantine it,
+//	                                     # the batch to fail over with
+//	                                     # byte-identical fingerprints,
+//	                                     # and healthz to stay 200
 package main
 
 import (
@@ -69,6 +75,7 @@ func main() {
 		patients = flag.Int("patients", 16, "smoke batch size")
 		msmoke   = flag.Bool("monitor-smoke", false, "CI smoke: drive a monitoring cohort through an HTTP-backed scheduler, diff the cohort fingerprint against an in-process fleet")
 		cohort   = flag.Int("campaigns", 24, "monitor-smoke cohort size")
+		dsmoke   = flag.Bool("diag-smoke", false, "CI smoke: kill a shard under live load, require /v1/diagnosis to convict and quarantine it, the batch to fail over losslessly, and healthz to stay 200")
 	)
 	flag.Parse()
 
@@ -83,6 +90,13 @@ func main() {
 	if *msmoke {
 		if err := runMonitorSmoke(os.Stdout, tl, *cohort, *shards, *workers, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "labserve monitor-smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *dsmoke {
+		if err := runDiagSmoke(os.Stdout, tl, *patients, *shards, *workers, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "labserve diag-smoke:", err)
 			os.Exit(1)
 		}
 		return
@@ -105,8 +119,9 @@ func splitTargets(s string) []string {
 
 // buildServer designs the platform once and stands the fleet + front
 // door up over n shards of it (shards share the design and its warmed
-// calibration cache).
-func buildServer(targets []string, shards, workers, depth int, seed uint64, router string) (*advdiag.Platform, *advdiag.Server, error) {
+// calibration cache). The fleet is returned alongside the server so
+// smokes can inject faults into it.
+func buildServer(targets []string, shards, workers, depth int, seed uint64, router string, sopts ...advdiag.ServerOption) (*advdiag.Platform, *advdiag.Fleet, *advdiag.Server, error) {
 	var r advdiag.Router
 	switch router {
 	case "leastloaded":
@@ -116,11 +131,11 @@ func buildServer(targets []string, shards, workers, depth int, seed uint64, rout
 	case "hash":
 		r = &advdiag.HashRouter{}
 	default:
-		return nil, nil, fmt.Errorf("unknown router %q (want leastloaded, affinity or hash)", router)
+		return nil, nil, nil, fmt.Errorf("unknown router %q (want leastloaded, affinity or hash)", router)
 	}
 	p, err := advdiag.DesignPlatform(targets, advdiag.WithPlatformSeed(seed))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	plats := make([]*advdiag.Platform, shards)
 	for i := range plats {
@@ -132,13 +147,13 @@ func buildServer(targets []string, shards, workers, depth int, seed uint64, rout
 		advdiag.WithFleetQueueDepth(depth),
 	)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	srv, err := advdiag.NewServer(fleet)
+	srv, err := advdiag.NewServer(fleet, sopts...)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return p, srv, nil
+	return p, fleet, srv, nil
 }
 
 // serve runs the front door until SIGTERM/SIGINT, then drains: intake
@@ -146,7 +161,7 @@ func buildServer(targets []string, shards, workers, depth int, seed uint64, rout
 // process exits cleanly — the rollout dance a load-balanced deployment
 // expects.
 func serve(addr string, targets []string, shards, workers, depth int, seed uint64, router string) error {
-	p, srv, err := buildServer(targets, shards, workers, depth, seed, router)
+	p, _, srv, err := buildServer(targets, shards, workers, depth, seed, router)
 	if err != nil {
 		return err
 	}
@@ -203,7 +218,7 @@ func smokeCohort(targets []string, n int) []advdiag.Sample {
 // samples run on a local Lab over the same platform. It also checks
 // that /v1/stats accounted for the batch.
 func runSmoke(w *os.File, targets []string, patients, shards, workers int, seed uint64) error {
-	p, srv, err := buildServer(targets, shards, workers, 2*patients, seed, "leastloaded")
+	p, _, srv, err := buildServer(targets, shards, workers, 2*patients, seed, "leastloaded")
 	if err != nil {
 		return err
 	}
@@ -266,6 +281,125 @@ func runSmoke(w *os.File, targets []string, patients, shards, workers int, seed 
 	return nil
 }
 
+// runDiagSmoke is the fault-injection CI end-to-end: a real loopback
+// server fronts a fleet whose shard 0 is dead on arrival, a patient
+// batch goes in through the client, and /v1/diagnosis — polled the way
+// an operator dashboard would — must convict the stall on shard 0,
+// quarantine it, and fail its backlog over to the survivors. The smoke
+// then requires the batch to complete with every fingerprint
+// byte-identical to a local Lab (quarantine loses no panels and moves
+// no noise streams) and healthz to stay 200 throughout: a diagnosed
+// fleet is degraded, not down.
+func runDiagSmoke(w *os.File, targets []string, patients, shards, workers int, seed uint64) error {
+	if shards < 2 {
+		return fmt.Errorf("diag-smoke needs at least 2 shards (one to kill, one to survive), got %d", shards)
+	}
+	// Three stall confirmations instead of the default two: the live
+	// shards are busy with the failed-over batch, and the wider window
+	// keeps a slow CI runner from convicting a merely loaded shard.
+	p, fleet, srv, err := buildServer(targets, shards, workers, 2*patients, seed, "leastloaded",
+		advdiag.WithServerDiagnoser(advdiag.NewDiagnoser(nil, advdiag.WithDiagStallConfirmations(3))))
+	if err != nil {
+		return err
+	}
+	defer srv.Close() //nolint:errcheck // second close after success path is the fleet sentinel
+	srv.Diagnoser().Bind(fleet)
+	if err := fleet.InjectFault(advdiag.Fault{Kind: advdiag.FaultDeadShard, Shard: 0}); err != nil {
+		return fmt.Errorf("inject: %w", err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	go httpSrv.Serve(ln) //nolint:errcheck // torn down below
+	defer httpSrv.Close()
+
+	client := advdiag.NewClient("http://" + ln.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := client.Health(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	samples := smokeCohort(targets, patients)
+	type batchResult struct {
+		outs []advdiag.PanelOutcome
+		err  error
+	}
+	done := make(chan batchResult, 1)
+	go func() {
+		outs, err := client.RunPanels(ctx, samples)
+		done <- batchResult{outs, err}
+	}()
+
+	var conviction advdiag.Finding
+poll:
+	for {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("diagnosis never convicted the dead shard: %w", ctx.Err())
+		default:
+		}
+		d, err := client.Diagnosis(ctx)
+		if err != nil {
+			return fmt.Errorf("diagnosis: %w", err)
+		}
+		for _, f := range d.Findings {
+			if f.Class == advdiag.ClassShardStall {
+				conviction = f
+				break poll
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if conviction.Shard != 0 {
+		return fmt.Errorf("stall convicted shard %d, fault was injected on shard 0 (%s)", conviction.Shard, conviction.Evidence)
+	}
+	if !conviction.Quarantined {
+		return fmt.Errorf("convicted shard 0 was not quarantined: %+v", conviction)
+	}
+
+	res := <-done
+	if res.err != nil {
+		return fmt.Errorf("batch across the failover: %w", res.err)
+	}
+	lab, err := advdiag.NewLab(p, advdiag.WithLabWorkers(workers))
+	if err != nil {
+		return err
+	}
+	local := lab.RunPanels(samples)
+	for i := range samples {
+		if res.outs[i].Err != nil {
+			return fmt.Errorf("sample %d (%s) lost to the dead shard: %w", i, samples[i].ID, res.outs[i].Err)
+		}
+		if res.outs[i].Shard == 0 {
+			return fmt.Errorf("sample %d (%s) reportedly ran on the dead shard", i, samples[i].ID)
+		}
+		if local[i].Err != nil {
+			return fmt.Errorf("local sample %d (%s): %w", i, samples[i].ID, local[i].Err)
+		}
+		rf, lf := res.outs[i].Result.Fingerprint(), local[i].Result.Fingerprint()
+		if rf != lf {
+			return fmt.Errorf("sample %s: fingerprint %016x after failover != local %016x — quarantine moved a noise stream", samples[i].ID, rf, lf)
+		}
+	}
+	if err := client.Health(ctx); err != nil {
+		return fmt.Errorf("healthz with a quarantined shard: %w", err)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if len(st.Shards) != shards || !st.Shards[0].Quarantined {
+		return fmt.Errorf("stats do not flag the quarantine: %+v", st.Shards)
+	}
+	fmt.Fprintf(w, "labserve diag-smoke: shard 0 killed, convicted (%s, severity %.2f), quarantined; %d/%d fingerprints byte-identical after failover; healthz stayed 200\n",
+		conviction.Class, conviction.Severity, len(samples), len(samples))
+	return nil
+}
+
 // monitorSmokeCohort spreads n deterministic campaigns over the
 // platform's monitorable (oxidase-served) targets, cycling through
 // every campaign shape the scheduler serves: plain drift tracking,
@@ -317,7 +451,7 @@ func monitorSmokeCohort(monitorable []string, n int) ([]advdiag.MonitorCampaign,
 // results belong to the server's collector, so the in-process
 // reference runs on its OWN fleet — the exclusive-consumer contract.
 func runMonitorSmoke(w *os.File, targets []string, campaigns, shards, workers int, seed uint64) error {
-	p, srv, err := buildServer(targets, shards, workers, 2*campaigns, seed, "leastloaded")
+	p, _, srv, err := buildServer(targets, shards, workers, 2*campaigns, seed, "leastloaded")
 	if err != nil {
 		return err
 	}

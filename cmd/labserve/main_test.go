@@ -2,7 +2,10 @@ package main
 
 import (
 	"os"
+	"os/signal"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // TestRunSmokeSmallPanel drives the full smoke — real TCP listener,
@@ -29,7 +32,74 @@ func TestSplitTargets(t *testing.T) {
 }
 
 func TestBuildServerUnknownRouter(t *testing.T) {
-	if _, _, err := buildServer([]string{"glucose"}, 1, 1, 1, 1, "roundrobin"); err == nil {
+	if _, _, _, err := buildServer([]string{"glucose"}, 1, 1, 1, 1, "roundrobin"); err == nil {
 		t.Fatal("unknown router must fail")
+	}
+}
+
+// TestRunDiagSmokeSmallPanel drives the fault-injection smoke — dead
+// shard, /v1/diagnosis conviction, quarantine, lossless failover — on
+// a small two-target platform, covering exactly the path CI runs
+// against the Fig. 4 panel.
+func TestRunDiagSmokeSmallPanel(t *testing.T) {
+	if err := runDiagSmoke(os.Stdout, []string{"glucose", "benzphetamine"}, 8, 2, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDiagSmokeNeedsTwoShards(t *testing.T) {
+	if err := runDiagSmoke(os.Stdout, []string{"glucose"}, 4, 1, 1, 7); err == nil {
+		t.Fatal("one-shard diag smoke must refuse to run")
+	}
+}
+
+// TestRunMonitorSmokeSmallPanel drives the longitudinal smoke — HTTP-
+// backed scheduler vs in-process reference, cohort fingerprint diff —
+// on a small two-target platform.
+func TestRunMonitorSmokeSmallPanel(t *testing.T) {
+	if err := runMonitorSmoke(os.Stdout, []string{"glucose", "benzphetamine"}, 5, 2, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeDrainsOnSignal covers the deployment path: serve comes up
+// on a loopback port, SIGTERM lands, and the process drains and
+// returns cleanly. The test installs its own SIGTERM relay first so an
+// early signal (sent before serve registers its handler) is absorbed
+// instead of killing the test binary, then keeps signalling until
+// serve exits.
+func TestServeDrainsOnSignal(t *testing.T) {
+	absorb := make(chan os.Signal, 8)
+	signal.Notify(absorb, syscall.SIGTERM)
+	defer signal.Stop(absorb)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- serve("127.0.0.1:0", []string{"glucose"}, 1, 1, 4, 7, "leastloaded")
+	}()
+	deadline := time.After(2 * time.Minute)
+	for {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("serve never drained on SIGTERM")
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+func TestServeBadInputs(t *testing.T) {
+	if err := serve("127.0.0.1:0", []string{"glucose"}, 1, 1, 4, 7, "roundrobin"); err == nil {
+		t.Fatal("unknown router accepted")
+	}
+	if err := serve("not an address", []string{"glucose"}, 1, 1, 4, 7, "leastloaded"); err == nil {
+		t.Fatal("unlistenable address accepted")
 	}
 }

@@ -45,6 +45,16 @@
 //     cmd/labserve, and batches submitted through the client return
 //     PanelResult fingerprints byte-identical to a local Lab.
 //
+//   - FaultPlan and Diagnoser: the fault-injection harness and the
+//     automated fleet diagnosis over it. Deterministic, replayable
+//     faults (fouled electrode, dead shard, slow shard — plus the
+//     wire-level MalformedClient) degrade a Fleet on purpose;
+//     the Diagnoser watches stats snapshots and panel outcomes,
+//     classifies what is wrong (sensor fouling vs shard stall vs
+//     queue saturation vs wire errors vs drain), quarantines convicted
+//     shards — their backlog reroutes to siblings with fingerprints
+//     intact — and serves the verdict on GET /v1/diagnosis.
+//
 //   - MonitorScheduler: population-scale longitudinal monitoring. It
 //     multiplexes thousands of recurring MonitorCampaigns — calibrate,
 //     read on a cadence, recalibrate on schedule or when the rolling
@@ -118,6 +128,7 @@
 //	POST /v1/monitors      one wire.MonitorRequest → one wire.MonitorOutcome
 //	GET  /v1/monitors/{id} latest stored outcome for a campaign (202 while pending)
 //	GET  /v1/stats         ServerStats as JSON (fleet counters + scheduler snapshot)
+//	GET  /v1/diagnosis     wire.Diagnosis: classified findings + quarantine set
 //	GET  /healthz          200 while serving, 503 while draining
 //
 // Backpressure is explicit: every submission uses Fleet.TrySubmit, so
@@ -128,6 +139,47 @@
 // local Lab run of the same batch. cmd/labserve is the deployable
 // front door (graceful SIGTERM drain); examples/remote shows the whole
 // boundary in one process.
+//
+// # Fault injection and automated diagnosis
+//
+// The diagnosis loop sits beside the serving path, never in it: the
+// Server feeds the Diagnoser what it already has (a stats snapshot on
+// each GET /v1/diagnosis, panel outcomes as the collector sees them),
+// and
+// the Diagnoser acts back on the Fleet only when it convicts:
+//
+//	            GET /v1/diagnosis
+//	                   │ Observe(Stats) ▸ Diagnose
+//	┌──────────────────▼───────────────────────┐
+//	│            advdiag.Diagnoser             │
+//	│ recovery-ratio rings ▸ counter deltas    │
+//	│ classify: sensor_fouling │ shard_stall   │
+//	│   queue_saturation │ wire_errors │ drain │
+//	└──────────────────┬───────────────────────┘
+//	                   │ Quarantine(shard) on conviction
+//	┌──────────────────▼───────────────────────┐
+//	│ advdiag.Fleet — per-shard fault state    │
+//	│ FaultPlan ▸ InjectFault ▸ ClearFaults    │
+//	└──────────────────────────────────────────┘
+//
+// Faults are first-class and deterministic. A FaultPlan armed at
+// construction (WithFleetFaultPlan) or injected live (InjectFault)
+// perturbs exactly what its seed says: a FaultFouledElectrode draws
+// its per-panel sensitivity loss and noise from (fault seed, sample
+// seed, target) inside internal/runtime, so two fleets with the same
+// plan and traffic fail identically — which is what makes every
+// diagnosis scenario an ordinary table test instead of a flaky chaos
+// run. A healthy fleet pays one atomic nil-check per job.
+//
+// Quarantine removes a shard from the routing view (every Router is
+// quarantine-aware for free — it simply cannot pick a shard it cannot
+// see) and reroutes the shard's parked and queued work to siblings.
+// Rerouted jobs keep their fleet submission indices, so their noise
+// streams — and therefore their PanelResult fingerprints — are
+// byte-identical to an unfaulted run: quarantine loses no panels and
+// changes no bits. The scenario suite (diagnosis_test.go) proves each
+// classification under -race; cmd/labserve -diag-smoke proves the
+// whole loop over a real TCP connection in CI.
 //
 // # Population-scale monitoring
 //

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	rt "advdiag/internal/runtime"
 )
 
 // ErrFleetSaturated is returned by TrySubmit when the routed shard's
@@ -72,6 +74,7 @@ type Fleet struct {
 	msubmitted int
 	mcompleted int
 	mrejected  uint64
+	faultPlan  *FaultPlan
 	closed     bool
 	submitWG   sync.WaitGroup // Submits between closed-check and enqueue
 	first      time.Time
@@ -85,6 +88,17 @@ type fleetShard struct {
 	lab     *Lab
 	targets []string
 	queue   chan fleetJob
+	// fault is the shard's armed fault state; nil is the healthy fast
+	// path (one atomic load per job).
+	fault atomic.Pointer[shardFaultState]
+	// quarantined removes the shard from the router's view; guarded by
+	// the Fleet mutex.
+	quarantined bool
+	// stalled holds jobs a dead shard's workers dequeued but must not
+	// run — a hung instrument keeping its accepted work. Guarded by the
+	// Fleet mutex; drained by Quarantine or run in place after
+	// ClearFaults.
+	stalled []fleetJob
 	// sched is the shard's instrument-timeline position counter:
 	// assigned at routing time, so back-to-back cycles follow arrival
 	// order on the shard.
@@ -109,6 +123,24 @@ type fleetJob struct {
 	seedIdx, schedIdx int
 	sample            Sample
 	monitor           *MonitorRequest
+}
+
+// shardFaultState is the compiled, immutable fault configuration a
+// shard's workers consult before each job. It is swapped atomically as
+// a whole: workers either see the previous state or the next, never a
+// torn mix. nil means healthy.
+type shardFaultState struct {
+	// fouling perturbs the analog chain of matching electrodes
+	// (FaultFouledElectrode).
+	fouling *rt.Fouling
+	// dead parks dequeued jobs instead of running them
+	// (FaultDeadShard).
+	dead bool
+	// delay stalls each job before it runs (FaultSlowShard).
+	delay time.Duration
+	// lifted is closed when the dead fault lifts (quarantine, clear, or
+	// fleet close); parked workers resume from it.
+	lifted chan struct{}
 }
 
 // FleetOption customizes a Fleet.
@@ -138,6 +170,14 @@ func WithFleetQueueDepth(n int) FleetOption {
 // over the same platform produces byte-identical results.
 func WithFleetSeed(seed uint64) FleetOption {
 	return func(f *Fleet) { f.seed = seed }
+}
+
+// WithFleetFaultPlan arms a replayable fault plan at construction —
+// the fleet starts life already degraded, which is how the scenario
+// tests create a sick shard on purpose. See FaultPlan and
+// Fleet.InjectFaults.
+func WithFleetFaultPlan(plan FaultPlan) FleetOption {
+	return func(f *Fleet) { f.faultPlan = &plan }
 }
 
 // NewFleet builds a dispatcher over the given designed platforms (one
@@ -190,6 +230,12 @@ func NewFleet(platforms []*Platform, opts ...FleetOption) (*Fleet, error) {
 			go f.shardWorker(sh)
 		}
 	}
+	if f.faultPlan != nil {
+		if err := f.InjectFaults(*f.faultPlan); err != nil {
+			f.Close() //nolint:errcheck // construction bail-out
+			return nil, err
+		}
+	}
 	return f, nil
 }
 
@@ -197,39 +243,94 @@ func NewFleet(platforms []*Platform, opts ...FleetOption) (*Fleet, error) {
 func (f *Fleet) Shards() int { return len(f.shards) }
 
 // shardWorker executes routed jobs for one shard until its queue
-// closes.
+// closes, consulting the shard's fault state before each job. The
+// healthy path costs one atomic nil-check.
 func (f *Fleet) shardWorker(sh *fleetShard) {
 	defer f.workWG.Done()
 	for job := range sh.queue {
-		if job.monitor != nil {
-			out := sh.lab.runMonitor(job.seedIdx, *job.monitor)
-			out.Shard = sh.index
-			f.mresults <- out
-			f.complete(sh, true)
+		fs := sh.fault.Load()
+		if fs != nil && fs.dead {
+			f.parkJob(sh, fs, job)
 			continue
 		}
-		out := sh.lab.runIndexed(job.seedIdx, job.schedIdx, job.sample)
+		if fs != nil && fs.delay > 0 {
+			time.Sleep(fs.delay)
+		}
+		var fouling *rt.Fouling
+		if fs != nil {
+			fouling = fs.fouling
+		}
+		f.runJob(sh, job, fouling)
+	}
+}
+
+// runJob executes one routed job on its shard and delivers the outcome.
+func (f *Fleet) runJob(sh *fleetShard, job fleetJob, fouling *rt.Fouling) {
+	if job.monitor != nil {
+		out := sh.lab.runMonitor(job.seedIdx, *job.monitor)
 		out.Shard = sh.index
-		f.results <- out
-		f.complete(sh, false)
+		f.mresults <- out
+		f.complete(sh, true)
+		return
+	}
+	out := sh.lab.runIndexed(job.seedIdx, job.schedIdx, job.sample, fouling)
+	out.Shard = sh.index
+	f.results <- out
+	f.complete(sh, false)
+}
+
+// parkJob holds a job a dead shard's worker dequeued: the job joins the
+// shard's stalled list and the worker blocks until the fault lifts —
+// a hung instrument that keeps its accepted work. Quarantine reroutes
+// the stalled list to siblings; ClearFaults (and Close) release the
+// workers to run whatever is still parked themselves.
+func (f *Fleet) parkJob(sh *fleetShard, fs *shardFaultState, job fleetJob) {
+	f.mu.Lock()
+	if sh.quarantined {
+		// Quarantine already drained this shard: hand the straggler to
+		// the reroute path instead of parking it forever.
+		moves, fails := f.rerouteLocked(sh, []fleetJob{job})
+		f.mu.Unlock()
+		f.deliver(moves, fails)
+		return
+	}
+	sh.stalled = append(sh.stalled, job)
+	f.mu.Unlock()
+
+	<-fs.lifted
+	// The fault lifted. Quarantine empties the stalled list before
+	// closing the channel, so anything still here was released by
+	// ClearFaults or Close and belongs to this (no longer dead) shard.
+	f.mu.Lock()
+	jobs := sh.stalled
+	sh.stalled = nil
+	f.mu.Unlock()
+	for _, j := range jobs {
+		f.runJob(sh, j, nil)
 	}
 }
 
 // complete records one finished job (taking the fleet mutex itself).
 func (f *Fleet) complete(sh *fleetShard, monitor bool) {
-	now := time.Now()
 	f.mu.Lock()
+	sh.pending--
+	f.completeLocked(monitor)
+	f.mu.Unlock()
+}
+
+// completeLocked advances the completion counters and wakes Drain
+// (callers hold f.mu).
+func (f *Fleet) completeLocked(monitor bool) {
+	now := time.Now()
 	if monitor {
 		f.mcompleted++
 	} else {
 		f.completed++
 	}
-	sh.pending--
 	if f.last.Before(now) {
 		f.last = now
 	}
 	f.cond.Broadcast()
-	f.mu.Unlock()
 }
 
 // snapshotLocked builds the router's view (callers hold f.mu).
@@ -256,10 +357,27 @@ func (f *Fleet) snapshotLocked() []ShardInfo {
 	return view
 }
 
+// routeViewLocked is the router's view: the current snapshot minus
+// quarantined shards. Filtering here — instead of flagging ShardInfo —
+// keeps every Router quarantine-aware for free: a policy that never
+// heard of quarantine simply cannot pick a shard it cannot see. With
+// every shard quarantined the view is empty and routers answer
+// ErrNoShard. Callers hold f.mu.
+func (f *Fleet) routeViewLocked() []ShardInfo {
+	view := f.snapshotLocked()
+	healthy := view[:0]
+	for i, sh := range f.shards {
+		if !sh.quarantined {
+			healthy = append(healthy, view[i])
+		}
+	}
+	return healthy
+}
+
 // route runs the router on the current view and validates its answer.
 // Callers hold f.mu.
 func (f *Fleet) routeLocked(s Sample) (*fleetShard, error) {
-	idx, err := f.router.Route(s, f.snapshotLocked())
+	idx, err := f.router.Route(s, f.routeViewLocked())
 	if err != nil {
 		f.routeErrs++
 		return nil, err
@@ -267,6 +385,10 @@ func (f *Fleet) routeLocked(s Sample) (*fleetShard, error) {
 	if idx < 0 || idx >= len(f.shards) {
 		f.routeErrs++
 		return nil, fmt.Errorf("advdiag: router returned shard %d outside [0,%d)", idx, len(f.shards))
+	}
+	if f.shards[idx].quarantined {
+		f.routeErrs++
+		return nil, fmt.Errorf("advdiag: router returned quarantined shard %d", idx)
 	}
 	return f.shards[idx], nil
 }
@@ -433,7 +555,9 @@ func (f *Fleet) Results() <-chan PanelOutcome { return f.results }
 // measured and delivered to Results. Submissions may continue from
 // other goroutines; Drain tracks the count it observed at entry. The
 // caller must keep consuming Results (or rely on its buffering) while
-// draining.
+// draining. Note that a shard held dead by FaultDeadShard never
+// completes its jobs: Drain then blocks until the shard is quarantined
+// (rerouting its backlog) or the fault is cleared.
 func (f *Fleet) Drain() {
 	f.mu.Lock()
 	target, mtarget := f.submitted, f.msubmitted
@@ -454,10 +578,17 @@ func (f *Fleet) Close() error {
 		return ErrFleetClosed
 	}
 	f.closed = true
+	// Lift every fault before shutting the queues: workers parked by a
+	// dead fault must wake, run the work they were holding, and observe
+	// the queue close — otherwise workWG.Wait would hang on them.
+	for _, sh := range f.shards {
+		f.liftFaultLocked(sh)
+	}
 	f.mu.Unlock()
 
 	// Wait out Submits caught between their closed-check and the queue
-	// handoff, then shut the shard queues down.
+	// handoff (reroute deliveries count too), then shut the shard
+	// queues down.
 	f.submitWG.Wait()
 	for _, sh := range f.shards {
 		close(sh.queue)
@@ -466,6 +597,229 @@ func (f *Fleet) Close() error {
 	close(f.results)
 	close(f.mresults)
 	return nil
+}
+
+// InjectFault arms one fault on its target shard at run time. Faults
+// of different kinds compose on a shard (a shard can be fouled and
+// slow at once); re-injecting a kind replaces the earlier instance.
+// Injection is atomic per shard: workers observe either the previous
+// fault state or the new one, never a torn mix.
+func (f *Fleet) InjectFault(ft Fault) error {
+	if err := ft.Validate(len(f.shards)); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrFleetClosed
+	}
+	f.injectLocked(ft)
+	return nil
+}
+
+// InjectFaults arms a whole plan, validating every fault before arming
+// any — a plan takes effect completely or not at all.
+func (f *Fleet) InjectFaults(plan FaultPlan) error {
+	if err := plan.Validate(len(f.shards)); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrFleetClosed
+	}
+	for _, ft := range plan.Faults {
+		f.injectLocked(ft)
+	}
+	return nil
+}
+
+// injectLocked compiles one fault into its shard's state (callers hold
+// f.mu). Copy-on-write: the previous state object stays intact for any
+// worker that already loaded it.
+func (f *Fleet) injectLocked(ft Fault) {
+	sh := f.shards[ft.Shard]
+	ns := &shardFaultState{}
+	if prev := sh.fault.Load(); prev != nil {
+		*ns = *prev
+	}
+	switch ft.Kind {
+	case FaultFouledElectrode:
+		ns.fouling = &rt.Fouling{Target: ft.Target, Severity: ft.Severity, Seed: ft.Seed}
+	case FaultSlowShard:
+		ns.delay = ft.Delay
+	case FaultDeadShard:
+		ns.dead = true
+		if ns.lifted == nil {
+			ns.lifted = make(chan struct{})
+		}
+	}
+	sh.fault.Store(ns)
+}
+
+// liftFaultLocked clears a shard's fault state, waking workers parked
+// by a dead fault (callers hold f.mu).
+func (f *Fleet) liftFaultLocked(sh *fleetShard) {
+	fs := sh.fault.Swap(nil)
+	if fs != nil && fs.dead {
+		close(fs.lifted)
+	}
+}
+
+// ClearFaults lifts every injected fault: fouled electrodes heal, slow
+// shards speed back up, and dead shards' workers wake and run the jobs
+// they were holding (healthy — the fault is gone). Quarantine
+// decisions are not reversed; quarantine is a routing-layer verdict,
+// not a fault.
+func (f *Fleet) ClearFaults() {
+	f.mu.Lock()
+	for _, sh := range f.shards {
+		f.liftFaultLocked(sh)
+	}
+	f.mu.Unlock()
+}
+
+// Quarantine removes one shard from every router's view and reroutes
+// its backlog — queued jobs plus any jobs its workers were holding
+// under a dead fault — to the surviving shards. A rerouted panel keeps
+// its fleet submission index, so its noise stream (and therefore its
+// fingerprint) is unchanged: quarantine loses zero panels. Jobs no
+// surviving shard can serve complete with an error outcome instead of
+// vanishing, so Drain and batches never hang on them. Any fault on the
+// shard is lifted (its workers must stay able to serve stragglers
+// already in a Submit handoff — such a job still completes on this
+// shard, healthy). Quarantining an already-quarantined shard is a
+// no-op; with every shard quarantined routers see an empty fleet and
+// new submissions fail with ErrNoShard.
+//
+// Quarantine may block delivering rerouted jobs when every surviving
+// queue is full (the same backpressure a Submit obeys) — keep
+// consuming Results, as with Submit.
+func (f *Fleet) Quarantine(shard int) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrFleetClosed
+	}
+	if shard < 0 || shard >= len(f.shards) {
+		f.mu.Unlock()
+		return fmt.Errorf("advdiag: quarantine shard %d outside [0,%d)", shard, len(f.shards))
+	}
+	sh := f.shards[shard]
+	if sh.quarantined {
+		f.mu.Unlock()
+		return nil
+	}
+	sh.quarantined = true
+	// Collect the backlog: parked work first (it was accepted first),
+	// then whatever is still queued. Workers mid-park that have not yet
+	// taken the lock will see quarantined and reroute their own job.
+	jobs := sh.stalled
+	sh.stalled = nil
+drain:
+	for {
+		select {
+		case j := <-sh.queue:
+			jobs = append(jobs, j)
+		default:
+			break drain
+		}
+	}
+	f.liftFaultLocked(sh)
+	moves, fails := f.rerouteLocked(sh, jobs)
+	f.mu.Unlock()
+	f.deliver(moves, fails)
+	return nil
+}
+
+// Quarantined reports the quarantined shard indices, in order.
+func (f *Fleet) Quarantined() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []int
+	for _, sh := range f.shards {
+		if sh.quarantined {
+			out = append(out, sh.index)
+		}
+	}
+	return out
+}
+
+// rerouteMove is one planned reassignment of a quarantined shard's
+// job; rerouteFail one job no surviving shard can serve.
+type rerouteMove struct {
+	to  *fleetShard
+	job fleetJob
+}
+
+type rerouteFail struct {
+	job  fleetJob
+	from int
+	err  error
+}
+
+// rerouteLocked plans new homes for a quarantined shard's backlog
+// (callers hold f.mu; deliver executes the plan outside the lock).
+// Moved jobs keep their seed index — determinism travels with the job
+// — but take a fresh instrument slot on their destination's timeline.
+func (f *Fleet) rerouteLocked(from *fleetShard, jobs []fleetJob) ([]rerouteMove, []rerouteFail) {
+	var moves []rerouteMove
+	var fails []rerouteFail
+	for _, job := range jobs {
+		rs := job.sample
+		if job.monitor != nil {
+			rs = monitorRoutingSample(*job.monitor)
+		}
+		to, err := f.routeLocked(rs)
+		from.pending--
+		if err != nil {
+			fails = append(fails, rerouteFail{job: job, from: from.index, err: err})
+			continue
+		}
+		to.pending++
+		to.routed.Add(1)
+		if job.monitor == nil {
+			job.schedIdx = to.sched
+			to.sched++
+		}
+		// Deliveries race with Close the same way accepted Submits do:
+		// registering on submitWG before releasing the lock keeps the
+		// destination queue open until the handoff lands.
+		f.submitWG.Add(1)
+		moves = append(moves, rerouteMove{to: to, job: job})
+	}
+	return moves, fails
+}
+
+// deliver executes a reroute plan outside the fleet lock: moved jobs
+// enqueue on their new shards (blocking when those queues are full)
+// and unservable jobs complete with error outcomes.
+func (f *Fleet) deliver(moves []rerouteMove, fails []rerouteFail) {
+	for _, mv := range moves {
+		mv.to.queue <- mv.job
+		f.submitWG.Done()
+	}
+	for _, fl := range fails {
+		if fl.job.monitor != nil {
+			f.mresults <- MonitorOutcome{
+				Index: fl.job.seedIdx,
+				ID:    fl.job.monitor.ID,
+				Tick:  fl.job.monitor.Tick,
+				Shard: fl.from,
+				Err:   fmt.Errorf("advdiag: rerouting from quarantined shard %d: %w", fl.from, fl.err),
+			}
+		} else {
+			f.results <- PanelOutcome{
+				Index: fl.job.seedIdx,
+				ID:    fl.job.sample.ID,
+				Shard: fl.from,
+				Err:   fmt.Errorf("advdiag: rerouting from quarantined shard %d: %w", fl.from, fl.err),
+			}
+		}
+		f.mu.Lock()
+		f.completeLocked(fl.job.monitor != nil)
+		f.mu.Unlock()
+	}
 }
 
 // RunPanels routes and measures a batch, returning one outcome per
@@ -596,6 +950,9 @@ type FleetShardStats struct {
 	// snapshot time; Routed counts everything ever enqueued here.
 	QueueLen, QueueCap, InFlight int
 	Routed                       uint64
+	// Quarantined marks a shard removed from the routing view (see
+	// Fleet.Quarantine); it receives no new work.
+	Quarantined bool
 }
 
 // String renders the snapshot as a small report.
@@ -608,8 +965,12 @@ func (s FleetStats) String() string {
 			s.MonitorsSubmitted, s.MonitorsCompleted, s.MonitorsRejected)
 	}
 	for _, sh := range s.Shards {
-		fmt.Fprintf(&b, "  shard %d [%s]: %d routed, queue %d/%d, %d in flight, %.1f panels/s, cache %.0f%% hit\n",
-			sh.Index, strings.Join(sh.Targets, ","), sh.Routed, sh.QueueLen, sh.QueueCap, sh.InFlight,
+		mark := ""
+		if sh.Quarantined {
+			mark = " QUARANTINED"
+		}
+		fmt.Fprintf(&b, "  shard %d [%s]:%s %d routed, queue %d/%d, %d in flight, %.1f panels/s, cache %.0f%% hit\n",
+			sh.Index, strings.Join(sh.Targets, ","), mark, sh.Routed, sh.QueueLen, sh.QueueCap, sh.InFlight,
 			sh.Lab.PanelsPerSecond, 100*sh.Lab.CacheHitRate)
 	}
 	return b.String()
@@ -631,6 +992,10 @@ func (f *Fleet) Stats() FleetStats {
 		st.WallSeconds = f.last.Sub(f.first).Seconds()
 	}
 	view := f.snapshotLocked()
+	quar := make([]bool, len(f.shards))
+	for i, sh := range f.shards {
+		quar[i] = sh.quarantined
+	}
 	f.mu.Unlock()
 	if st.WallSeconds > 0 {
 		st.PanelsPerSecond = float64(st.Completed) / st.WallSeconds
@@ -641,13 +1006,14 @@ func (f *Fleet) Stats() FleetStats {
 		hits += ls.CacheHits
 		lookups += ls.CacheHits + ls.CacheMisses
 		st.Shards = append(st.Shards, FleetShardStats{
-			Index:    sh.index,
-			Targets:  sh.targets,
-			Lab:      ls,
-			QueueLen: view[i].QueueLen,
-			QueueCap: f.depth,
-			InFlight: view[i].InFlight,
-			Routed:   sh.routed.Load(),
+			Index:       sh.index,
+			Targets:     sh.targets,
+			Lab:         ls,
+			QueueLen:    view[i].QueueLen,
+			QueueCap:    f.depth,
+			InFlight:    view[i].InFlight,
+			Routed:      sh.routed.Load(),
+			Quarantined: quar[i],
 		})
 	}
 	if lookups > 0 {

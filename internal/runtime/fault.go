@@ -1,0 +1,69 @@
+package runtime
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"advdiag/internal/mathx"
+)
+
+// Fouling is an injectable electrode-fouling fault: a deterministic
+// perturbation of the analog acquisition chain that models a film
+// degraded by adsorbed matrix proteins — the sensitivity drops and the
+// signal turns noisy, so concentration estimates drift away from the
+// true values while the instrument keeps reporting readings.
+//
+// Fouling is the execution-layer half of the public fault-injection
+// API (advdiag.FaultPlan): the Fleet compiles a FaultFouledElectrode
+// fault into a Fouling and hands it to the targeted shard's panel
+// runs. It exists so the diagnosis layer has something to detect on
+// purpose: every perturbation draw is seeded from the fault seed, the
+// panel's sample seed, and the target name alone, so an injected fault
+// replays bit-for-bit — the property that makes diagnosis provable in
+// ordinary deterministic tests.
+//
+// A nil *Fouling is the healthy path: RunFouled does no work beyond a
+// nil check, which is what keeps fault injection zero-cost when
+// disabled.
+type Fouling struct {
+	// Target restricts the fault to the electrode(s) measuring one
+	// species; empty fouls every electrode of the platform.
+	Target string
+	// Severity scales the perturbation, in (0,1]: the expected
+	// sensitivity loss fraction and the relative noise amplitude.
+	Severity float64
+	// Seed is the fault's own deterministic stream; two injections with
+	// equal seeds perturb identically.
+	Seed uint64
+}
+
+// Validate rejects fouling parameters outside the model: severity must
+// be a finite value in (0,1].
+func (f *Fouling) Validate() error {
+	if math.IsNaN(f.Severity) || math.IsInf(f.Severity, 0) || f.Severity <= 0 || f.Severity > 1 {
+		return fmt.Errorf("advdiag: fouling severity %g outside (0,1]", f.Severity)
+	}
+	return nil
+}
+
+// matches reports whether the fault applies to the electrode measuring
+// target.
+func (f *Fouling) matches(target string) bool {
+	return f.Target == "" || f.Target == target
+}
+
+// perturb applies the fouling model to one measured signal: a
+// multiplicative sensitivity loss of 40–100% of Severity plus additive
+// noise proportional to the signal. The draw is seeded from the fault
+// seed, the panel's sample seed, and the target name, so the same
+// fault over the same panel perturbs identically on any goroutine,
+// worker, or shard — replayable by construction.
+func (f *Fouling) perturb(signal float64, sampleSeed uint64, target string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(target))
+	rng := mathx.NewRNG(mathx.Mix64(f.Seed^mathx.Mix64(sampleSeed)) ^ h.Sum64())
+	gain := 1 - f.Severity*(0.4+0.6*rng.Float64())
+	noise := f.Severity * 0.25 * rng.Norm() * signal
+	return signal*gain + noise
+}

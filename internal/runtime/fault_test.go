@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+
+	"advdiag/internal/core"
+)
+
+// faultExecutor builds a warmed two-target executor for the fouling
+// tests.
+func faultExecutor(t *testing.T) *Executor {
+	t.Helper()
+	best, err := core.BestWith(core.Requirements{
+		Targets: []core.TargetSpec{{Species: "glucose"}, {Species: "benzphetamine"}},
+	}, core.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := core.Synthesize(best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(inner, 21)
+	if err := e.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFoulingValidate(t *testing.T) {
+	for _, sev := range []float64{0, -0.2, 1.001, math.NaN(), math.Inf(1)} {
+		f := &Fouling{Severity: sev}
+		if err := f.Validate(); err == nil {
+			t.Fatalf("severity %g accepted", sev)
+		}
+	}
+	if err := (&Fouling{Severity: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunFouledNilIsRun: the healthy path must be byte-identical to
+// Run — fault injection is zero-cost when disabled.
+func TestRunFouledNilIsRun(t *testing.T) {
+	e := faultExecutor(t)
+	sample := map[string]float64{"glucose": 1.1, "benzphetamine": 0.25}
+	a, err := e.Run(sample, SampleSeed(21, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.RunFouled(sample, SampleSeed(21, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Readings {
+		if a.Readings[i] != b.Readings[i] {
+			t.Fatalf("reading %d: nil fault diverged from Run: %+v vs %+v", i, a.Readings[i], b.Readings[i])
+		}
+	}
+}
+
+// TestRunFouledDeterministicAndTargeted: the same fault over the same
+// panel perturbs identically; only the targeted species is touched;
+// and the fouled estimate actually drifts from the healthy one.
+func TestRunFouledDeterministicAndTargeted(t *testing.T) {
+	e := faultExecutor(t)
+	sample := map[string]float64{"glucose": 1.1, "benzphetamine": 0.25}
+	seed := SampleSeed(21, 7)
+	fault := &Fouling{Target: "glucose", Severity: 0.6, Seed: 99}
+
+	healthy, err := e.Run(sample, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := e.RunFouled(sample, seed, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := e.RunFouled(sample, seed, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTarget := func(p Panel, target string) Reading {
+		for _, r := range p.Readings {
+			if r.Target == target {
+				return r
+			}
+		}
+		t.Fatalf("no %s reading", target)
+		return Reading{}
+	}
+	if a, b := byTarget(f1, "glucose"), byTarget(f2, "glucose"); a != b {
+		t.Fatalf("fouled run not reproducible: %+v vs %+v", a, b)
+	}
+	if a, b := byTarget(f1, "benzphetamine"), byTarget(healthy, "benzphetamine"); a != b {
+		t.Fatalf("untargeted species perturbed: %+v vs %+v", a, b)
+	}
+	hg, fg := byTarget(healthy, "glucose"), byTarget(f1, "glucose")
+	if hg.EstimatedMM == fg.EstimatedMM {
+		t.Fatal("severity-0.6 fouling left the glucose estimate unchanged")
+	}
+	if fg.EstimatedMM >= hg.EstimatedMM {
+		t.Fatalf("fouling must lose sensitivity: fouled %g >= healthy %g", fg.EstimatedMM, hg.EstimatedMM)
+	}
+
+	// A different fault seed must draw a different perturbation.
+	f3, err := e.RunFouled(sample, seed, &Fouling{Target: "glucose", Severity: 0.6, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byTarget(f3, "glucose") == byTarget(f1, "glucose") {
+		t.Fatal("different fault seeds drew identical perturbations")
+	}
+}
+
+// TestFoulingEmptyTargetFoulsAll: an empty Target perturbs every
+// species on the panel.
+func TestFoulingEmptyTargetFoulsAll(t *testing.T) {
+	e := faultExecutor(t)
+	sample := map[string]float64{"glucose": 1.1, "benzphetamine": 0.25}
+	seed := SampleSeed(21, 3)
+	healthy, err := e.Run(sample, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fouled, err := e.RunFouled(sample, seed, &Fouling{Severity: 0.8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range healthy.Readings {
+		if healthy.Readings[i].EstimatedMM == fouled.Readings[i].EstimatedMM {
+			t.Fatalf("%s estimate unperturbed by all-target fouling", healthy.Readings[i].Target)
+		}
+	}
+}

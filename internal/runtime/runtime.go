@@ -134,6 +134,18 @@ func SampleSeed(base uint64, idx int) uint64 {
 // calls with the same sample and seed produce byte-identical results
 // on any goroutine.
 func (e *Executor) Run(sample map[string]float64, seed uint64) (Panel, error) {
+	return e.RunFouled(sample, seed, nil)
+}
+
+// RunFouled is Run with an optional injected electrode fault. A nil
+// fault is exactly Run — the healthy path pays one nil check. A
+// non-nil fault perturbs each matching electrode's measured signal
+// (the chronoamperometric step current, the voltammetric fitted
+// amplitude) before concentration inversion, deterministically per
+// (fault seed, sample seed, target). The Executor itself stays
+// stateless: the fault travels with the call, so one Executor can
+// serve healthy and fouled shards concurrently.
+func (e *Executor) RunFouled(sample map[string]float64, seed uint64, fault *Fouling) (Panel, error) {
 	if err := ValidateSample(sample); err != nil {
 		return Panel{}, err
 	}
@@ -190,6 +202,9 @@ func (e *Executor) Run(sample map[string]float64, seed uint64) (Panel, error) {
 			}
 			a := ep.Assays[0]
 			step := res.StepCurrent()
+			if fault != nil && fault.matches(a.Target.Name) {
+				step = phys.Current(fault.perturb(float64(step), seed, a.Target.Name))
+			}
 			est := cal.invertCA(step)
 			out.Readings = append(out.Readings, Reading{
 				Target:            a.Target.Name,
@@ -219,6 +234,9 @@ func (e *Executor) Run(sample map[string]float64, seed uint64) (Panel, error) {
 			for _, a := range ep.Assays {
 				b := a.Binding
 				amp := fit.Amplitudes[a.Target.Name]
+				if fault != nil && fault.matches(a.Target.Name) {
+					amp = fault.perturb(amp, seed, a.Target.Name)
+				}
 				height := amp * cal.unitPeak[a.Target.Name]
 				est := InvertEffective(b, amp)
 				peakMV := 0.0

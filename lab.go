@@ -144,17 +144,19 @@ func (l *Lab) Workers() int { return l.workers }
 
 // runOne executes one panel at batch/submission position idx.
 func (l *Lab) runOne(idx int, s Sample) PanelOutcome {
-	return l.runIndexed(idx, idx, s)
+	return l.runIndexed(idx, idx, s, nil)
 }
 
 // runIndexed executes one panel and updates the aggregate stats.
 // seedIdx picks the sample's deterministic noise stream (in a Fleet it
 // is the fleet-wide submission index, which is what makes results
 // independent of sharding); schedIdx is the panel's position on this
-// platform's instrument timeline.
-func (l *Lab) runIndexed(seedIdx, schedIdx int, s Sample) PanelOutcome {
+// platform's instrument timeline. fault, when non-nil, is an injected
+// electrode fouling (a Fleet shard with a FaultFouledElectrode armed);
+// direct Lab traffic always passes nil.
+func (l *Lab) runIndexed(seedIdx, schedIdx int, s Sample, fault *rt.Fouling) PanelOutcome {
 	start := time.Now()
-	res, err := l.p.exec.Run(s.Concentrations, rt.SampleSeed(l.seed, seedIdx))
+	res, err := l.p.exec.RunFouled(s.Concentrations, rt.SampleSeed(l.seed, seedIdx), fault)
 	end := time.Now()
 
 	l.statMu.Lock()

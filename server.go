@@ -59,6 +59,11 @@ type Server struct {
 	fleet *Fleet
 	mux   *http.ServeMux
 	sched atomic.Pointer[MonitorScheduler]
+	diag  *Diagnoser
+
+	// wireErrs counts payloads refused at the wire boundary (400/413):
+	// the diagnoser's evidence stream for ClassWireErrors.
+	wireErrs atomic.Uint64
 
 	// subMu serializes acceptance: a batch holds it for its whole
 	// submission loop so its samples get contiguous fleet indices.
@@ -114,6 +119,17 @@ func WithServerScheduler(ms *MonitorScheduler) ServerOption {
 // against concurrent stats requests.
 func (s *Server) AttachScheduler(ms *MonitorScheduler) { s.sched.Store(ms) }
 
+// WithServerDiagnoser substitutes the diagnoser behind GET
+// /v1/diagnosis — e.g. one with custom thresholds, or auto-quarantine
+// turned off. By default NewServer builds NewDiagnoser(fleet) with
+// defaults. The diagnoser must be built over the same fleet (or nil).
+func WithServerDiagnoser(d *Diagnoser) ServerOption {
+	return func(s *Server) { s.diag = d }
+}
+
+// Diagnoser returns the diagnoser serving GET /v1/diagnosis.
+func (s *Server) Diagnoser() *Diagnoser { return s.diag }
+
 // NewServer builds the front door over a fleet and starts the outcome
 // collectors. The fleet must be exclusively owned by the server from
 // this point on (see the type comment).
@@ -136,6 +152,9 @@ func NewServer(f *Fleet, opts ...ServerOption) (*Server, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.diag == nil {
+		s.diag = NewDiagnoser(f)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/panels", s.handlePanel)
 	s.mux.HandleFunc("POST /v1/panels/batch", s.handleBatch)
@@ -143,6 +162,7 @@ func NewServer(f *Fleet, opts ...ServerOption) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/monitors", s.handleMonitor)
 	s.mux.HandleFunc("GET /v1/monitors/{id}", s.handleMonitorGet)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/diagnosis", s.handleDiagnosis)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	go s.collect()
 	go s.collectMonitors()
@@ -155,6 +175,9 @@ func NewServer(f *Fleet, opts ...ServerOption) (*Server, error) {
 func (s *Server) collect() {
 	defer close(s.collectorDone)
 	for o := range s.fleet.Results() {
+		// The diagnoser sees every delivered outcome; ObservePanel only
+		// records (no channel sends), so it cannot stall the collector.
+		s.diag.ObservePanel(o)
 		s.waitMu.Lock()
 		ch := s.waiters[o.Index]
 		delete(s.waiters, o.Index)
@@ -315,25 +338,28 @@ const (
 )
 
 // decodeSampleBody reads and strictly decodes one wire.Sample request
-// body, writing the HTTP error itself on failure.
-func decodeSampleBody(w http.ResponseWriter, r *http.Request) (Sample, bool) {
-	body, err := readAll(w, r, maxSampleBytes)
+// body, writing the HTTP error itself (and counting the wire error)
+// on failure.
+func (s *Server) decodeSampleBody(w http.ResponseWriter, r *http.Request) (Sample, bool) {
+	body, err := s.readAll(w, r, maxSampleBytes)
 	if err != nil {
 		return Sample{}, false
 	}
 	ws, err := wire.UnmarshalSample(body)
 	if err != nil {
+		s.wireErrs.Add(1)
 		httpError(w, http.StatusBadRequest, err)
 		return Sample{}, false
 	}
 	return sampleFromWire(ws), true
 }
 
-// readAll slurps a bounded request body, writing the HTTP error
-// itself on failure.
-func readAll(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+// readAll slurps a bounded request body, writing the HTTP error itself
+// (and counting the wire error) on failure.
+func (s *Server) readAll(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
+		s.wireErrs.Add(1)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			httpError(w, http.StatusRequestEntityTooLarge, err)
@@ -350,7 +376,7 @@ func readAll(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error
 // error inside the outcome (the request was served — the sample
 // failed).
 func (s *Server) handlePanel(w http.ResponseWriter, r *http.Request) {
-	sm, ok := decodeSampleBody(w, r)
+	sm, ok := s.decodeSampleBody(w, r)
 	if !ok {
 		return
 	}
@@ -375,12 +401,13 @@ func (s *Server) handlePanel(w http.ResponseWriter, r *http.Request) {
 // samples shed by backpressure carry the error while the rest of the
 // batch proceeds; if every sample was shed the response is 429.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	body, err := readAll(w, r, maxBatchBytes)
+	body, err := s.readAll(w, r, maxBatchBytes)
 	if err != nil {
 		return
 	}
 	var raw []json.RawMessage
 	if err := json.Unmarshal(body, &raw); err != nil {
+		s.wireErrs.Add(1)
 		httpError(w, http.StatusBadRequest, fmt.Errorf("wire: batch: %w", err))
 		return
 	}
@@ -388,6 +415,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, msg := range raw {
 		ws, err := wire.UnmarshalSample(msg)
 		if err != nil {
+			s.wireErrs.Add(1)
 			httpError(w, http.StatusBadRequest, fmt.Errorf("sample %d: %w", i, err))
 			return
 		}
@@ -475,6 +503,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		ws, err := wire.UnmarshalSample(line)
 		if err != nil {
+			s.wireErrs.Add(1)
 			results <- errorOutcome(seq, "", err)
 			seq++
 			continue
@@ -505,12 +534,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 // outcome out, synchronously. Saturation is 429; a measurement failure
 // is still HTTP 200 with the error inside the outcome.
 func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
-	body, err := readAll(w, r, maxSampleBytes)
+	body, err := s.readAll(w, r, maxSampleBytes)
 	if err != nil {
 		return
 	}
 	wreq, err := wire.UnmarshalMonitorRequest(body)
 	if err != nil {
+		s.wireErrs.Add(1)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -559,16 +589,25 @@ type ServerStats struct {
 	// Scheduler is the attached MonitorScheduler's snapshot; nil (and
 	// absent from the JSON) when the server runs without one.
 	Scheduler *MonitorSchedulerStats `json:"scheduler,omitempty"`
+	// WireErrors counts payloads this server refused at the wire
+	// boundary (malformed JSON, unknown fields, schema skew, oversized
+	// bodies) — the diagnoser's ClassWireErrors signal.
+	WireErrors uint64 `json:"wire_errors,omitempty"`
+	// Draining reports the server refusing intake for shutdown.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // Stats returns the server's aggregate snapshot — the same value GET
 // /v1/stats serves.
 func (s *Server) Stats() ServerStats {
-	st := ServerStats{FleetStats: s.fleet.Stats()}
+	st := ServerStats{FleetStats: s.fleet.Stats(), WireErrors: s.wireErrs.Load()}
 	if ms := s.sched.Load(); ms != nil {
 		snap := ms.Stats()
 		st.Scheduler = &snap
 	}
+	s.subMu.Lock()
+	st.Draining = s.draining
+	s.subMu.Unlock()
 	return st
 }
 
@@ -578,6 +617,18 @@ func (s *Server) Stats() ServerStats {
 // depths, Lab stats, and the attached scheduler's snapshot if any.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.Stats())
+}
+
+// handleDiagnosis serves GET /v1/diagnosis: every request feeds the
+// current stats snapshot to the diagnoser and returns its verdict —
+// polling the endpoint IS the observation cadence, so a dashboard
+// hitting it periodically is all the wiring automated root-cause
+// analysis needs. When auto-quarantine is on (the default), a request
+// that convicts a shard also quarantines it, and the returned report
+// says so.
+func (s *Server) handleDiagnosis(w http.ResponseWriter, _ *http.Request) {
+	s.diag.Observe(s.Stats())
+	writeJSON(w, toWireDiagnosis(s.diag.Diagnose()))
 }
 
 // handleHealth serves GET /healthz: 200 while accepting work, 503 once

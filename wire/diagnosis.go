@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Diagnosis classes: the failure modes the fleet diagnoser can name.
+// Each class is a closed vocabulary item — decoders reject anything
+// else, so a report that decodes is a report the dashboard can chart.
+const (
+	// ClassSensorFouling is an analog-chain fault: one shard's estimates
+	// for a target drifted away from its siblings' with elevated noise —
+	// the signature of a fouled electrode film.
+	ClassSensorFouling = "sensor_fouling"
+	// ClassShardStall is a liveness fault: a shard holds pending work
+	// across consecutive observations without completing any of it.
+	ClassShardStall = "shard_stall"
+	// ClassQueueSaturation is a capacity fault: the fleet is shedding
+	// load (TrySubmit rejections) while its shards stay live.
+	ClassQueueSaturation = "queue_saturation"
+	// ClassWireErrors is a boundary fault: clients are sending payloads
+	// the strict wire layer refuses.
+	ClassWireErrors = "wire_errors"
+	// ClassDrain reports the server refusing intake because it is
+	// draining — expected during shutdown, anomalous outside it.
+	ClassDrain = "drain"
+)
+
+// Diagnosis statuses.
+const (
+	// StatusHealthy means no finding survived the diagnoser's
+	// thresholds.
+	StatusHealthy = "healthy"
+	// StatusDegraded means at least one finding did.
+	StatusDegraded = "degraded"
+)
+
+// diagnosisClasses is the closed class vocabulary Validate enforces.
+var diagnosisClasses = map[string]bool{
+	ClassSensorFouling:   true,
+	ClassShardStall:      true,
+	ClassQueueSaturation: true,
+	ClassWireErrors:      true,
+	ClassDrain:           true,
+}
+
+// DiagnosisFinding is one classified anomaly in a fleet diagnosis.
+type DiagnosisFinding struct {
+	// Class is the failure mode (one of the Class… constants).
+	Class string `json:"class"`
+	// Shard is the implicated shard index, or -1 for fleet-wide
+	// findings (saturation, wire errors, drain).
+	Shard int `json:"shard"`
+	// Target is the implicated species for sensor-level findings.
+	Target string `json:"target,omitempty"`
+	// Severity grades the finding in [0,1] — 1 is the worst the
+	// diagnoser can express for the class.
+	Severity float64 `json:"severity"`
+	// Quarantined reports that the diagnoser (or an operator) has
+	// already removed the shard from routing over this finding.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Evidence is the human-readable trail: the numbers that crossed a
+	// threshold, for the operator reading the report.
+	Evidence string `json:"evidence,omitempty"`
+}
+
+// Diagnosis is the response body of GET /v1/diagnosis: the diagnoser's
+// current explanation of the fleet's health.
+type Diagnosis struct {
+	// Schema is the wire schema version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Status is healthy or degraded.
+	Status string `json:"status"`
+	// Snapshots counts the observations the verdict rests on; a young
+	// diagnoser (fewer than two) cannot see rate anomalies yet.
+	Snapshots int `json:"snapshots"`
+	// QuarantinedShards lists every shard currently out of routing.
+	QuarantinedShards []int `json:"quarantined_shards,omitempty"`
+	// Findings are the classified anomalies, worst first.
+	Findings []DiagnosisFinding `json:"findings,omitempty"`
+}
+
+// Validate checks the finding against the closed vocabulary and value
+// ranges.
+func (f *DiagnosisFinding) Validate() error {
+	if !diagnosisClasses[f.Class] {
+		return fmt.Errorf("wire: unknown diagnosis class %q", f.Class)
+	}
+	if f.Shard < -1 {
+		return fmt.Errorf("wire: diagnosis finding shard %d below -1", f.Shard)
+	}
+	if !isFinite(f.Severity) || f.Severity < 0 || f.Severity > 1 {
+		return fmt.Errorf("wire: diagnosis severity %g outside [0,1]", f.Severity)
+	}
+	return nil
+}
+
+// Validate checks the diagnosis schema, status, and every finding.
+func (d *Diagnosis) Validate() error {
+	if d.Schema != SchemaVersion {
+		return fmt.Errorf("wire: diagnosis schema %d, this decoder speaks %d", d.Schema, SchemaVersion)
+	}
+	if d.Status != StatusHealthy && d.Status != StatusDegraded {
+		return fmt.Errorf("wire: unknown diagnosis status %q", d.Status)
+	}
+	if d.Snapshots < 0 {
+		return fmt.Errorf("wire: diagnosis snapshot count %d is negative", d.Snapshots)
+	}
+	for i, q := range d.QuarantinedShards {
+		if q < 0 {
+			return fmt.Errorf("wire: quarantined shard entry %d is negative (%d)", i, q)
+		}
+	}
+	for i := range d.Findings {
+		if err := d.Findings[i].Validate(); err != nil {
+			return fmt.Errorf("wire: finding %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MarshalDiagnosis encodes one diagnosis, stamping the schema version
+// when the zero value was left in place and validating first.
+func MarshalDiagnosis(d Diagnosis) ([]byte, error) {
+	if d.Schema == 0 {
+		d.Schema = SchemaVersion
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(d)
+}
+
+// UnmarshalDiagnosis strictly decodes one diagnosis: unknown fields, a
+// mismatched schema version, classes or statuses outside the closed
+// vocabulary, and out-of-range severities are all errors.
+func UnmarshalDiagnosis(data []byte) (Diagnosis, error) {
+	var d Diagnosis
+	if err := strictUnmarshal(data, &d); err != nil {
+		return Diagnosis{}, fmt.Errorf("wire: diagnosis: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return Diagnosis{}, err
+	}
+	return d, nil
+}
