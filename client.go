@@ -83,6 +83,14 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	return c.hc.Do(req)
 }
 
+func (c *Client) del(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.hc.Do(req)
+}
+
 // Health checks GET /healthz: nil while the server accepts work.
 func (c *Client) Health(ctx context.Context) error {
 	resp, err := c.get(ctx, "/healthz")
@@ -144,6 +152,51 @@ func (c *Client) Diagnosis(ctx context.Context) (Diagnosis, error) {
 		return Diagnosis{}, fmt.Errorf("advdiag: diagnosis: %w", err)
 	}
 	return diagnosisFromWire(wd), nil
+}
+
+// AddShard grows the served fleet by one shard measuring the given
+// targets, at run time and under live load (POST /v1/shards). The
+// server designs the platform with the fleet's own seed, so on an
+// identical-target fleet the new shard produces bit-identical results
+// to its siblings. Returns the new shard's index.
+func (c *Client) AddShard(ctx context.Context, targets []string) (int, error) {
+	data, err := wire.MarshalShardRequest(wire.ShardRequest{Targets: targets})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.post(ctx, "/v1/shards", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, remoteError(resp.StatusCode, body)
+	}
+	wr, err := wire.UnmarshalShardResponse(body)
+	if err != nil {
+		return 0, err
+	}
+	return wr.Shard, nil
+}
+
+// RemoveShard retires one shard of the served fleet at run time
+// (DELETE /v1/shards/{id}). Success means the shard left routing and
+// its backlog was rerouted to siblings with zero panels lost.
+func (c *Client) RemoveShard(ctx context.Context, shard int) error {
+	resp, err := c.del(ctx, fmt.Sprintf("/v1/shards/%d", shard))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return remoteError(resp.StatusCode, body)
+	}
+	return nil
 }
 
 // RunPanel submits one sample and waits for its outcome. A saturated

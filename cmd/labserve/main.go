@@ -28,6 +28,15 @@
 //	                                     # the batch to fail over with
 //	                                     # byte-identical fingerprints,
 //	                                     # and healthz to stay 200
+//	labserve -elastic-smoke              # CI: flaky shard under live
+//	                                     # load — health probes open its
+//	                                     # breaker, a healthy shard is
+//	                                     # removed and a fresh one added
+//	                                     # over HTTP mid-batch, faults
+//	                                     # clear and probes restore the
+//	                                     # shard automatically; zero lost
+//	                                     # panels, every fingerprint
+//	                                     # replay-verified
 package main
 
 import (
@@ -76,6 +85,7 @@ func main() {
 		msmoke   = flag.Bool("monitor-smoke", false, "CI smoke: drive a monitoring cohort through an HTTP-backed scheduler, diff the cohort fingerprint against an in-process fleet")
 		cohort   = flag.Int("campaigns", 24, "monitor-smoke cohort size")
 		dsmoke   = flag.Bool("diag-smoke", false, "CI smoke: kill a shard under live load, require /v1/diagnosis to convict and quarantine it, the batch to fail over losslessly, and healthz to stay 200")
+		esmoke   = flag.Bool("elastic-smoke", false, "CI smoke: flaky shard under live load, breaker opens, topology changes over HTTP mid-batch, faults clear and probes restore the shard; zero lost panels, every fingerprint replay-verified")
 	)
 	flag.Parse()
 
@@ -97,6 +107,13 @@ func main() {
 	if *dsmoke {
 		if err := runDiagSmoke(os.Stdout, tl, *patients, *shards, *workers, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "labserve diag-smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *esmoke {
+		if err := runElasticSmoke(os.Stdout, tl, *patients, *shards, *workers, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "labserve elastic-smoke:", err)
 			os.Exit(1)
 		}
 		return
@@ -397,6 +414,189 @@ poll:
 	}
 	fmt.Fprintf(w, "labserve diag-smoke: shard 0 killed, convicted (%s, severity %.2f), quarantined; %d/%d fingerprints byte-identical after failover; healthz stayed 200\n",
 		conviction.Class, conviction.Severity, len(samples), len(samples))
+	return nil
+}
+
+// runElasticSmoke is the self-healing CI end-to-end: a real loopback
+// server fronts a three-shard fleet, a patient batch goes in through
+// the client, and while it is in flight
+//
+//  1. shard 1 turns flaky (seeded intermittent failure) — health
+//     probes open its breaker and quarantine it, no operator call;
+//  2. a healthy shard is removed and a fresh one added over HTTP
+//     (DELETE/POST /v1/shards), live;
+//  3. the fault clears and probe sweeps restore shard 1
+//     automatically.
+//
+// The smoke then requires zero lost panels, a second batch to complete
+// on the new topology, every fingerprint from both batches to match a
+// ReplayPanel recomputation (the replay-checkable determinism contract
+// — results are a function of submission index, never topology), the
+// diagnosis history to narrate the whole lifecycle, and healthz to
+// stay 200 throughout.
+func runElasticSmoke(w *os.File, targets []string, patients, shards, workers int, seed uint64) error {
+	if shards < 3 {
+		return fmt.Errorf("elastic-smoke needs at least 3 shards (one flaky, one removed, one surviving), got %d", shards)
+	}
+	_, fleet, srv, err := buildServer(targets, shards, workers, 2*patients, seed, "leastloaded")
+	if err != nil {
+		return err
+	}
+	defer srv.Close() //nolint:errcheck // second close after success path is the fleet sentinel
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	go httpSrv.Serve(ln) //nolint:errcheck // torn down below
+	defer httpSrv.Close()
+
+	client := advdiag.NewClient("http://" + ln.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := client.Health(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	// Shard 1 turns flaky: 4 of every 5 slots stall the job.
+	if err := fleet.InjectFault(advdiag.Fault{Kind: advdiag.FaultFlakyShard, Shard: 1, Severity: 0.8, Period: 5, Seed: seed}); err != nil {
+		return fmt.Errorf("inject: %w", err)
+	}
+
+	samples := smokeCohort(targets, patients)
+	type batchResult struct {
+		outs []advdiag.PanelOutcome
+		err  error
+	}
+	done := make(chan batchResult, 1)
+	go func() {
+		outs, err := client.RunPanels(ctx, samples)
+		done <- batchResult{outs, err}
+	}()
+
+	// Probe sweeps stand in for StartHealthProbes so the smoke steps
+	// deterministically; each sweep advances every breaker once.
+	quarantined := func() bool {
+		for _, q := range fleet.Quarantined() {
+			if q == 1 {
+				return true
+			}
+		}
+		return false
+	}
+	for !quarantined() {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("probes never opened the flaky shard's breaker: %w", ctx.Err())
+		default:
+		}
+		fleet.ProbeShards()
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Live topology change over HTTP: retire a healthy shard, grow a
+	// fresh one. The server designs the new platform with the fleet's
+	// seed, so it is bit-identical to its siblings.
+	if err := client.RemoveShard(ctx, 2); err != nil {
+		return fmt.Errorf("remove shard 2: %w", err)
+	}
+	added, err := client.AddShard(ctx, targets)
+	if err != nil {
+		return fmt.Errorf("add shard: %w", err)
+	}
+	if added != shards {
+		return fmt.Errorf("new shard took index %d, want %d (indices are never reused)", added, shards)
+	}
+
+	// The fault clears; probe sweeps must restore shard 1 on their own.
+	fleet.ClearFaults()
+	for quarantined() {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("probes never restored the healed shard: %w", ctx.Err())
+		default:
+		}
+		fleet.ProbeShards()
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	res := <-done
+	if res.err != nil {
+		return fmt.Errorf("batch across the lifecycle: %w", res.err)
+	}
+	replayCheck := func(outs []advdiag.PanelOutcome, samples []advdiag.Sample) error {
+		for i := range outs {
+			if outs[i].Err != nil {
+				return fmt.Errorf("sample %d (%s) lost: %w", i, samples[i].ID, outs[i].Err)
+			}
+			// Replay on shard 0 — NOT necessarily the shard that ran it —
+			// and on the runtime-added shard: topology independence.
+			for _, replayOn := range []int{0, added} {
+				ref, err := fleet.ReplayPanel(replayOn, outs[i].Index, samples[i])
+				if err != nil {
+					return fmt.Errorf("replay %s on shard %d: %w", samples[i].ID, replayOn, err)
+				}
+				if rf, lf := outs[i].Result.Fingerprint(), ref.Fingerprint(); rf != lf {
+					return fmt.Errorf("sample %s ran on shard %d with fingerprint %016x, replay on shard %d gives %016x", samples[i].ID, outs[i].Shard, rf, replayOn, lf)
+				}
+			}
+		}
+		return nil
+	}
+	if err := replayCheck(res.outs, samples); err != nil {
+		return err
+	}
+
+	// A second batch proves the reshaped fleet serves: restored shard 1
+	// and new shard 3 are routable, removed shard 2 is not.
+	again := smokeCohort(targets, patients)
+	outs2, err := client.RunPanels(ctx, again)
+	if err != nil {
+		return fmt.Errorf("batch on the new topology: %w", err)
+	}
+	if err := replayCheck(outs2, again); err != nil {
+		return err
+	}
+	for i := range outs2 {
+		if outs2[i].Shard == 2 {
+			return fmt.Errorf("sample %d (%s) reportedly ran on removed shard 2", i, again[i].ID)
+		}
+	}
+
+	// The diagnosis history must narrate the lifecycle.
+	d, err := client.Diagnosis(ctx)
+	if err != nil {
+		return fmt.Errorf("diagnosis: %w", err)
+	}
+	kinds := map[string]bool{}
+	for _, e := range d.History {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{advdiag.EventQuarantined, advdiag.EventShardRemoved, advdiag.EventShardAdded, advdiag.EventRestored} {
+		if !kinds[want] {
+			return fmt.Errorf("diagnosis history is missing a %q event: %v", want, kinds)
+		}
+	}
+
+	if err := client.Health(ctx); err != nil {
+		return fmt.Errorf("healthz after the lifecycle: %w", err)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if len(st.Shards) != shards+1 {
+		return fmt.Errorf("stats report %d shards, want %d (removed shards keep their slot)", len(st.Shards), shards+1)
+	}
+	if !st.Shards[2].Removed {
+		return fmt.Errorf("stats do not flag shard 2 as removed: %+v", st.Shards[2])
+	}
+	if st.Shards[1].Quarantined || st.Shards[1].Restores == 0 {
+		return fmt.Errorf("stats do not show shard 1 restored: %+v", st.Shards[1])
+	}
+	fmt.Fprintf(w, "labserve elastic-smoke: breaker opened on flaky shard 1, shard 2 removed and shard %d added live, shard 1 auto-restored after %d restores; %d panels, zero lost, all replay-verified\n",
+		added, st.Shards[1].Restores, len(samples)+len(again))
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"advdiag/wire"
 )
@@ -56,6 +57,10 @@ type Diagnosis struct {
 	QuarantinedShards []int
 	// Findings are the classified anomalies, worst first.
 	Findings []Finding
+	// History is the fleet's lifecycle timeline, oldest first: shards
+	// added and removed, quarantines, probe transitions, automatic
+	// restores (see Fleet.Events). Empty for a fleetless diagnoser.
+	History []FleetEvent
 }
 
 // String renders the diagnosis as a small operator report.
@@ -80,6 +85,10 @@ func (d Diagnosis) String() string {
 		}
 		fmt.Fprintf(&b, "  %-16s %s severity %.2f%s: %s\n", f.Class, loc, f.Severity, mark, f.Evidence)
 	}
+	if n := len(d.History); n > 0 {
+		last := d.History[n-1]
+		fmt.Fprintf(&b, "  history: %d events (last: %s shard %d — %s)\n", n, last.Kind, last.Shard, last.Detail)
+	}
 	return b.String()
 }
 
@@ -91,6 +100,7 @@ type diagShardObs struct {
 	pending     int
 	queueCap    int
 	quarantined bool
+	removed     bool
 }
 
 // diagSnapshot is one reduced stats observation. The diagnoser reasons
@@ -184,6 +194,16 @@ type Diagnoser struct {
 	mu        sync.Mutex
 	snaps     []diagSnapshot
 	estimates map[estKey]*estRing
+	// recalled marks (shard, target) fouling convictions already fed to
+	// the recalibration trigger, so one conviction episode forces one
+	// recalibration, not one per Diagnose call. Cleared when the shard
+	// is restored.
+	recalled map[estKey]bool
+	// recalTrigger, when set, is called (outside d.mu) with the target
+	// of each fresh sensor-fouling conviction — the hook a Server wires
+	// to MonitorScheduler.ForceRecal so a fouling verdict recalibrates
+	// the affected campaigns instead of only rerouting.
+	recalTrigger func(target string) int
 }
 
 // DiagOption customizes a Diagnoser.
@@ -235,6 +255,7 @@ func NewDiagnoser(f *Fleet, opts ...DiagOption) *Diagnoser {
 		stallConfirmations: 2,
 		autoQuarantine:     true,
 		estimates:          map[estKey]*estRing{},
+		recalled:           map[estKey]bool{},
 	}
 	for _, opt := range opts {
 		opt(d)
@@ -260,6 +281,19 @@ func (d *Diagnoser) Bind(f *Fleet) {
 	d.fleet = f
 }
 
+// SetRecalTrigger installs the forced-recalibration hook: fn is called
+// with the implicated target once per fresh sensor-fouling conviction
+// (per shard and target — re-diagnosing the same standing conviction
+// does not re-fire, and a restored shard's convictions are forgotten).
+// The Server wires this to an attached MonitorScheduler's ForceRecal;
+// fn runs outside the diagnoser's lock and returns how many campaigns
+// it flagged.
+func (d *Diagnoser) SetRecalTrigger(fn func(target string) int) {
+	d.mu.Lock()
+	d.recalTrigger = fn
+	d.mu.Unlock()
+}
+
 // Observe ingests one stats snapshot. Call it at whatever cadence the
 // deployment polls stats; the served /v1/diagnosis endpoint calls it
 // on every GET. Only counter deltas between observations matter, so
@@ -276,9 +310,33 @@ func (d *Diagnoser) Observe(st ServerStats) {
 			pending:     sh.QueueLen + sh.InFlight,
 			queueCap:    sh.QueueCap,
 			quarantined: sh.Quarantined,
+			removed:     sh.Removed,
 		})
 	}
 	d.mu.Lock()
+	if len(d.snaps) > 0 {
+		prev := d.snaps[len(d.snaps)-1]
+		for i := range snap.shards {
+			if i >= len(prev.shards) || !prev.shards[i].quarantined || snap.shards[i].quarantined {
+				continue
+			}
+			// The shard came back from quarantine (probes restored it, or
+			// an operator did). Its estimate history describes the sick
+			// instrument, not the healed one — without this reset the old
+			// fouled recovery ratios would re-convict a healthy shard on
+			// the next Diagnose.
+			for k := range d.estimates {
+				if k.shard == i {
+					delete(d.estimates, k)
+				}
+			}
+			for k := range d.recalled {
+				if k.shard == i {
+					delete(d.recalled, k)
+				}
+			}
+		}
+	}
 	d.snaps = append(d.snaps, snap)
 	if len(d.snaps) > d.window {
 		d.snaps = d.snaps[len(d.snaps)-d.window:]
@@ -354,9 +412,34 @@ func (d *Diagnoser) Diagnose() Diagnosis {
 		}
 	}
 
+	// Feed fresh fouling convictions to the recalibration trigger (also
+	// outside d.mu — the trigger takes the scheduler's lock).
+	d.mu.Lock()
+	trigger := d.recalTrigger
+	var recalTargets []string
+	if trigger != nil {
+		for _, f := range findings {
+			if f.Class != ClassSensorFouling || f.Shard < 0 || f.Target == "" {
+				continue
+			}
+			k := estKey{shard: f.Shard, target: f.Target}
+			if !d.recalled[k] {
+				d.recalled[k] = true
+				recalTargets = append(recalTargets, f.Target)
+			}
+		}
+	}
+	d.mu.Unlock()
+	for _, t := range recalTargets {
+		trigger(t)
+	}
+
 	out := Diagnosis{Status: StatusHealthy, Snapshots: snapshots, Findings: findings}
 	if len(findings) > 0 {
 		out.Status = StatusDegraded
+	}
+	if d.fleet != nil {
+		out.History = d.fleet.Events()
 	}
 	if d.fleet != nil {
 		out.QuarantinedShards = d.fleet.Quarantined()
@@ -459,7 +542,7 @@ func (d *Diagnoser) rateFindingsLocked() []Finding {
 	// frozen across enough consecutive observation intervals.
 	stalled := false
 	for j := range last.shards {
-		if last.shards[j].quarantined {
+		if last.shards[j].quarantined || last.shards[j].removed {
 			continue
 		}
 		confirm := 0
@@ -557,6 +640,14 @@ func toWireDiagnosis(d Diagnosis) wire.Diagnosis {
 			Evidence:    f.Evidence,
 		})
 	}
+	for _, e := range d.History {
+		out.History = append(out.History, wire.DiagnosisEvent{
+			At:     e.At.UTC().Format(time.RFC3339Nano),
+			Kind:   e.Kind,
+			Shard:  e.Shard,
+			Detail: e.Detail,
+		})
+	}
 	return out
 }
 
@@ -575,6 +666,21 @@ func diagnosisFromWire(w wire.Diagnosis) Diagnosis {
 			Severity:    f.Severity,
 			Quarantined: f.Quarantined,
 			Evidence:    f.Evidence,
+		})
+	}
+	for _, e := range w.History {
+		at, err := time.Parse(time.RFC3339Nano, e.At)
+		if err != nil {
+			// Validate already vetted the timestamp; an unparsable one can
+			// only reach here through a hand-built wire value — keep the
+			// event with a zero time rather than dropping history.
+			at = time.Time{}
+		}
+		out.History = append(out.History, FleetEvent{
+			At:     at,
+			Kind:   e.Kind,
+			Shard:  e.Shard,
+			Detail: e.Detail,
 		})
 	}
 	return out

@@ -576,3 +576,118 @@ func TestDiagnoserEdgeCases(t *testing.T) {
 		t.Fatalf("nil-fleet drain classification: %+v", got2)
 	}
 }
+
+// TestDiagnosisRestoreResetsEstimates closes the convicted-then-
+// cleared loop at the diagnoser level: a fouling conviction
+// quarantines a shard; after the fault is cleared, health probes
+// restore it with no manual un-quarantine; and because restore wipes
+// the shard's estimate history, fresh healthy traffic must NOT be
+// re-convicted off the stale fouled recovery ratios.
+func TestDiagnosisRestoreResetsEstimates(t *testing.T) {
+	const sick = 1
+	p, err := servePlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := advdiag.NewFleet([]*advdiag.Platform{p, p},
+		advdiag.WithFleetWorkers(2),
+		advdiag.WithFleetQueueDepth(64),
+		advdiag.WithFleetProbePolicy(2, 2),
+		advdiag.WithFleetFaultPlan(advdiag.FaultPlan{Faults: []advdiag.Fault{
+			{Kind: advdiag.FaultFouledElectrode, Shard: sick, Target: "glucose", Severity: 0.5, Seed: 7},
+		}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An attached scheduler makes the conviction also flag a forced
+	// recalibration — the restore below must clear that once-only
+	// latch along with the estimates.
+	ms, err := advdiag.NewMonitorScheduler(fleet, advdiag.WithSchedulerSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Add(advdiag.MonitorCampaign{
+		ID: "reset-000", Target: "glucose", SampleMM: 2,
+		DurationHours: 60, IntervalHours: 20, TraceSeconds: 6, BaselineSeconds: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := advdiag.NewServer(fleet,
+		advdiag.WithServerDiagnoser(advdiag.NewDiagnoser(fleet)),
+		advdiag.WithServerScheduler(ms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Close(); err != nil && !errors.Is(err, advdiag.ErrFleetClosed) {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	client := advdiag.NewClient(ts.URL, advdiag.WithHTTPClient(ts.Client()))
+	ctx := context.Background()
+
+	if _, err := client.RunPanels(ctx, glucoseCohort(64)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := client.Diagnosis(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := findByClass(d, advdiag.ClassSensorFouling); !ok || f.Shard != sick || !f.Quarantined {
+		t.Fatalf("setup never convicted the fouled shard: %+v", d.Findings)
+	}
+	if got := ms.Stats().ForcedRecals; got != 1 {
+		t.Fatalf("ForcedRecals after conviction = %d, want 1", got)
+	}
+	// One more poll while the shard is still out: the diagnoser must
+	// snapshot the quarantined state, or the restore transition below
+	// is invisible to it and the estimate wipe never fires.
+	if _, err := client.Diagnosis(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heal the electrode; probes must bring the shard back on their own.
+	fleet.ClearFaults()
+	probeUntil(t, fleet, "restore of the healed shard", func() bool { return !isQuarantined(fleet, sick) })
+
+	// Fresh healthy QC traffic over both shards. Without the estimate
+	// reset on restore, the sick shard's old fouled ratios would
+	// re-convict it here.
+	outs, err := client.RunPanels(ctx, glucoseCohort(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backOn := false
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("post-restore sample %d: %v", i, o.Err)
+		}
+		if o.Shard == sick {
+			backOn = true
+		}
+	}
+	if !backOn {
+		t.Fatal("restored shard served none of the healthy cohort")
+	}
+	for i := 0; i < 3; i++ {
+		if d, err = client.Diagnosis(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f, ok := findByClass(d, advdiag.ClassSensorFouling); ok {
+		t.Fatalf("healed shard re-convicted from stale estimates: %+v", f)
+	}
+	if len(d.QuarantinedShards) != 0 {
+		t.Fatalf("quarantine set %v after restore", d.QuarantinedShards)
+	}
+	// The diagnosis history narrates the whole episode over the wire.
+	kinds := map[string]int{}
+	for _, e := range d.History {
+		kinds[e.Kind]++
+	}
+	if kinds[advdiag.EventQuarantined] == 0 || kinds[advdiag.EventRestored] == 0 {
+		t.Fatalf("history missing the quarantine/restore episode: %v", kinds)
+	}
+}

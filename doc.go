@@ -181,6 +181,56 @@
 // classification under -race; cmd/labserve -diag-smoke proves the
 // whole loop over a real TCP connection in CI.
 //
+// # Self-healing lifecycle
+//
+// The Fleet's topology is elastic at run time: AddShard grows it under
+// live load (the new shard takes the next index and joins the routing
+// view immediately), RemoveShard retires a shard (its backlog drains
+// to siblings, its index is never reused, and it stays in FleetStats
+// marked Removed). The determinism contract that survives all of this
+// is replay-checkability rather than topology-independence of the
+// whole batch: every sample's noise seed derives from (fleet seed,
+// submission index) alone — internal/runtime.SampleSeed — so
+// Fleet.ReplayPanel recomputes any result bit-identically on any
+// shard of any topology, past or present. The HashRouter keeps its
+// side of the bargain by naming virtual nodes after real shard
+// indices: adding or removing a shard remaps only the keys that
+// gained or lost their shard.
+//
+// Health probes close the loop that quarantine opens. Each sweep
+// (ProbeShards, or StartHealthProbes on a ticker) runs a cheap seeded
+// probe panel per shard through the fault harness and compares its
+// fingerprint against the shard's known-good baseline, driving a
+// per-shard circuit breaker:
+//
+//	         consecutive probe failures ≥ failThreshold
+//	┌────────┐            (breaker opens)             ┌────────────┐
+//	│ CLOSED │ ─────────────────────────────────────▸ │    OPEN    │
+//	│serving │                                        │quarantined │
+//	└────────┘                                        └────────────┘
+//	     ▲                                              │        ▲
+//	     │ known-good probes                 known-good │        │ probe
+//	     │ ≥ restoreThreshold                     probe │        │ fails
+//	     │ (automatic un-quarantine)                    ▼        │
+//	     │                                          ┌──────────────┐
+//	     └───────────────────────────────────────── │  HALF-OPEN   │
+//	                                                │ probes only  │
+//	                                                └──────────────┘
+//
+// A convicted-then-cleared shard therefore restores itself: once
+// ClearFaults heals the hardware, restoreThreshold consecutive
+// known-good probes close the breaker with no manual un-quarantine
+// call. (A flaky fault deliberately persists through quarantine so
+// the breaker keeps seeing it; dead, fouled and slow faults are
+// lifted at quarantine so stragglers complete healthy.) Every
+// transition lands in a timestamped event ring (Fleet.Events) served
+// with GET /v1/diagnosis; POST /v1/shards and DELETE /v1/shards/{id}
+// expose the topology over HTTP; and a fouling conviction also flags
+// the attached MonitorScheduler's campaigns for forced recalibration
+// (ForceRecal). cmd/labserve -elastic-smoke proves the whole
+// lifecycle — breaker trip, live remove+add, automatic restore,
+// replay verification — over a real TCP connection in CI.
+//
 // # Population-scale monitoring
 //
 // A MonitorRequest is one continuous chronoamperometric acquisition on

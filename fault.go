@@ -39,6 +39,15 @@ const (
 	// runs — a degraded instrument that still answers. Results are
 	// unchanged (the delay never touches the measurement), only timing.
 	FaultSlowShard
+	// FaultFlakyShard makes the shard intermittently fail: work arriving
+	// during a down slot of a seeded duty cycle stalls (held, not lost —
+	// exactly like a dead shard's backlog) while up-slot work runs
+	// normally. Severity is the down fraction of each Period-slot cycle
+	// and Seed phases the cycle, so the failure pattern replays bit for
+	// bit. This is the fault class circuit breakers exist for: health
+	// probes draw from the same slot sequence, so a flaky shard fails
+	// probes intermittently too, exercising the open/half-open dance.
+	FaultFlakyShard
 )
 
 // String names the kind for reports.
@@ -50,6 +59,8 @@ func (k FaultKind) String() string {
 		return "dead_shard"
 	case FaultSlowShard:
 		return "slow_shard"
+	case FaultFlakyShard:
+		return "flaky_shard"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -67,10 +78,16 @@ type Fault struct {
 	// measuring one species; empty fouls every electrode on the shard.
 	Target string
 	// Severity scales a FaultFouledElectrode in (0,1]: the expected
-	// sensitivity-loss fraction and the relative noise amplitude.
+	// sensitivity-loss fraction and the relative noise amplitude. For a
+	// FaultFlakyShard it is the duty cycle's down fraction in (0,1).
 	Severity float64
 	// Delay is a FaultSlowShard's per-job stall.
 	Delay time.Duration
+	// Period is a FaultFlakyShard's duty-cycle length in slots (jobs +
+	// probes); each cycle is round(Severity×Period) down slots followed
+	// by up slots, phase-shifted by Seed. Minimum 2, so every cycle has
+	// at least one slot of each kind.
+	Period int
 	// Seed is the fault's own deterministic stream; two injections with
 	// equal seeds perturb identically.
 	Seed uint64
@@ -91,6 +108,13 @@ func (ft Fault) Validate(shards int) error {
 	case FaultSlowShard:
 		if ft.Delay <= 0 {
 			return fmt.Errorf("advdiag: slow-shard fault needs a positive delay, got %v", ft.Delay)
+		}
+	case FaultFlakyShard:
+		if math.IsNaN(ft.Severity) || ft.Severity <= 0 || ft.Severity >= 1 {
+			return fmt.Errorf("advdiag: flaky duty cycle %g outside (0,1)", ft.Severity)
+		}
+		if ft.Period < 2 {
+			return fmt.Errorf("advdiag: flaky period %d below the 2-slot minimum", ft.Period)
 		}
 	default:
 		return fmt.Errorf("advdiag: unknown fault kind %d", int(ft.Kind))

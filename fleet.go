@@ -1,13 +1,16 @@
 package advdiag
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"advdiag/internal/mathx"
 	rt "advdiag/internal/runtime"
 )
 
@@ -42,6 +45,14 @@ var ErrFleetClosed = errors.New("advdiag: fleet is closed")
 // the way Lab.RunPanels does; compare whole submission histories (or
 // use a fresh Fleet per comparison).
 //
+// The contract survives topology changes: AddShard and RemoveShard
+// reshape the fleet under live load, so "byte-identical to one fixed
+// Lab run" relaxes to the replay-checkable per-sample invariant —
+// given a result's submission index and sample, ReplayPanel recomputes
+// it bit-identically on any shard of any topology, because the seed
+// carries the determinism and the seed never depends on where (or
+// after how many reroutes) the sample actually ran.
+//
 // Backpressure: each shard's queue is bounded. Submit blocks until the
 // routed shard has room (natural backpressure for pipelines);
 // TrySubmit returns ErrFleetSaturated instead of blocking (explicit
@@ -57,6 +68,17 @@ type Fleet struct {
 	seed    uint64
 	workers int
 	depth   int
+	// failThreshold / restoreThreshold are the circuit breaker's
+	// consecutive-probe counts: that many probe failures in a row open a
+	// healthy shard's breaker, that many known-good probes in a row
+	// close a quarantined shard's breaker and restore it. Immutable
+	// after construction (see WithFleetProbePolicy).
+	failThreshold    int
+	restoreThreshold int
+	// probeSeed seeds every probe panel. Probes live outside the
+	// submission-index seed sequence, so probing never perturbs serving
+	// results.
+	probeSeed uint64
 
 	results  chan PanelOutcome
 	mresults chan MonitorOutcome
@@ -79,6 +101,11 @@ type Fleet struct {
 	submitWG   sync.WaitGroup // Submits between closed-check and enqueue
 	first      time.Time
 	last       time.Time
+	// events is the lifecycle history ring (capacity fleetEventCap);
+	// eventSeq counts everything ever recorded, so eventSeq%cap is the
+	// next write position once the ring is full.
+	events   []FleetEvent
+	eventSeq int
 }
 
 // fleetShard is one backend: a Lab over its platform plus the shard's
@@ -94,6 +121,31 @@ type fleetShard struct {
 	// quarantined removes the shard from the router's view; guarded by
 	// the Fleet mutex.
 	quarantined bool
+	// removed marks a shard retired by RemoveShard: out of the routing
+	// view forever, workers shutting down, index kept (never reused) so
+	// stats, replay and operator timelines stay stable. Guarded by the
+	// Fleet mutex.
+	removed bool
+	// retired is set by the retire goroutine once the removed shard's
+	// queue has been closed; Close must not close it again. Guarded by
+	// the Fleet mutex (and ordered before Close's read by submitWG).
+	retired bool
+	// handoffs counts in-flight deliveries aimed at this shard — a
+	// Submit or reroute that routed here under the lock but enqueues
+	// outside it. RemoveShard waits for them before closing the queue.
+	handoffs sync.WaitGroup
+	// breaker is the shard's circuit-breaker position; probeFails /
+	// probeGoods its consecutive probe counters; restores how often the
+	// breaker closed again automatically. All guarded by the Fleet
+	// mutex.
+	breaker    BreakerState
+	probeFails int
+	probeGoods int
+	restores   uint64
+	// probeSample (every target at probeConcMM) and probeGood (its
+	// healthy fingerprint) are fixed at shard construction.
+	probeSample map[string]float64
+	probeGood   uint64
 	// stalled holds jobs a dead shard's workers dequeued but must not
 	// run — a hung instrument keeping its accepted work. Guarded by the
 	// Fleet mutex; drained by Quarantine or run in place after
@@ -138,9 +190,135 @@ type shardFaultState struct {
 	dead bool
 	// delay stalls each job before it runs (FaultSlowShard).
 	delay time.Duration
+	// flaky stalls jobs that land on down slots of a seeded duty cycle
+	// (FaultFlakyShard).
+	flaky *flakyState
 	// lifted is closed when the dead fault lifts (quarantine, clear, or
 	// fleet close); parked workers resume from it.
 	lifted chan struct{}
+}
+
+// flakyState is a FaultFlakyShard's compiled duty cycle: a shared slot
+// counter — jobs and health probes draw from the same sequence, so the
+// breaker sees the same intermittency the traffic does — mapped onto a
+// period of down-then-up slots, phase-shifted by the fault seed.
+type flakyState struct {
+	period, down, offset uint64
+	n                    atomic.Uint64
+}
+
+// downNow consumes one slot and reports whether it is a down slot.
+func (fk *flakyState) downNow() bool {
+	slot := fk.n.Add(1) - 1
+	return (fk.offset+slot)%fk.period < fk.down
+}
+
+// BreakerState is a shard's circuit-breaker position, surfaced in
+// FleetShardStats.
+type BreakerState int
+
+const (
+	// BreakerClosed is the healthy position: the shard is in the routing
+	// view and serves traffic.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen means consecutive probe failures — or a quarantine
+	// verdict from the Diagnoser or an operator — tripped the breaker:
+	// the shard is out of the routing view and sees probe traffic only.
+	BreakerOpen
+	// BreakerHalfOpen means an open shard's probes have started matching
+	// its known-good fingerprint again: still out of the routing view,
+	// but restoreThreshold consecutive matches away from being restored.
+	BreakerHalfOpen
+)
+
+// String names the breaker position.
+func (b BreakerState) String() string {
+	switch b {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(b))
+	}
+}
+
+// MarshalJSON encodes the position as its String form — what the
+// operator-facing stats JSON wants.
+func (b BreakerState) MarshalJSON() ([]byte, error) { return json.Marshal(b.String()) }
+
+// UnmarshalJSON decodes the String form.
+func (b *BreakerState) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "closed":
+		*b = BreakerClosed
+	case "open":
+		*b = BreakerOpen
+	case "half-open":
+		*b = BreakerHalfOpen
+	default:
+		return fmt.Errorf("advdiag: unknown breaker state %q", s)
+	}
+	return nil
+}
+
+// Fleet lifecycle event kinds, as recorded in the history ring. They
+// mirror the wire package's DiagnosisEvent vocabulary.
+const (
+	EventShardAdded   = "shard_added"
+	EventShardRemoved = "shard_removed"
+	EventQuarantined  = "quarantined"
+	EventProbed       = "probed"
+	EventRestored     = "restored"
+)
+
+// FleetEvent is one timestamped entry of the fleet's lifecycle
+// history: topology changes, quarantine verdicts, probe transitions,
+// automatic restores. The fleet keeps the most recent fleetEventCap
+// entries; the Diagnoser attaches them to every Diagnosis, so
+// GET /v1/diagnosis serves an operator timeline.
+type FleetEvent struct {
+	At     time.Time
+	Kind   string
+	Shard  int
+	Detail string
+}
+
+// fleetEventCap bounds the history ring.
+const fleetEventCap = 256
+
+// recordEventLocked appends one event to the history ring (callers
+// hold f.mu).
+func (f *Fleet) recordEventLocked(kind string, shard int, detail string) {
+	ev := FleetEvent{At: time.Now(), Kind: kind, Shard: shard, Detail: detail}
+	if len(f.events) < fleetEventCap {
+		f.events = append(f.events, ev)
+	} else {
+		f.events[f.eventSeq%fleetEventCap] = ev
+	}
+	f.eventSeq++
+}
+
+// Events returns the lifecycle history, oldest first — at most the
+// most recent fleetEventCap entries.
+func (f *Fleet) Events() []FleetEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FleetEvent, 0, len(f.events))
+	if f.eventSeq > len(f.events) {
+		start := f.eventSeq % fleetEventCap
+		out = append(out, f.events[start:]...)
+		out = append(out, f.events[:start]...)
+	} else {
+		out = append(out, f.events...)
+	}
+	return out
 }
 
 // FleetOption customizes a Fleet.
@@ -180,6 +358,19 @@ func WithFleetFaultPlan(plan FaultPlan) FleetOption {
 	return func(f *Fleet) { f.faultPlan = &plan }
 }
 
+// WithFleetProbePolicy sets the circuit breaker's consecutive-probe
+// thresholds: a healthy shard's breaker opens (quarantining it) after
+// failures probe failures in a row, and a quarantined shard is
+// restored after restores consecutive probe panels matching its
+// known-good fingerprint. Both default to 3; values below 1 clamp
+// to 1. See Fleet.ProbeShards.
+func WithFleetProbePolicy(failures, restores int) FleetOption {
+	return func(f *Fleet) {
+		f.failThreshold = failures
+		f.restoreThreshold = restores
+	}
+}
+
 // NewFleet builds a dispatcher over the given designed platforms (one
 // shard each — they may serve different target panels) and starts the
 // shard workers. Every shard's calibration cache is warmed here, so
@@ -193,7 +384,8 @@ func NewFleet(platforms []*Platform, opts ...FleetOption) (*Fleet, error) {
 			return nil, fmt.Errorf("advdiag: NewFleet shard %d: platform is not designed", i)
 		}
 	}
-	f := &Fleet{router: LeastLoadedRouter{}, seed: platforms[0].seed, workers: 1}
+	f := &Fleet{router: LeastLoadedRouter{}, seed: platforms[0].seed, workers: 1,
+		failThreshold: 3, restoreThreshold: 3}
 	for _, opt := range opts {
 		opt(f)
 	}
@@ -206,6 +398,13 @@ func NewFleet(platforms []*Platform, opts ...FleetOption) (*Fleet, error) {
 	if f.router == nil {
 		f.router = LeastLoadedRouter{}
 	}
+	if f.failThreshold < 1 {
+		f.failThreshold = 1
+	}
+	if f.restoreThreshold < 1 {
+		f.restoreThreshold = 1
+	}
+	f.probeSeed = mathx.Mix64(f.seed ^ mathx.SplitmixGamma)
 	f.cond = sync.NewCond(&f.mu)
 	f.results = make(chan PanelOutcome, len(platforms)*f.depth)
 	f.mresults = make(chan MonitorOutcome, len(platforms)*f.depth)
@@ -217,12 +416,16 @@ func NewFleet(platforms []*Platform, opts ...FleetOption) (*Fleet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("advdiag: NewFleet shard %d: %w", i, err)
 		}
-		f.shards = append(f.shards, &fleetShard{
+		sh := &fleetShard{
 			index:   i,
 			lab:     lab,
 			targets: p.Targets(),
 			queue:   make(chan fleetJob, f.depth),
-		})
+		}
+		if err := f.probeBaseline(sh); err != nil {
+			return nil, fmt.Errorf("advdiag: NewFleet shard %d probe baseline: %w", i, err)
+		}
+		f.shards = append(f.shards, sh)
 	}
 	for _, sh := range f.shards {
 		for w := 0; w < f.workers; w++ {
@@ -248,9 +451,25 @@ func (f *Fleet) Shards() int { return len(f.shards) }
 func (f *Fleet) shardWorker(sh *fleetShard) {
 	defer f.workWG.Done()
 	for job := range sh.queue {
+		f.dispatchJob(sh, job)
+	}
+}
+
+// dispatchJob runs, parks, or stalls one dequeued job according to the
+// shard's fault state.
+func (f *Fleet) dispatchJob(sh *fleetShard, job fleetJob) {
+	for {
 		fs := sh.fault.Load()
 		if fs != nil && fs.dead {
 			f.parkJob(sh, fs, job)
+			return
+		}
+		if fs != nil && fs.flaky != nil && fs.flaky.downNow() {
+			if f.stallJob(sh, fs, job) {
+				return
+			}
+			// The fault state changed between the slot draw and the
+			// stall — re-evaluate against the current state.
 			continue
 		}
 		if fs != nil && fs.delay > 0 {
@@ -261,7 +480,35 @@ func (f *Fleet) shardWorker(sh *fleetShard) {
 			fouling = fs.fouling
 		}
 		f.runJob(sh, job, fouling)
+		return
 	}
+}
+
+// stallJob holds a job that hit a flaky shard's down slot. Unlike a
+// dead shard's parkJob, the worker does not block: the job joins the
+// stalled list (rescued by Quarantine, RemoveShard, or ClearFaults —
+// never lost) and the worker moves on, because a flaky shard still
+// serves its up slots. Returns false when the fault state changed
+// under the stall, in which case the caller re-evaluates: ClearFaults
+// reroutes the stalled list it collected under the same lock, so
+// parking against a stale state would orphan the job.
+func (f *Fleet) stallJob(sh *fleetShard, fs *shardFaultState, job fleetJob) bool {
+	f.mu.Lock()
+	if sh.quarantined || sh.removed {
+		// The shard's backlog was already drained: hand the straggler to
+		// the reroute path.
+		moves, fails := f.rerouteLocked(sh, []fleetJob{job})
+		f.mu.Unlock()
+		f.deliver(moves, fails)
+		return true
+	}
+	if sh.fault.Load() != fs {
+		f.mu.Unlock()
+		return false
+	}
+	sh.stalled = append(sh.stalled, job)
+	f.mu.Unlock()
+	return true
 }
 
 // runJob executes one routed job on its shard and delivers the outcome.
@@ -286,9 +533,9 @@ func (f *Fleet) runJob(sh *fleetShard, job fleetJob, fouling *rt.Fouling) {
 // workers to run whatever is still parked themselves.
 func (f *Fleet) parkJob(sh *fleetShard, fs *shardFaultState, job fleetJob) {
 	f.mu.Lock()
-	if sh.quarantined {
-		// Quarantine already drained this shard: hand the straggler to
-		// the reroute path instead of parking it forever.
+	if sh.quarantined || sh.removed {
+		// Quarantine or removal already drained this shard: hand the
+		// straggler to the reroute path instead of parking it forever.
 		moves, fails := f.rerouteLocked(sh, []fleetJob{job})
 		f.mu.Unlock()
 		f.deliver(moves, fails)
@@ -358,16 +605,16 @@ func (f *Fleet) snapshotLocked() []ShardInfo {
 }
 
 // routeViewLocked is the router's view: the current snapshot minus
-// quarantined shards. Filtering here — instead of flagging ShardInfo —
-// keeps every Router quarantine-aware for free: a policy that never
-// heard of quarantine simply cannot pick a shard it cannot see. With
-// every shard quarantined the view is empty and routers answer
-// ErrNoShard. Callers hold f.mu.
+// quarantined and removed shards. Filtering here — instead of flagging
+// ShardInfo — keeps every Router topology-aware for free: a policy
+// that never heard of quarantine or removal simply cannot pick a shard
+// it cannot see. With no routable shard left the view is empty and
+// routers answer ErrNoShard. Callers hold f.mu.
 func (f *Fleet) routeViewLocked() []ShardInfo {
 	view := f.snapshotLocked()
 	healthy := view[:0]
 	for i, sh := range f.shards {
-		if !sh.quarantined {
+		if !sh.quarantined && !sh.removed {
 			healthy = append(healthy, view[i])
 		}
 	}
@@ -386,9 +633,9 @@ func (f *Fleet) routeLocked(s Sample) (*fleetShard, error) {
 		f.routeErrs++
 		return nil, fmt.Errorf("advdiag: router returned shard %d outside [0,%d)", idx, len(f.shards))
 	}
-	if f.shards[idx].quarantined {
+	if f.shards[idx].quarantined || f.shards[idx].removed {
 		f.routeErrs++
-		return nil, fmt.Errorf("advdiag: router returned quarantined shard %d", idx)
+		return nil, fmt.Errorf("advdiag: router returned unroutable (quarantined or removed) shard %d", idx)
 	}
 	return f.shards[idx], nil
 }
@@ -410,10 +657,12 @@ func (f *Fleet) Submit(s Sample) error {
 	}
 	job := f.acceptLocked(sh, s)
 	f.submitWG.Add(1)
+	sh.handoffs.Add(1)
 	f.mu.Unlock()
 
 	defer f.submitWG.Done()
 	sh.queue <- job
+	sh.handoffs.Done()
 	return nil
 }
 
@@ -503,10 +752,12 @@ func (f *Fleet) SubmitMonitor(req MonitorRequest) error {
 	}
 	job := f.acceptMonitorLocked(sh, req)
 	f.submitWG.Add(1)
+	sh.handoffs.Add(1)
 	f.mu.Unlock()
 
 	defer f.submitWG.Done()
 	sh.queue <- job
+	sh.handoffs.Done()
 	return nil
 }
 
@@ -581,17 +832,22 @@ func (f *Fleet) Close() error {
 	// Lift every fault before shutting the queues: workers parked by a
 	// dead fault must wake, run the work they were holding, and observe
 	// the queue close — otherwise workWG.Wait would hang on them.
-	for _, sh := range f.shards {
+	shards := f.shards
+	for _, sh := range shards {
 		f.liftFaultLocked(sh)
 	}
 	f.mu.Unlock()
 
 	// Wait out Submits caught between their closed-check and the queue
-	// handoff (reroute deliveries count too), then shut the shard
-	// queues down.
+	// handoff (reroute deliveries and retire goroutines count too),
+	// then shut the shard queues down. A removed shard's retire
+	// goroutine closed its queue itself — retired is ordered before
+	// this read by the retire goroutine's submitWG registration.
 	f.submitWG.Wait()
-	for _, sh := range f.shards {
-		close(sh.queue)
+	for _, sh := range shards {
+		if !sh.retired {
+			close(sh.queue)
+		}
 	}
 	f.workWG.Wait()
 	close(f.results)
@@ -613,6 +869,9 @@ func (f *Fleet) InjectFault(ft Fault) error {
 	if f.closed {
 		return ErrFleetClosed
 	}
+	if f.shards[ft.Shard].removed {
+		return fmt.Errorf("advdiag: fault targets removed shard %d", ft.Shard)
+	}
 	f.injectLocked(ft)
 	return nil
 }
@@ -627,6 +886,11 @@ func (f *Fleet) InjectFaults(plan FaultPlan) error {
 	defer f.mu.Unlock()
 	if f.closed {
 		return ErrFleetClosed
+	}
+	for _, ft := range plan.Faults {
+		if f.shards[ft.Shard].removed {
+			return fmt.Errorf("advdiag: fault targets removed shard %d", ft.Shard)
+		}
 	}
 	for _, ft := range plan.Faults {
 		f.injectLocked(ft)
@@ -653,6 +917,19 @@ func (f *Fleet) injectLocked(ft Fault) {
 		if ns.lifted == nil {
 			ns.lifted = make(chan struct{})
 		}
+	case FaultFlakyShard:
+		down := int(math.Round(ft.Severity * float64(ft.Period)))
+		if down < 1 {
+			down = 1
+		}
+		if down > ft.Period-1 {
+			down = ft.Period - 1
+		}
+		ns.flaky = &flakyState{
+			period: uint64(ft.Period),
+			down:   uint64(down),
+			offset: mathx.Mix64(ft.Seed) % uint64(ft.Period),
+		}
 	}
 	sh.fault.Store(ns)
 }
@@ -661,22 +938,71 @@ func (f *Fleet) injectLocked(ft Fault) {
 // by a dead fault (callers hold f.mu).
 func (f *Fleet) liftFaultLocked(sh *fleetShard) {
 	fs := sh.fault.Swap(nil)
-	if fs != nil && fs.dead {
+	if fs != nil && fs.lifted != nil {
+		close(fs.lifted)
+	}
+}
+
+// liftForQuarantineLocked is the fault lift Quarantine applies
+// (callers hold f.mu). Dead, fouled and slow faults are cleared: a
+// dead fault parks workers that must wake to stay able to serve
+// stragglers already in a Submit handoff, and a fouled or slow fault
+// would distort or delay the straggler that still completes here. A
+// flaky fault persists through quarantine — its down slots never run
+// a job in place (stallJob reroutes off a quarantined shard) and its
+// up slots run healthy, so keeping it is fingerprint-safe — and it
+// keeps the shard demonstrably broken, so health probes hold the
+// breaker open until ClearFaults actually heals the hardware rather
+// than restoring the shard the moment its breaker opens.
+func (f *Fleet) liftForQuarantineLocked(sh *fleetShard) {
+	fs := sh.fault.Load()
+	if fs == nil {
+		return
+	}
+	if fs.flaky == nil {
+		f.liftFaultLocked(sh)
+		return
+	}
+	// Same flakyState pointer: the duty-cycle slot counter keeps
+	// advancing across the quarantine, like the real intermittent
+	// hardware it models.
+	sh.fault.Store(&shardFaultState{flaky: fs.flaky})
+	if fs.lifted != nil {
 		close(fs.lifted)
 	}
 }
 
 // ClearFaults lifts every injected fault: fouled electrodes heal, slow
-// shards speed back up, and dead shards' workers wake and run the jobs
-// they were holding (healthy — the fault is gone). Quarantine
-// decisions are not reversed; quarantine is a routing-layer verdict,
-// not a fault.
+// shards speed back up, dead shards' workers wake and run the jobs
+// they were holding (healthy — the fault is gone), and jobs stalled by
+// a flaky shard's down slots are rerouted (often back to the very
+// shard, now healthy — no worker is waiting on them, so they must
+// travel through the reroute path rather than run in place).
+// Quarantine decisions are not reversed; quarantine is a routing-layer
+// verdict, not a fault — health probes lift it once the shard proves
+// itself (see ProbeShards).
 func (f *Fleet) ClearFaults() {
 	f.mu.Lock()
+	var moves []rerouteMove
+	var fails []rerouteFail
 	for _, sh := range f.shards {
+		fs := sh.fault.Load()
+		hadDead := fs != nil && fs.dead
 		f.liftFaultLocked(sh)
+		// A dead shard's parked workers own the stalled list — they wake
+		// on the lifted channel and run it in place. Quarantined and
+		// removed shards were drained already. Anything else stalled
+		// (flaky down-slot jobs) has no owner, so reroute it here.
+		if !hadDead && !sh.quarantined && !sh.removed && len(sh.stalled) > 0 {
+			jobs := sh.stalled
+			sh.stalled = nil
+			mv, fl := f.rerouteLocked(sh, jobs)
+			moves = append(moves, mv...)
+			fails = append(fails, fl...)
+		}
 	}
 	f.mu.Unlock()
+	f.deliver(moves, fails)
 }
 
 // Quarantine removes one shard from every router's view and reroutes
@@ -685,12 +1011,15 @@ func (f *Fleet) ClearFaults() {
 // its fleet submission index, so its noise stream (and therefore its
 // fingerprint) is unchanged: quarantine loses zero panels. Jobs no
 // surviving shard can serve complete with an error outcome instead of
-// vanishing, so Drain and batches never hang on them. Any fault on the
-// shard is lifted (its workers must stay able to serve stragglers
-// already in a Submit handoff — such a job still completes on this
-// shard, healthy). Quarantining an already-quarantined shard is a
-// no-op; with every shard quarantined routers see an empty fleet and
-// new submissions fail with ErrNoShard.
+// vanishing, so Drain and batches never hang on them. Dead, fouled and
+// slow faults on the shard are lifted (its workers must stay able to
+// serve stragglers already in a Submit handoff — such a job still
+// completes on this shard, healthy); a flaky fault persists, keeping
+// the shard demonstrably broken under quarantine so health probes only
+// restore it once ClearFaults heals it (see liftForQuarantineLocked).
+// Quarantining an already-quarantined shard is a no-op; with every
+// shard quarantined routers see an empty fleet and new submissions
+// fail with ErrNoShard.
 //
 // Quarantine may block delivering rerouted jobs when every surviving
 // queue is full (the same backpressure a Submit obeys) — keep
@@ -706,11 +1035,21 @@ func (f *Fleet) Quarantine(shard int) error {
 		return fmt.Errorf("advdiag: quarantine shard %d outside [0,%d)", shard, len(f.shards))
 	}
 	sh := f.shards[shard]
+	if sh.removed {
+		f.mu.Unlock()
+		return fmt.Errorf("advdiag: quarantine removed shard %d", shard)
+	}
 	if sh.quarantined {
 		f.mu.Unlock()
 		return nil
 	}
 	sh.quarantined = true
+	// Every quarantine opens the breaker — whether it came from probe
+	// failures, a Diagnoser conviction, or an operator — so health
+	// probes can restore any quarantined shard once it proves healthy.
+	sh.breaker = BreakerOpen
+	sh.probeGoods = 0
+	sh.probeFails = 0
 	// Collect the backlog: parked work first (it was accepted first),
 	// then whatever is still queued. Workers mid-park that have not yet
 	// taken the lock will see quarantined and reroute their own job.
@@ -725,8 +1064,9 @@ drain:
 			break drain
 		}
 	}
-	f.liftFaultLocked(sh)
+	f.liftForQuarantineLocked(sh)
 	moves, fails := f.rerouteLocked(sh, jobs)
+	f.recordEventLocked(EventQuarantined, shard, fmt.Sprintf("breaker open, %d backlog jobs rerouted", len(jobs)))
 	f.mu.Unlock()
 	f.deliver(moves, fails)
 	return nil
@@ -743,6 +1083,321 @@ func (f *Fleet) Quarantined() []int {
 		}
 	}
 	return out
+}
+
+// AddShard grows the fleet by one shard over the given designed
+// platform, at run time and under live load. The new shard takes the
+// next index (indices are stable for the fleet's lifetime — removal
+// never renumbers), starts its workers immediately, and joins the
+// routing view with a closed breaker. Determinism is unaffected: noise
+// seeds derive from the fleet-wide submission index alone, so a sample
+// routed to the new shard produces exactly the panel it would have
+// produced anywhere else (see ReplayPanel).
+func (f *Fleet) AddShard(p *Platform) (int, error) {
+	if p == nil || p.inner == nil {
+		return 0, fmt.Errorf("advdiag: AddShard: platform is not designed")
+	}
+	lab, err := NewLab(p, WithLabWorkers(f.workers), WithLabSeed(f.seed))
+	if err != nil {
+		return 0, fmt.Errorf("advdiag: AddShard: %w", err)
+	}
+	sh := &fleetShard{
+		lab:     lab,
+		targets: p.Targets(),
+		queue:   make(chan fleetJob, f.depth),
+	}
+	if err := f.probeBaseline(sh); err != nil {
+		return 0, fmt.Errorf("advdiag: AddShard probe baseline: %w", err)
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, ErrFleetClosed
+	}
+	sh.index = len(f.shards)
+	f.shards = append(f.shards, sh)
+	// Starting workers under the same mutex Close takes to set closed
+	// orders this workWG.Add strictly before Close's workWG.Wait.
+	for w := 0; w < f.workers; w++ {
+		f.workWG.Add(1)
+		go f.shardWorker(sh)
+	}
+	f.recordEventLocked(EventShardAdded, sh.index, "targets "+strings.Join(sh.targets, ","))
+	f.mu.Unlock()
+	return sh.index, nil
+}
+
+// RemoveShard retires one shard at run time and under live load: the
+// shard leaves the routing view immediately, its backlog (queued jobs
+// plus anything stalled under a fault) is rerouted to siblings with
+// submission indices — and therefore fingerprints — preserved, and its
+// workers shut down once every in-flight handoff has landed. Zero
+// panels are lost; jobs no surviving shard can serve complete with
+// error outcomes instead of vanishing. The index is never reused: the
+// shard stays in FleetStats (marked Removed) and ReplayPanel still
+// accepts it, so operator timelines and replay checks survive the
+// topology change. Removing the last routable shard is allowed —
+// submissions then fail with ErrNoShard until AddShard grows the fleet
+// again.
+//
+// Like Quarantine, RemoveShard may block delivering rerouted jobs when
+// every surviving queue is full — keep consuming Results.
+func (f *Fleet) RemoveShard(shard int) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrFleetClosed
+	}
+	if shard < 0 || shard >= len(f.shards) {
+		f.mu.Unlock()
+		return fmt.Errorf("advdiag: remove shard %d outside [0,%d)", shard, len(f.shards))
+	}
+	sh := f.shards[shard]
+	if sh.removed {
+		f.mu.Unlock()
+		return fmt.Errorf("advdiag: shard %d is already removed", shard)
+	}
+	sh.removed = true
+	jobs := sh.stalled
+	sh.stalled = nil
+drain:
+	for {
+		select {
+		case j := <-sh.queue:
+			jobs = append(jobs, j)
+		default:
+			break drain
+		}
+	}
+	f.liftFaultLocked(sh)
+	moves, fails := f.rerouteLocked(sh, jobs)
+	f.recordEventLocked(EventShardRemoved, shard, fmt.Sprintf("%d backlog jobs rerouted", len(jobs)))
+	// The retire goroutine registers on submitWG so Close cannot shut
+	// the fleet down between the drain above and the queue close below.
+	f.submitWG.Add(1)
+	go f.retireShard(sh)
+	f.mu.Unlock()
+	f.deliver(moves, fails)
+	return nil
+}
+
+// retireShard closes a removed shard's queue once every straggler
+// handoff — a Submit or reroute delivery that routed here before the
+// removal — has landed. The shard's workers drain whatever those
+// stragglers enqueued (running it healthy, exactly like quarantine
+// stragglers) and exit on the close.
+func (f *Fleet) retireShard(sh *fleetShard) {
+	defer f.submitWG.Done()
+	sh.handoffs.Wait()
+	f.mu.Lock()
+	sh.retired = true
+	f.mu.Unlock()
+	close(sh.queue)
+}
+
+// Removed reports the removed shard indices, in order.
+func (f *Fleet) Removed() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []int
+	for _, sh := range f.shards {
+		if sh.removed {
+			out = append(out, sh.index)
+		}
+	}
+	return out
+}
+
+// ReplayPanel recomputes the panel a sample produced (or would
+// produce) at a given fleet submission index, on the chosen shard's
+// platform, healthy and outside the serving path. Because noise
+// streams derive from the fleet seed and the submission index alone,
+// the replay is bit-identical to the served outcome no matter which
+// shard — on which topology, after how many reroutes — actually ran
+// it: this is the replay-checkable determinism contract that survives
+// AddShard and RemoveShard. Removed shards stay replayable, and on a
+// fleet of identical platforms any shard verifies any result. Replays
+// never touch shard statistics or the fault harness.
+func (f *Fleet) ReplayPanel(shard, index int, s Sample) (PanelResult, error) {
+	f.mu.Lock()
+	if shard < 0 || shard >= len(f.shards) {
+		n := len(f.shards)
+		f.mu.Unlock()
+		return PanelResult{}, fmt.Errorf("advdiag: replay on shard %d outside [0,%d)", shard, n)
+	}
+	sh := f.shards[shard]
+	f.mu.Unlock()
+	if index < 0 {
+		return PanelResult{}, fmt.Errorf("advdiag: replay index %d is negative", index)
+	}
+	p, err := sh.lab.p.exec.RunFouled(s.Concentrations, rt.SampleSeed(f.seed, index), nil)
+	if err != nil {
+		return PanelResult{}, err
+	}
+	return panelResult(p), nil
+}
+
+// probeConcMM is the concentration every probe panel measures each
+// target at — well inside every assay's linear range.
+const probeConcMM = 1.0
+
+// probeBaseline fixes the shard's probe panel (every target at
+// probeConcMM) and records its known-good fingerprint by running it
+// healthy through the platform executor directly — bypassing the Lab
+// so probe traffic never perturbs the serving-path statistics the
+// Diagnoser watches.
+func (f *Fleet) probeBaseline(sh *fleetShard) error {
+	sample := make(map[string]float64, len(sh.targets))
+	for _, t := range sh.targets {
+		sample[t] = probeConcMM
+	}
+	sh.probeSample = sample
+	p, err := sh.lab.p.exec.RunFouled(sample, f.probeSeed, nil)
+	if err != nil {
+		return err
+	}
+	sh.probeGood = panelResult(p).Fingerprint()
+	return nil
+}
+
+// probeOnce runs one probe panel on the shard through the fault
+// harness and reports whether the result matches the shard's
+// known-good fingerprint. Probes consume a flaky fault's slot sequence
+// (an intermittent shard fails probes intermittently, like its
+// traffic), fail on a dead shard, and see fouling exactly as real jobs
+// do — but skip a slow shard's delay, because slowness changes timing,
+// never results, and probes judge correctness.
+func (f *Fleet) probeOnce(sh *fleetShard) bool {
+	fs := sh.fault.Load()
+	if fs != nil {
+		if fs.dead {
+			return false
+		}
+		if fs.flaky != nil && fs.flaky.downNow() {
+			return false
+		}
+	}
+	var fouling *rt.Fouling
+	if fs != nil {
+		fouling = fs.fouling
+	}
+	p, err := sh.lab.p.exec.RunFouled(sh.probeSample, f.probeSeed, fouling)
+	if err != nil {
+		return false
+	}
+	return panelResult(p).Fingerprint() == sh.probeGood
+}
+
+// ProbeShards runs one health-probe sweep over every shard that is not
+// removed, quarantined or healthy alike, and advances each breaker on
+// the outcome:
+//
+//   - a healthy shard failing its probe counts toward the failure
+//     threshold; reaching it opens the breaker, quarantining the shard
+//     exactly as Fleet.Quarantine would (backlog rerouted losslessly);
+//   - a quarantined shard whose probe matches its known-good
+//     fingerprint moves to half-open (probe traffic only) and, after
+//     restoreThreshold consecutive matches, is restored — quarantine
+//     lifted, breaker closed, back in the routing view with no manual
+//     un-quarantine call;
+//   - one failed probe on a quarantined shard re-opens the breaker and
+//     resets the restore progress.
+//
+// ProbeShards returns the indices of shards restored by this sweep.
+// StartHealthProbes runs sweeps on a ticker; tests may call
+// ProbeShards directly for deterministic stepping.
+func (f *Fleet) ProbeShards() []int {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	shards := make([]*fleetShard, 0, len(f.shards))
+	for _, sh := range f.shards {
+		if !sh.removed {
+			shards = append(shards, sh)
+		}
+	}
+	f.mu.Unlock()
+
+	var restored []int
+	var trip []int
+	for _, sh := range shards {
+		healthy := f.probeOnce(sh)
+		f.mu.Lock()
+		if f.closed || sh.removed {
+			f.mu.Unlock()
+			continue
+		}
+		switch {
+		case sh.quarantined && healthy:
+			sh.breaker = BreakerHalfOpen
+			sh.probeGoods++
+			if sh.probeGoods >= f.restoreThreshold {
+				sh.quarantined = false
+				sh.breaker = BreakerClosed
+				sh.probeGoods = 0
+				sh.probeFails = 0
+				sh.restores++
+				restored = append(restored, sh.index)
+				f.recordEventLocked(EventRestored, sh.index, fmt.Sprintf("%d consecutive known-good probes, breaker closed", f.restoreThreshold))
+			} else {
+				f.recordEventLocked(EventProbed, sh.index, fmt.Sprintf("known-good probe %d/%d, breaker half-open", sh.probeGoods, f.restoreThreshold))
+			}
+		case sh.quarantined: // quarantined, probe failed
+			if sh.breaker == BreakerHalfOpen {
+				f.recordEventLocked(EventProbed, sh.index, "probe failed, breaker re-opened")
+			}
+			sh.breaker = BreakerOpen
+			sh.probeGoods = 0
+		case healthy:
+			sh.probeFails = 0
+		default: // healthy shard, probe failed
+			sh.probeFails++
+			f.recordEventLocked(EventProbed, sh.index, fmt.Sprintf("probe failure %d/%d", sh.probeFails, f.failThreshold))
+			if sh.probeFails >= f.failThreshold {
+				trip = append(trip, sh.index)
+			}
+		}
+		f.mu.Unlock()
+	}
+	for _, idx := range trip {
+		// Quarantine re-checks state under the lock; a shard that was
+		// quarantined, removed, or closed in the meantime is a no-op or
+		// benign error.
+		f.Quarantine(idx) //nolint:errcheck // racing removal/close is benign
+	}
+	return restored
+}
+
+// StartHealthProbes runs ProbeShards every interval until the returned
+// stop function is called. Stop blocks until the loop exits and is
+// safe to call more than once. Probing a closed fleet is a no-op, but
+// stop the loop before Close to avoid pointless sweeps.
+func (f *Fleet) StartHealthProbes(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				f.ProbeShards()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(quit) })
+		<-done
+	}
 }
 
 // rerouteMove is one planned reassignment of a quarantined shard's
@@ -783,9 +1438,11 @@ func (f *Fleet) rerouteLocked(from *fleetShard, jobs []fleetJob) ([]rerouteMove,
 			to.sched++
 		}
 		// Deliveries race with Close the same way accepted Submits do:
-		// registering on submitWG before releasing the lock keeps the
-		// destination queue open until the handoff lands.
+		// registering on submitWG (and the destination's handoff count)
+		// before releasing the lock keeps the destination queue open
+		// until the handoff lands.
 		f.submitWG.Add(1)
+		to.handoffs.Add(1)
 		moves = append(moves, rerouteMove{to: to, job: job})
 	}
 	return moves, fails
@@ -797,6 +1454,7 @@ func (f *Fleet) rerouteLocked(from *fleetShard, jobs []fleetJob) ([]rerouteMove,
 func (f *Fleet) deliver(moves []rerouteMove, fails []rerouteFail) {
 	for _, mv := range moves {
 		mv.to.queue <- mv.job
+		mv.to.handoffs.Done()
 		f.submitWG.Done()
 	}
 	for _, fl := range fails {
@@ -953,6 +1611,16 @@ type FleetShardStats struct {
 	// Quarantined marks a shard removed from the routing view (see
 	// Fleet.Quarantine); it receives no new work.
 	Quarantined bool
+	// Breaker is the shard's circuit-breaker position (see ProbeShards);
+	// ProbeFailures/ProbeGoods are its consecutive probe counters and
+	// Restores counts automatic un-quarantines.
+	Breaker       BreakerState
+	ProbeFailures int
+	ProbeGoods    int
+	Restores      uint64
+	// Removed marks a shard retired by RemoveShard — kept in the
+	// snapshot so indices stay stable.
+	Removed bool
 }
 
 // String renders the snapshot as a small report.
@@ -966,8 +1634,13 @@ func (s FleetStats) String() string {
 	}
 	for _, sh := range s.Shards {
 		mark := ""
-		if sh.Quarantined {
-			mark = " QUARANTINED"
+		switch {
+		case sh.Removed:
+			mark = " REMOVED"
+		case sh.Quarantined:
+			mark = fmt.Sprintf(" QUARANTINED breaker=%s", sh.Breaker)
+		case sh.Breaker != BreakerClosed:
+			mark = fmt.Sprintf(" breaker=%s", sh.Breaker)
 		}
 		fmt.Fprintf(&b, "  shard %d [%s]:%s %d routed, queue %d/%d, %d in flight, %.1f panels/s, cache %.0f%% hit\n",
 			sh.Index, strings.Join(sh.Targets, ","), mark, sh.Routed, sh.QueueLen, sh.QueueCap, sh.InFlight,
@@ -991,29 +1664,52 @@ func (f *Fleet) Stats() FleetStats {
 	if !f.first.IsZero() && f.last.After(f.first) {
 		st.WallSeconds = f.last.Sub(f.first).Seconds()
 	}
+	// Capture the shard slice together with the view: AddShard may grow
+	// f.shards concurrently, and the per-shard flags must match the
+	// same snapshot the view describes.
+	shards := f.shards
 	view := f.snapshotLocked()
-	quar := make([]bool, len(f.shards))
-	for i, sh := range f.shards {
-		quar[i] = sh.quarantined
+	type shardFlags struct {
+		quarantined, removed bool
+		breaker              BreakerState
+		probeFails           int
+		probeGoods           int
+		restores             uint64
+	}
+	flags := make([]shardFlags, len(shards))
+	for i, sh := range shards {
+		flags[i] = shardFlags{
+			quarantined: sh.quarantined,
+			removed:     sh.removed,
+			breaker:     sh.breaker,
+			probeFails:  sh.probeFails,
+			probeGoods:  sh.probeGoods,
+			restores:    sh.restores,
+		}
 	}
 	f.mu.Unlock()
 	if st.WallSeconds > 0 {
 		st.PanelsPerSecond = float64(st.Completed) / st.WallSeconds
 	}
 	var hits, lookups uint64
-	for i, sh := range f.shards {
+	for i, sh := range shards {
 		ls := sh.lab.Stats()
 		hits += ls.CacheHits
 		lookups += ls.CacheHits + ls.CacheMisses
 		st.Shards = append(st.Shards, FleetShardStats{
-			Index:       sh.index,
-			Targets:     sh.targets,
-			Lab:         ls,
-			QueueLen:    view[i].QueueLen,
-			QueueCap:    f.depth,
-			InFlight:    view[i].InFlight,
-			Routed:      sh.routed.Load(),
-			Quarantined: quar[i],
+			Index:         sh.index,
+			Targets:       sh.targets,
+			Lab:           ls,
+			QueueLen:      view[i].QueueLen,
+			QueueCap:      f.depth,
+			InFlight:      view[i].InFlight,
+			Routed:        sh.routed.Load(),
+			Quarantined:   flags[i].quarantined,
+			Breaker:       flags[i].breaker,
+			ProbeFailures: flags[i].probeFails,
+			ProbeGoods:    flags[i].probeGoods,
+			Restores:      flags[i].restores,
+			Removed:       flags[i].removed,
 		})
 	}
 	if lookups > 0 {

@@ -124,7 +124,11 @@ func (e *Executor) CacheCounts() (hits, misses uint64) { return e.calib.counts()
 
 // SampleSeed mixes a base seed with a sample index (splitmix64
 // finalizer) so every sample owns an independent, deterministic noise
-// stream regardless of which worker — or which shard — runs it.
+// stream regardless of which worker — or which shard — runs it. This
+// is the whole replay-checkable determinism contract of the fleet
+// layer: a result can be recomputed bit-identically from (base seed,
+// submission index, sample) alone, on any shard of any topology —
+// Fleet.ReplayPanel is exactly this call on a healthy executor.
 func SampleSeed(base uint64, idx int) uint64 {
 	return mathx.Mix64(base + mathx.SplitmixGamma*(uint64(idx)+1))
 }

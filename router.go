@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 
 	"advdiag/internal/mathx"
@@ -138,27 +139,44 @@ func mix64(z uint64) uint64 { return mathx.Mix64(z) }
 // HashRouter is a consistent-hash-by-patient router: Sample.ID hashes
 // onto a ring of virtual nodes, so the same ID always routes to the
 // same shard (stable patient→instrument affinity, e.g. for longitudinal
-// drift tracking), and changing the shard count remaps only ~1/N of
-// IDs. The zero value is ready to use; rings are built lazily per
-// shard count and cached.
+// drift tracking), and changing the shard set remaps only ~1/N of IDs.
+// Virtual nodes are named by the shard's real Index, so the ring for a
+// view is a function of which shards are in it, not how many: adding a
+// shard steals keys only for the newcomer, and removing one (by
+// RemoveShard or quarantine) reassigns only the keys that sat on its
+// virtual nodes — every other key keeps its shard exactly. The zero
+// value is ready to use; rings are built lazily per view signature and
+// cached.
 type HashRouter struct {
 	mu    sync.Mutex
-	rings map[int]hashRing
+	rings map[string]hashRing
 }
 
-// hashRing is a sorted list of (point, shard) pairs.
+// hashRing is a sorted list of (point, shard-index) pairs.
 type hashRing struct {
 	points []uint64
 	shards []int
 }
 
-func buildRing(n int) hashRing {
+// ringSignature keys the ring cache by the view's shard-index set.
+func ringSignature(shards []ShardInfo) string {
+	var b strings.Builder
+	for _, sh := range shards {
+		fmt.Fprintf(&b, "%d,", sh.Index)
+	}
+	return b.String()
+}
+
+// buildRing hashes hashVnodes virtual nodes per shard, named by the
+// shard's real index — the property that keeps remapping minimal
+// across topology changes.
+func buildRing(indices []int) hashRing {
 	type node struct {
 		point uint64
 		shard int
 	}
-	nodes := make([]node, 0, n*hashVnodes)
-	for s := 0; s < n; s++ {
+	nodes := make([]node, 0, len(indices)*hashVnodes)
+	for _, s := range indices {
 		for v := 0; v < hashVnodes; v++ {
 			h := fnv.New64a()
 			fmt.Fprintf(h, "shard-%d-vnode-%d", s, v)
@@ -174,24 +192,29 @@ func buildRing(n int) hashRing {
 	return r
 }
 
-// ring returns the cached ring for n shards, building it on first use.
-func (hr *HashRouter) ring(n int) hashRing {
+// ring returns the cached ring for the view, building it on first use.
+func (hr *HashRouter) ring(shards []ShardInfo) hashRing {
+	sig := ringSignature(shards)
 	hr.mu.Lock()
 	defer hr.mu.Unlock()
 	if hr.rings == nil {
-		hr.rings = map[int]hashRing{}
+		hr.rings = map[string]hashRing{}
 	}
-	r, ok := hr.rings[n]
+	r, ok := hr.rings[sig]
 	if !ok {
-		r = buildRing(n)
-		hr.rings[n] = r
+		indices := make([]int, len(shards))
+		for i, sh := range shards {
+			indices[i] = sh.Index
+		}
+		r = buildRing(indices)
+		hr.rings[sig] = r
 	}
 	return r
 }
 
-// Route implements Router. The returned index is a position into the
-// shards slice's index space [0, len(shards)); the router assumes
-// shard indices are dense (the Fleet's always are).
+// Route implements Router. The returned index is the chosen shard's
+// real Index — views need not be dense, so the router keeps working
+// across quarantines and runtime Add/RemoveShard.
 func (hr *HashRouter) Route(s Sample, shards []ShardInfo) (int, error) {
 	n := len(shards)
 	if n == 0 {
@@ -203,10 +226,10 @@ func (hr *HashRouter) Route(s Sample, shards []ShardInfo) (int, error) {
 	h := fnv.New64a()
 	h.Write([]byte(s.ID))
 	key := mix64(h.Sum64())
-	r := hr.ring(n)
+	r := hr.ring(shards)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= key })
 	if i == len(r.points) {
 		i = 0
 	}
-	return shards[r.shards[i]].Index, nil
+	return r.shards[i], nil
 }

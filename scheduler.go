@@ -184,6 +184,10 @@ type MonitorSchedulerStats struct {
 	// Recals counts calibration ticks; DriftFlags campaigns whose
 	// rolling detector fired.
 	Recals, DriftFlags uint64
+	// ForcedRecals counts campaigns flagged by ForceRecal — diagnosis
+	// verdicts (sensor fouling) demanding a recalibration ahead of the
+	// scheduled cadence.
+	ForcedRecals uint64
 	// VirtualHours sums the simulated deployment hours of finished
 	// campaigns — the population-scale time compression (a cohort
 	// simulating years of monitoring in seconds of wall clock).
@@ -196,9 +200,13 @@ type MonitorSchedulerStats struct {
 
 // String renders the snapshot as one report line.
 func (s MonitorSchedulerStats) String() string {
-	return fmt.Sprintf("scheduler: %d campaigns (%d finished), %d ticks (%d failed, %d shed), %d recals, %d drift flags, %.0f virtual hours in %.1fs (%.0f ticks/s)",
+	forced := ""
+	if s.ForcedRecals > 0 {
+		forced = fmt.Sprintf(" (%d forced)", s.ForcedRecals)
+	}
+	return fmt.Sprintf("scheduler: %d campaigns (%d finished), %d ticks (%d failed, %d shed), %d recals%s, %d drift flags, %.0f virtual hours in %.1fs (%.0f ticks/s)",
 		s.Campaigns, s.Finished, s.TicksCompleted, s.TickFailures, s.Shed,
-		s.Recals, s.DriftFlags, s.VirtualHours, s.WallSeconds, s.TicksPerSecond)
+		s.Recals, forced, s.DriftFlags, s.VirtualHours, s.WallSeconds, s.TicksPerSecond)
 }
 
 // tickKind is what a campaign's next acquisition is for.
@@ -217,7 +225,13 @@ type schedCampaign struct {
 	atHours float64  // time of the next acquisition
 	kind    tickKind // what the next acquisition is for
 	drift   bool     // next recal was demanded by the drift detector
-	report  CampaignReport
+	// forceRecal schedules a recalibration at the next tick regardless
+	// of cadence or drift (set by ForceRecal, guarded by ms.mu).
+	forceRecal bool
+	// done marks a finished campaign (run to completion or failed);
+	// guarded by ms.mu so ForceRecal skips it.
+	done   bool
+	report CampaignReport
 }
 
 // MonitorScheduler multiplexes many recurring monitor campaigns over
@@ -379,6 +393,33 @@ func (ms *MonitorScheduler) request(sc *schedCampaign) MonitorRequest {
 	return req
 }
 
+// ForceRecal flags every unfinished campaign monitoring target for a
+// recalibration at its next acquisition, ahead of the scheduled
+// cadence and regardless of the drift detector. This is the hook the
+// fleet diagnoser pulls (via Diagnoser.SetRecalTrigger) when it
+// convicts a shard of sensor fouling on that target: a fouling verdict
+// means the cohort's calibrations for the species are suspect, so the
+// next tick re-measures the clean standard instead of trusting them.
+// An empty target flags the whole cohort. Safe to call while Run is in
+// flight; returns how many campaigns were flagged.
+func (ms *MonitorScheduler) ForceRecal(target string) int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	n := 0
+	for _, sc := range ms.campaigns {
+		if sc.done || sc.forceRecal {
+			continue
+		}
+		if target != "" && sc.cfg.Target != target {
+			continue
+		}
+		sc.forceRecal = true
+		n++
+	}
+	ms.stats.ForcedRecals += uint64(n)
+	return n
+}
+
 // absorb processes one completed tick and decides the campaign's next
 // move. It returns true when the campaign is finished.
 func (sc *schedCampaign) absorb(out MonitorOutcome, st *MonitorSchedulerStats) bool {
@@ -399,6 +440,8 @@ func (sc *schedCampaign) absorb(out MonitorOutcome, st *MonitorSchedulerStats) b
 			sc.report.DriftRecals++
 			sc.drift = false
 		}
+		// Whatever demanded a recalibration, this one satisfies it.
+		sc.forceRecal = false
 		// A recalibration at t>0 blocks the reading scheduled at the
 		// same t (the longterm.Campaign ordering); the deployment
 		// calibration at t=0 is followed by the first reading one
@@ -429,6 +472,8 @@ func (sc *schedCampaign) absorb(out MonitorOutcome, st *MonitorSchedulerStats) b
 		}
 		sc.atHours = next
 		switch {
+		case sc.forceRecal:
+			sc.kind = tickRecal
 		case sc.cfg.RecalEveryHours > 0 && next-sc.tracker.LastRecalHours() >= sc.cfg.RecalEveryHours:
 			sc.kind = tickRecal
 		case sc.cfg.RecalOnDrift && sc.tracker.NeedsRecal():
@@ -529,6 +574,7 @@ func (ms *MonitorScheduler) Run() (*CohortReport, error) {
 				ms.stats.TicksCompleted++
 				finished := sc.absorb(out, &ms.stats)
 				if finished {
+					sc.done = true
 					remaining--
 					ms.stats.Finished++
 					ms.stats.VirtualHours += sc.cfg.DurationHours
@@ -571,6 +617,7 @@ func (ms *MonitorScheduler) Run() (*CohortReport, error) {
 			// closed fleet): the campaign ends here, with no outcome to
 			// wait for.
 			ms.mu.Lock()
+			sc.done = true
 			sc.report.Err = fmt.Errorf("advdiag: campaign %s tick %d: %w", sc.cfg.ID, req.Tick, err)
 			ms.stats.TickFailures++
 			remaining--

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"advdiag"
 )
@@ -301,4 +302,117 @@ func TestSchedulerValidation(t *testing.T) {
 		t.Fatal("nil backend must be rejected")
 	}
 	var _ advdiag.MonitorBackend = fleet // the Fleet is a backend by construction
+}
+
+// TestSchedulerForceRecal pins the diagnosis→recalibration hook. A
+// campaign with no recal configuration performs exactly its deployment
+// calibration; ForceRecal flags it for one extra clean-standard
+// measurement at the next tick. A flag raised before Run is satisfied
+// by the deployment calibration itself (any recalibration answers the
+// demand); a flag raised mid-run forces exactly one more.
+func TestSchedulerForceRecal(t *testing.T) {
+	campaign := func(hours float64) advdiag.MonitorCampaign {
+		return advdiag.MonitorCampaign{
+			ID: "force-000", Target: "glucose", SampleMM: 2,
+			DurationHours: hours, IntervalHours: 10,
+			TraceSeconds: 6, BaselineSeconds: 2,
+		}
+	}
+	build := func(c advdiag.MonitorCampaign) (*advdiag.Fleet, *advdiag.MonitorScheduler) {
+		p, err := advdiag.DesignPlatform([]string{"glucose"}, advdiag.WithPlatformSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet, err := advdiag.NewFleet([]*advdiag.Platform{p}, advdiag.WithFleetWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := advdiag.NewMonitorScheduler(fleet, advdiag.WithSchedulerSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ms.Add(c); err != nil {
+			t.Fatal(err)
+		}
+		return fleet, ms
+	}
+
+	// Baseline: the deployment calibration is the only recalibration.
+	fleet, ms := build(campaign(30))
+	rep, err := ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Campaigns[0].Recals != 1 {
+		t.Fatalf("unforced campaign recalibrated %d times, want 1", rep.Campaigns[0].Recals)
+	}
+	if st := ms.Stats(); st.ForcedRecals != 0 || strings.Contains(st.String(), "forced") {
+		t.Fatalf("unforced run reports forced recals: %s", st)
+	}
+	fleet.Close()
+
+	// Flag before Run: only the matching target is flagged, re-flagging
+	// is a no-op, and the deployment calibration satisfies the demand —
+	// no extra recal, but the stats remember the request.
+	fleet, ms = build(campaign(30))
+	if n := ms.ForceRecal("lactate"); n != 0 {
+		t.Fatalf("ForceRecal(lactate) flagged %d glucose campaigns", n)
+	}
+	if n := ms.ForceRecal("glucose"); n != 1 {
+		t.Fatalf("ForceRecal(glucose) flagged %d campaigns, want 1", n)
+	}
+	if n := ms.ForceRecal(""); n != 0 {
+		t.Fatalf("re-flagging an already-flagged campaign counted %d", n)
+	}
+	rep, err = ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Campaigns[0].Recals != 1 {
+		t.Fatalf("pre-run flag produced %d recals, want 1 (deployment calibration satisfies it)", rep.Campaigns[0].Recals)
+	}
+	st := ms.Stats()
+	if st.ForcedRecals != 1 {
+		t.Fatalf("ForcedRecals = %d, want 1", st.ForcedRecals)
+	}
+	if !strings.Contains(st.String(), "(1 forced)") {
+		t.Fatalf("stats line does not mention the forced recal: %s", st)
+	}
+	if n := ms.ForceRecal(""); n != 0 {
+		t.Fatalf("ForceRecal on a finished cohort flagged %d", n)
+	}
+	fleet.Close()
+
+	// Flag mid-run — the real conviction path: once the deployment
+	// calibration has landed, the demand must be answered by one extra
+	// recalibration at the next tick. A slow-shard fault paces the 20
+	// reading ticks at 2ms each, so the flag goroutine (polling every
+	// 50µs) lands with a wide-open window of ticks still to come.
+	fleet, ms = build(campaign(200))
+	if err := fleet.InjectFault(advdiag.Fault{
+		Kind: advdiag.FaultSlowShard, Shard: 0, Delay: 2 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	flagged := make(chan int, 1)
+	go func() {
+		for ms.Stats().Recals == 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		flagged <- ms.ForceRecal("glucose")
+	}()
+	rep, err = ms.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := <-flagged; n != 1 {
+		t.Fatalf("mid-run ForceRecal flagged %d campaigns, want 1", n)
+	}
+	if rep.Campaigns[0].Recals != 2 {
+		t.Fatalf("mid-run flag produced %d recals, want 2 (deployment + forced)", rep.Campaigns[0].Recals)
+	}
+	if st := ms.Stats(); st.ForcedRecals != 1 {
+		t.Fatalf("ForcedRecals = %d, want 1", st.ForcedRecals)
+	}
+	fleet.Close()
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -26,6 +27,8 @@ var ErrServerDraining = errors.New("advdiag: server is draining")
 //	POST /v1/panels/stream NDJSON wire.Sample       → NDJSON wire.Outcome (completion order)
 //	POST /v1/monitors      one wire.MonitorRequest  → one wire.MonitorOutcome
 //	GET  /v1/monitors/{id} latest stored outcome for a campaign ID (202 while pending)
+//	POST /v1/shards        wire.ShardRequest        → wire.ShardResponse (grow the fleet)
+//	DELETE /v1/shards/{id} retire one shard at run time (backlog reroutes)
 //	GET  /v1/stats         ServerStats as JSON (FleetStats plus scheduler)
 //	GET  /healthz          200 while serving, 503 while draining
 //
@@ -60,6 +63,10 @@ type Server struct {
 	mux   *http.ServeMux
 	sched atomic.Pointer[MonitorScheduler]
 	diag  *Diagnoser
+
+	// platformFor designs the platform for a POST /v1/shards request;
+	// by default DesignPlatform over the requested targets and seed.
+	platformFor func(targets []string, seed uint64) (*Platform, error)
 
 	// wireErrs counts payloads refused at the wire boundary (400/413):
 	// the diagnoser's evidence stream for ClassWireErrors.
@@ -130,6 +137,15 @@ func WithServerDiagnoser(d *Diagnoser) ServerOption {
 // Diagnoser returns the diagnoser serving GET /v1/diagnosis.
 func (s *Server) Diagnoser() *Diagnoser { return s.diag }
 
+// WithServerPlatformFactory substitutes the platform designer behind
+// POST /v1/shards — e.g. to pin design options beyond the seed, or to
+// refuse runtime growth entirely by returning an error. By default the
+// server designs with DesignPlatform(targets, WithPlatformSeed(seed)),
+// seed zero meaning the fleet's own seed.
+func WithServerPlatformFactory(fn func(targets []string, seed uint64) (*Platform, error)) ServerOption {
+	return func(s *Server) { s.platformFor = fn }
+}
+
 // NewServer builds the front door over a fleet and starts the outcome
 // collectors. The fleet must be exclusively owned by the server from
 // this point on (see the type comment).
@@ -155,12 +171,27 @@ func NewServer(f *Fleet, opts ...ServerOption) (*Server, error) {
 	if s.diag == nil {
 		s.diag = NewDiagnoser(f)
 	}
+	if s.platformFor == nil {
+		s.platformFor = func(targets []string, seed uint64) (*Platform, error) {
+			return DesignPlatform(targets, WithPlatformSeed(seed))
+		}
+	}
+	// A fouling conviction forces the attached scheduler (if any, now or
+	// later) to recalibrate its campaigns on the convicted target.
+	s.diag.SetRecalTrigger(func(target string) int {
+		if ms := s.sched.Load(); ms != nil {
+			return ms.ForceRecal(target)
+		}
+		return 0
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/panels", s.handlePanel)
 	s.mux.HandleFunc("POST /v1/panels/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/panels/stream", s.handleStream)
 	s.mux.HandleFunc("POST /v1/monitors", s.handleMonitor)
 	s.mux.HandleFunc("GET /v1/monitors/{id}", s.handleMonitorGet)
+	s.mux.HandleFunc("POST /v1/shards", s.handleShardAdd)
+	s.mux.HandleFunc("DELETE /v1/shards/{id}", s.handleShardRemove)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/diagnosis", s.handleDiagnosis)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -579,6 +610,70 @@ func (s *Server) handleMonitorGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	http.Error(w, fmt.Sprintf("monitor %q: no stored outcome", id), http.StatusNotFound)
+}
+
+// handleShardAdd serves POST /v1/shards: design a platform for the
+// requested targets and grow the served fleet by one shard, under live
+// load. The response carries the new shard's index. A draining server
+// refuses (503); a target list the platform designer cannot realize is
+// 422. With a zero request seed the platform is designed with the
+// fleet's own seed — the identical-platform configuration under which
+// every result replays bit-identically on the new shard.
+func (s *Server) handleShardAdd(w http.ResponseWriter, r *http.Request) {
+	body, err := s.readAll(w, r, maxSampleBytes)
+	if err != nil {
+		return
+	}
+	req, err := wire.UnmarshalShardRequest(body)
+	if err != nil {
+		s.wireErrs.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.subMu.Lock()
+	draining := s.draining
+	s.subMu.Unlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, ErrServerDraining)
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.fleet.seed
+	}
+	p, err := s.platformFor(req.Targets, seed)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	idx, err := s.fleet.AddShard(p)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	writeJSON(w, wire.ShardResponse{Schema: wire.SchemaVersion, Shard: idx})
+}
+
+// handleShardRemove serves DELETE /v1/shards/{id}: retire one shard at
+// run time. The shard's backlog reroutes to siblings before the
+// response is written, so success means zero panels were lost to the
+// removal. An unknown or already-removed index is 404; a closed fleet
+// is 503.
+func (s *Server) handleShardRemove(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		httpError(w, http.StatusNotFound, fmt.Errorf("advdiag: no shard %q", r.PathValue("id")))
+		return
+	}
+	if err := s.fleet.RemoveShard(id); err != nil {
+		if errors.Is(err, ErrFleetClosed) {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // ServerStats is the GET /v1/stats snapshot: the fleet's counters

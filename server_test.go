@@ -385,3 +385,200 @@ func readBody(t *testing.T, resp *http.Response) string {
 // clientBase digs the base URL back out of the client for raw HTTP
 // requests.
 func clientBase(c *advdiag.Client) string { return c.BaseURL() }
+
+// TestServerShardEndpoints drives the elastic topology over the wire:
+// POST /v1/shards grows the fleet (through the injectable platform
+// factory), DELETE /v1/shards/{id} retires a shard, bad requests map
+// to the right status codes, and traffic keeps flowing — with
+// fingerprints still byte-identical to a local Lab — across both
+// changes.
+func TestServerShardEndpoints(t *testing.T) {
+	p, err := servePlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plats := []*advdiag.Platform{p, p}
+	fleet, err := advdiag.NewFleet(plats, advdiag.WithFleetWorkers(2), advdiag.WithFleetQueueDepth(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := advdiag.NewServer(fleet,
+		advdiag.WithServerPlatformFactory(func(targets []string, seed uint64) (*advdiag.Platform, error) {
+			// The shared platform measures exactly these targets; reusing
+			// it skips a multi-second design-space exploration per test.
+			return p, nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Close(); err != nil && !errors.Is(err, advdiag.ErrFleetClosed) {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	client := advdiag.NewClient(ts.URL, advdiag.WithHTTPClient(ts.Client()))
+	ctx := context.Background()
+	base := clientBase(client)
+
+	idx, err := client.AddShard(ctx, []string{"glucose", "benzphetamine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 {
+		t.Fatalf("new shard index %d, want 2", idx)
+	}
+	if err := client.RemoveShard(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.RemoveShard(ctx, 1); err == nil {
+		t.Fatal("removing an already-removed shard succeeded")
+	}
+	if err := client.RemoveShard(ctx, 99); err == nil {
+		t.Fatal("removing an out-of-range shard succeeded")
+	}
+
+	// The reshaped fleet serves with unchanged determinism.
+	samples := mixedCohort(16)
+	outs, err := client.RunPanels(ctx, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := localFingerprints(t, samples)
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("sample %d: %v", i, o.Err)
+		}
+		if o.Shard == 1 {
+			t.Fatalf("sample %d routed to removed shard 1", i)
+		}
+		if got := o.Result.Fingerprint(); got != local[i] {
+			t.Fatalf("sample %d: fingerprint %016x != local %016x", i, got, local[i])
+		}
+	}
+	var st advdiag.ServerStats
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Shards) != 3 || !st.Shards[1].Removed || st.Shards[2].Removed {
+		t.Fatalf("stats after add+remove: %+v", st.Shards)
+	}
+
+	// Status-code mapping for bad requests.
+	for _, tc := range []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"malformed body", http.MethodPost, "/v1/shards", `{"schema":1,`, http.StatusBadRequest},
+		{"no targets", http.MethodPost, "/v1/shards", `{"schema":1,"targets":[]}`, http.StatusBadRequest},
+		{"unknown field", http.MethodPost, "/v1/shards", `{"schema":1,"targets":["glucose"],"replicas":3}`, http.StatusBadRequest},
+		{"non-numeric id", http.MethodDelete, "/v1/shards/abc", "", http.StatusNotFound},
+		{"negative id", http.MethodDelete, "/v1/shards/-1", "", http.StatusNotFound},
+	} {
+		req, err := http.NewRequest(tc.method, base+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestServerShardEndpointsDraining: a draining server refuses topology
+// growth with 503, exactly like panel intake.
+func TestServerShardEndpointsDraining(t *testing.T) {
+	srv, client := newTestServer(t, 1, advdiag.WithFleetWorkers(1))
+	srv.Drain()
+	if _, err := client.AddShard(context.Background(), []string{"glucose"}); err == nil {
+		t.Fatal("draining server accepted AddShard")
+	}
+	resp, err := http.Post(clientBase(client)+"/v1/shards", "application/json",
+		strings.NewReader(`{"schema":1,"targets":["glucose"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining POST /v1/shards: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServerConvictionForcesRecal wires the full loop the ISSUE names:
+// a fouling conviction surfacing through GET /v1/diagnosis must flag
+// the attached MonitorScheduler's matching campaigns for forced
+// recalibration — diagnosis verdicts feeding the recalibration
+// machinery, not just the routing layer.
+func TestServerConvictionForcesRecal(t *testing.T) {
+	const sick = 1
+	p, err := servePlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := advdiag.NewFleet([]*advdiag.Platform{p, p},
+		advdiag.WithFleetWorkers(2),
+		advdiag.WithFleetQueueDepth(64),
+		advdiag.WithFleetFaultPlan(advdiag.FaultPlan{Faults: []advdiag.Fault{
+			{Kind: advdiag.FaultFouledElectrode, Shard: sick, Target: "glucose", Severity: 0.5, Seed: 7},
+		}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := advdiag.NewMonitorScheduler(fleet, advdiag.WithSchedulerSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Add(advdiag.MonitorCampaign{
+		ID: "cohort-000", Target: "glucose", SampleMM: 2,
+		DurationHours: 60, IntervalHours: 20, TraceSeconds: 6, BaselineSeconds: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := advdiag.NewServer(fleet,
+		advdiag.WithServerDiagnoser(advdiag.NewDiagnoser(fleet)),
+		advdiag.WithServerScheduler(ms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Close(); err != nil && !errors.Is(err, advdiag.ErrFleetClosed) {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	client := advdiag.NewClient(ts.URL, advdiag.WithHTTPClient(ts.Client()))
+	ctx := context.Background()
+
+	if _, err := client.RunPanels(ctx, glucoseCohort(64)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := client.Diagnosis(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findByClass(d, advdiag.ClassSensorFouling); !ok {
+		t.Fatalf("QC cohort never convicted the fouled shard: %+v", d.Findings)
+	}
+	if got := ms.Stats().ForcedRecals; got != 1 {
+		t.Fatalf("conviction flagged %d forced recals on the attached scheduler, want 1", got)
+	}
+	// The same standing conviction must not re-fire on every poll.
+	if _, err := client.Diagnosis(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := ms.Stats().ForcedRecals; got != 1 {
+		t.Fatalf("re-polling the standing conviction re-fired the trigger: %d", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -373,4 +374,61 @@ func TestClientErrorSurfaces(t *testing.T) {
 	t.Run("unreachable", func(t *testing.T) {
 		check(t, advdiag.NewClient("http://127.0.0.1:1"))
 	})
+}
+
+// TestClientMonitorBackendRetry: the scheduler-facing monitor backend
+// must absorb transient saturation (429) with backoff and retry, and
+// surface a hard failure as an errored outcome carrying the campaign
+// ID and tick — never as a lost acquisition.
+func TestClientMonitorBackendRetry(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1, 2:
+			http.Error(w, `{"error":"fleet saturated"}`, http.StatusTooManyRequests)
+		default:
+			http.Error(w, `{"error":"instrument fire"}`, http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+	b := advdiag.NewClient(ts.URL).MonitorBackend(context.Background())
+	req := advdiag.MonitorRequest{ID: "m-retry", Tick: 3, Target: "glucose", ConcentrationMM: 1}
+	if err := b.SubmitMonitor(req); err != nil {
+		t.Fatal(err)
+	}
+	o := <-b.MonitorResults()
+	if o.Err == nil || o.ID != "m-retry" || o.Tick != 3 || o.Shard != -1 {
+		t.Fatalf("outcome after retries = %+v, want errored outcome for m-retry tick 3", o)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two saturated retries, one failure)", got)
+	}
+}
+
+// TestClientMonitorBackendCancel: cancelling the backend's context
+// while it is backing off from saturation must deliver a cancellation
+// outcome instead of retrying forever.
+func TestClientMonitorBackendCancel(t *testing.T) {
+	fired := make(chan struct{}, 16)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case fired <- struct{}{}:
+		default:
+		}
+		http.Error(w, `{"error":"fleet saturated"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b := advdiag.NewClient(ts.URL).MonitorBackend(ctx)
+	req := advdiag.MonitorRequest{ID: "m-cancel", Target: "glucose", ConcentrationMM: 1}
+	if err := b.TrySubmitMonitor(req); err != nil {
+		t.Fatal(err)
+	}
+	<-fired // at least one saturated round trip happened
+	cancel()
+	o := <-b.MonitorResults()
+	if !errors.Is(o.Err, context.Canceled) || o.ID != "m-cancel" {
+		t.Fatalf("outcome after cancel = %+v, want context.Canceled for m-cancel", o)
+	}
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 )
 
 // Diagnosis classes: the failure modes the fleet diagnoser can name.
@@ -45,6 +46,62 @@ var diagnosisClasses = map[string]bool{
 	ClassDrain:           true,
 }
 
+// Lifecycle event kinds: the fleet history entries a diagnosis can
+// carry. Closed vocabulary, like the classes.
+const (
+	// EventShardAdded records a runtime AddShard.
+	EventShardAdded = "shard_added"
+	// EventShardRemoved records a runtime RemoveShard.
+	EventShardRemoved = "shard_removed"
+	// EventQuarantined records a shard leaving the routing view (breaker
+	// opened by probes, a diagnoser conviction, or an operator).
+	EventQuarantined = "quarantined"
+	// EventProbed records a health-probe transition on a shard (failure
+	// progress toward the breaker opening, or restore progress on a
+	// quarantined shard).
+	EventProbed = "probed"
+	// EventRestored records an automatic un-quarantine: enough
+	// consecutive known-good probes closed the breaker.
+	EventRestored = "restored"
+)
+
+// diagnosisEvents is the closed event-kind vocabulary.
+var diagnosisEvents = map[string]bool{
+	EventShardAdded:   true,
+	EventShardRemoved: true,
+	EventQuarantined:  true,
+	EventProbed:       true,
+	EventRestored:     true,
+}
+
+// DiagnosisEvent is one timestamped fleet lifecycle event in a
+// diagnosis history.
+type DiagnosisEvent struct {
+	// At is the event time in RFC 3339 format with nanoseconds.
+	At string `json:"at"`
+	// Kind is the event kind (one of the Event… constants).
+	Kind string `json:"kind"`
+	// Shard is the shard the event concerns.
+	Shard int `json:"shard"`
+	// Detail is the human-readable specifics.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Validate checks the event against the closed vocabulary and parses
+// its timestamp.
+func (e *DiagnosisEvent) Validate() error {
+	if _, err := time.Parse(time.RFC3339Nano, e.At); err != nil {
+		return fmt.Errorf("wire: diagnosis event time: %w", err)
+	}
+	if !diagnosisEvents[e.Kind] {
+		return fmt.Errorf("wire: unknown diagnosis event kind %q", e.Kind)
+	}
+	if e.Shard < 0 {
+		return fmt.Errorf("wire: diagnosis event shard %d is negative", e.Shard)
+	}
+	return nil
+}
+
 // DiagnosisFinding is one classified anomaly in a fleet diagnosis.
 type DiagnosisFinding struct {
 	// Class is the failure mode (one of the Class… constants).
@@ -79,6 +136,10 @@ type Diagnosis struct {
 	QuarantinedShards []int `json:"quarantined_shards,omitempty"`
 	// Findings are the classified anomalies, worst first.
 	Findings []DiagnosisFinding `json:"findings,omitempty"`
+	// History is the fleet's lifecycle timeline, oldest first — shards
+	// added and removed, quarantines, probe transitions, automatic
+	// restores. Optional, so schema 1 stays backward compatible.
+	History []DiagnosisEvent `json:"history,omitempty"`
 }
 
 // Validate checks the finding against the closed vocabulary and value
@@ -115,6 +176,11 @@ func (d *Diagnosis) Validate() error {
 	for i := range d.Findings {
 		if err := d.Findings[i].Validate(); err != nil {
 			return fmt.Errorf("wire: finding %d: %w", i, err)
+		}
+	}
+	for i := range d.History {
+		if err := d.History[i].Validate(); err != nil {
+			return fmt.Errorf("wire: history event %d: %w", i, err)
 		}
 	}
 	return nil

@@ -22,6 +22,13 @@ func TestDiagnosisRoundTrip(t *testing.T) {
 			{Class: ClassWireErrors, Shard: -1, Severity: 0.1},
 			{Class: ClassDrain, Shard: -1, Severity: 0.25},
 		},
+		History: []DiagnosisEvent{
+			{At: "2026-08-07T09:15:04.000000001Z", Kind: EventShardAdded, Shard: 2, Detail: "targets glucose"},
+			{At: "2026-08-07T09:15:05.5Z", Kind: EventProbed, Shard: 1, Detail: "probe failure 2/3"},
+			{At: "2026-08-07T09:15:06Z", Kind: EventQuarantined, Shard: 1, Detail: "breaker open, 4 backlog jobs rerouted"},
+			{At: "2026-08-07T09:15:08Z", Kind: EventShardRemoved, Shard: 3},
+			{At: "2026-08-07T09:15:09Z", Kind: EventRestored, Shard: 1, Detail: "3 consecutive known-good probes, breaker closed"},
+		},
 	}
 	data, err := MarshalDiagnosis(d)
 	if err != nil {
@@ -49,6 +56,9 @@ func TestDiagnosisStrictDecoding(t *testing.T) {
 		{"shard below -1", `{"schema":1,"status":"degraded","snapshots":1,"findings":[{"class":"shard_stall","shard":-2,"severity":0.5}]}`, "below -1"},
 		{"negative snapshots", `{"schema":1,"status":"healthy","snapshots":-1}`, "negative"},
 		{"negative quarantine entry", `{"schema":1,"status":"healthy","snapshots":0,"quarantined_shards":[-1]}`, "negative"},
+		{"bad event kind", `{"schema":1,"status":"healthy","snapshots":0,"history":[{"at":"2026-08-07T09:15:06Z","kind":"exploded","shard":0}]}`, "unknown diagnosis event kind"},
+		{"bad event time", `{"schema":1,"status":"healthy","snapshots":0,"history":[{"at":"yesterday","kind":"probed","shard":0}]}`, "event time"},
+		{"negative event shard", `{"schema":1,"status":"healthy","snapshots":0,"history":[{"at":"2026-08-07T09:15:06Z","kind":"probed","shard":-1}]}`, "negative"},
 		{"truncated", `{"schema":1,"status":"healthy"`, "unexpected"},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ShardRequest is the request body of POST /v1/shards: grow the served
+// fleet by one shard measuring the given targets. The server designs
+// the platform; the client only names the panel.
+type ShardRequest struct {
+	// Schema is the wire schema version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Targets are the species the new shard's panel must measure.
+	Targets []string `json:"targets"`
+	// Seed optionally pins the platform design seed; zero means the
+	// server uses the fleet's own seed (identical-platform shards, the
+	// configuration under which every result replays on every shard).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// ShardResponse answers a successful POST /v1/shards with the new
+// shard's index — stable for the fleet's lifetime, never reused.
+type ShardResponse struct {
+	// Schema is the wire schema version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Shard is the new shard's index.
+	Shard int `json:"shard"`
+}
+
+// Validate checks the request's schema and target list.
+func (r *ShardRequest) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("wire: shard request schema %d, this decoder speaks %d", r.Schema, SchemaVersion)
+	}
+	if len(r.Targets) == 0 {
+		return fmt.Errorf("wire: shard request names no targets")
+	}
+	for i, t := range r.Targets {
+		if t == "" {
+			return fmt.Errorf("wire: shard request target %d is empty", i)
+		}
+	}
+	return nil
+}
+
+// Validate checks the response's schema and shard index.
+func (r *ShardResponse) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("wire: shard response schema %d, this decoder speaks %d", r.Schema, SchemaVersion)
+	}
+	if r.Shard < 0 {
+		return fmt.Errorf("wire: shard response index %d is negative", r.Shard)
+	}
+	return nil
+}
+
+// MarshalShardRequest encodes one shard request, stamping the schema
+// version when the zero value was left in place and validating first.
+func MarshalShardRequest(r ShardRequest) ([]byte, error) {
+	if r.Schema == 0 {
+		r.Schema = SchemaVersion
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(r)
+}
+
+// UnmarshalShardRequest strictly decodes one shard request.
+func UnmarshalShardRequest(data []byte) (ShardRequest, error) {
+	var r ShardRequest
+	if err := strictUnmarshal(data, &r); err != nil {
+		return ShardRequest{}, fmt.Errorf("wire: shard request: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return ShardRequest{}, err
+	}
+	return r, nil
+}
+
+// MarshalShardResponse encodes one shard response, stamping the schema
+// version when the zero value was left in place and validating first.
+func MarshalShardResponse(r ShardResponse) ([]byte, error) {
+	if r.Schema == 0 {
+		r.Schema = SchemaVersion
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(r)
+}
+
+// UnmarshalShardResponse strictly decodes one shard response.
+func UnmarshalShardResponse(data []byte) (ShardResponse, error) {
+	var r ShardResponse
+	if err := strictUnmarshal(data, &r); err != nil {
+		return ShardResponse{}, fmt.Errorf("wire: shard response: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return ShardResponse{}, err
+	}
+	return r, nil
+}
