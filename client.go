@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"advdiag/wire"
@@ -18,14 +19,40 @@ import (
 // Client talks to a Server over HTTP, speaking the wire format. It is
 // the remote twin of a Lab's batch API: RunPanel/RunPanels/StreamPanels
 // return the same PanelOutcome values a local Lab produces — including
-// byte-identical PanelResult fingerprints, because the wire format is
-// lossless for float64 and the server preserves submission order.
+// byte-identical PanelResult fingerprints, because both wire codecs
+// are lossless for float64 and the server preserves submission order.
 //
-// A Client is safe for concurrent use; it holds no per-request state.
+// Batch and stream panel traffic negotiates its codec: by default the
+// client probes the server once (GET /healthz) and moves to the binary
+// framing when the server advertises it, falling back to JSON against
+// servers that do not — see WireCodec. Either way the decoded
+// outcomes are identical.
+//
+// A Client is safe for concurrent use; it holds no per-request state
+// beyond the cached codec probe.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	codec WireCodec
+	// binProbe caches the one-time negotiation probe: 0 unprobed,
+	// 1 server advertises binary, -1 JSON only.
+	binProbe atomic.Int32
 }
+
+// WireCodec selects the encoding of the client's batch and stream
+// panel traffic.
+type WireCodec int
+
+const (
+	// CodecAuto (the default) probes the server once and uses the
+	// binary codec when the server advertises it, JSON otherwise.
+	CodecAuto WireCodec = iota
+	// CodecJSON forces the JSON/NDJSON shapes.
+	CodecJSON
+	// CodecBinary forces the binary framing without probing (requests
+	// against a JSON-only server will be refused with 400).
+	CodecBinary
+)
 
 // ClientOption customizes a Client.
 type ClientOption func(*Client)
@@ -34,6 +61,13 @@ type ClientOption func(*Client)
 // or an httptest server's client). Default: http.DefaultClient.
 func WithHTTPClient(hc *http.Client) ClientOption {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithWireCodec pins the panel-traffic codec instead of negotiating —
+// CodecJSON for maximum compatibility, CodecBinary for benchmarking
+// the binary path explicitly.
+func WithWireCodec(codec WireCodec) ClientOption {
+	return func(c *Client) { c.codec = codec }
 }
 
 // NewClient builds a client for the server at baseURL (scheme://host[:port],
@@ -67,12 +101,58 @@ func remoteError(status int, body []byte) error {
 }
 
 func (c *Client) post(ctx context.Context, path, contentType string, body io.Reader) (*http.Response, error) {
+	return c.postAccept(ctx, path, contentType, "", body)
+}
+
+// postAccept is post with an explicit Accept header for the endpoints
+// that negotiate their response codec.
+func (c *Client) postAccept(ctx context.Context, path, contentType, accept string, body io.Reader) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, body)
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
 	return c.hc.Do(req)
+}
+
+// useBinary decides the codec for one batch/stream call. In CodecAuto
+// mode the first call probes GET /healthz and caches whether the
+// server advertises the binary framing; a probe that fails outright
+// (server unreachable) conservatively reports JSON without caching, so
+// the next call probes again.
+func (c *Client) useBinary(ctx context.Context) bool {
+	switch c.codec {
+	case CodecJSON:
+		return false
+	case CodecBinary:
+		return true
+	}
+	if v := c.binProbe.Load(); v != 0 {
+		return v > 0
+	}
+	resp, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // probe body is decorative
+	resp.Body.Close()
+	v := int32(-1)
+	if resp.Header.Get("X-Advdiag-Binary") == "1" {
+		v = 1
+	}
+	c.binProbe.Store(v)
+	return v > 0
+}
+
+// responseIsBinary reports whether the server answered in the binary
+// framing (response-side negotiation is by Content-Type, so a client
+// that asked for binary still decodes a JSON answer correctly).
+func responseIsBinary(resp *http.Response) bool {
+	ct := resp.Header.Get("Content-Type")
+	return ct == wire.BinaryMediaType || strings.HasPrefix(ct, wire.BinaryMediaType+";")
 }
 
 func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
@@ -232,25 +312,40 @@ func (c *Client) RunPanel(ctx context.Context, s Sample) (PanelOutcome, error) {
 // request order — the remote counterpart of Lab.RunPanels. Per-sample
 // failures (including samples shed by backpressure mid-batch) land in
 // the outcome's Err; a batch rejected wholesale maps to the sentinel
-// errors like RunPanel.
+// errors like RunPanel. The codec follows the client's WireCodec
+// setting (binary frames when negotiated, JSON otherwise); the decoded
+// outcomes are identical either way.
 func (c *Client) RunPanels(ctx context.Context, samples []Sample) ([]PanelOutcome, error) {
-	elems := make([]json.RawMessage, len(samples))
-	for i, s := range samples {
-		// Per-element MarshalSample keeps client-side validation
-		// consistent with RunPanel/StreamPanels: a bad sample errors
-		// here with the wire message instead of travelling to the
-		// server (or failing opaquely inside json.Marshal on NaN).
-		e, err := wire.MarshalSample(toWireSample(s))
-		if err != nil {
-			return nil, fmt.Errorf("advdiag: batch sample %d: %w", i, err)
+	contentType, accept := "application/json", ""
+	var data []byte
+	if c.useBinary(ctx) {
+		contentType, accept = wire.BinaryMediaType, wire.BinaryMediaType
+		for i, s := range samples {
+			frame, err := wire.MarshalSampleBinary(toWireSample(s))
+			if err != nil {
+				return nil, fmt.Errorf("advdiag: batch sample %d: %w", i, err)
+			}
+			data = append(data, frame...)
 		}
-		elems[i] = e
+	} else {
+		elems := make([]json.RawMessage, len(samples))
+		for i, s := range samples {
+			// Per-element MarshalSample keeps client-side validation
+			// consistent with RunPanel/StreamPanels: a bad sample errors
+			// here with the wire message instead of travelling to the
+			// server (or failing opaquely inside json.Marshal on NaN).
+			e, err := wire.MarshalSample(toWireSample(s))
+			if err != nil {
+				return nil, fmt.Errorf("advdiag: batch sample %d: %w", i, err)
+			}
+			elems[i] = e
+		}
+		var err error
+		if data, err = json.Marshal(elems); err != nil {
+			return nil, err
+		}
 	}
-	data, err := json.Marshal(elems)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.post(ctx, "/v1/panels/batch", "application/json", bytes.NewReader(data))
+	resp, err := c.postAccept(ctx, "/v1/panels/batch", contentType, accept, bytes.NewReader(data))
 	if err != nil {
 		return nil, err
 	}
@@ -263,17 +358,37 @@ func (c *Client) RunPanels(ctx context.Context, samples []Sample) ([]PanelOutcom
 		return nil, remoteError(resp.StatusCode, body)
 	}
 	var wos []wire.Outcome
-	if err := json.Unmarshal(body, &wos); err != nil {
-		return nil, fmt.Errorf("advdiag: batch response: %w", err)
+	if responseIsBinary(resp) {
+		br := bytes.NewReader(body)
+		for {
+			frame, err := wire.ReadBinaryFrame(br, maxOutcomeBytes)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("advdiag: batch response: %w", err)
+			}
+			wo, err := wire.UnmarshalOutcomeBinary(frame)
+			if err != nil {
+				return nil, err
+			}
+			wos = append(wos, wo)
+		}
+	} else {
+		if err := json.Unmarshal(body, &wos); err != nil {
+			return nil, fmt.Errorf("advdiag: batch response: %w", err)
+		}
+		for i := range wos {
+			if err := wos[i].Validate(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if len(wos) != len(samples) {
 		return nil, fmt.Errorf("advdiag: batch response has %d outcomes for %d samples", len(wos), len(samples))
 	}
 	out := make([]PanelOutcome, len(wos))
 	for i, wo := range wos {
-		if err := wo.Validate(); err != nil {
-			return nil, err
-		}
 		out[i] = outcomeFromWire(wo)
 	}
 	return out, nil
@@ -285,30 +400,52 @@ func (c *Client) RunPanels(ctx context.Context, samples []Sample) ([]PanelOutcom
 // on the caller's goroutine; StreamPanels returns after the server
 // closes the stream (every sample answered) or the context ends.
 func (c *Client) StreamPanels(ctx context.Context, samples []Sample, fn func(seq int, o PanelOutcome)) error {
+	binReq := c.useBinary(ctx)
+	contentType, accept := "application/x-ndjson", ""
+	if binReq {
+		contentType, accept = wire.BinaryMediaType, wire.BinaryMediaType
+	}
 	lines := make([][]byte, len(samples))
 	for i, s := range samples {
-		data, err := wire.MarshalSample(toWireSample(s))
+		var data []byte
+		var err error
+		if binReq {
+			data, err = wire.MarshalSampleBinary(toWireSample(s))
+		} else {
+			if data, err = wire.MarshalSample(toWireSample(s)); err == nil {
+				data = append(data, '\n')
+			}
+		}
 		if err != nil {
 			return err
 		}
-		lines[i] = append(data, '\n')
+		lines[i] = data
 	}
 	// Stream the body through a pipe instead of buffering it: the
 	// server answers in completion order while the request is still
 	// being written, so a client that finishes uploading before reading
 	// deadlocks against the server's bounded outcome queue once the
-	// cohort outgrows the transport buffers.
+	// cohort outgrows the transport buffers. Frames are coalesced
+	// through a bufio.Writer so the wire sees few large chunks instead
+	// of one pipe rendezvous (and one TCP segment) per sample — the
+	// writer goroutine still overlaps the response reads below, so the
+	// backpressure story is unchanged.
 	pr, pw := io.Pipe()
 	go func() {
+		bw := bufio.NewWriterSize(pw, 32*1024)
 		for _, line := range lines {
-			if _, err := pw.Write(line); err != nil {
+			if _, err := bw.Write(line); err != nil {
 				pw.CloseWithError(err)
 				return
 			}
 		}
+		if err := bw.Flush(); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
 		pw.Close()
 	}()
-	resp, err := c.post(ctx, "/v1/panels/stream", "application/x-ndjson", pr)
+	resp, err := c.postAccept(ctx, "/v1/panels/stream", contentType, accept, pr)
 	if err != nil {
 		pr.Close() //nolint:errcheck // unblocks the writer goroutine
 		return err
@@ -318,26 +455,45 @@ func (c *Client) StreamPanels(ctx context.Context, samples []Sample, fn func(seq
 		body, _ := io.ReadAll(resp.Body)
 		return remoteError(resp.StatusCode, body)
 	}
-	sc := bufio.NewScanner(resp.Body)
-	// An outcome line is strictly larger than the sample it answers
-	// (it echoes the ID and adds the result), so the response buffer
-	// must be sized above the request-line bound.
-	sc.Buffer(make([]byte, 64*1024), maxOutcomeBytes)
 	n := 0
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	if responseIsBinary(resp) {
+		br := bufio.NewReaderSize(resp.Body, 64*1024)
+		for {
+			frame, err := wire.ReadBinaryFrame(br, maxOutcomeBytes)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			wo, err := wire.UnmarshalOutcomeBinary(frame)
+			if err != nil {
+				return err
+			}
+			fn(wo.Seq, outcomeFromWire(wo))
+			n++
 		}
-		wo, err := wire.UnmarshalOutcome(line)
-		if err != nil {
+	} else {
+		sc := bufio.NewScanner(resp.Body)
+		// An outcome line is strictly larger than the sample it answers
+		// (it echoes the ID and adds the result), so the response buffer
+		// must be sized above the request-line bound.
+		sc.Buffer(make([]byte, 64*1024), maxOutcomeBytes)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			wo, err := wire.UnmarshalOutcome(line)
+			if err != nil {
+				return err
+			}
+			fn(wo.Seq, outcomeFromWire(wo))
+			n++
+		}
+		if err := sc.Err(); err != nil {
 			return err
 		}
-		fn(wo.Seq, outcomeFromWire(wo))
-		n++
-	}
-	if err := sc.Err(); err != nil {
-		return err
 	}
 	if n != len(samples) {
 		return fmt.Errorf("advdiag: stream answered %d of %d samples", n, len(samples))

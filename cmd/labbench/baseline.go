@@ -39,6 +39,10 @@ type Baseline struct {
 	FleetPanelsPerSec float64 `json:"fleet_panels_per_sec,omitempty"`
 	// FleetShards records the shard count behind FleetPanelsPerSec.
 	FleetShards int `json:"fleet_shards,omitempty"`
+	// FleetAllocsPerPanel is the heap allocations per panel measured
+	// over the same mixed-traffic row as FleetPanelsPerSec; 0 when the
+	// baseline predates the batching work (PR 9).
+	FleetAllocsPerPanel float64 `json:"fleet_allocs_per_panel,omitempty"`
 	// Benchmarks maps experiment name → cost of one full run.
 	Benchmarks map[string]BenchMetric `json:"benchmarks"`
 }
@@ -87,9 +91,25 @@ func measureFigBenchmarks(w io.Writer) (map[string]BenchMetric, error) {
 	return out, nil
 }
 
+// resolveBaselinePath maps the special value "auto" to the newest
+// committed baseline present on disk: BENCH_PR9.json (which records
+// the batched-path fleet allocs and throughput) when it exists,
+// BENCH_PR3.json otherwise. Explicit paths pass through untouched.
+func resolveBaselinePath(path string) string {
+	if path != "auto" {
+		return path
+	}
+	for _, candidate := range []string{"BENCH_PR9.json", "BENCH_PR3.json"} {
+		if _, err := os.Stat(candidate); err == nil {
+			return candidate
+		}
+	}
+	return "BENCH_PR3.json"
+}
+
 // writeBaseline measures the figure benchmarks and writes the full
 // baseline file.
-func writeBaseline(w io.Writer, path string, cfg config, panelsPerSec, fleetPanelsPerSec float64) error {
+func writeBaseline(w io.Writer, path string, cfg config, panelsPerSec, fleetPanelsPerSec, fleetAllocsPerPanel float64) error {
 	fmt.Fprintf(w, "\nmeasuring Fig. 1-4 benchmarks for %s...\n", path)
 	benches, err := measureFigBenchmarks(w)
 	if err != nil {
@@ -105,8 +125,28 @@ func writeBaseline(w io.Writer, path string, cfg config, panelsPerSec, fleetPane
 	if fleetPanelsPerSec > 0 {
 		b.FleetPanelsPerSec = fleetPanelsPerSec
 		b.FleetShards = cfg.shards[len(cfg.shards)-1]
+		b.FleetAllocsPerPanel = fleetAllocsPerPanel
 	}
-	data, err := json.MarshalIndent(b, "", "  ")
+	raw, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	var merged map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &merged); err != nil {
+		return err
+	}
+	// cmd/labload writes its latency/codec section into the same file;
+	// keep it when regenerating the labbench half so the two tools can
+	// co-own the baseline in either order.
+	if prev, err := os.ReadFile(path); err == nil {
+		var old map[string]json.RawMessage
+		if json.Unmarshal(prev, &old) == nil {
+			if ll, ok := old["labload"]; ok {
+				merged["labload"] = ll
+			}
+		}
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -151,7 +191,7 @@ func readBaseline(path string) (*Baseline, error) {
 // both sides have one at the same shard count, the fleet rate —
 // against the committed baseline and errors on a regression beyond
 // tolerance (e.g. 0.30 = fail when more than 30% slower).
-func checkBaseline(w io.Writer, base *Baseline, measured, measuredFleet float64, measuredFleetShards int, tolerance float64) error {
+func checkBaseline(w io.Writer, base *Baseline, measured, measuredFleet float64, measuredFleetShards int, measuredFleetAllocs, tolerance float64) error {
 	floor := base.SingleWorkerPanelsPerSec * (1 - tolerance)
 	ratio := measured / base.SingleWorkerPanelsPerSec
 	fmt.Fprintf(w, "\nbaseline: %.1f panels/sec recorded (%s), measured %.1f (%.0f%%), floor %.1f\n",
@@ -178,6 +218,18 @@ func checkBaseline(w io.Writer, base *Baseline, measured, measuredFleet float64,
 		if measuredFleet < fleetFloor {
 			return fmt.Errorf("labbench: fleet panels/sec regressed beyond %.0f%%: measured %.1f vs baseline %.1f",
 				100*tolerance, measuredFleet, base.FleetPanelsPerSec)
+		}
+		// Allocations per panel are duration-independent, so the same
+		// tolerance gates them from the other side: growth beyond it
+		// means the batching layer stopped reusing its arenas.
+		if base.FleetAllocsPerPanel > 0 && measuredFleetAllocs > 0 {
+			ceil := base.FleetAllocsPerPanel * (1 + tolerance)
+			fmt.Fprintf(w, "fleet allocs baseline: %.0f allocs/panel recorded, measured %.0f, ceiling %.0f\n",
+				base.FleetAllocsPerPanel, measuredFleetAllocs, ceil)
+			if measuredFleetAllocs > ceil {
+				return fmt.Errorf("labbench: fleet allocs/panel grew beyond %.0f%%: measured %.0f vs baseline %.0f",
+					100*tolerance, measuredFleetAllocs, base.FleetAllocsPerPanel)
+			}
 		}
 	}
 	return nil

@@ -31,20 +31,20 @@ func TestBaselineRoundTripAndCheck(t *testing.T) {
 
 	var b strings.Builder
 	// Within tolerance: 80 ≥ 100·(1−0.30).
-	if err := checkBaseline(&b, base, 80, 0, 0, 0.30); err != nil {
+	if err := checkBaseline(&b, base, 80, 0, 0, 0, 0.30); err != nil {
 		t.Fatalf("80 vs 100 at 30%% tolerance must pass: %v", err)
 	}
 	// Beyond tolerance.
-	if err := checkBaseline(&b, base, 60, 0, 0, 0.30); err == nil {
+	if err := checkBaseline(&b, base, 60, 0, 0, 0, 0.30); err == nil {
 		t.Fatal("60 vs 100 at 30% tolerance must fail")
 	}
 	// Improvements always pass.
-	if err := checkBaseline(&b, base, 500, 0, 0, 0.30); err != nil {
+	if err := checkBaseline(&b, base, 500, 0, 0, 0, 0.30); err != nil {
 		t.Fatalf("improvement must pass: %v", err)
 	}
 	// A measured fleet rate against a pre-fleet baseline is reported
 	// but not diffed.
-	if err := checkBaseline(&b, base, 80, 50, 2, 0.30); err != nil {
+	if err := checkBaseline(&b, base, 80, 50, 2, 0, 0.30); err != nil {
 		t.Fatalf("fleet rate without a fleet baseline must not fail: %v", err)
 	}
 	if !strings.Contains(b.String(), "baseline:") {
@@ -58,17 +58,68 @@ func TestBaselineRoundTripAndCheck(t *testing.T) {
 	// but only at the same shard count (rates parallelize with shards,
 	// so cross-count diffs are not like-for-like).
 	base.FleetPanelsPerSec, base.FleetShards = 200, 4
-	if err := checkBaseline(&b, base, 80, 150, 4, 0.30); err != nil {
+	if err := checkBaseline(&b, base, 80, 150, 4, 0, 0.30); err != nil {
 		t.Fatalf("fleet 150 vs 200 at 30%% tolerance must pass: %v", err)
 	}
-	if err := checkBaseline(&b, base, 80, 100, 4, 0.30); err == nil {
+	if err := checkBaseline(&b, base, 80, 100, 4, 0, 0.30); err == nil {
 		t.Fatal("fleet 100 vs 200 at 30% tolerance must fail")
 	}
-	if err := checkBaseline(&b, base, 80, 100, 2, 0.30); err != nil {
+	if err := checkBaseline(&b, base, 80, 100, 2, 0, 0.30); err != nil {
 		t.Fatalf("mismatched shard counts must skip the fleet diff, not fail: %v", err)
 	}
 	if !strings.Contains(b.String(), "recorded at 4 shards but measured at 2") {
 		t.Fatalf("missing shard-mismatch note:\n%s", b.String())
+	}
+
+	// With an allocs/panel baseline present, growth beyond tolerance
+	// fails; within tolerance (or with either side missing) it passes.
+	base.FleetAllocsPerPanel = 1000
+	if err := checkBaseline(&b, base, 80, 150, 4, 1200, 0.30); err != nil {
+		t.Fatalf("allocs 1200 vs 1000 at 30%% tolerance must pass: %v", err)
+	}
+	if err := checkBaseline(&b, base, 80, 150, 4, 1400, 0.30); err == nil {
+		t.Fatal("allocs 1400 vs 1000 at 30% tolerance must fail")
+	}
+	if err := checkBaseline(&b, base, 80, 150, 4, 0, 0.30); err != nil {
+		t.Fatalf("missing measured allocs must skip the alloc diff: %v", err)
+	}
+	if !strings.Contains(b.String(), "allocs/panel") {
+		t.Fatalf("missing allocs comparison note:\n%s", b.String())
+	}
+}
+
+// TestResolveBaselinePath: "auto" prefers BENCH_PR9.json over
+// BENCH_PR3.json when present; explicit paths pass through.
+func TestResolveBaselinePath(t *testing.T) {
+	if got := resolveBaselinePath("whatever.json"); got != "whatever.json" {
+		t.Fatalf("explicit path rewritten to %q", got)
+	}
+	dir := t.TempDir()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd) //nolint:errcheck // best-effort restore
+
+	// Neither file exists: fall back to the PR 3 name (readBaseline will
+	// report the missing file with its real name).
+	if got := resolveBaselinePath("auto"); got != "BENCH_PR3.json" {
+		t.Fatalf("auto with no baselines resolved to %q", got)
+	}
+	if err := os.WriteFile("BENCH_PR3.json", []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := resolveBaselinePath("auto"); got != "BENCH_PR3.json" {
+		t.Fatalf("auto without PR 9 baseline resolved to %q", got)
+	}
+	if err := os.WriteFile("BENCH_PR9.json", []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := resolveBaselinePath("auto"); got != "BENCH_PR9.json" {
+		t.Fatalf("auto with both baselines resolved to %q", got)
 	}
 }
 
@@ -90,7 +141,7 @@ func TestWriteBaselineRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.json")
 	var b strings.Builder
 	cfg := config{patients: 5, shards: []int{1, 2}}
-	if err := writeBaseline(&b, path, cfg, 123.4, 456.7); err != nil {
+	if err := writeBaseline(&b, path, cfg, 123.4, 456.7, 321); err != nil {
 		t.Fatal(err)
 	}
 	if calls == 0 {
@@ -106,6 +157,26 @@ func TestWriteBaselineRoundTrip(t *testing.T) {
 	if base.FleetPanelsPerSec != 456.7 || base.FleetShards != 2 {
 		t.Fatalf("fleet numbers lost in the round trip: %+v", base)
 	}
+	if base.FleetAllocsPerPanel != 321 {
+		t.Fatalf("fleet allocs/panel lost in the round trip: %+v", base)
+	}
+
+	// Rewriting the labbench half must keep a labload section another
+	// tool put in the same file.
+	withLoad := []byte(`{"single_worker_panels_per_sec": 1, "labload": {"conns": 4}}`)
+	if err := os.WriteFile(path, withLoad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBaseline(&b, path, cfg, 123.4, 456.7, 321); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(merged), `"labload"`) || !strings.Contains(string(merged), `"conns": 4`) {
+		t.Fatalf("labload section dropped on rewrite:\n%s", merged)
+	}
 	m, ok := base.Benchmarks["Stub"]
 	if !ok || m.NsPerOp <= 0 {
 		t.Fatalf("stub benchmark metric missing or empty: %+v", base.Benchmarks)
@@ -118,7 +189,7 @@ func TestWriteBaselineRoundTrip(t *testing.T) {
 	figExperiments = map[string]func() (*experiments.Result, error){
 		"Broken": func() (*experiments.Result, error) { return nil, os.ErrInvalid },
 	}
-	if err := writeBaseline(&b, filepath.Join(t.TempDir(), "x.json"), config{patients: 1, shards: []int{1}}, 1, 0); err == nil {
+	if err := writeBaseline(&b, filepath.Join(t.TempDir(), "x.json"), config{patients: 1, shards: []int{1}}, 1, 0, 0); err == nil {
 		t.Fatal("failing experiment did not fail writeBaseline")
 	}
 }

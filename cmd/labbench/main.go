@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -207,13 +208,13 @@ func run(w io.Writer, cfg config) (float64, error) {
 // runFleet sweeps shard counts over mixed Fig. 1–4 panel traffic (one
 // worker per shard — the single-CPU reference configuration) and
 // verifies every shard count produces byte-identical results. It
-// returns the panels/sec of the largest shard count, the tracked fleet
-// headline number.
-func runFleet(w io.Writer, cfg config) (float64, error) {
+// returns the panels/sec and allocations/panel of the largest shard
+// count, the tracked fleet headline numbers.
+func runFleet(w io.Writer, cfg config) (float64, float64, error) {
 	fmt.Fprintf(w, "\nfleet mode: designing the %d-target platform once, sharing it across shards...\n", len(cfg.targets))
 	platform, err := advdiag.DesignPlatform(cfg.targets, advdiag.WithPlatformSeed(cfg.seed))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	samples := mixedTraffic(cfg.targets, cfg.patients, cfg.seed)
 	// The calibration cache warms inside NewLab; run a couple of
@@ -223,16 +224,16 @@ func runFleet(w io.Writer, cfg config) (float64, error) {
 	// broken platform or cohort from failing mid-sweep instead.
 	warmLab, err := advdiag.NewLab(platform, advdiag.WithLabWorkers(1))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if _, err := batchFingerprint(warmLab.RunPanels(samples[:min(2, len(samples))])); err != nil {
-		return 0, fmt.Errorf("labbench: fleet warm-up: %w", err)
+		return 0, 0, fmt.Errorf("labbench: fleet warm-up: %w", err)
 	}
 
 	fmt.Fprintf(w, "mixed traffic: %d samples (1/3 metabolite, 1/3 drug, 1/3 full panel); sweep shards %v\n\n", cfg.patients, cfg.shards)
-	fmt.Fprintf(w, "%8s %10s %12s %9s %11s\n", "shards", "wall", "panels/sec", "speedup", "cache hit")
+	fmt.Fprintf(w, "%8s %10s %12s %9s %11s %13s\n", "shards", "wall", "panels/sec", "speedup", "cache hit", "allocs/panel")
 
-	var base, lastRate float64
+	var base, lastRate, lastAllocs float64
 	var fp uint64
 	for i, shards := range cfg.shards {
 		platforms := make([]*advdiag.Platform, shards)
@@ -241,35 +242,44 @@ func runFleet(w io.Writer, cfg config) (float64, error) {
 		}
 		fleet, err := advdiag.NewFleet(platforms, advdiag.WithFleetWorkers(1))
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
+		// Mallocs is a monotonic process-wide counter, so the delta
+		// around the run is the sweep row's allocation bill (the fleet
+		// is the only thing allocating during the window); allocs/panel
+		// is duration-independent and gates the batching layer's arena
+		// reuse the way panels/sec gates its speed.
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		outs := fleet.RunPanels(samples)
 		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&msAfter)
 		got, err := batchFingerprint(outs)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		st := fleet.Stats()
 		if err := fleet.Close(); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if i == 0 {
 			fp = got
 		} else if got != fp {
-			return 0, fmt.Errorf("labbench: results at %d shards differ from %d shards (fingerprint %x vs %x)",
+			return 0, 0, fmt.Errorf("labbench: results at %d shards differ from %d shards (fingerprint %x vs %x)",
 				shards, cfg.shards[0], got, fp)
 		}
 		rate := float64(cfg.patients) / wall
+		allocs := float64(msAfter.Mallocs-msBefore.Mallocs) / float64(cfg.patients)
 		if i == 0 {
 			base = rate
 		}
-		lastRate = rate
-		fmt.Fprintf(w, "%8d %9.2fs %12.1f %8.2fx %10.0f%%\n",
-			shards, wall, rate, rate/base, 100*st.CacheHitRate)
+		lastRate, lastAllocs = rate, allocs
+		fmt.Fprintf(w, "%8d %9.2fs %12.1f %8.2fx %10.0f%% %13.0f\n",
+			shards, wall, rate, rate/base, 100*st.CacheHitRate, allocs)
 	}
 	fmt.Fprintf(w, "\nfleet results byte-identical across all shard counts (fingerprint %016x)\n", fp)
-	return lastRate, nil
+	return lastRate, lastAllocs, nil
 }
 
 func main() {
@@ -281,7 +291,7 @@ func main() {
 		seed      = flag.Uint64("seed", 9, "platform and cohort seed")
 		quick     = flag.Bool("quick", false, "CI smoke: 16 patients, workers 1,2 (and shards 1,2 with -fleet)")
 		jsonOut   = flag.String("json", "", "write a performance baseline (panels/sec + Fig. 1-4 benchmarks) to this file")
-		baseline  = flag.String("baseline", "", "compare measured panels/sec against this committed baseline file")
+		baseline  = flag.String("baseline", "", "compare measured panels/sec against this committed baseline file; \"auto\" prefers BENCH_PR9.json and falls back to BENCH_PR3.json")
 		tolerance = flag.Float64("tolerance", 0.30, "allowed fractional panels/sec regression vs -baseline before failing")
 	)
 	flag.Parse()
@@ -318,25 +328,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fleetRate := 0.0
+	fleetRate, fleetAllocs := 0.0, 0.0
 	if *fleet {
-		fleetRate, err = runFleet(os.Stdout, cfg)
+		fleetRate, fleetAllocs, err = runFleet(os.Stdout, cfg)
 		if err != nil {
 			fatal(err)
 		}
 	}
 	if *baseline != "" {
-		base, err := readBaseline(*baseline)
+		path := resolveBaselinePath(*baseline)
+		base, err := readBaseline(path)
 		if err != nil {
 			fatal(err)
 		}
+		fmt.Fprintf(os.Stdout, "\ndiffing against %s\n", path)
 		fleetShards := cfg.shards[len(cfg.shards)-1]
-		if err := checkBaseline(os.Stdout, base, singleRate, fleetRate, fleetShards, *tolerance); err != nil {
+		if err := checkBaseline(os.Stdout, base, singleRate, fleetRate, fleetShards, fleetAllocs, *tolerance); err != nil {
 			fatal(err)
 		}
 	}
 	if *jsonOut != "" {
-		if err := writeBaseline(os.Stdout, *jsonOut, cfg, singleRate, fleetRate); err != nil {
+		if err := writeBaseline(os.Stdout, *jsonOut, cfg, singleRate, fleetRate, fleetAllocs); err != nil {
 			fatal(err)
 		}
 	}

@@ -75,15 +75,18 @@ func TestRunFleetSweep(t *testing.T) {
 		shards:   []int{1, 2},
 		seed:     7,
 	}
-	rate, err := runFleet(&b, cfg)
+	rate, allocs, err := runFleet(&b, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rate <= 0 {
 		t.Fatalf("fleet sweep reported non-positive rate %g", rate)
 	}
+	if allocs <= 0 {
+		t.Fatalf("fleet sweep reported non-positive allocs/panel %g", allocs)
+	}
 	out := b.String()
-	for _, frag := range []string{"mixed traffic", "shards", "byte-identical"} {
+	for _, frag := range []string{"mixed traffic", "shards", "byte-identical", "allocs/panel"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("fleet report missing %q:\n%s", frag, out)
 		}

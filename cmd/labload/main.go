@@ -1,0 +1,642 @@
+// Command labload is the latency-percentile load generator for the
+// panel-serving front door: it drives a live labserve-compatible HTTP
+// server with both wire codecs (JSON NDJSON and the length-prefixed
+// binary framing) and reports, per codec,
+//
+//   - p50/p90/p99/max request latency over concurrent single-sample
+//     submissions (the interactive point-of-care shape),
+//   - end-to-end stream throughput against the real fleet, with every
+//     fingerprint diffed against a local Lab, and
+//   - wire throughput with the measurement kernel taken out of the
+//     loop (a loopback echo server that decodes each sample and
+//     answers a pre-built outcome), which isolates what the codec
+//     itself costs — the number where binary's advantage over JSON
+//     shows undiluted by panel compute.
+//
+// Percentiles are nearest-rank over every request in the run; p99 is
+// the tail the regression gate tracks, because batching and codec
+// work tend to regress tails (head-of-line blocking) before medians.
+//
+// Examples:
+//
+//	labload                          # in-process 2-shard server, full report
+//	labload -addr http://host:8080   # drive an already-running labserve
+//	labload -smoke -shards 3         # CI: short run, both codecs,
+//	                                 # fingerprint cross-check, binary
+//	                                 # wire throughput must not trail JSON
+//	labload -json BENCH_PR9.json     # merge a labload section into the baseline
+//	labload -baseline BENCH_PR9.json # gate p99 tail latency + wire throughput
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"advdiag"
+	"advdiag/wire"
+)
+
+// fig4Targets is the paper's §III six-target demonstrator panel.
+var fig4Targets = []string{
+	"glucose", "lactate", "glutamate",
+	"benzphetamine", "aminopyrine", "cholesterol",
+}
+
+// baselineMM centers the cohort on physiologic values.
+var baselineMM = map[string]float64{
+	"glucose":       2.0,
+	"lactate":       1.0,
+	"glutamate":     1.0,
+	"benzphetamine": 0.8,
+	"aminopyrine":   4.0,
+	"cholesterol":   0.05,
+}
+
+// codecStats is one codec's column in the report and in the JSON
+// baseline's labload section.
+type codecStats struct {
+	P50Ms              float64 `json:"p50_ms"`
+	P90Ms              float64 `json:"p90_ms"`
+	P99Ms              float64 `json:"p99_ms"`
+	MaxMs              float64 `json:"max_ms"`
+	PanelsPerSec       float64 `json:"panels_per_sec"`
+	StreamPanelsPerSec float64 `json:"stream_panels_per_sec"`
+	WirePanelsPerSec   float64 `json:"wire_panels_per_sec"`
+}
+
+// loadReport is the labload section of BENCH_PR9.json.
+type loadReport struct {
+	GeneratedAt string     `json:"generated_at"`
+	Host        string     `json:"host"`
+	Conns       int        `json:"conns"`
+	Panels      int        `json:"panels"`
+	WirePanels  int        `json:"wire_panels"`
+	Shards      int        `json:"shards"`
+	JSON        codecStats `json:"json"`
+	Binary      codecStats `json:"binary"`
+	// WireSpeedup is Binary.WirePanelsPerSec / JSON.WirePanelsPerSec —
+	// how much faster the binary framing moves panels when the kernel
+	// is out of the loop.
+	WireSpeedup float64 `json:"wire_speedup"`
+}
+
+type loadConfig struct {
+	addr       string // non-empty: drive an external server, skip fleet phases needing a known platform
+	targets    []string
+	shards     int
+	workers    int
+	conns      int
+	panels     int
+	wirePanels int
+	seed       uint64
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "base URL of a running labserve (empty: start an in-process server)")
+		targets    = flag.String("targets", strings.Join(fig4Targets, ","), "comma-separated panel targets for the in-process server")
+		shards     = flag.Int("shards", 2, "in-process fleet shard count")
+		workers    = flag.Int("workers", 1, "workers per in-process shard")
+		conns      = flag.Int("conns", 4, "concurrent connections in the latency phase")
+		panels     = flag.Int("panels", 96, "total single-sample requests per codec in the latency phase")
+		wirePanels = flag.Int("wire", 4096, "panels per codec in the wire-isolated throughput phase")
+		seed       = flag.Uint64("seed", 9, "platform and cohort seed")
+		smoke      = flag.Bool("smoke", false, "CI smoke: short run, both codecs, fingerprint cross-check, binary wire throughput must not trail JSON")
+		jsonOut    = flag.String("json", "", "merge a labload section into this baseline file (e.g. BENCH_PR9.json)")
+		baseline   = flag.String("baseline", "", "gate measured p99 latency and wire throughput against this baseline's labload section")
+		tolerance  = flag.Float64("tolerance", 0.50, "allowed fractional p99/throughput regression vs -baseline before failing (latency is noisier than throughput)")
+	)
+	flag.Parse()
+
+	cfg := loadConfig{
+		addr:       *addr,
+		targets:    splitTargets(*targets),
+		shards:     *shards,
+		workers:    *workers,
+		conns:      *conns,
+		panels:     *panels,
+		wirePanels: *wirePanels,
+		seed:       *seed,
+	}
+	if *smoke {
+		// Short enough for CI, long enough that percentiles mean
+		// something and the wire ratio is out of the noise.
+		cfg.conns, cfg.panels, cfg.wirePanels = 2, 24, 2048
+	}
+	if cfg.conns < 1 || cfg.panels < cfg.conns || cfg.wirePanels < 1 {
+		fatal(fmt.Errorf("labload: need conns ≥ 1, panels ≥ conns and wire ≥ 1 (got %d, %d, %d)", cfg.conns, cfg.panels, cfg.wirePanels))
+	}
+	if *tolerance < 0 || *tolerance >= 1 {
+		fatal(fmt.Errorf("labload: tolerance %g outside [0,1)", *tolerance))
+	}
+
+	report, err := runLoad(os.Stdout, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *smoke && report.WireSpeedup < 1.0 {
+		fatal(fmt.Errorf("labload: binary wire throughput trails JSON (%.0f vs %.0f panels/sec)",
+			report.Binary.WirePanelsPerSec, report.JSON.WirePanelsPerSec))
+	}
+	if *baseline != "" {
+		if err := checkLoadBaseline(os.Stdout, *baseline, report, *tolerance); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeLoadReport(os.Stdout, *jsonOut, report); err != nil {
+			fatal(err)
+		}
+	}
+	if *smoke {
+		fmt.Printf("labload smoke: both codecs fingerprint-identical to the local Lab; binary wire %.2fx JSON\n", report.WireSpeedup)
+	}
+}
+
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// cohort generates the deterministic patient cohort the latency and
+// stream phases submit (the labserve smoke's shape).
+func cohort(targets []string, n int) []advdiag.Sample {
+	out := make([]advdiag.Sample, n)
+	for i := range out {
+		concs := make(map[string]float64, len(targets))
+		for j, t := range targets {
+			base := baselineMM[t]
+			if base == 0 {
+				base = 1
+			}
+			concs[t] = base * (0.5 + 0.1*float64((i+j)%13))
+		}
+		out[i] = advdiag.Sample{ID: fmt.Sprintf("patient-%03d", i+1), Concentrations: concs}
+	}
+	return out
+}
+
+// percentileMs is nearest-rank over sorted latencies: the smallest
+// observation covering at least q of the run.
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return float64(sorted[rank]) / float64(time.Millisecond)
+}
+
+// runLoad runs all three phases for both codecs and prints the report.
+func runLoad(w io.Writer, cfg loadConfig) (*loadReport, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Minute)
+	defer cancel()
+
+	var platform *advdiag.Platform
+	external := cfg.addr != ""
+	if !external {
+		fmt.Fprintf(w, "designing %d-target platform (%s)...\n", len(cfg.targets), strings.Join(cfg.targets, ", "))
+		p, err := advdiag.DesignPlatform(cfg.targets, advdiag.WithPlatformSeed(cfg.seed))
+		if err != nil {
+			return nil, err
+		}
+		platform = p
+	}
+
+	samples := cohort(cfg.targets, cfg.panels)
+	// Local reference fingerprints for the stream phase: a fresh fleet
+	// starts its submission index at 0, so a single stream of the
+	// cohort is seed-for-seed comparable to a local Lab run. Only
+	// possible when we own the server (an external one has unknown
+	// platform seed and index state).
+	var local []uint64
+	if !external {
+		lab, err := advdiag.NewLab(platform, advdiag.WithLabWorkers(cfg.workers))
+		if err != nil {
+			return nil, err
+		}
+		outs := lab.RunPanels(samples)
+		local = make([]uint64, len(outs))
+		for i, o := range outs {
+			if o.Err != nil {
+				return nil, fmt.Errorf("labload: local sample %d: %w", i, o.Err)
+			}
+			local[i] = o.Result.Fingerprint()
+		}
+	}
+
+	report := &loadReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Host:        fmt.Sprintf("%s/%s, %d cpu", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		Conns:       cfg.conns,
+		Panels:      cfg.panels,
+		WirePanels:  cfg.wirePanels,
+		Shards:      cfg.shards,
+	}
+
+	for _, codec := range []struct {
+		name string
+		c    advdiag.WireCodec
+		out  *codecStats
+	}{
+		{"json", advdiag.CodecJSON, &report.JSON},
+		{"binary", advdiag.CodecBinary, &report.Binary},
+	} {
+		stats, err := runFleetPhases(ctx, w, cfg, platform, samples, local, codec.c, codec.name)
+		if err != nil {
+			return nil, fmt.Errorf("labload: %s: %w", codec.name, err)
+		}
+		*codec.out = *stats
+	}
+
+	// Wire-isolated phase: same client, same transport, no kernel.
+	wireSample := advdiag.Sample{ID: "wire-probe", Concentrations: map[string]float64{"glucose": 5.5, "lactate": 1.25}}
+	wireSamples := make([]advdiag.Sample, cfg.wirePanels)
+	for i := range wireSamples {
+		wireSamples[i] = wireSample
+	}
+	echoURL, stopEcho, err := startEchoServer(len(cfg.targets))
+	if err != nil {
+		return nil, err
+	}
+	defer stopEcho()
+	for _, codec := range []struct {
+		name string
+		c    advdiag.WireCodec
+		out  *codecStats
+	}{
+		{"json", advdiag.CodecJSON, &report.JSON},
+		{"binary", advdiag.CodecBinary, &report.Binary},
+	} {
+		rate, err := runWirePhase(ctx, echoURL, wireSamples, codec.c)
+		if err != nil {
+			return nil, fmt.Errorf("labload: wire %s: %w", codec.name, err)
+		}
+		codec.out.WirePanelsPerSec = rate
+	}
+	if report.JSON.WirePanelsPerSec > 0 {
+		report.WireSpeedup = report.Binary.WirePanelsPerSec / report.JSON.WirePanelsPerSec
+	}
+
+	fmt.Fprintf(w, "\n%8s %9s %9s %9s %9s %12s %12s %12s\n",
+		"codec", "p50", "p90", "p99", "max", "panels/sec", "stream p/s", "wire p/s")
+	for _, row := range []struct {
+		name string
+		s    codecStats
+	}{{"json", report.JSON}, {"binary", report.Binary}} {
+		fmt.Fprintf(w, "%8s %7.1fms %7.1fms %7.1fms %7.1fms %12.1f %12.1f %12.0f\n",
+			row.name, row.s.P50Ms, row.s.P90Ms, row.s.P99Ms, row.s.MaxMs,
+			row.s.PanelsPerSec, row.s.StreamPanelsPerSec, row.s.WirePanelsPerSec)
+	}
+	fmt.Fprintf(w, "\nwire codec speedup (kernel out of the loop): binary %.2fx JSON NDJSON\n", report.WireSpeedup)
+	return report, nil
+}
+
+// runFleetPhases runs the stream and latency phases for one codec
+// against a real fleet. When cfg.addr is empty a fresh loopback server
+// is stood up per codec so fleet submission indices start at 0 and the
+// stream fingerprints diff against the local Lab.
+func runFleetPhases(ctx context.Context, w io.Writer, cfg loadConfig, platform *advdiag.Platform, samples []advdiag.Sample, local []uint64, codec advdiag.WireCodec, name string) (*codecStats, error) {
+	base := cfg.addr
+	if base == "" {
+		plats := make([]*advdiag.Platform, cfg.shards)
+		for i := range plats {
+			plats[i] = platform
+		}
+		// Depth covers the whole streamed cohort plus the concurrent
+		// latency probes so saturation never pollutes the percentiles.
+		fleet, err := advdiag.NewFleet(plats,
+			advdiag.WithFleetWorkers(cfg.workers),
+			advdiag.WithFleetQueueDepth(2*len(samples)+2*cfg.conns))
+		if err != nil {
+			return nil, err
+		}
+		srv, err := advdiag.NewServer(fleet)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close() //nolint:errcheck // drained below via the HTTP close
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+		go httpSrv.Serve(ln) //nolint:errcheck // torn down below
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+	}
+	client := advdiag.NewClient(base, advdiag.WithWireCodec(codec))
+	if err := client.Health(ctx); err != nil {
+		return nil, fmt.Errorf("healthz: %w", err)
+	}
+
+	stats := &codecStats{}
+
+	// Stream phase: the whole cohort down one connection, outcomes in
+	// completion order, every fingerprint checked when we have the
+	// local reference.
+	start := time.Now()
+	var streamErr error
+	err := client.StreamPanels(ctx, samples, func(seq int, o advdiag.PanelOutcome) {
+		if streamErr != nil {
+			return
+		}
+		if o.Err != nil {
+			streamErr = fmt.Errorf("stream sample %d: %w", seq, o.Err)
+			return
+		}
+		if local != nil {
+			if fp := o.Result.Fingerprint(); fp != local[seq] {
+				streamErr = fmt.Errorf("stream sample %d: fingerprint %016x != local %016x", seq, fp, local[seq])
+			}
+		}
+	})
+	if err == nil {
+		err = streamErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	stats.StreamPanelsPerSec = float64(len(samples)) / time.Since(start).Seconds()
+	fmt.Fprintf(w, "%s stream: %d panels, %.1f panels/sec, fingerprints %s\n",
+		name, len(samples), stats.StreamPanelsPerSec,
+		map[bool]string{true: "checked vs local Lab", false: "not checked (external server)"}[local != nil])
+
+	// Latency phase: conns workers fire single-sample batch requests —
+	// the interactive shape — and every request's wall time lands in
+	// the percentile pool.
+	latencies := make([]time.Duration, cfg.panels)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.conns)
+	lapStart := time.Now()
+	for c := 0; c < cfg.conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.panels {
+					return
+				}
+				t0 := time.Now()
+				outs, err := client.RunPanels(ctx, samples[i:i+1])
+				if err != nil {
+					errCh <- fmt.Errorf("latency request %d: %w", i, err)
+					return
+				}
+				if outs[0].Err != nil {
+					errCh <- fmt.Errorf("latency request %d: %w", i, outs[0].Err)
+					return
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(lapStart).Seconds()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	stats.P50Ms = percentileMs(latencies, 0.50)
+	stats.P90Ms = percentileMs(latencies, 0.90)
+	stats.P99Ms = percentileMs(latencies, 0.99)
+	stats.MaxMs = float64(latencies[len(latencies)-1]) / float64(time.Millisecond)
+	stats.PanelsPerSec = float64(cfg.panels) / wall
+	return stats, nil
+}
+
+// startEchoServer stands up the wire-isolated peer: a loopback HTTP
+// server whose /v1/panels/stream decodes every incoming sample (both
+// codecs, negotiated exactly like the real server) and answers a
+// pre-built outcome of realistic size — full transport and codec cost,
+// zero kernel cost.
+func startEchoServer(readings int) (string, func(), error) {
+	// The canned result mirrors a full panel: one reading per target
+	// with plausible magnitudes, so outcome frames are production-sized.
+	res := wire.PanelResult{Schema: wire.SchemaVersion, PanelSeconds: 90}
+	for i := 0; i < readings; i++ {
+		res.Readings = append(res.Readings, wire.Reading{
+			Target:            fig4Targets[i%len(fig4Targets)],
+			WE:                fmt.Sprintf("WE%d", i+1),
+			Probe:             "GOx",
+			MeasuredMicroAmps: 0.137 * float64(i+1),
+			EstimatedMM:       1.91 * float64(i+1),
+			TrueMM:            1.9 * float64(i+1),
+			PeakMV:            -412.5,
+		})
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Advdiag-Binary", "1")
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/v1/panels/stream", func(w http.ResponseWriter, r *http.Request) {
+		defer r.Body.Close()
+		// Echoes flow while the request body is still arriving; without
+		// full duplex the HTTP/1 server discards the unread body at the
+		// first write and the stream dies mid-request.
+		http.NewResponseController(w).EnableFullDuplex() //nolint:errcheck // HTTP/2 has it unconditionally
+		binIn := strings.HasPrefix(r.Header.Get("Content-Type"), wire.BinaryMediaType)
+		binOut := strings.Contains(r.Header.Get("Accept"), wire.BinaryMediaType)
+		if binOut {
+			w.Header().Set("Content-Type", wire.BinaryMediaType)
+		} else {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		reply := func(seq int, id string) error {
+			out := wire.Outcome{Schema: wire.SchemaVersion, Seq: seq, Index: seq, ID: id, Result: &res}
+			var data []byte
+			var err error
+			if binOut {
+				data, err = wire.MarshalOutcomeBinary(out)
+			} else {
+				if data, err = wire.MarshalOutcome(out); err == nil {
+					data = append(data, '\n')
+				}
+			}
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(data)
+			return err
+		}
+		seq := 0
+		if binIn {
+			br := bufio.NewReader(r.Body)
+			for {
+				frame, err := wire.ReadBinaryFrame(br, 1<<20)
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					return
+				}
+				s, err := wire.UnmarshalSampleBinary(frame)
+				if err != nil {
+					return
+				}
+				if reply(seq, s.ID) != nil {
+					return
+				}
+				seq++
+			}
+		}
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 64*1024), 1<<20)
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			s, err := wire.UnmarshalSample(sc.Bytes())
+			if err != nil {
+				return
+			}
+			if reply(seq, s.ID) != nil {
+				return
+			}
+			seq++
+		}
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)                                                   //nolint:errcheck // torn down by the stop func
+	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil //nolint:errcheck
+}
+
+// runWirePhase streams n identical samples through the echo server in
+// one codec and returns panels/sec — transport plus codec, no kernel.
+func runWirePhase(ctx context.Context, url string, samples []advdiag.Sample, codec advdiag.WireCodec) (float64, error) {
+	client := advdiag.NewClient(url, advdiag.WithWireCodec(codec))
+	// One warm lap outside the clock settles connections and buffers.
+	warm := samples
+	if len(warm) > 64 {
+		warm = warm[:64]
+	}
+	if err := client.StreamPanels(ctx, warm, func(int, advdiag.PanelOutcome) {}); err != nil {
+		return 0, err
+	}
+	n := 0
+	start := time.Now()
+	err := client.StreamPanels(ctx, samples, func(seq int, o advdiag.PanelOutcome) {
+		if o.Err == nil && o.Result.Fingerprint() != 0 {
+			n++
+		}
+	})
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return 0, err
+	}
+	if n != len(samples) {
+		return 0, fmt.Errorf("echo answered %d of %d panels", n, len(samples))
+	}
+	return float64(n) / wall, nil
+}
+
+// writeLoadReport merges the labload section into the baseline file,
+// leaving every other key (the labbench half) untouched.
+func writeLoadReport(w io.Writer, path string, report *loadReport) error {
+	merged := map[string]json.RawMessage{}
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &merged); err != nil {
+			return fmt.Errorf("labload: parse existing %s: %w", path, err)
+		}
+	}
+	raw, err := json.Marshal(report)
+	if err != nil {
+		return err
+	}
+	merged["labload"] = raw
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "merged labload section into %s (p99 json %.1fms / binary %.1fms, wire %.2fx)\n",
+		path, report.JSON.P99Ms, report.Binary.P99Ms, report.WireSpeedup)
+	return nil
+}
+
+// checkLoadBaseline gates the tail: per codec, measured p99 may not
+// exceed the recorded p99 by more than tolerance, and wire throughput
+// may not fall below the recorded rate by more than tolerance.
+func checkLoadBaseline(w io.Writer, path string, report *loadReport, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var file struct {
+		Labload *loadReport `json:"labload"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("labload: parse %s: %w", path, err)
+	}
+	if file.Labload == nil {
+		fmt.Fprintf(w, "%s has no labload section yet; nothing to gate (regenerate with -json)\n", path)
+		return nil
+	}
+	base := file.Labload
+	check := func(name string, baseStats, got codecStats) error {
+		if baseStats.P99Ms > 0 {
+			ceil := baseStats.P99Ms * (1 + tolerance)
+			fmt.Fprintf(w, "%s p99: %.1fms recorded (%s), measured %.1fms, ceiling %.1fms\n",
+				name, baseStats.P99Ms, base.Host, got.P99Ms, ceil)
+			if got.P99Ms > ceil {
+				return fmt.Errorf("labload: %s p99 latency regressed beyond %.0f%%: measured %.1fms vs baseline %.1fms",
+					name, 100*tolerance, got.P99Ms, baseStats.P99Ms)
+			}
+		}
+		if baseStats.WirePanelsPerSec > 0 {
+			floor := baseStats.WirePanelsPerSec * (1 - tolerance)
+			fmt.Fprintf(w, "%s wire: %.0f panels/sec recorded, measured %.0f, floor %.0f\n",
+				name, baseStats.WirePanelsPerSec, got.WirePanelsPerSec, floor)
+			if got.WirePanelsPerSec < floor {
+				return fmt.Errorf("labload: %s wire throughput regressed beyond %.0f%%: measured %.0f vs baseline %.0f",
+					name, 100*tolerance, got.WirePanelsPerSec, baseStats.WirePanelsPerSec)
+			}
+		}
+		return nil
+	}
+	if err := check("json", base.JSON, report.JSON); err != nil {
+		return err
+	}
+	return check("binary", base.Binary, report.Binary)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "labload:", err)
+	os.Exit(1)
+}

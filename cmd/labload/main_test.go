@@ -1,0 +1,153 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunLoadSmallPanel drives the full generator — fresh loopback
+// servers per codec, stream fingerprint diff against a local Lab,
+// concurrent latency probes, and the wire-isolated echo phase — on a
+// small two-target platform, covering exactly the path CI runs
+// against the Fig. 4 panel.
+func TestRunLoadSmallPanel(t *testing.T) {
+	var b strings.Builder
+	report, err := runLoad(&b, loadConfig{
+		targets:    []string{"glucose", "benzphetamine"},
+		shards:     2,
+		workers:    1,
+		conns:      2,
+		panels:     8,
+		wirePanels: 256,
+		seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]codecStats{"json": report.JSON, "binary": report.Binary} {
+		if s.P50Ms <= 0 || s.P99Ms < s.P50Ms || s.MaxMs < s.P99Ms {
+			t.Errorf("%s percentiles inconsistent: %+v", name, s)
+		}
+		if s.PanelsPerSec <= 0 || s.StreamPanelsPerSec <= 0 || s.WirePanelsPerSec <= 0 {
+			t.Errorf("%s throughput missing: %+v", name, s)
+		}
+	}
+	if report.WireSpeedup <= 0 {
+		t.Fatalf("wire speedup not computed: %+v", report)
+	}
+	out := b.String()
+	for _, frag := range []string{"fingerprints checked vs local Lab", "wire codec speedup", "p99"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPercentileMs(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond // sorted 1..100ms
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 50}, {0.90, 90}, {0.99, 99}, {1.0, 100}} {
+		if got := percentileMs(lat, tc.q); got != tc.want {
+			t.Errorf("p%.0f = %.1fms, want %.1fms", 100*tc.q, got, tc.want)
+		}
+	}
+	if got := percentileMs(nil, 0.99); got != 0 {
+		t.Errorf("empty pool p99 = %g", got)
+	}
+	// A single observation is every percentile.
+	if got := percentileMs([]time.Duration{3 * time.Millisecond}, 0.5); got != 3 {
+		t.Errorf("singleton p50 = %g", got)
+	}
+}
+
+// TestWriteAndCheckLoadBaseline: the labload section merges into an
+// existing baseline without touching the labbench half, and the p99 /
+// wire-throughput gate passes within tolerance and fails beyond it.
+func TestWriteAndCheckLoadBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{"single_worker_panels_per_sec": 987.6}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report := &loadReport{
+		GeneratedAt: "2026-08-07T00:00:00Z", Host: "test", Conns: 4, Panels: 96,
+		JSON:        codecStats{P99Ms: 10, WirePanelsPerSec: 1000},
+		Binary:      codecStats{P99Ms: 8, WirePanelsPerSec: 2000},
+		WireSpeedup: 2.0,
+	}
+	var b strings.Builder
+	if err := writeLoadReport(&b, path, report); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"single_worker_panels_per_sec": 987.6`) {
+		t.Fatalf("labbench half lost in merge:\n%s", data)
+	}
+	if !strings.Contains(string(data), `"labload"`) {
+		t.Fatalf("labload section missing:\n%s", data)
+	}
+
+	// Within tolerance on every axis.
+	ok := &loadReport{
+		JSON:   codecStats{P99Ms: 12, WirePanelsPerSec: 900},
+		Binary: codecStats{P99Ms: 9, WirePanelsPerSec: 1800},
+	}
+	if err := checkLoadBaseline(&b, path, ok, 0.50); err != nil {
+		t.Fatalf("within-tolerance run must pass: %v", err)
+	}
+	// p99 tail blown.
+	slow := &loadReport{
+		JSON:   codecStats{P99Ms: 20, WirePanelsPerSec: 1000},
+		Binary: codecStats{P99Ms: 8, WirePanelsPerSec: 2000},
+	}
+	if err := checkLoadBaseline(&b, path, slow, 0.50); err == nil {
+		t.Fatal("p99 20ms vs 10ms at 50% tolerance must fail")
+	}
+	// Wire throughput collapsed.
+	thin := &loadReport{
+		JSON:   codecStats{P99Ms: 10, WirePanelsPerSec: 1000},
+		Binary: codecStats{P99Ms: 8, WirePanelsPerSec: 400},
+	}
+	if err := checkLoadBaseline(&b, path, thin, 0.50); err == nil {
+		t.Fatal("binary wire 400 vs 2000 at 50% tolerance must fail")
+	}
+	if !strings.Contains(b.String(), "p99") || !strings.Contains(b.String(), "wire") {
+		t.Fatalf("gate report missing axes:\n%s", b.String())
+	}
+
+	// A baseline without a labload section is reported, not fatal —
+	// the first PR 9 run bootstraps it.
+	bare := filepath.Join(t.TempDir(), "bare.json")
+	if err := os.WriteFile(bare, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkLoadBaseline(&b, bare, report, 0.50); err != nil {
+		t.Fatalf("missing labload section must not fail the gate: %v", err)
+	}
+	if !strings.Contains(b.String(), "no labload section") {
+		t.Fatalf("missing bootstrap note:\n%s", b.String())
+	}
+}
+
+func TestSplitTargets(t *testing.T) {
+	got := splitTargets(" glucose, lactate ,,benzphetamine ")
+	want := []string{"glucose", "lactate", "benzphetamine"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}

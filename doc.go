@@ -140,6 +140,25 @@
 // front door (graceful SIGTERM drain); examples/remote shows the whole
 // boundary in one process.
 //
+// Beside JSON, the batch and stream endpoints speak a length-prefixed
+// binary framing (advdiag/wire's MarshalSampleBinary and friends,
+// media type application/x-advdiag-binary): each frame is a u32
+// little-endian payload length, the u16 schema version, a one-byte
+// message kind, and the fields in fixed order with float64 bits
+// verbatim — lossless by construction and roughly 4x faster to move
+// than JSON NDJSON with the kernel out of the loop (cmd/labload
+// measures it). The encoding is canonical (concentration keys sorted,
+// one valid byte string per message) and decoding is as strict as
+// JSON's: version skew, unknown kinds, truncation, length lies and
+// non-canonical key order all error. Negotiation is symmetric and
+// per-direction: the server advertises support with an
+// X-Advdiag-Binary response header (on /healthz and the panel
+// endpoints), the request body's codec is declared by Content-Type,
+// and the response codec is requested by Accept. The Client's default
+// CodecAuto probes /healthz once and upgrades when the server
+// advertises; against an older JSON-only server it stays on JSON
+// silently (WithWireCodec forces either codec).
+//
 // # Fault injection and automated diagnosis
 //
 // The diagnosis loop sits beside the serving path, never in it: the
@@ -299,13 +318,26 @@
 //     (measure.CVFluxBasis) once, and panels scale it by the sample's
 //     effective concentration (measure.RunCVWithBasis).
 //
+//   - Panels run through a batched kernel: the runtime Executor's
+//     RunBatch amortises per-panel setup across a slice of samples
+//     using pooled scratch arenas (sync.Pool), Lab chunks its queue
+//     through it, and Fleet shards opportunistically coalesce queued
+//     compatible jobs into bounded batches (at most 16) without
+//     reordering submission indices — the per-panel seed derivation
+//     and ReplayPanel's bit-identical replay contract are untouched.
+//
 // Retention contract: everything a run returns (trace series, panel
 // readings) is freshly allocated and caller-owned; results never alias
 // engine scratch and remain valid after later runs on the same engine.
 // A CVBasis is immutable after construction and safe for concurrent
 // readers.
 //
-// BENCH_PR3.json at the repository root records the tracked performance
-// baseline (single-worker panels/sec plus the Fig. 1–4 benchmark costs);
-// cmd/labbench -json regenerates it and -baseline diffs against it.
+// BENCH_PR9.json at the repository root records the tracked performance
+// baseline: single-worker and fleet panels/sec, fleet allocs/panel, the
+// Fig. 1–4 benchmark costs (cmd/labbench -json regenerates that half,
+// -baseline auto diffs against it), and a "labload" section with
+// per-codec request-latency percentiles and wire-isolated codec
+// throughput (cmd/labload -json regenerates that half, -baseline diffs
+// p99 and wire panels/sec). BENCH_PR3.json is the pre-batching PR 3
+// baseline, kept for history.
 package advdiag

@@ -447,11 +447,86 @@ func (f *Fleet) Shards() int { return len(f.shards) }
 
 // shardWorker executes routed jobs for one shard until its queue
 // closes, consulting the shard's fault state before each job. The
-// healthy path costs one atomic nil-check.
+// healthy path costs one atomic nil-check, and opportunistically
+// coalesces whatever compatible panel jobs are already queued into one
+// bounded batch over a shared executor scratch: the drain is
+// non-blocking (a worker never waits for a batch to fill), stops at
+// monitor jobs and at fault states that need per-job handling, and
+// preserves queue order, so submission indices — and with them every
+// panel's noise stream — are untouched.
 func (f *Fleet) shardWorker(sh *fleetShard) {
 	defer f.workWG.Done()
+	jobs := make([]fleetJob, 0, labBatchMax)
 	for job := range sh.queue {
-		f.dispatchJob(sh, job)
+		fs := sh.fault.Load()
+		if job.monitor != nil || !batchableFault(fs) {
+			f.dispatchJob(sh, job)
+			continue
+		}
+		jobs = append(jobs[:0], job)
+		var (
+			tail    fleetJob // monitor job that ended the drain
+			hasTail bool
+			closed  bool
+		)
+	drain:
+		for len(jobs) < labBatchMax {
+			select {
+			case next, ok := <-sh.queue:
+				if !ok {
+					closed = true
+					break drain
+				}
+				if next.monitor != nil {
+					tail, hasTail = next, true
+					break drain
+				}
+				jobs = append(jobs, next)
+			default:
+				break drain
+			}
+		}
+		f.runJobBatch(sh, jobs, fs)
+		if hasTail {
+			f.dispatchJob(sh, tail)
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// batchableFault reports whether a shard's fault state allows coalesced
+// execution: healthy shards and fouled-electrode shards batch (fouling
+// is a pure per-panel signal perturbation), while dead, flaky and slow
+// shards need dispatchJob's per-job park/stall/delay handling.
+func batchableFault(fs *shardFaultState) bool {
+	return fs == nil || (!fs.dead && fs.flaky == nil && fs.delay == 0)
+}
+
+// runJobBatch executes a coalesced run of panel jobs under one fault
+// snapshot and delivers the outcomes in submission order. Fault states
+// injected mid-batch take effect from the next dequeue, exactly as a
+// fault injected mid-panel waits for the next job on the per-job path.
+func (f *Fleet) runJobBatch(sh *fleetShard, jobs []fleetJob, fs *shardFaultState) {
+	var fouling *rt.Fouling
+	if fs != nil {
+		fouling = fs.fouling
+	}
+	if len(jobs) == 1 {
+		f.runJob(sh, jobs[0], fouling)
+		return
+	}
+	lj := make([]labBatchJob, len(jobs))
+	for i, j := range jobs {
+		lj[i] = labBatchJob{seedIdx: j.seedIdx, schedIdx: j.schedIdx, sample: j.sample}
+	}
+	outs := make([]PanelOutcome, len(jobs))
+	sh.lab.runBatch(lj, fouling, outs)
+	for i := range outs {
+		outs[i].Shard = sh.index
+		f.results <- outs[i]
+		f.complete(sh, false)
 	}
 }
 

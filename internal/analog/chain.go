@@ -107,6 +107,18 @@ func (c *Chain) Reset(dt float64) {
 	c.Readout.Reset(dt)
 }
 
+// Rebind re-derives the chain's per-run random state from rng exactly
+// as the chain constructors would (NewNoiseModel's two Split draws plus
+// the flicker row fill), reusing every allocation. Every other stage is
+// either pure (potentiostat, mux, ADC) or reset per run (TIA, via
+// Reset), so a rebound chain behaves bit-identically to a newly
+// constructed one consuming the same rng.
+func (c *Chain) Rebind(rng *mathx.RNG) {
+	if c.Noise != nil {
+		c.Noise.Rebind(rng)
+	}
+}
+
 // ApplyPotential returns the cell potential actually established for a
 // programmed target.
 func (c *Chain) ApplyPotential(target phys.Voltage) phys.Voltage {

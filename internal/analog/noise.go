@@ -102,6 +102,22 @@ func NewNoiseModel(whiteSigma, flickerSigma float64, rng *mathx.RNG) *NoiseModel
 	}
 }
 
+// Rebind re-derives the model's noise streams from rng exactly as
+// NewNoiseModel would — same Split draws in the same order, same
+// flicker row initialization — but into the existing allocations. After
+// Rebind the model's future samples are bit-identical to those of a
+// freshly constructed model handed the same rng state. The chopper
+// setting is preserved.
+func (n *NoiseModel) Rebind(rng *mathx.RNG) {
+	n.white.rng.Reset(rng.Uint64())
+	f := n.flicker
+	f.rng.Reset(rng.Uint64())
+	f.count = 0
+	for i := range f.rows {
+		f.rows[i] = f.rng.Norm()
+	}
+}
+
 // ChopperSuppression is the flicker-noise attenuation a chopper
 // amplifier achieves by translating the signal above the 1/f corner
 // before amplification (paper §II-C).

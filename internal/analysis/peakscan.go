@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"advdiag/internal/phys"
+	"advdiag/internal/signalproc"
+	"advdiag/internal/trace"
+)
+
+// PeakScratch reuses the buffers of a reduction-peak scan across runs.
+// One voltammogram is scanned once (Scan) and then queried per assay
+// (Near), so multi-target electrodes pay the detector once instead of
+// once per target. All results alias scratch memory — valid until the
+// next Scan. A scratch belongs to one goroutine.
+type PeakScratch struct {
+	pot, cur, inv, base, smooth []float64
+	peaks                       []signalproc.Peak
+	quants                      []PeakQuant
+}
+
+// Scan runs FindReductionPeaks over the voltammogram into scratch
+// buffers: identical branch extraction, detrending, smoothing and peak
+// detection, with every allocation reused. It reports false where
+// FindReductionPeaks would return an error (short or malformed
+// voltammograms) — the callers that use a scratch treat peak detection
+// as best-effort, exactly like the discarded PeakNear errors did.
+func (s *PeakScratch) Scan(vg *trace.XY, minHeight phys.Current) bool {
+	if vg.Validate() != nil || vg.Len() < 8 {
+		return false
+	}
+	// Forward (cathodic) branch, as ForwardBranch extracts it. The
+	// branch can be at most the full trace, so sizing the buffers up
+	// front turns the cold first scan's append regrowth into one
+	// allocation each.
+	if cap(s.pot) < vg.Len() {
+		s.pot = make([]float64, 0, vg.Len())
+	}
+	if cap(s.cur) < vg.Len() {
+		s.cur = make([]float64, 0, vg.Len())
+	}
+	s.pot = append(s.pot[:0], vg.X[0])
+	s.cur = append(s.cur[:0], vg.Y[0])
+	for i := 1; i < vg.Len(); i++ {
+		if vg.X[i] >= vg.X[i-1] {
+			break
+		}
+		s.pot = append(s.pot, vg.X[i])
+		s.cur = append(s.cur, vg.Y[i])
+	}
+	if len(s.pot) < 8 {
+		return false
+	}
+	if cap(s.inv) < len(s.cur) {
+		s.inv = make([]float64, len(s.cur))
+	}
+	s.inv = s.inv[:len(s.cur)]
+	for i, y := range s.cur {
+		s.inv[i] = -y
+	}
+	s.base = signalproc.DetrendInto(s.base, s.inv)
+	s.smooth = signalproc.MovingAverageInto(s.smooth, s.base, 5)
+	s.peaks = signalproc.FindPeaksInto(s.peaks, s.pot, s.smooth, float64(minHeight))
+	s.quants = s.quants[:0]
+	for _, p := range s.peaks {
+		if p.Y < float64(minHeight) {
+			continue
+		}
+		s.quants = append(s.quants, PeakQuant{
+			Potential:  phys.Voltage(p.X),
+			Height:     phys.Current(p.Y),
+			Prominence: p.Prominence,
+		})
+	}
+	return true
+}
+
+// Near returns the scanned peak closest to the expected potential
+// within the window, replicating PeakNear's selection (the last peak at
+// the minimal distance wins, exactly as PeakNear's <= comparison does).
+func (s *PeakScratch) Near(expected, window phys.Voltage) (PeakQuant, bool) {
+	best := -1
+	bestDist := float64(window)
+	for i, p := range s.quants {
+		d := float64(p.Potential - expected)
+		if d < 0 {
+			d = -d
+		}
+		if d <= bestDist {
+			bestDist = d
+			best = i
+		}
+	}
+	if best < 0 {
+		return PeakQuant{}, false
+	}
+	return s.quants[best], true
+}

@@ -43,6 +43,17 @@ func NewSolution() *Solution {
 	return &Solution{initial: make(map[string]phys.Concentration)}
 }
 
+// Reset empties the solution in place — no initial concentrations, no
+// injections — while keeping the allocated map and slices for reuse. A
+// reset solution is indistinguishable from NewSolution() to every read
+// path, which is what lets batched panel runners rebuild per-sample
+// solutions without reallocating.
+func (s *Solution) Reset() {
+	clear(s.initial)
+	s.injections = s.injections[:0]
+	s.names = s.names[:0]
+}
+
 // noteSpecies records a species name in the sorted name cache.
 func (s *Solution) noteSpecies(species string) {
 	i := sort.SearchStrings(s.names, species)
@@ -285,11 +296,15 @@ func (c *Cell) ChamberOf(name string) (*Chamber, error) {
 	return nil, fmt.Errorf("cell: no chamber holds electrode %q", name)
 }
 
-// FindWE returns the named working electrode.
+// FindWE returns the named working electrode. It scans in place (the
+// measurement engine resolves electrodes by name on every run, so this
+// lookup must not build the filtered list WorkingElectrodes returns).
 func (c *Cell) FindWE(name string) (*electrode.Electrode, error) {
-	for _, e := range c.WorkingElectrodes() {
-		if e.Name == name {
-			return e, nil
+	for _, ch := range c.Chambers {
+		for _, e := range ch.Electrodes {
+			if e.Role == electrode.Working && e.Name == name {
+				return e, nil
+			}
 		}
 	}
 	return nil, fmt.Errorf("cell: no working electrode %q", name)

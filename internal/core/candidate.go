@@ -144,7 +144,7 @@ func (p *ElectrodePlan) PlanCurrents() error {
 	case enzyme.CyclicVoltammetry:
 		var total float64
 		res := phys.Current(0)
-		var peaks []phys.Voltage
+		hi, lo := p.Assays[0].Binding.PeakPotential, p.Assays[0].Binding.PeakPotential
 		for i, a := range p.Assays {
 			b := a.Binding
 			maxC, lod := p.Specs[i].envelope(a)
@@ -154,22 +154,18 @@ func (p *ElectrodePlan) PlanCurrents() error {
 			if res == 0 || r < res {
 				res = r
 			}
-			peaks = append(peaks, b.PeakPotential)
+			if b.PeakPotential > hi {
+				hi = b.PeakPotential
+			}
+			if b.PeakPotential < lo {
+				lo = b.PeakPotential
+			}
 		}
 		// Capacitive background C·v rides on the faradaic signal.
 		dl := echem.DoubleLayerFor(area, gain, electrode.DefaultSolutionResistance)
 		total += float64(dl.SweepChargingCurrent(defaultCVRate))
 		p.MaxCurrent = phys.Current(total)
 		p.ResRequired = res
-		hi, lo := peaks[0], peaks[0]
-		for _, pk := range peaks[1:] {
-			if pk > hi {
-				hi = pk
-			}
-			if pk < lo {
-				lo = pk
-			}
-		}
 		window := float64(hi-lo) + 2*float64(cvMargin)
 		p.ProtocolTime = 2 * window / float64(defaultCVRate)
 	default:
@@ -204,9 +200,9 @@ type Candidate struct {
 	// Electrodes are the planned working electrodes (including the CDS
 	// blank when requested).
 	Electrodes []ElectrodePlan
-	// ChamberOf maps electrode name → chamber name.
-	ChamberOf map[string]string
-	// Chambers lists chamber names in order.
+	// Chambers lists chamber names in order. Which chamber holds which
+	// electrode is a pure function of the chamber policy — see
+	// ChamberFor.
 	Chambers []string
 	// Feasible reports whether all hard rules passed.
 	Feasible bool
@@ -222,6 +218,25 @@ type Candidate struct {
 	Parallel bool
 	// key caches structuralKey(); see explore.go.
 	key string
+}
+
+// ChamberFor returns the chamber name holding electrode i. Chamber
+// membership is determined by the chamber policy alone, so it is
+// computed on demand instead of being stored per candidate (the
+// explorer builds thousands of candidates; a per-candidate map was the
+// planning phase's largest allocation after the electrode plans).
+func (c *Candidate) ChamberFor(i int) string {
+	switch c.Choice.Chambers {
+	case ChamberPerTechnique:
+		if c.Electrodes[i].Technique == enzyme.Chronoamperometry {
+			return "chamberCA"
+		}
+		return "chamberCV"
+	case ChamberPerElectrode:
+		return chamberName(i + 1)
+	default: // SharedChamber
+		return "chamber1"
+	}
 }
 
 // Throughput returns panels per hour.

@@ -6,7 +6,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 
 	"advdiag/internal/analog"
@@ -115,6 +115,35 @@ func enumerateChoices(req Requirements, budget int) []Choice {
 	return out
 }
 
+// Electrode and chamber names up to 32 come from fixed tables: the
+// explorer stamps the same names onto every enumerated candidate, so
+// building them with Sprintf per plan is the planning phase's single
+// largest allocation source.
+var weNameTab, chamberNameTab [32]string
+
+func init() {
+	for i := range weNameTab {
+		weNameTab[i] = fmt.Sprintf("WE%d", i+1)
+		chamberNameTab[i] = fmt.Sprintf("chamber%d", i+1)
+	}
+}
+
+// weName returns "WE<i>" (1-based).
+func weName(i int) string {
+	if i >= 1 && i <= len(weNameTab) {
+		return weNameTab[i-1]
+	}
+	return fmt.Sprintf("WE%d", i)
+}
+
+// chamberName returns "chamber<i>" (1-based).
+func chamberName(i int) string {
+	if i >= 1 && i <= len(chamberNameTab) {
+		return chamberNameTab[i-1]
+	}
+	return fmt.Sprintf("chamber%d", i)
+}
+
 // memoEntry holds the one priced candidate for a structural key. The
 // sync.Once guarantees duplicate structures are priced exactly once
 // even when several workers reach the same key together.
@@ -134,7 +163,11 @@ func runExplore(req Requirements, choices []Choice, opts ExploreOptions) ([]*Can
 	// identical to the serial enumeration regardless of worker count.
 	cands := make([]*Candidate, len(choices))
 	fails := make([]error, len(choices))
-	var memo sync.Map // structuralKey → *memoEntry
+	// structuralKey → *memoEntry. A plain mutex-guarded map: lookups are
+	// brief, workers are few, and unlike sync.Map it needs no speculative
+	// entry allocation or interface boxing per choice.
+	var memoMu sync.Mutex
+	memo := make(map[string]*memoEntry, len(choices))
 
 	evaluate := func(i int) {
 		choice := choices[i]
@@ -144,8 +177,13 @@ func runExplore(req Requirements, choices []Choice, opts ExploreOptions) ([]*Can
 			return
 		}
 		key := cand.structuralKey()
-		e, _ := memo.LoadOrStore(key, &memoEntry{})
-		entry := e.(*memoEntry)
+		memoMu.Lock()
+		entry := memo[key]
+		if entry == nil {
+			entry = &memoEntry{}
+			memo[key] = entry
+		}
+		memoMu.Unlock()
 		entry.once.Do(func() {
 			priceCandidate(req, cand)
 			entry.cand = cand
@@ -227,13 +265,22 @@ func enumerateAssays(targets []TargetSpec, limit int) []map[string]enzyme.Assay 
 		options := enzyme.AssaysFor(t.Species)
 		var next []map[string]enzyme.Assay
 		for _, partial := range result {
-			for _, opt := range options {
+			// The first option extends the partial in place — each map in
+			// result is uniquely owned and discarded after this level, so
+			// only the second and later options need copies (whose
+			// t.Species entry is overwritten, making copy order
+			// irrelevant). Single-option targets then build the whole
+			// product copy-free.
+			for oi, opt := range options {
 				if limit > 0 && len(next) == limit {
 					break
 				}
-				m := make(map[string]enzyme.Assay, len(partial)+1)
-				for k, v := range partial {
-					m[k] = v
+				m := partial
+				if oi > 0 {
+					m = make(map[string]enzyme.Assay, len(partial)+1)
+					for k, v := range partial {
+						m[k] = v
+					}
 				}
 				m[t.Species] = opt
 				next = append(next, m)
@@ -248,8 +295,8 @@ func enumerateAssays(targets []TargetSpec, limit int) []map[string]enzyme.Assay 
 // chamber-per-technique equals shared-chamber when only one technique
 // is present).
 func dedupeCandidates(cands []*Candidate) []*Candidate {
-	seen := map[string]bool{}
-	var out []*Candidate
+	seen := make(map[string]bool, len(cands))
+	out := make([]*Candidate, 0, len(cands))
 	for _, c := range cands {
 		key := c.structuralKey()
 		if seen[key] {
@@ -269,22 +316,28 @@ func (c *Candidate) structuralKey() string {
 	if c.key != "" {
 		return c.key
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%v|%v|", c.Choice.Sharing, c.Parallel)
-	for _, e := range c.Electrodes {
-		b.WriteString(e.Name)
-		b.WriteByte(':')
+	// Assembled in a byte buffer: the final string conversion is the
+	// only allocation (the buffer does not escape it).
+	buf := make([]byte, 0, 160)
+	buf = append(buf, c.Choice.Sharing.String()...)
+	buf = append(buf, '|')
+	buf = strconv.AppendBool(buf, c.Parallel)
+	buf = append(buf, '|')
+	for i := range c.Electrodes {
+		e := &c.Electrodes[i]
+		buf = append(buf, e.Name...)
+		buf = append(buf, ':')
 		for _, a := range e.Assays {
-			b.WriteString(a.Probe)
-			b.WriteByte('/')
-			b.WriteString(a.Target.Name)
-			b.WriteByte(',')
+			buf = append(buf, a.Probe...)
+			buf = append(buf, '/')
+			buf = append(buf, a.Target.Name...)
+			buf = append(buf, ',')
 		}
-		b.WriteByte('@')
-		b.WriteString(c.ChamberOf[e.Name])
-		b.WriteByte(';')
+		buf = append(buf, '@')
+		buf = append(buf, c.ChamberFor(i)...)
+		buf = append(buf, ';')
 	}
-	c.key = b.String()
+	c.key = string(buf)
 	return c.key
 }
 
@@ -304,7 +357,7 @@ func Evaluate(req Requirements, choice Choice) (*Candidate, error) {
 // everything structuralKey depends on. req must already carry its
 // defaults.
 func planCandidate(req Requirements, choice Choice) (*Candidate, error) {
-	cand := &Candidate{Choice: choice, ChamberOf: map[string]string{}, Feasible: true}
+	cand := &Candidate{Choice: choice, Feasible: true}
 	plans, err := planElectrodes(req, choice)
 	if err != nil {
 		return nil, err
@@ -443,11 +496,11 @@ func planElectrodes(req Requirements, choice Choice) ([]ElectrodePlan, error) {
 	if replicas == 1 {
 		return set, nil
 	}
-	var plans []ElectrodePlan
+	plans := make([]ElectrodePlan, 0, replicas*len(set))
 	for r := 0; r < replicas; r++ {
 		for _, p := range set {
 			q := p
-			q.Name = fmt.Sprintf("WE%d", len(plans)+1)
+			q.Name = weName(len(plans) + 1)
 			plans = append(plans, q)
 		}
 	}
@@ -456,12 +509,21 @@ func planElectrodes(req Requirements, choice Choice) ([]ElectrodePlan, error) {
 
 // planElectrodeSet builds one un-replicated electrode set.
 func planElectrodeSet(req Requirements, choice Choice) ([]ElectrodePlan, error) {
-	var plans []ElectrodePlan
-	used := map[int]bool{} // index into req.Targets already covered
-	name := func() string { return fmt.Sprintf("WE%d", len(plans)+1) }
+	plans := make([]ElectrodePlan, 0, len(req.Targets)+1)
+	// Targets already covered, as a bitmask: requirements cap the target
+	// count far below 64, and the mask keeps this per-choice planner off
+	// the heap for its bookkeeping.
+	var used uint64
+	name := func() string { return weName(len(plans) + 1) }
+	// Singleton Assays/Specs slices are carved from two shared chunks
+	// (full slice expressions, so a grouping append copies out instead
+	// of clobbering a sibling). The chunks never regrow: one slot per
+	// target is an upper bound.
+	assayChunk := make([]enzyme.Assay, 0, len(req.Targets))
+	specChunk := make([]TargetSpec, 0, len(req.Targets))
 
 	for i, t := range req.Targets {
-		if used[i] {
+		if used&(1<<uint(i)) != 0 {
 			continue
 		}
 		a, ok := choice.Assays[t.Species]
@@ -472,19 +534,22 @@ func planElectrodeSet(req Requirements, choice Choice) ([]ElectrodePlan, error) 
 		if a.Perf().NanostructureGain > 1 {
 			nano = electrode.CNT
 		}
+		k := len(assayChunk)
+		assayChunk = append(assayChunk, a)
+		specChunk = append(specChunk, t)
 		plan := ElectrodePlan{
 			Name:      name(),
 			Nano:      nano,
-			Assays:    []enzyme.Assay{a},
-			Specs:     []TargetSpec{t},
+			Assays:    assayChunk[k : k+1 : k+1],
+			Specs:     specChunk[k : k+1 : k+1],
 			Technique: a.Technique,
 		}
-		used[i] = true
+		used |= 1 << uint(i)
 		// Grouping: pull later targets sensed by the same CYP isoform
 		// onto this electrode.
 		if choice.GroupSameIsoform && a.Technique == enzyme.CyclicVoltammetry {
 			for j := i + 1; j < len(req.Targets); j++ {
-				if used[j] {
+				if used&(1<<uint(j)) != 0 {
 					continue
 				}
 				t2 := req.Targets[j]
@@ -492,7 +557,7 @@ func planElectrodeSet(req Requirements, choice Choice) ([]ElectrodePlan, error) 
 				if a2.Technique == enzyme.CyclicVoltammetry && a2.CYP == a.CYP {
 					plan.Assays = append(plan.Assays, a2)
 					plan.Specs = append(plan.Specs, t2)
-					used[j] = true
+					used |= 1 << uint(j)
 				}
 			}
 		}
@@ -512,14 +577,22 @@ func planElectrodeSet(req Requirements, choice Choice) ([]ElectrodePlan, error) 
 	return plans, nil
 }
 
-// assignChambers partitions the electrodes into chambers per policy.
+// Shared chamber lists for the policies with fixed layouts. Chamber
+// slices are structural: read-only once assigned (memo copies already
+// share them), so candidates can share these package singletons too.
+var (
+	sharedChamberList = []string{"chamber1"}
+	chamberListCA     = []string{"chamberCA"}
+	chamberListCV     = []string{"chamberCV"}
+	chamberListCACV   = []string{"chamberCA", "chamberCV"}
+)
+
+// assignChambers builds the chamber list for the candidate's policy
+// (per-electrode membership is computed on demand by ChamberFor).
 func assignChambers(c *Candidate) {
 	switch c.Choice.Chambers {
 	case SharedChamber:
-		c.Chambers = []string{"chamber1"}
-		for _, p := range c.Electrodes {
-			c.ChamberOf[p.Name] = "chamber1"
-		}
+		c.Chambers = sharedChamberList
 	case ChamberPerTechnique:
 		haveCA, haveCV := false, false
 		for _, p := range c.Electrodes {
@@ -529,24 +602,18 @@ func assignChambers(c *Candidate) {
 				haveCV = true
 			}
 		}
-		if haveCA {
-			c.Chambers = append(c.Chambers, "chamberCA")
-		}
-		if haveCV {
-			c.Chambers = append(c.Chambers, "chamberCV")
-		}
-		for _, p := range c.Electrodes {
-			if p.Technique == enzyme.Chronoamperometry {
-				c.ChamberOf[p.Name] = "chamberCA"
-			} else {
-				c.ChamberOf[p.Name] = "chamberCV"
-			}
+		switch {
+		case haveCA && haveCV:
+			c.Chambers = chamberListCACV
+		case haveCA:
+			c.Chambers = chamberListCA
+		case haveCV:
+			c.Chambers = chamberListCV
 		}
 	case ChamberPerElectrode:
-		for i, p := range c.Electrodes {
-			ch := fmt.Sprintf("chamber%d", i+1)
-			c.Chambers = append(c.Chambers, ch)
-			c.ChamberOf[p.Name] = ch
+		c.Chambers = make([]string, 0, len(c.Electrodes))
+		for i := range c.Electrodes {
+			c.Chambers = append(c.Chambers, chamberName(i+1))
 		}
 	}
 }
@@ -568,7 +635,7 @@ func checkCrosstalk(req Requirements, c *Candidate) {
 			if i == j || q.Blank || q.Technique != enzyme.Chronoamperometry {
 				continue
 			}
-			if c.ChamberOf[p.Name] != c.ChamberOf[q.Name] {
+			if c.ChamberFor(i) != c.ChamberFor(j) {
 				continue
 			}
 			parasitic += 0.01 * float64(q.MaxCurrent) // cell.DefaultCrosstalk

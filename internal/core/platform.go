@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"advdiag/internal/analog"
 	"advdiag/internal/cell"
@@ -12,6 +13,64 @@ import (
 	"advdiag/internal/phys"
 	"advdiag/internal/schedule"
 )
+
+// The synthesizer emits the same index-numbered block, net and pin
+// names for every platform, so the common indices are interned once at
+// init instead of Sprintf'd per candidate. tabName falls back to
+// building the string for indices past the table (large replica
+// counts).
+func mkNameTab(pre, suf string) [16]string {
+	var t [16]string
+	for i := range t {
+		t[i] = pre + strconv.Itoa(i+1) + suf
+	}
+	return t
+}
+
+func tabName(tab *[16]string, pre string, i int, suf string) string {
+	if i >= 1 && i <= len(tab) {
+		return tab[i-1]
+	}
+	return pre + strconv.Itoa(i) + suf
+}
+
+var (
+	reNameTab      = mkNameTab("RE", "")
+	ceNameTab      = mkNameTab("CE", "")
+	pstatNameTab   = mkNameTab("pstat", "")
+	vgenNameTab    = mkNameTab("vgen", "")
+	readoutNameTab = mkNameTab("readout", "")
+	adcNameTab     = mkNameTab("adc", "")
+	netReTab       = mkNameTab("net_re", "")
+	netCeTab       = mkNameTab("net_ce", "")
+	netSetTab      = mkNameTab("net_set", "")
+	netWeTab       = mkNameTab("net_we", "")
+	netOutTab      = mkNameTab("net_out", "")
+	netDataTab     = mkNameTab("net_data", "")
+	netCtrlVgenTab = mkNameTab("net_ctrl_vgen", "")
+	pstatRePinTab  = mkNameTab("pstat", ".re")
+	pstatCePinTab  = mkNameTab("pstat", ".ce")
+	pstatSetPinTab = mkNameTab("pstat", ".set")
+	rePinTab       = mkNameTab("RE", ".pin")
+	cePinTab       = mkNameTab("CE", ".pin")
+	vgenOutTab     = mkNameTab("vgen", ".out")
+	vgenProgTab    = mkNameTab("vgen", ".prog")
+	muxInTab       = mkNameTab("mux1.in", "")
+	readoutInTab   = mkNameTab("readout", ".in")
+	readoutOutTab  = mkNameTab("readout", ".out")
+	adcInTab       = mkNameTab("adc", ".in")
+	adcOutTab      = mkNameTab("adc", ".out")
+	wePinTab       = mkNameTab("WE", ".pin")
+)
+
+// wePin returns "<name>.pin" for the i-th working electrode, interned
+// when the electrode carries the standard planner name.
+func wePin(i int, name string) string {
+	if i >= 1 && i <= len(wePinTab) && name == weName(i) {
+		return wePinTab[i-1]
+	}
+	return name + ".pin"
+}
 
 // Platform is a synthesized design: the physical bio-interface plus the
 // electronics plan, ready to instantiate into a simulatable cell.
@@ -52,8 +111,8 @@ func Synthesize(cand *Candidate) (*Platform, error) {
 	}
 	for i := range cand.Chambers {
 		p.Electrodes = append(p.Electrodes,
-			electrode.NewReference(fmt.Sprintf("RE%d", i+1)),
-			electrode.NewCounter(fmt.Sprintf("CE%d", i+1)))
+			electrode.NewReference(tabName(&reNameTab, "RE", i+1, "")),
+			electrode.NewCounter(tabName(&ceNameTab, "CE", i+1, "")))
 	}
 
 	// --- Netlist ---------------------------------------------------------
@@ -104,26 +163,26 @@ func buildNetlist(cand *Candidate) (*netlist.Design, error) {
 	// Chamber-side blocks.
 	for i, ch := range cand.Chambers {
 		n := i + 1
-		if err := add(fmt.Sprintf("pstat%d", n), netlist.Potentiostat, ch); err != nil {
+		if err := add(tabName(&pstatNameTab, "pstat", n, ""), netlist.Potentiostat, ch); err != nil {
 			return nil, err
 		}
-		if err := add(fmt.Sprintf("RE%d", n), netlist.ReferenceElectrode, ch); err != nil {
+		if err := add(tabName(&reNameTab, "RE", n, ""), netlist.ReferenceElectrode, ch); err != nil {
 			return nil, err
 		}
-		if err := add(fmt.Sprintf("CE%d", n), netlist.CounterElectrode, ch); err != nil {
+		if err := add(tabName(&ceNameTab, "CE", n, ""), netlist.CounterElectrode, ch); err != nil {
 			return nil, err
 		}
 		if cand.Choice.Sharing == DedicatedChains || i == 0 {
 			if cand.Choice.Sharing == DedicatedChains {
-				if err := add(fmt.Sprintf("vgen%d", n), netlist.VoltageGenerator, vg.Name); err != nil {
+				if err := add(tabName(&vgenNameTab, "vgen", n, ""), netlist.VoltageGenerator, vg.Name); err != nil {
 					return nil, err
 				}
 			}
 		}
-		if err := d.Connect(fmt.Sprintf("net_re%d", n), fmt.Sprintf("pstat%d.re", n), fmt.Sprintf("RE%d.pin", n)); err != nil {
+		if err := d.Connect(tabName(&netReTab, "net_re", n, ""), tabName(&pstatRePinTab, "pstat", n, ".re"), tabName(&rePinTab, "RE", n, ".pin")); err != nil {
 			return nil, err
 		}
-		if err := d.Connect(fmt.Sprintf("net_ce%d", n), fmt.Sprintf("pstat%d.ce", n), fmt.Sprintf("CE%d.pin", n)); err != nil {
+		if err := d.Connect(tabName(&netCeTab, "net_ce", n, ""), tabName(&pstatCePinTab, "pstat", n, ".ce"), tabName(&cePinTab, "CE", n, ".pin")); err != nil {
 			return nil, err
 		}
 	}
@@ -135,11 +194,11 @@ func buildNetlist(cand *Candidate) (*netlist.Design, error) {
 	// Wire generators to potentiostats.
 	for i := range cand.Chambers {
 		n := i + 1
-		src := "vgen1"
+		src := "vgen1.out"
 		if cand.Choice.Sharing == DedicatedChains {
-			src = fmt.Sprintf("vgen%d", n)
+			src = tabName(&vgenOutTab, "vgen", n, ".out")
 		}
-		if err := d.Connect(fmt.Sprintf("net_set%d", n), src+".out", fmt.Sprintf("pstat%d.set", n)); err != nil {
+		if err := d.Connect(tabName(&netSetTab, "net_set", n, ""), src, tabName(&pstatSetPinTab, "pstat", n, ".set")); err != nil {
 			return nil, err
 		}
 	}
@@ -177,7 +236,7 @@ func buildNetlist(cand *Candidate) (*netlist.Design, error) {
 		readoutOf := map[string]string{}
 		for name := range classes {
 			ri++
-			inst := fmt.Sprintf("readout%d", ri)
+			inst := tabName(&readoutNameTab, "readout", ri, "")
 			if err := add(inst, netlist.Readout, name); err != nil {
 				return nil, err
 			}
@@ -187,7 +246,7 @@ func buildNetlist(cand *Candidate) (*netlist.Design, error) {
 			return nil, err
 		}
 		for i, ep := range cand.Electrodes {
-			if err := d.Connect(fmt.Sprintf("net_we%d", i+1), ep.Name+".pin", fmt.Sprintf("mux1.in%d", i+1)); err != nil {
+			if err := d.Connect(tabName(&netWeTab, "net_we", i+1, ""), wePin(i+1, ep.Name), tabName(&muxInTab, "mux1.in", i+1, "")); err != nil {
 				return nil, err
 			}
 		}
@@ -211,27 +270,25 @@ func buildNetlist(cand *Candidate) (*netlist.Design, error) {
 	case DedicatedChains:
 		for i, ep := range cand.Electrodes {
 			n := i + 1
-			rname := fmt.Sprintf("readout%d", n)
-			aname := fmt.Sprintf("adc%d", n)
-			if err := add(rname, netlist.Readout, ep.Readout.Name); err != nil {
+			if err := add(tabName(&readoutNameTab, "readout", n, ""), netlist.Readout, ep.Readout.Name); err != nil {
 				return nil, err
 			}
-			if err := add(aname, netlist.ADC, "12-bit"); err != nil {
+			if err := add(tabName(&adcNameTab, "adc", n, ""), netlist.ADC, "12-bit"); err != nil {
 				return nil, err
 			}
-			if err := d.Connect(fmt.Sprintf("net_we%d", n), ep.Name+".pin", rname+".in"); err != nil {
+			if err := d.Connect(tabName(&netWeTab, "net_we", n, ""), wePin(n, ep.Name), tabName(&readoutInTab, "readout", n, ".in")); err != nil {
 				return nil, err
 			}
-			if err := d.Connect(fmt.Sprintf("net_out%d", n), rname+".out", aname+".in"); err != nil {
+			if err := d.Connect(tabName(&netOutTab, "net_out", n, ""), tabName(&readoutOutTab, "readout", n, ".out"), tabName(&adcInTab, "adc", n, ".in")); err != nil {
 				return nil, err
 			}
-			if err := d.Connect(fmt.Sprintf("net_data%d", n), aname+".out", "ctrl.data"); err != nil {
+			if err := d.Connect(tabName(&netDataTab, "net_data", n, ""), tabName(&adcOutTab, "adc", n, ".out"), "ctrl.data"); err != nil {
 				return nil, err
 			}
 		}
 		for i := range cand.Chambers {
 			n := i + 1
-			if err := d.Connect(fmt.Sprintf("net_ctrl_vgen%d", n), "ctrl.wave", fmt.Sprintf("vgen%d.prog", n)); err != nil {
+			if err := d.Connect(tabName(&netCtrlVgenTab, "net_ctrl_vgen", n, ""), "ctrl.wave", tabName(&vgenProgTab, "vgen", n, ".prog")); err != nil {
 				return nil, err
 			}
 		}
@@ -257,13 +314,14 @@ func (p *Platform) Instantiate(solutions map[string]*cell.Solution) (*cell.Cell,
 			sol = cell.NewSolution()
 		}
 		ch := &cell.Chamber{Name: chName, Solution: sol}
-		for _, ep := range cand.Electrodes {
-			if cand.ChamberOf[ep.Name] == chName {
+		ch.Electrodes = make([]*electrode.Electrode, 0, len(cand.Electrodes)+2)
+		for j, ep := range cand.Electrodes {
+			if cand.ChamberFor(j) == chName {
 				ch.Electrodes = append(ch.Electrodes, byName[ep.Name])
 			}
 		}
 		ch.Electrodes = append(ch.Electrodes,
-			byName[fmt.Sprintf("RE%d", i+1)], byName[fmt.Sprintf("CE%d", i+1)])
+			byName[tabName(&reNameTab, "RE", i+1, "")], byName[tabName(&ceNameTab, "CE", i+1, "")])
 		c.Chambers = append(c.Chambers, ch)
 	}
 	if err := c.Validate(); err != nil {

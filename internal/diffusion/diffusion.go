@@ -152,19 +152,29 @@ func New(cfg Config) (*CoupleSim, error) {
 		bv:    cfg.Kinetics,
 		d:     d,
 		dt:    cfg.Dt,
-		h:     make([]float64, n-1),
-		a:     make([]float64, n),
-		b:     make([]float64, n),
-		u:     make([]float64, n),
-		q:     make([]float64, n),
-		ginv:  make([]float64, n),
-		o:     make([]float64, n),
-		r:     make([]float64, n),
-		po:    make([]float64, n),
-		pr:    make([]float64, n),
 		bulkO: float64(cfg.BulkO),
 		bulkR: float64(cfg.BulkR),
 	}
+	// All ten per-node vectors are fixed-length for the life of the
+	// solver, so they are views over a single backing array (the
+	// calibration layer builds one solver per redox couple per
+	// electrode; keeping construction to two allocations matters there).
+	back := make([]float64, 10*n-1)
+	carve := func(k int) []float64 {
+		v := back[:k:k]
+		back = back[k:]
+		return v
+	}
+	s.h = carve(n - 1)
+	s.a = carve(n)
+	s.b = carve(n)
+	s.u = carve(n)
+	s.q = carve(n)
+	s.ginv = carve(n)
+	s.o = carve(n)
+	s.r = carve(n)
+	s.po = carve(n)
+	s.pr = carve(n)
 	for i := range s.h {
 		s.h[i] = h0 * math.Pow(gridGamma, float64(i))
 	}

@@ -3,6 +3,7 @@ package enzyme
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"advdiag/internal/phys"
 	"advdiag/internal/species"
@@ -220,6 +221,14 @@ func (a Assay) String() string {
 // AllAssays returns every registered (probe, substrate) option sorted by
 // target then probe name.
 func AllAssays() []Assay {
+	cached := allAssays()
+	return append([]Assay(nil), cached...)
+}
+
+// allAssays builds the sorted registry view once: registration happens
+// only at package init (mustOxidase/addCYP), so the list is immutable
+// by the time anything can call it.
+var allAssays = sync.OnceValue(func() []Assay {
 	var out []Assay
 	for _, o := range oxidases {
 		out = append(out, Assay{Probe: o.Name, Technique: Chronoamperometry, Target: o.Target, Oxidase: o})
@@ -236,15 +245,26 @@ func AllAssays() []Assay {
 		return out[i].Probe < out[j].Probe
 	})
 	return out
-}
+})
 
-// AssaysFor returns the sensing options for one target.
-func AssaysFor(target string) []Assay {
-	var out []Assay
-	for _, a := range AllAssays() {
-		if a.Target.Name == target {
-			out = append(out, a)
-		}
+// assayIndex groups the registry by target name. Entries are clipped to
+// their exact capacity so a caller's append reallocates instead of
+// clobbering the shared backing.
+var assayIndex = sync.OnceValue(func() map[string][]Assay {
+	idx := map[string][]Assay{}
+	for _, a := range allAssays() {
+		idx[a.Target.Name] = append(idx[a.Target.Name], a)
 	}
-	return out
+	for k, v := range idx {
+		idx[k] = v[:len(v):len(v)]
+	}
+	return idx
+})
+
+// AssaysFor returns the sensing options for one target. The slice is a
+// shared registry view; callers must not modify its elements. The
+// explorer calls this for every target of every enumerated design
+// point, which is why the registry is indexed rather than re-filtered.
+func AssaysFor(target string) []Assay {
+	return assayIndex()[target]
 }

@@ -27,6 +27,15 @@ func NewRNG(seed uint64) *RNG {
 // constant).
 const SplitmixGamma = 0x9E3779B97F4A7C15
 
+// Reset rewinds the generator to the exact state NewRNG(seed) would
+// produce, discarding any cached Box–Muller spare. Batched runners use
+// it to reuse one allocation across many deterministic streams.
+func (r *RNG) Reset(seed uint64) {
+	r.state = seed
+	r.spare = 0
+	r.spareOK = false
+}
+
 // Mix64 is the splitmix64 avalanche finalizer: a bijective mix whose
 // output bits all depend on all input bits. It is the shared scrambler
 // behind the RNG stream, per-sample seed derivation, and hash-ring

@@ -33,6 +33,8 @@ type Engine struct {
 	rng  *mathx.RNG
 	// busy flags an in-flight protocol run; see acquire.
 	busy atomic.Bool
+	// arena, when set, supplies the per-run trace buffers (see Arena).
+	arena *Arena
 
 	// Engine-owned scratch reused across protocol runs (an engine is
 	// single-goroutine, so no locking): the precomputed per-run source
@@ -128,8 +130,8 @@ func (r *CAResult) StepCurrent() phys.Current {
 		return r.SteadyCurrent()
 	}
 	// Skip the double-layer charging spike at the start of the baseline.
-	base := r.Current.Slice(r.Baseline*0.3, r.Baseline*0.95)
-	return phys.Current(mathx.Mean(r.Current.Tail(0.2)) - mathx.Mean(base.Values))
+	base := r.Current.Window(r.Baseline*0.3, r.Baseline*0.95)
+	return phys.Current(mathx.Mean(r.Current.Tail(0.2)) - mathx.Mean(base))
 }
 
 // RunCA performs chronoamperometry on the named working electrode
@@ -182,15 +184,15 @@ func (e *Engine) RunCA(weName string, chain *analog.Chain, proto Chronoamperomet
 
 	dt := proto.SampleInterval
 	n := int(proto.Duration/dt) + 1
-	raw, err := trace.NewSeries(0, dt, n, "A")
+	raw, err := e.newSeries(0, dt, n, "A")
 	if err != nil {
 		return nil, err
 	}
-	rec, err := trace.NewSeries(0, dt, n, "V")
+	rec, err := e.newSeries(0, dt, n, "V")
 	if err != nil {
 		return nil, err
 	}
-	cur, err := trace.NewSeries(0, dt, n, "A")
+	cur, err := e.newSeries(0, dt, n, "A")
 	if err != nil {
 		return nil, err
 	}
@@ -241,12 +243,14 @@ func (e *Engine) RunCA(weName string, chain *analog.Chain, proto Chronoamperomet
 	if ox != nil {
 		rxHalf = ox.EHalf
 	}
-	neighbours, err := e.Cell.Neighbours(weName)
-	if err != nil {
-		return nil, err
-	}
+	// Iterate the chamber's own electrode list (declaration order, like
+	// Cell.Neighbours) instead of materializing a neighbour slice per
+	// run.
 	e.crosstalks = e.crosstalks[:0]
-	for _, nb := range neighbours {
+	for _, nb := range ch.Electrodes {
+		if nb.Role != electrode.Working || nb.Name == weName {
+			continue
+		}
 		if nb.Func.IsBlank() || nb.Func.Assay.Technique != enzyme.Chronoamperometry {
 			continue
 		}
@@ -376,7 +380,7 @@ type CVResult struct {
 // unit flux traces scaled by each sample's effective concentration
 // reproduce the simulation at a fraction of the cost.
 func (e *Engine) RunCV(weName string, chain *analog.Chain, proto CyclicVoltammetry) (*CVResult, error) {
-	return e.runCV(weName, chain, proto, nil)
+	return e.runCV(weName, chain, proto, nil, nil)
 }
 
 // RunCVWithBasis is RunCV with the per-binding diffusion simulations
@@ -389,10 +393,89 @@ func (e *Engine) RunCVWithBasis(weName string, chain *analog.Chain, proto Cyclic
 	if basis == nil {
 		return nil, fmt.Errorf("measure: RunCVWithBasis needs a basis (use RunCV to simulate)")
 	}
-	return e.runCV(weName, chain, proto, basis)
+	return e.runCV(weName, chain, proto, basis, nil)
 }
 
-func (e *Engine) runCV(weName string, chain *analog.Chain, proto CyclicVoltammetry, basis *CVBasis) (*CVResult, error) {
+// RunCVShared is RunCVWithBasis with the per-binding flux scaling
+// replaced by a precomputed summed faradaic trace (see CVFaradaicSum).
+// Replicated electrodes of one sample share the same active bindings,
+// concentrations and factors, so the scaling pass — the only
+// per-binding work of the basis mode — is computed once per
+// construction and reused across the replicas. The result is
+// bit-identical to RunCVWithBasis: the shared trace carries the exact
+// per-step sums the inner loop would have accumulated.
+func (e *Engine) RunCVShared(weName string, chain *analog.Chain, proto CyclicVoltammetry, basis *CVBasis, faradaic []float64) (*CVResult, error) {
+	if basis == nil {
+		return nil, fmt.Errorf("measure: RunCVShared needs a basis")
+	}
+	if faradaic == nil {
+		return nil, fmt.Errorf("measure: RunCVShared needs a faradaic trace (use CVFaradaicSum)")
+	}
+	return e.runCV(weName, chain, proto, basis, faradaic)
+}
+
+// CVFaradaicSum precomputes the summed basis-mode faradaic current
+// trace for one electrode and sample: dst[i] = Σ_active factor_b ·
+// flux_b[i], accumulated in exactly the binding order and arithmetic of
+// the RunCVWithBasis inner loop. dst is reused when large enough. The
+// engine's RNG is untouched — the active-binding set is a pure function
+// of the solution and the basis.
+func (e *Engine) CVFaradaicSum(weName string, proto CyclicVoltammetry, basis *CVBasis, dst []float64) ([]float64, error) {
+	if basis == nil {
+		return nil, fmt.Errorf("measure: CVFaradaicSum needs a basis")
+	}
+	proto = proto.WithDefaults()
+	we, err := e.Cell.FindWE(weName)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := e.Cell.ChamberOf(weName)
+	if err != nil {
+		return nil, err
+	}
+	var cyp *enzyme.CYP
+	if !we.Func.IsBlank() {
+		if we.Func.Assay.Technique != enzyme.CyclicVoltammetry {
+			return nil, fmt.Errorf("measure: %s carries a %s assay; cyclic voltammetry needs a CYP", weName, we.Func.Assay.Technique)
+		}
+		cyp = we.Func.Assay.CYP
+	}
+	if err := basis.check(weName, proto); err != nil {
+		return nil, err
+	}
+	sweep := analog.TriangleSweep{Start: proto.Start, Vertex: proto.Vertex, Rate: proto.Rate, Cycles: proto.Cycles}
+	dt := proto.SampleInterval
+	n := int(sweep.Duration()/dt) + 1
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	if cyp == nil {
+		return dst, nil
+	}
+	gain := we.Gain() * we.Func.StabilityFactor()
+	for _, b := range cyp.Bindings {
+		conc := ch.Solution.At(b.Substrate.Name, 0)
+		if conc <= 0 {
+			continue
+		}
+		tr := basis.flux[b.Substrate.Name]
+		if len(tr) < n {
+			return nil, fmt.Errorf("measure: basis for %s lacks a %s trace", weName, b.Substrate.Name)
+		}
+		ceff := b.EffectiveConcentration(conc)
+		factor := b.Theta * gain * float64(diffusion.Current(b.N, we.Area, float64(ceff)))
+		for i := 0; i < n; i++ {
+			dst[i] += factor * tr[i]
+		}
+	}
+	return dst, nil
+}
+
+func (e *Engine) runCV(weName string, chain *analog.Chain, proto CyclicVoltammetry, basis *CVBasis, faradaic []float64) (*CVResult, error) {
 	defer e.acquire()()
 	proto = proto.WithDefaults()
 	if err := proto.Validate(); err != nil {
@@ -449,7 +532,10 @@ func (e *Engine) runCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 			return nil, err
 		}
 	}
-	if cyp != nil {
+	if faradaic != nil && len(faradaic) < n {
+		return nil, fmt.Errorf("measure: faradaic trace for %s has %d samples, run needs %d", weName, len(faradaic), n)
+	}
+	if cyp != nil && faradaic == nil {
 		for _, b := range cyp.Bindings {
 			conc := ch.Solution.At(b.Substrate.Name, 0)
 			if conc <= 0 {
@@ -482,19 +568,19 @@ func (e *Engine) runCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 		}
 	}
 
-	pot, err := trace.NewSeries(0, dt, n, "V")
+	pot, err := e.newSeries(0, dt, n, "V")
 	if err != nil {
 		return nil, err
 	}
-	raw, err := trace.NewSeries(0, dt, n, "A")
+	raw, err := e.newSeries(0, dt, n, "A")
 	if err != nil {
 		return nil, err
 	}
-	rec, err := trace.NewSeries(0, dt, n, "V")
+	rec, err := e.newSeries(0, dt, n, "V")
 	if err != nil {
 		return nil, err
 	}
-	cur, err := trace.NewSeries(0, dt, n, "A")
+	cur, err := e.newSeries(0, dt, n, "A")
 	if err != nil {
 		return nil, err
 	}
@@ -539,13 +625,17 @@ func (e *Engine) runCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 		eAct := chain.ApplyPotential(eProg)
 
 		var iF phys.Current
-		for k := range active {
-			ab := &active[k]
-			if ab.sim != nil {
-				flux := ab.sim.Step(eAct)
-				iF += phys.Current(ab.b.Theta * gain * float64(diffusion.Current(ab.b.N, we.Area, flux)))
-			} else {
-				iF += phys.Current(ab.factor * ab.flux[i])
+		if faradaic != nil {
+			iF = phys.Current(faradaic[i])
+		} else {
+			for k := range active {
+				ab := &active[k]
+				if ab.sim != nil {
+					flux := ab.sim.Step(eAct)
+					iF += phys.Current(ab.b.Theta * gain * float64(diffusion.Current(ab.b.N, we.Area, flux)))
+				} else {
+					iF += phys.Current(ab.factor * ab.flux[i])
+				}
 			}
 		}
 		// Double-layer charging tracks dE/dt.
@@ -569,9 +659,11 @@ func (e *Engine) runCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 
 	// Voltammogram: the final full cycle.
 	first := finalCycleFirstIndex(n, dt, total-2*sweep.HalfPeriod())
-	vg := trace.NewXY("V", "A")
-	vg.X = make([]float64, 0, n-first)
-	vg.Y = make([]float64, 0, n-first)
+	vg := e.newXY("V", "A")
+	if cap(vg.X) < n-first {
+		vg.X = make([]float64, 0, n-first)
+		vg.Y = make([]float64, 0, n-first)
+	}
 	for i := first; i < n; i++ {
 		vg.Append(pot.Values[i], cur.Values[i])
 	}

@@ -6,7 +6,6 @@ package netlist
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -87,12 +86,16 @@ type Design struct {
 	netOrd []string
 }
 
-// New returns an empty design.
+// New returns an empty design. Maps are pre-sized for the synthesized
+// platforms (a dozen-odd blocks and nets each) so the explorer's
+// per-candidate netlists build without rehashing.
 func New(title string) *Design {
 	return &Design{
 		Title:  title,
-		blocks: make(map[string]*Block),
-		nets:   make(map[string]*Net),
+		blocks: make(map[string]*Block, 16),
+		order:  make([]string, 0, 16),
+		nets:   make(map[string]*Net, 16),
+		netOrd: make([]string, 0, 16),
 	}
 }
 
@@ -130,7 +133,9 @@ func (d *Design) Connect(netName string, pins ...string) error {
 			return fmt.Errorf("netlist: net %q references unknown block %q", netName, blk)
 		}
 	}
-	d.nets[netName] = &Net{Name: netName, Pins: append([]string(nil), pins...)}
+	// The net keeps the variadic slice directly; callers hand over pin
+	// lists they do not mutate afterwards.
+	d.nets[netName] = &Net{Name: netName, Pins: pins}
 	d.netOrd = append(d.netOrd, netName)
 	return nil
 }
@@ -174,73 +179,106 @@ func (d *Design) BlocksOf(kind BlockKind) []*Block {
 
 // Check runs design rules: every block wired, every working electrode
 // reaches a readout through nets, exactly one potentiostat per
-// reference electrode.
+// reference electrode. The explorer synthesizes and checks a netlist
+// per platform, so the whole pass runs on block indices over a handful
+// of shared buffers rather than string-keyed maps per net.
 func (d *Design) Check() error {
 	if len(d.blocks) == 0 {
 		return fmt.Errorf("netlist: empty design")
 	}
-	wired := map[string]bool{}
-	for _, n := range d.nets {
-		for _, p := range n.Pins {
-			blk, _, _ := splitPin(p)
-			wired[blk] = true
+	n := len(d.order)
+	idx := make(map[string]int, n)
+	for i, name := range d.order {
+		idx[name] = i
+	}
+	// All fixed-size integer and boolean work buffers are carved from
+	// two backings; only the edge list (sized by the degree sum) needs
+	// its own allocation.
+	intBack := make([]int, 4*n+1)
+	deg := intBack[:n]
+	offs := intBack[n : 2*n+1]
+	fill := intBack[2*n+1 : 3*n+1]
+	queue := intBack[3*n+1 : 3*n+1 : 4*n+1]
+	boolBack := make([]bool, 2*n)
+	wired := boolBack[:n]
+	visited := boolBack[n:]
+	blks := make([]int, 0, 8)
+	collect := func(net *Net) []int {
+		blks = blks[:0]
+		for _, p := range net.Pins {
+			b, _, _ := splitPin(p)
+			i := idx[b]
+			wired[i] = true
+			dup := false
+			for _, j := range blks {
+				if j == i {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				blks = append(blks, i)
+			}
+		}
+		return blks
+	}
+	for _, name := range d.netOrd {
+		bs := collect(d.nets[name])
+		for _, a := range bs {
+			deg[a] += len(bs) - 1
 		}
 	}
-	for name := range d.blocks {
-		if !wired[name] {
+	for i := 0; i < n; i++ {
+		offs[i+1] = offs[i] + deg[i]
+	}
+	edges := make([]int, offs[n])
+	for _, name := range d.netOrd {
+		bs := collect(d.nets[name])
+		for _, a := range bs {
+			for _, b := range bs {
+				if a != b {
+					edges[offs[a]+fill[a]] = b
+					fill[a]++
+				}
+			}
+		}
+	}
+	for i, name := range d.order {
+		if !wired[i] {
 			return fmt.Errorf("netlist: block %q is not connected", name)
 		}
 	}
-	// Reachability: WE → readout via net adjacency.
-	adj := d.adjacency()
-	for _, we := range d.BlocksOf(WorkingElectrode) {
-		if !d.reaches(adj, we.Name, Readout) {
-			return fmt.Errorf("netlist: working electrode %q has no path to a readout", we.Name)
-		}
-	}
-	for _, re := range d.BlocksOf(ReferenceElectrode) {
-		if !d.reaches(adj, re.Name, Potentiostat) {
-			return fmt.Errorf("netlist: reference electrode %q has no path to a potentiostat", re.Name)
+	// Reachability: WE → readout via net adjacency (BFS over indices;
+	// reachability is order-independent, so neighbours need no sorting).
+	for i, name := range d.order {
+		b := d.blocks[name]
+		switch b.Kind {
+		case WorkingElectrode:
+			if !d.reaches(offs, edges, visited, queue, i, Readout) {
+				return fmt.Errorf("netlist: working electrode %q has no path to a readout", b.Name)
+			}
+		case ReferenceElectrode:
+			if !d.reaches(offs, edges, visited, queue, i, Potentiostat) {
+				return fmt.Errorf("netlist: reference electrode %q has no path to a potentiostat", b.Name)
+			}
 		}
 	}
 	return nil
 }
 
-func (d *Design) adjacency() map[string][]string {
-	adj := map[string][]string{}
-	for _, n := range d.nets {
-		var blks []string
-		seen := map[string]bool{}
-		for _, p := range n.Pins {
-			b, _, _ := splitPin(p)
-			if !seen[b] {
-				seen[b] = true
-				blks = append(blks, b)
-			}
-		}
-		for _, a := range blks {
-			for _, b := range blks {
-				if a != b {
-					adj[a] = append(adj[a], b)
-				}
-			}
-		}
+func (d *Design) reaches(offs, edges []int, visited []bool, queue []int, from int, kind BlockKind) bool {
+	for i := range visited {
+		visited[i] = false
 	}
-	return adj
-}
-
-func (d *Design) reaches(adj map[string][]string, from string, kind BlockKind) bool {
-	visited := map[string]bool{from: true}
-	queue := []string{from}
+	visited[from] = true
+	queue = append(queue[:0], from)
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		if d.blocks[cur].Kind == kind {
+		if d.blocks[d.order[cur]].Kind == kind {
 			return true
 		}
-		next := append([]string(nil), adj[cur]...)
-		sort.Strings(next)
-		for _, nb := range next {
+		for _, nb := range edges[offs[cur]:offs[cur+1]] {
 			if !visited[nb] {
 				visited[nb] = true
 				queue = append(queue, nb)

@@ -120,9 +120,8 @@ func TestReachabilityThroughMux(t *testing.T) {
 	_ = d.AddBlock("r", Readout, "")
 	_ = d.Connect("n1", "WE.pin", "mux.in1")
 	_ = d.Connect("n2", "mux.out", "r.in")
-	adj := d.adjacency()
-	if !d.reaches(adj, "WE", Readout) {
-		t.Fatal("WE must reach the readout through the mux")
+	if err := d.Check(); err != nil {
+		t.Fatalf("WE must reach the readout through the mux: %v", err)
 	}
 }
 

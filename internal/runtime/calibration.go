@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,11 @@ type weCalib struct {
 	templates map[string][]float64
 	unitPeak  map[string]float64
 	nuisances [][]float64
+	// fitPlan prefactors the template decomposition (columns, alias
+	// clusters, least-squares elimination) over the calibration grid so
+	// the per-sample fit is a single right-hand-side solve — see
+	// analysis.FitPlan. Immutable, shared read-only.
+	fitPlan *analysis.FitPlan
 	// basis holds the full-length unit flux traces behind the
 	// templates; Executor.Run feeds it to measure.RunCVWithBasis so the
 	// per-sample hot path scales cached traces instead of re-running
@@ -74,6 +80,12 @@ type cache struct {
 	mu      sync.Mutex
 	entries map[string]*weCalib
 
+	// fast maps electrode name → entry. The structural key above dedups
+	// computation across replicated constructions; this index makes the
+	// steady-state lookup a single lock-free map read instead of a
+	// per-call fmt key build (the hot path's last avoidable allocation).
+	fast sync.Map
+
 	hits   atomic.Uint64
 	misses atomic.Uint64
 }
@@ -88,21 +100,36 @@ func newCache(e *Executor) *cache {
 // across differently-seeded platforms even if caches were ever shared).
 func (cc *cache) key(ep core.ElectrodePlan) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%v|%v|seed=%d", ep.Nano, ep.Technique, cc.e.seed)
+	b.Grow(96)
+	b.WriteString(ep.Nano.String())
+	b.WriteByte('|')
+	b.WriteString(ep.Technique.String())
+	b.WriteString("|seed=")
+	var tmp [20]byte
+	b.Write(strconv.AppendUint(tmp[:0], cc.e.seed, 10))
 	for _, a := range ep.Assays {
-		fmt.Fprintf(&b, "|%s:%s", a.Target.Name, a.Probe)
+		b.WriteByte('|')
+		b.WriteString(a.Target.Name)
+		b.WriteByte(':')
+		b.WriteString(a.Probe)
 	}
 	return b.String()
 }
 
 // forElectrode returns the calibration state for one planned electrode,
-// computing and caching it on first use.
+// computing and caching it on first use. Repeat lookups for a name
+// resolve through the lock-free name index.
 func (cc *cache) forElectrode(ep core.ElectrodePlan) (*weCalib, error) {
+	if c, ok := cc.fast.Load(ep.Name); ok {
+		cc.hits.Add(1)
+		return c.(*weCalib), nil
+	}
 	k := cc.key(ep)
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if c, ok := cc.entries[k]; ok {
 		cc.hits.Add(1)
+		cc.fast.Store(ep.Name, c)
 		return c, nil
 	}
 	cc.misses.Add(1)
@@ -111,6 +138,7 @@ func (cc *cache) forElectrode(ep core.ElectrodePlan) (*weCalib, error) {
 		return nil, err
 	}
 	cc.entries[k] = c
+	cc.fast.Store(ep.Name, c)
 	return c, nil
 }
 
@@ -167,6 +195,10 @@ func (cc *cache) compute(ep core.ElectrodePlan) (*weCalib, error) {
 			c.unitPeak[name] = UnitPeakHeight(tpl)
 		}
 		c.nuisances = FilmNuisances(grid.X, ep.Assays[0].CYP)
+		c.fitPlan, err = analysis.NewFitPlan(grid.X, templates, c.nuisances...)
+		if err != nil {
+			return nil, fmt.Errorf("advdiag: electrode %s fit plan: %w", ep.Name, err)
+		}
 	default:
 		return nil, fmt.Errorf("advdiag: electrode %s has unsupported technique %v", ep.Name, ep.Technique)
 	}

@@ -21,13 +21,11 @@ package runtime
 import (
 	"fmt"
 	"sort"
+	"sync"
 
-	"advdiag/internal/analysis"
-	"advdiag/internal/cell"
 	"advdiag/internal/core"
 	"advdiag/internal/enzyme"
 	"advdiag/internal/mathx"
-	"advdiag/internal/measure"
 	"advdiag/internal/phys"
 	"advdiag/internal/schedule"
 )
@@ -56,6 +54,11 @@ type Executor struct {
 	inner *core.Platform
 	seed  uint64
 	calib *cache
+
+	// scratch pools panelScratch values (the reusable cell + engine +
+	// chain + trace state of a panel run) so sequential runs recycle
+	// their allocations. See panelScratch in batch.go.
+	scratch sync.Pool
 }
 
 // NewExecutor builds the execution engine for a synthesized platform.
@@ -150,117 +153,10 @@ func (e *Executor) Run(sample map[string]float64, seed uint64) (Panel, error) {
 // stateless: the fault travels with the call, so one Executor can
 // serve healthy and fouled shards concurrently.
 func (e *Executor) RunFouled(sample map[string]float64, seed uint64, fault *Fouling) (Panel, error) {
-	if err := ValidateSample(sample); err != nil {
-		return Panel{}, err
-	}
-	cand := e.inner.Candidate
-
-	// Build per-chamber solutions holding the full sample.
-	names := make([]string, 0, len(sample))
-	for name := range sample {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	solutions := map[string]*cell.Solution{}
-	for _, ch := range cand.Chambers {
-		sol := cell.NewSolution()
-		for _, name := range names {
-			sol.Set(name, phys.MilliMolar(sample[name]))
-		}
-		solutions[ch] = sol
-	}
-	c, err := e.inner.Instantiate(solutions)
-	if err != nil {
-		return Panel{}, err
-	}
-	eng, err := measure.NewEngine(c, seed)
-	if err != nil {
-		return Panel{}, err
-	}
-
-	var out Panel
-	out.PanelSeconds = cand.PanelTime
-	for _, ep := range cand.Electrodes {
-		if ep.Blank {
-			continue
-		}
-		cal, err := e.calib.forElectrode(ep)
-		if err != nil {
-			return Panel{}, err
-		}
-		chain, err := e.inner.ChainFor(ep.Name, eng.RNG())
-		if err != nil {
-			return Panel{}, err
-		}
-		switch ep.Technique {
-		case enzyme.Chronoamperometry:
-			// Two-phase protocol: buffer baseline, then the sample. The
-			// baseline-subtracted step cancels run offsets and direct-
-			// oxidizer interferent currents.
-			res, err := eng.RunCA(ep.Name, chain, measure.Chronoamperometry{
-				Duration:      ep.ProtocolTime,
-				BaselinePhase: core.CABaselinePhase,
-			})
-			if err != nil {
-				return Panel{}, err
-			}
-			a := ep.Assays[0]
-			step := res.StepCurrent()
-			if fault != nil && fault.matches(a.Target.Name) {
-				step = phys.Current(fault.perturb(float64(step), seed, a.Target.Name))
-			}
-			est := cal.invertCA(step)
-			out.Readings = append(out.Readings, Reading{
-				Target:            a.Target.Name,
-				WE:                ep.Name,
-				Probe:             a.Probe,
-				MeasuredMicroAmps: step.MicroAmps(),
-				EstimatedMM:       est.MilliMolar(),
-				TrueMM:            sample[a.Target.Name],
-			})
-		case enzyme.CyclicVoltammetry:
-			// The cached basis replaces the per-sample diffusion
-			// simulations: the linearity of the diffusion problem makes
-			// scaled unit flux traces exact, and it is what makes panel
-			// throughput independent of the solver's cost.
-			res, err := eng.RunCVWithBasis(ep.Name, chain, cal.proto, cal.basis)
-			if err != nil {
-				return Panel{}, err
-			}
-			// Quantify by template decomposition (exact for the linear
-			// diffusion problem) against the cached unit templates;
-			// report the detected peak potential when the peak is
-			// prominent enough to stand alone.
-			fit, err := analysis.FitCVComponents(res.Voltammogram, cal.templates, cal.nuisances...)
-			if err != nil {
-				return Panel{}, fmt.Errorf("advdiag: %s: %w", ep.Name, err)
-			}
-			for _, a := range ep.Assays {
-				b := a.Binding
-				amp := fit.Amplitudes[a.Target.Name]
-				if fault != nil && fault.matches(a.Target.Name) {
-					amp = fault.perturb(amp, seed, a.Target.Name)
-				}
-				height := amp * cal.unitPeak[a.Target.Name]
-				est := InvertEffective(b, amp)
-				peakMV := 0.0
-				if pk, err := analysis.PeakNear(res.Voltammogram, b.PeakPotential, phys.MilliVolts(80), 0); err == nil {
-					peakMV = pk.Potential.MilliVolts()
-				}
-				out.Readings = append(out.Readings, Reading{
-					Target:            a.Target.Name,
-					WE:                ep.Name,
-					Probe:             a.Probe,
-					MeasuredMicroAmps: height * 1e6,
-					EstimatedMM:       est.MilliMolar(),
-					TrueMM:            sample[a.Target.Name],
-					PeakMV:            peakMV,
-				})
-			}
-		}
-	}
-	out.Readings = MergeReplicas(out.Readings)
-	return out, nil
+	s := e.getScratch()
+	out, err := e.runWith(s, sample, seed, fault)
+	e.putScratch(s)
+	return out, err
 }
 
 // MergeReplicas averages replicate readings of the same target (array

@@ -1,0 +1,123 @@
+package signalproc
+
+import "sort"
+
+// This file holds the scratch-buffer variants of the package's hot
+// routines. Each XInto function computes exactly what X computes —
+// same arithmetic, same ordering — but writes into a caller-owned
+// buffer (grown only when too small) instead of allocating, so the
+// per-panel analysis loops can run allocation-free.
+
+// MovingAverageInto is MovingAverage writing into dst. The returned
+// slice aliases dst's backing array when it has capacity for the input.
+func MovingAverageInto(dst, xs []float64, width int) []float64 {
+	dst = growFloats(dst, len(xs))
+	if width <= 1 {
+		copy(dst, xs)
+		return dst
+	}
+	half := width / 2
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi > len(xs)-1 {
+			hi = len(xs) - 1
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		dst[i] = s / float64(hi-lo+1)
+	}
+	return dst
+}
+
+// DetrendInto is Detrend writing into dst.
+func DetrendInto(dst, ys []float64) []float64 {
+	dst = growFloats(dst, len(ys))
+	if len(ys) < 2 {
+		copy(dst, ys)
+		return dst
+	}
+	slope := (ys[len(ys)-1] - ys[0]) / float64(len(ys)-1)
+	for i := range ys {
+		dst[i] = ys[i] - (ys[0] + slope*float64(i))
+	}
+	return dst
+}
+
+// FindPeaksInto is FindPeaks appending into dst[:0]. The detection,
+// deduplication and prominence ordering are identical to FindPeaks
+// (including the unstable sort's tie behaviour — it is the same sort).
+func FindPeaksInto(dst []Peak, xs, ys []float64, minProminence float64) []Peak {
+	dst = dst[:0]
+	if len(xs) != len(ys) || len(ys) < 3 {
+		return dst
+	}
+	if cap(dst) == 0 {
+		// A voltammogram rarely carries more than a handful of real
+		// peaks; one up-front allocation replaces the cold append ramp.
+		dst = make([]Peak, 0, 16)
+	}
+	for i := 1; i < len(ys)-1; i++ {
+		if !(ys[i] > ys[i-1] && ys[i] >= ys[i+1]) {
+			continue
+		}
+		prom := prominence(ys, i)
+		if prom < minProminence {
+			continue
+		}
+		x, y := refine(xs, ys, i)
+		dst = append(dst, Peak{Index: i, X: x, Y: y, Prominence: prom})
+	}
+	dst = dedupeInPlace(xs, dst)
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Prominence > dst[j].Prominence })
+	return dst
+}
+
+// dedupeInPlace performs dedupe's plateau-twin merge without the output
+// allocation: each peak is compared against the already-kept prefix,
+// exactly as dedupe compares against its growing output slice.
+func dedupeInPlace(xs []float64, peaks []Peak) []Peak {
+	if len(peaks) < 2 {
+		return peaks
+	}
+	dx := 0.0
+	if len(xs) > 1 {
+		dx = xs[1] - xs[0]
+		if dx < 0 {
+			dx = -dx
+		}
+	}
+	kept := 0
+	for _, p := range peaks {
+		dup := false
+		for _, q := range peaks[:kept] {
+			d := p.X - q.X
+			if d < 0 {
+				d = -d
+			}
+			if d <= dx {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			peaks[kept] = p
+			kept++
+		}
+	}
+	return peaks[:kept]
+}
+
+// growFloats returns dst resized to n samples, reallocating only when
+// the capacity is insufficient.
+func growFloats(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}

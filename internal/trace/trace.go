@@ -95,6 +95,28 @@ func (s *Series) Slice(t0, t1 float64) *Series {
 	return out
 }
 
+// Window returns the samples whose timestamps fall in [t0, t1] as a
+// view into the series' own storage — Slice without the copy, for
+// callers that only reduce the window (means, extrema) and never
+// retain it.
+func (s *Series) Window(t0, t1 float64) []float64 {
+	if t1 < t0 {
+		t0, t1 = t1, t0
+	}
+	first := 0
+	for first < len(s.Values) && s.Time(first) < t0 {
+		first++
+	}
+	last := len(s.Values) - 1
+	for last >= 0 && s.Time(last) > t1 {
+		last--
+	}
+	if last < first {
+		return nil
+	}
+	return s.Values[first : last+1]
+}
+
 // Map returns a new series with f applied to every sample (e.g. a
 // transimpedance conversion). The time base is preserved.
 func (s *Series) Map(f func(float64) float64, unit string) *Series {

@@ -147,6 +147,70 @@ func (l *Lab) runOne(idx int, s Sample) PanelOutcome {
 	return l.runIndexed(idx, idx, s, nil)
 }
 
+// labBatchMax bounds how many panels one coalesced batch runs over a
+// single executor scratch. Large enough to amortize the scratch's cell,
+// engine and chain reuse across a whole queue burst, small enough that
+// a batch never holds a worker for more than a handful of panels at a
+// time.
+const labBatchMax = 16
+
+// labBatchJob is one slot of a coalesced panel batch: the seed index
+// picks the sample's deterministic noise stream, the schedule index its
+// slot on the instrument timeline (they coincide for plain Lab batches
+// and diverge on Fleet shards).
+type labBatchJob struct {
+	seedIdx, schedIdx int
+	sample            Sample
+}
+
+// runBatch executes a coalesced run of panels over one executor scratch
+// and writes the outcome for jobs[i] into out[i]. Every panel is
+// bit-identical to the equivalent runIndexed call (the batch kernel
+// reuses allocations, never noise streams); only the bookkeeping
+// differs: the aggregate stats advance once per batch, and WallSeconds
+// reports the batch's wall-clock cost spread evenly across its panels,
+// since the shared scratch makes per-panel attribution meaningless.
+func (l *Lab) runBatch(jobs []labBatchJob, fault *rt.Fouling, out []PanelOutcome) {
+	start := time.Now()
+	concs := make([]map[string]float64, len(jobs))
+	seeds := make([]uint64, len(jobs))
+	for i, j := range jobs {
+		concs[i] = j.sample.Concentrations
+		seeds[i] = rt.SampleSeed(l.seed, j.seedIdx)
+	}
+	panels, errs := l.p.exec.RunBatch(concs, seeds, fault)
+	end := time.Now()
+
+	per := end.Sub(start).Seconds() / float64(len(jobs))
+	var failures uint64
+	for i, j := range jobs {
+		o := PanelOutcome{
+			Index:                 j.seedIdx,
+			ID:                    j.sample.ID,
+			Err:                   errs[i],
+			ScheduledStartSeconds: float64(j.schedIdx) * l.plan.CycleTime(),
+			WallSeconds:           per,
+		}
+		if errs[i] == nil {
+			o.Result = panelResult(panels[i])
+		} else {
+			failures++
+		}
+		out[i] = o
+	}
+
+	l.statMu.Lock()
+	l.panels += uint64(len(jobs))
+	l.failures += failures
+	if l.firstStart.IsZero() || start.Before(l.firstStart) {
+		l.firstStart = start
+	}
+	if end.After(l.lastEnd) {
+		l.lastEnd = end
+	}
+	l.statMu.Unlock()
+}
+
 // runIndexed executes one panel and updates the aggregate stats.
 // seedIdx picks the sample's deterministic noise stream (in a Fleet it
 // is the fleet-wide submission index, which is what makes results
@@ -188,10 +252,38 @@ func (l *Lab) runIndexed(seedIdx, schedIdx int, s Sample, fault *rt.Fouling) Pan
 // RunPanels measures a batch of samples on the worker pool and returns
 // one outcome per sample, in sample order. Per-sample failures land in
 // the outcome's Err; the rest of the batch is unaffected.
+//
+// Samples run in contiguous chunks so each chunk shares one executor
+// scratch (cell, engine, chains, trace arena — see runtime.RunBatch);
+// results are byte-identical to one-panel-at-a-time execution at any
+// worker count, because each panel's noise stream derives only from its
+// sample index. Each outcome's WallSeconds is its chunk's wall time
+// spread evenly over the chunk.
 func (l *Lab) RunPanels(samples []Sample) []PanelOutcome {
-	out := make([]PanelOutcome, len(samples))
-	conc.ForEach(len(samples), l.workers, func(i int) {
-		out[i] = l.runOne(i, samples[i])
+	n := len(samples)
+	out := make([]PanelOutcome, n)
+	if n == 0 {
+		return out
+	}
+	chunk := n / l.workers
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > labBatchMax {
+		chunk = labBatchMax
+	}
+	nChunks := (n + chunk - 1) / chunk
+	conc.ForEach(nChunks, l.workers, func(ci int) {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		jobs := make([]labBatchJob, hi-lo)
+		for j := range jobs {
+			jobs[j] = labBatchJob{seedIdx: lo + j, schedIdx: lo + j, sample: samples[lo+j]}
+		}
+		l.runBatch(jobs, nil, out[lo:hi])
 	})
 	return out
 }

@@ -2,12 +2,14 @@ package advdiag
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -368,6 +370,28 @@ const (
 	maxOutcomeBytes = 2 * maxSampleBytes
 )
 
+// binaryAdvertisement is the response header that tells clients this
+// server speaks the binary panel codec; clients probe it on /healthz
+// and switch their batch/stream traffic to wire.BinaryMediaType. A
+// JSON-only server never sets it, which is the whole fallback protocol.
+const binaryAdvertisement = "X-Advdiag-Binary"
+
+// advertiseBinary stamps the codec advertisement on a response.
+func advertiseBinary(w http.ResponseWriter) { w.Header().Set(binaryAdvertisement, "1") }
+
+// wantsBinaryBody reports whether the request body is binary-framed
+// (Content-Type negotiation on the intake side).
+func wantsBinaryBody(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == wire.BinaryMediaType || strings.HasPrefix(ct, wire.BinaryMediaType+";")
+}
+
+// wantsBinaryResponse reports whether the client asked for binary
+// outcomes (Accept negotiation on the egress side).
+func wantsBinaryResponse(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.BinaryMediaType)
+}
+
 // decodeSampleBody reads and strictly decodes one wire.Sample request
 // body, writing the HTTP error itself (and counting the wire error)
 // on failure.
@@ -431,26 +455,54 @@ func (s *Server) handlePanel(w http.ResponseWriter, r *http.Request) {
 // atomic-reject (400). Submission itself is per-sample: outcomes of
 // samples shed by backpressure carry the error while the rest of the
 // batch proceeds; if every sample was shed the response is 429.
+//
+// Codec negotiation: a Content-Type of wire.BinaryMediaType switches
+// the request body to concatenated binary sample frames, and an Accept
+// naming it switches the response to concatenated binary outcome
+// frames; the two directions negotiate independently, with the JSON
+// shapes as the default on both.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	advertiseBinary(w)
 	body, err := s.readAll(w, r, maxBatchBytes)
 	if err != nil {
 		return
 	}
-	var raw []json.RawMessage
-	if err := json.Unmarshal(body, &raw); err != nil {
-		s.wireErrs.Add(1)
-		httpError(w, http.StatusBadRequest, fmt.Errorf("wire: batch: %w", err))
-		return
-	}
-	samples := make([]Sample, len(raw))
-	for i, msg := range raw {
-		ws, err := wire.UnmarshalSample(msg)
-		if err != nil {
+	var samples []Sample
+	if wantsBinaryBody(r) {
+		br := bytes.NewReader(body)
+		for i := 0; ; i++ {
+			frame, err := wire.ReadBinaryFrame(br, maxSampleBytes)
+			if err == io.EOF {
+				break
+			}
+			if err == nil {
+				var ws wire.Sample
+				if ws, err = wire.UnmarshalSampleBinary(frame); err == nil {
+					samples = append(samples, sampleFromWire(ws))
+					continue
+				}
+			}
 			s.wireErrs.Add(1)
 			httpError(w, http.StatusBadRequest, fmt.Errorf("sample %d: %w", i, err))
 			return
 		}
-		samples[i] = sampleFromWire(ws)
+	} else {
+		var raw []json.RawMessage
+		if err := json.Unmarshal(body, &raw); err != nil {
+			s.wireErrs.Add(1)
+			httpError(w, http.StatusBadRequest, fmt.Errorf("wire: batch: %w", err))
+			return
+		}
+		samples = make([]Sample, len(raw))
+		for i, msg := range raw {
+			ws, err := wire.UnmarshalSample(msg)
+			if err != nil {
+				s.wireErrs.Add(1)
+				httpError(w, http.StatusBadRequest, fmt.Errorf("sample %d: %w", i, err))
+				return
+			}
+			samples[i] = sampleFromWire(ws)
+		}
 	}
 
 	chans := make([]<-chan PanelOutcome, len(samples))
@@ -494,16 +546,49 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if wantsBinaryResponse(r) {
+		w.Header().Set("Content-Type", wire.BinaryMediaType)
+		for _, out := range outs {
+			writeBinaryOutcome(w, out)
+		}
+		return
+	}
 	writeJSON(w, outs)
 }
 
-// handleStream serves POST /v1/panels/stream: NDJSON samples in,
-// NDJSON outcomes out, written in completion order as panels finish
-// (each line carries seq, the request line it answers). Per-line
-// failures — parse errors, shed samples — become error outcomes on the
-// stream; the connection stays up.
+// writeBinaryOutcome frames one outcome onto a binary response. An
+// outcome the binary encoder refuses (a non-finite float smuggled into
+// a result — nothing the serving path produces) degrades to an error
+// outcome in its slot, so the frame count always matches the request.
+func writeBinaryOutcome(w io.Writer, out wire.Outcome) {
+	frame, err := wire.MarshalOutcomeBinary(out)
+	if err != nil {
+		frame, err = wire.MarshalOutcomeBinary(errorOutcome(out.Seq, out.ID, err))
+		if err != nil {
+			return
+		}
+	}
+	w.Write(frame) //nolint:errcheck // client gone = stream over
+}
+
+// handleStream serves POST /v1/panels/stream: samples in, outcomes out,
+// written in completion order as panels finish (each carries seq, the
+// request position it answers). Per-sample failures — parse errors,
+// shed samples — become error outcomes on the stream; the connection
+// stays up.
+//
+// Codec negotiation mirrors the batch endpoint: a Content-Type of
+// wire.BinaryMediaType switches the request from NDJSON lines to
+// binary sample frames, an Accept naming it switches the response to
+// binary outcome frames, and the two directions are independent.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	binOut := wantsBinaryResponse(r)
+	advertiseBinary(w)
+	if binOut {
+		w.Header().Set("Content-Type", wire.BinaryMediaType)
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
 	// Outcomes start flowing before the request body is fully read;
 	// without full duplex the HTTP/1 server discards the unread body at
 	// the first write and the stream dies mid-request.
@@ -516,7 +601,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		defer close(writerDone)
 		enc := json.NewEncoder(w)
 		for out := range results {
-			enc.Encode(out) //nolint:errcheck // client gone = stream over
+			if binOut {
+				writeBinaryOutcome(w, out)
+			} else {
+				enc.Encode(out) //nolint:errcheck // client gone = stream over
+			}
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -524,37 +613,64 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	var wg sync.WaitGroup
-	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxBatchBytes))
-	sc.Buffer(make([]byte, 64*1024), maxSampleBytes)
-	seq := 0
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue // blank lines are NDJSON keep-alives
-		}
-		ws, err := wire.UnmarshalSample(line)
-		if err != nil {
+	// submitDecoded routes one decoded (or failed) sample; decodeErr
+	// covers the wire boundary, submit errors stay service errors.
+	submitDecoded := func(seq int, ws wire.Sample, decodeErr error) {
+		if decodeErr != nil {
 			s.wireErrs.Add(1)
-			results <- errorOutcome(seq, "", err)
-			seq++
-			continue
+			results <- errorOutcome(seq, "", decodeErr)
+			return
 		}
 		sm := sampleFromWire(ws)
 		ch, err := s.submit(sm)
 		if err != nil {
 			results <- errorOutcome(seq, sm.ID, err)
-			seq++
-			continue
+			return
 		}
 		wg.Add(1)
 		go func(seq int, ch <-chan PanelOutcome) {
 			defer wg.Done()
 			results <- toWireOutcome(seq, <-ch)
 		}(seq, ch)
-		seq++
 	}
-	if err := sc.Err(); err != nil {
-		results <- errorOutcome(seq, "", fmt.Errorf("wire: stream: %w", err))
+
+	seq := 0
+	body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
+	if wantsBinaryBody(r) {
+		br := bufio.NewReader(body)
+		for {
+			frame, err := wire.ReadBinaryFrame(br, maxSampleBytes)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// A torn frame poisons everything after it (framing is
+				// lost); answer it and stop intake — already-accepted
+				// samples still stream their outcomes.
+				s.wireErrs.Add(1)
+				results <- errorOutcome(seq, "", fmt.Errorf("wire: stream: %w", err))
+				seq++
+				break
+			}
+			ws, err := wire.UnmarshalSampleBinary(frame)
+			submitDecoded(seq, ws, err)
+			seq++
+		}
+	} else {
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 64*1024), maxSampleBytes)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue // blank lines are NDJSON keep-alives
+			}
+			ws, err := wire.UnmarshalSample(line)
+			submitDecoded(seq, ws, err)
+			seq++
+		}
+		if err := sc.Err(); err != nil {
+			results <- errorOutcome(seq, "", fmt.Errorf("wire: stream: %w", err))
+		}
 	}
 	wg.Wait()
 	close(results)
@@ -728,8 +844,11 @@ func (s *Server) handleDiagnosis(w http.ResponseWriter, _ *http.Request) {
 
 // handleHealth serves GET /healthz: 200 while accepting work, 503 once
 // draining — load balancers stop routing before the listener goes
-// away.
+// away. The response also carries the binary-codec advertisement,
+// which is how a Client's one-time probe decides between the binary
+// and JSON panel transports.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	advertiseBinary(w)
 	s.subMu.Lock()
 	draining := s.draining
 	s.subMu.Unlock()

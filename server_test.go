@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"advdiag"
 	"advdiag/wire"
@@ -170,7 +171,13 @@ func TestServerSinglePanel(t *testing.T) {
 // handler never blocks on a full queue), the client must surface it as
 // ErrFleetSaturated, and GET /v1/stats must account for every reject.
 func TestServerSaturation429(t *testing.T) {
-	_, client := newTestServer(t, 1, advdiag.WithFleetWorkers(1), advdiag.WithFleetQueueDepth(1))
+	// A slow-shard fault stalls the lone worker a few ms per job so the
+	// burst reliably finds the depth-1 queue full, however fast the
+	// panel kernel gets; the delay changes timing only, never results.
+	_, client := newTestServer(t, 1, advdiag.WithFleetWorkers(1), advdiag.WithFleetQueueDepth(1),
+		advdiag.WithFleetFaultPlan(advdiag.FaultPlan{Faults: []advdiag.Fault{
+			{Kind: advdiag.FaultSlowShard, Shard: 0, Delay: 5 * time.Millisecond},
+		}}))
 	sample := advdiag.Sample{ID: "burst", Concentrations: map[string]float64{"glucose": 5.0}}
 
 	var saturated, served int

@@ -53,6 +53,52 @@ func TestWireBridgeFingerprint(t *testing.T) {
 	}
 }
 
+// TestWireBridgeFingerprintBinary is the same round-trip property
+// through the binary codec: a PanelResult carried inside a binary
+// outcome frame must come back fingerprint-identical, across the
+// double range.
+func TestWireBridgeFingerprintBinary(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		rng := mathx.NewRNG(seed + 1000)
+		gnarly := func() float64 {
+			switch rng.Uint64() % 4 {
+			case 0:
+				return math.Copysign(5e-324*float64(1+rng.Uint64()%997), rng.Float64()-0.5)
+			case 1:
+				return math.Copysign(1e307*rng.Float64(), rng.Float64()-0.5)
+			default:
+				return (rng.Float64() - 0.5) * 1e3
+			}
+		}
+		pr := PanelResult{PanelSeconds: 90 * rng.Float64()}
+		for i := uint64(0); i < seed%6; i++ {
+			pr.Readings = append(pr.Readings, TargetReading{
+				Target:            "species-µ",
+				WE:                "we1",
+				Probe:             "GOx",
+				MeasuredMicroAmps: gnarly(),
+				EstimatedMM:       gnarly(),
+				TrueMM:            gnarly(),
+				PeakMV:            gnarly(),
+			})
+		}
+
+		o := PanelOutcome{Index: int(seed), ID: "p", Result: pr}
+		data, err := wire.MarshalOutcomeBinary(toWireOutcome(0, o))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		wo, err := wire.UnmarshalOutcomeBinary(data)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		back := outcomeFromWire(wo)
+		if got, want := back.Result.Fingerprint(), pr.Fingerprint(); got != want {
+			t.Fatalf("seed %d: fingerprint %x != %x after binary wire round trip", seed, got, want)
+		}
+	}
+}
+
 // TestWireBridgeOutcome pins the outcome bridge both ways, including
 // the error side (errors travel as strings and come back as errors).
 func TestWireBridgeOutcome(t *testing.T) {
