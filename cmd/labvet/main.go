@@ -1,0 +1,130 @@
+// Command labvet is the project's static-analysis suite: it
+// mechanically enforces the determinism, hot-path, and wire-strictness
+// contracts that tests and reviewers previously guarded by hand.
+//
+// Usage:
+//
+//	labvet [-json] [-fix] [-rules] [-C dir] [patterns ...]
+//
+// Patterns are package directories relative to the module root
+// ("./...", "./internal/lint", "wire"); the default is ./... . The
+// exit code is 0 when no error-severity finding survives suppression,
+// 1 when at least one does, and 2 when loading or type-checking fails.
+//
+//	-json   emit the versioned lint.Report JSON document instead of text
+//	-fix    apply suggested fixes (collect-sort-range, allow-reason
+//	        placeholders) in place, then report what remains
+//	-rules  print the rule table and exit
+//	-C dir  operate on the module containing dir
+//
+// The suite is stdlib-only (go/parser, go/types, and the compiler's
+// source importer) so it builds and runs with no dependency beyond the
+// toolchain: `go run ./cmd/labvet ./...` works on a fresh checkout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"advdiag/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("labvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a versioned JSON report")
+	applyFix := fs.Bool("fix", false, "apply suggested fixes in place, then report what remains")
+	listRules := fs.Bool("rules", false, "print the rule table and exit")
+	chdir := fs.String("C", "", "operate on the module containing this directory (default: cwd)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listRules {
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(stdout, "%-20s %-7s %s\n", r.ID, r.Severity, r.Doc)
+		}
+		fmt.Fprintf(stdout, "%-20s %-7s %s\n", lint.RuleAllowUnknownRule, lint.SeverityError, "an //advdiag:allow directive names a rule the suite does not know")
+		fmt.Fprintf(stdout, "%-20s %-7s %s\n", lint.RuleAllowEmptyReason, lint.SeverityError, "an //advdiag:allow directive gives no reason; suppressions must argue their safety")
+		fmt.Fprintf(stdout, "%-20s %-7s %s\n", lint.RuleAllowStale, lint.SeverityWarning, "an //advdiag:allow directive no longer suppresses anything; delete it")
+		return 0
+	}
+
+	dir := *chdir
+	if dir == "" {
+		dir = "."
+	}
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	cfg := lint.DefaultConfig()
+	findings := lint.Run(pkgs, cfg)
+
+	if *applyFix {
+		changed, err := lint.ApplyFixes(findings)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		for _, f := range changed {
+			fmt.Fprintf(stderr, "labvet: fixed %s\n", f)
+		}
+		if len(changed) > 0 {
+			// Re-analyze: fixed files moved positions and (ideally)
+			// resolved findings.
+			reloader, err := lint.NewLoader(dir)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			if pkgs, err = reloader.Load(patterns...); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			findings = lint.Run(pkgs, cfg)
+		}
+	}
+
+	if *jsonOut {
+		report := lint.Report{Version: lint.ReportVersion, Findings: findings}
+		if report.Findings == nil {
+			report.Findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s [%s]\n", f.File, f.Line, f.Col, f.Severity, f.Message, f.Rule)
+		}
+		if len(findings) == 0 {
+			fmt.Fprintln(stdout, "labvet: clean")
+		}
+	}
+	if lint.HasErrors(findings) {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"advdiag/internal/lint"
+)
+
+// moduleRoot returns the repo root (two levels up from cmd/labvet).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestRulesTable(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules"}, &out, &errb); code != 0 {
+		t.Fatalf("labvet -rules exit = %d, stderr: %s", code, errb.String())
+	}
+	// Every analyzer and every suppression rule appears in the table.
+	for _, r := range lint.Rules() {
+		if !strings.Contains(out.String(), r.ID) {
+			t.Errorf("rule table missing %s", r.ID)
+		}
+	}
+	for _, id := range []string{lint.RuleAllowUnknownRule, lint.RuleAllowEmptyReason, lint.RuleAllowStale} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("rule table missing suppression rule %s", id)
+		}
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+}
+
+// TestCleanPackageJSON runs the real CLI path over a small clean
+// package and decodes the versioned report.
+func TestCleanPackageJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", moduleRoot(t), "-json", "./internal/conc"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("labvet -json ./internal/conc exit = %d, stderr: %s", code, errb.String())
+	}
+	var report lint.Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("report does not decode: %v\n%s", err, out.String())
+	}
+	if report.Version != lint.ReportVersion {
+		t.Errorf("report version = %d, want %d", report.Version, lint.ReportVersion)
+	}
+	if report.Findings == nil {
+		t.Error("findings is null, want an empty array")
+	}
+	if len(report.Findings) != 0 {
+		t.Errorf("unexpected findings: %+v", report.Findings)
+	}
+}
+
+// TestDirtyPackageExitsOne points labvet at the hotpath golden
+// package (annotation-driven rules fire without any config) and
+// expects findings plus exit code 1 — the deliberate-violation check
+// the CI contract relies on.
+func TestDirtyPackageExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", moduleRoot(t), "./internal/lint/testdata/src/hotpath"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("labvet on dirty package exit = %d, want 1 (stdout: %s stderr: %s)", code, out.String(), errb.String())
+	}
+	for _, rule := range []string{lint.RuleHotFmt, lint.RuleHotClosure, lint.RuleHotAppend} {
+		if !strings.Contains(out.String(), "["+rule+"]") {
+			t.Errorf("text output missing a %s finding:\n%s", rule, out.String())
+		}
+	}
+}

@@ -332,6 +332,23 @@
 // A CVBasis is immutable after construction and safe for concurrent
 // readers.
 //
+// # Static analysis
+//
+// The contracts above are machine-enforced by the project's own
+// analyzer suite, internal/lint, fronted by cmd/labvet ("go run
+// ./cmd/labvet ./..."). Determinism rules ban wall-clock reads,
+// math/rand, and order-sensitive map iteration in the kernel packages
+// (internal/runtime, internal/measure, internal/diffusion,
+// internal/analog, wire); hot-path rules keep //advdiag:hotpath
+// functions free of fmt calls, escaping closures, and grow-from-nil
+// appends; wire-parity rules require every exported wire field in the
+// JSON twin and both binary codec directions; lifecycle rules encode
+// the two-lock serving design (no blocking Submit or channel send
+// under a mutex) and the one-engine-per-goroutine rule. Violations
+// that are intentionally safe carry an "//advdiag:allow <rule>
+// <reason>" directive — the reason is mandatory and checked. See the
+// README's "Static analysis: labvet" section for the rule table.
+//
 // BENCH_PR9.json at the repository root records the tracked performance
 // baseline: single-worker and fleet panels/sec, fleet allocs/panel, the
 // Fig. 1–4 benchmark costs (cmd/labbench -json regenerates that half,

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// The determinism analyzers enforce the replay contract on kernel
+// packages (Config.Kernel): every bit of a panel result must be a pure
+// function of the design and the seed, so Fleet.ReplayPanel can
+// recompute any outcome bit-identically on any topology. Wall-clock
+// reads, the process-global math/rand source, and order-sensitive map
+// iteration each break that silently — tests catch them only when a
+// golden trace happens to cover the poisoned path.
+
+// checkDetTime flags selections of time.Now, time.Since, and
+// time.Until in kernel packages.
+func checkDetTime(p *Package, cfg *Config) []Finding {
+	if !cfg.isKernel(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Now", "Since", "Until":
+				out = append(out, p.finding(sel.Pos(),
+					"time.%s in kernel package %s: results must be a pure function of design and seed; take timing from the schedule plan or a caller-passed timestamp",
+					sel.Sel.Name, p.Types.Name()))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkDetRand flags math/rand (and math/rand/v2) imports in kernel
+// packages — one finding per import spec. The package-global source
+// those packages front is process-seeded; kernel randomness must come
+// from mathx.RNG streams seeded via runtime.SampleSeed.
+func checkDetRand(p *Package, cfg *Config) []Finding {
+	if !cfg.isKernel(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, p.finding(imp.Pos(),
+					"%s imported in kernel package %s: use a mathx.RNG seeded from runtime.SampleSeed so noise streams replay",
+					path, p.Types.Name()))
+			}
+		}
+	}
+	return out
+}
+
+// checkDetMapRange flags order-sensitive map iteration in kernel
+// packages. A range over a map is clean only when every statement in
+// its body is order-independent by construction:
+//
+//   - the key-collect idiom: s = append(s, k) of the key alone (the
+//     caller sorts s before using it);
+//   - a store into another map indexed by the loop key: m2[k] = expr;
+//   - a delete from another map keyed by the loop key: delete(m2, k).
+//
+// Everything else — writes to accumulator variables, early returns,
+// calls that observe the iteration — sees Go's randomized map order
+// and is flagged. Bodies that are order-independent for a reason the
+// analyzer cannot see (a commutative reduction, a min-key selection)
+// carry an //advdiag:allow det-maprange directive whose reason states
+// the argument.
+func checkDetMapRange(p *Package, cfg *Config) []Finding {
+	if !cfg.isKernel(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if p.mapRangeBodyIsOrderFree(rng) {
+				return true
+			}
+			fnd := p.finding(rng.Pos(),
+				"order-sensitive range over map %s in kernel package %s: collect the keys, sort them, and range the sorted slice",
+				exprString(p, rng.X), p.Types.Name())
+			if fix, ok := p.sortedRangeFix(f, rng); ok {
+				fnd.Fix = fix
+			}
+			out = append(out, fnd)
+			return true
+		})
+	}
+	return out
+}
+
+// mapRangeBodyIsOrderFree reports whether every statement of the range
+// body is one of the sanctioned order-independent forms.
+func (p *Package) mapRangeBodyIsOrderFree(rng *ast.RangeStmt) bool {
+	keyName := ""
+	if id, ok := rng.Key.(*ast.Ident); ok {
+		keyName = id.Name
+	}
+	if keyName == "" || keyName == "_" {
+		// No usable key: nothing in the body can be keyed by it, so
+		// any body statement is order-suspect.
+		return len(rng.Body.List) == 0
+	}
+	for _, st := range rng.Body.List {
+		switch st := st.(type) {
+		case *ast.AssignStmt:
+			if !p.orderFreeAssign(st, keyName) {
+				return false
+			}
+		case *ast.ExprStmt:
+			// delete(m2, k)
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return false
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "delete" || p.Info.Uses[id] != types.Universe.Lookup("delete") {
+				return false
+			}
+			if arg, ok := call.Args[1].(*ast.Ident); !ok || arg.Name != keyName {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// orderFreeAssign recognizes the two sanctioned assignment forms
+// inside a map-range body: appending the loop key to a slice, and
+// storing into a map indexed by the loop key.
+func (p *Package) orderFreeAssign(st *ast.AssignStmt, keyName string) bool {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return false
+	}
+	// m2[k] = expr
+	if idx, ok := st.Lhs[0].(*ast.IndexExpr); ok {
+		if id, ok := idx.Index.(*ast.Ident); ok && id.Name == keyName {
+			if tv, ok := p.Info.Types[idx.X]; ok {
+				_, isMap := tv.Type.Underlying().(*types.Map)
+				return isMap
+			}
+		}
+		return false
+	}
+	// s = append(s, k) — s may be a plain variable or a field
+	// (scratch.names); what matters is that the destination and the
+	// assignee are the same storage and only the key is appended.
+	switch st.Lhs[0].(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return false
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || p.Info.Uses[fn] != types.Universe.Lookup("append") {
+		return false
+	}
+	if exprString(p, call.Args[0]) != exprString(p, st.Lhs[0]) {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == keyName
+}
+
+// exprString renders a (small) expression for messages.
+func exprString(p *Package, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(p, e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(p, e.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}

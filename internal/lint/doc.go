@@ -1,0 +1,39 @@
+// Package lint is the advdiag static-analysis suite behind cmd/labvet:
+// stdlib-only analyzers (go/parser, go/types, and the compiler's
+// source importer — no dependency beyond the toolchain) that
+// mechanically enforce the repository's contracts.
+//
+// Four analyzer families, eleven rules:
+//
+//   - determinism (det-time, det-rand, det-maprange): kernel packages
+//     listed in Config.Kernel must compute results as a pure function
+//     of design and seed, so Fleet.ReplayPanel can recompute any
+//     outcome bit-identically.
+//   - hotpath (hot-fmt, hot-closure, hot-append): functions annotated
+//     //advdiag:hotpath must not reintroduce the per-call allocation
+//     patterns the AllocsPerRun ceilings were won by removing.
+//   - wire-parity (wire-json, wire-bin-encode, wire-bin-decode): every
+//     exported field of a wire struct appears in the JSON twin and, if
+//     the struct takes part in the binary codec, in both the encoder
+//     and the decoder.
+//   - lifecycle (life-locked-submit, life-engine-capture): no blocking
+//     Submit or channel send while holding a mutex (the serving
+//     layer's two-lock design), and no measure.Engine captured by a
+//     goroutine-spawning closure (one engine per goroutine).
+//
+// Suppression grammar, placed on the offending line or the line
+// directly above:
+//
+//	//advdiag:allow <rule-id> <reason...>
+//
+// The reason is mandatory (allow-empty-reason is an error), the rule
+// ID must exist (allow-unknown-rule), and a directive that no longer
+// suppresses anything warns (allow-stale).
+//
+// Entry points: NewLoader/Load/LoadDir parse and type-check packages,
+// Run executes every rule and applies suppressions, ApplyFixes applies
+// the mechanical edits some findings carry, and Report is the
+// versioned JSON document labvet -json emits. Golden tests under
+// testdata/src pin each rule's firing and non-firing cases with
+// expectation comments.
+package lint

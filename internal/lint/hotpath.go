@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The hotpath analyzers back the AllocsPerRun ceilings with a
+// compile-time gate. A function annotated //advdiag:hotpath (the
+// directive goes in, or directly below, the doc comment) declares
+// itself allocation-bounded: per-call fmt formatting, escaping
+// closures, and grow-from-nil appends in loops are exactly the three
+// allocation patterns past PRs removed from RunCA/RunCV and the codec,
+// and the annotation keeps them from creeping back.
+
+// HotpathDirective is the annotation that opts a function into the
+// hot-path rules.
+const HotpathDirective = "//advdiag:hotpath"
+
+// hotFuncs returns the declared functions annotated //advdiag:hotpath.
+func hotFuncs(p *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.TrimSpace(c.Text) == HotpathDirective {
+					out = append(out, fd)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkHotFmt flags direct calls into package fmt from annotated
+// functions. Even the error-path ones count: the rule is mechanical,
+// and a call that genuinely runs only on a cold path carries an
+// //advdiag:allow hot-fmt directive saying so.
+func checkHotFmt(p *Package, _ *Config) []Finding {
+	var out []Finding
+	for _, fd := range hotFuncs(p) {
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := p.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				out = append(out, p.finding(sel.Pos(),
+					"fmt.%s in hot-path function %s: fmt allocates on every call; preformat the string or use strconv",
+					sel.Sel.Name, name))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkHotClosure flags function literals in annotated functions
+// except immediately-invoked ones (func(){...}() compiles without an
+// allocation when it does not escape; a literal that is stored,
+// passed, returned, deferred, or launched does escape and allocates
+// its context).
+func checkHotClosure(p *Package, _ *Config) []Finding {
+	var out []Finding
+	for _, fd := range hotFuncs(p) {
+		name := fd.Name.Name
+		immediate := map[*ast.FuncLit]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if lit, ok := call.Fun.(*ast.FuncLit); ok {
+					immediate[lit] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok || immediate[lit] {
+				return true
+			}
+			out = append(out, p.finding(lit.Pos(),
+				"escaping closure in hot-path function %s: the context allocates per call; hoist it to a method or pass explicit arguments",
+				name))
+			return true
+		})
+	}
+	return out
+}
+
+// checkHotAppend flags append-in-a-loop onto a slice the function
+// declared as nil (var s []T, s := []T{}, s := []T(nil)) without later
+// preallocation — the grow path reallocates log(n) times per call
+// where a make(T, 0, n) costs one.
+func checkHotAppend(p *Package, _ *Config) []Finding {
+	var out []Finding
+	for _, fd := range hotFuncs(p) {
+		name := fd.Name.Name
+		fresh := freshNilSlices(p, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				body = n.Body
+			case *ast.RangeStmt:
+				body = n.Body
+			default:
+				return true
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				st, ok := n.(*ast.AssignStmt)
+				if !ok || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+					return true
+				}
+				lhs, ok := st.Lhs[0].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := call.Fun.(*ast.Ident)
+				if !ok || fn.Name != "append" || p.Info.Uses[fn] != types.Universe.Lookup("append") {
+					return true
+				}
+				if v, ok := p.Info.Uses[lhs].(*types.Var); ok && fresh[v] {
+					out = append(out, p.finding(st.Pos(),
+						"append onto fresh nil slice %s in a loop inside hot-path function %s: preallocate with make(%s, 0, n)",
+						lhs.Name, name, v.Type().String()))
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// freshNilSlices collects the slice variables fd declares with no
+// backing array — var s []T (no initializer), s := []T{}, s := []T(nil)
+// — that the function never re-points at real storage. A later
+// s = make([]T, 0, n) (or any assignment other than appending to
+// itself) clears the fresh-nil status: the declaration was just
+// scoping, the capacity decision happens at the make.
+func freshNilSlices(p *Package, fd *ast.FuncDecl) map[*types.Var]bool {
+	fresh := map[*types.Var]bool{}
+	mark := func(id *ast.Ident) {
+		if v, ok := p.Info.Defs[id].(*types.Var); ok {
+			if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+				fresh[v] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if emptySliceExpr(p, n.Rhs[0]) {
+				mark(id)
+			}
+		}
+		return true
+	})
+	// Second pass: an assignment that re-points the variable at real
+	// storage (anything but an empty-slice value or a self-append)
+	// clears it.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return true
+		}
+		id, ok := st.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		var v *types.Var
+		if u, ok := p.Info.Uses[id].(*types.Var); ok {
+			v = u
+		} else if d, ok := p.Info.Defs[id].(*types.Var); ok {
+			v = d
+		}
+		if v == nil || !fresh[v] {
+			return true
+		}
+		if emptySliceExpr(p, st.Rhs[0]) || isSelfAppend(p, st) {
+			return true
+		}
+		delete(fresh, v)
+		return true
+	})
+	return fresh
+}
+
+// isSelfAppend reports whether st is x = append(x, ...).
+func isSelfAppend(p *Package, st *ast.AssignStmt) bool {
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 1 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || p.Info.Uses[fn] != types.Universe.Lookup("append") {
+		return false
+	}
+	lhs, ok := st.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	return ok && dst.Name == lhs.Name
+}
+
+// emptySliceExpr reports whether e is a zero-capacity slice value:
+// []T{} or []T(nil).
+func emptySliceExpr(p *Package, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		if len(e.Elts) != 0 {
+			return false
+		}
+		tv, ok := p.Info.Types[e]
+		if !ok {
+			return false
+		}
+		_, isSlice := tv.Type.Underlying().(*types.Slice)
+		return isSlice
+	case *ast.CallExpr: // []T(nil) conversion
+		if len(e.Args) != 1 {
+			return false
+		}
+		if id, ok := e.Args[0].(*ast.Ident); !ok || id.Name != "nil" {
+			return false
+		}
+		tv, ok := p.Info.Types[e.Fun]
+		if !ok || !tv.IsType() {
+			return false
+		}
+		_, isSlice := tv.Type.Underlying().(*types.Slice)
+		return isSlice
+	}
+	return false
+}

@@ -1,0 +1,389 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The lifecycle analyzers encode two concurrency contracts that cost
+// real debugging time before they were written down:
+//
+//   - the two-lock design of the serving layer (PR 5): a goroutine
+//     holding a mutex must not block on a shard queue — blocking
+//     Submit and bare channel sends park the lock holder, and every
+//     other path through that lock parks behind it. Release first, or
+//     use TrySubmit / a select with a default arm.
+//   - one-engine-per-goroutine (PR 1): a measure.Engine owns its RNG
+//     stream; capturing one in a goroutine-spawning closure interleaves
+//     noise draws and destroys reproducibility even when the race
+//     detector sees nothing.
+
+// checkLifeLockedSubmit walks each function body in source order
+// tracking which mutexes are held (x.Lock() acquires, x.Unlock()
+// releases, defer x.Unlock() holds to function exit; branches that end
+// in return/panic do not leak their lock state into the fall-through
+// path) and flags blocking operations under a held lock: calls to
+// methods named Submit, and channel sends outside a select that has a
+// default arm.
+func checkLifeLockedSubmit(p *Package, _ *Config) []Finding {
+	var out []Finding
+	walkFuncBodies(p, func(body *ast.BlockStmt) {
+		w := &lockWalker{p: p}
+		w.block(body, map[string]bool{})
+		out = append(out, w.findings...)
+	})
+	return out
+}
+
+// walkFuncBodies visits every function body in the package — declared
+// functions and function literals alike, each analyzed with fresh lock
+// state (a literal runs on whatever goroutine calls it; the rule is
+// about the lexical hold within one body).
+func walkFuncBodies(p *Package, visit func(*ast.BlockStmt)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					visit(n.Body)
+				}
+			case *ast.FuncLit:
+				visit(n.Body)
+			}
+			return true
+		})
+	}
+}
+
+type lockWalker struct {
+	p        *Package
+	findings []Finding
+}
+
+// block processes stmts in order against held and returns the exit
+// state (nil when every path out of the block terminates).
+func (w *lockWalker) block(b *ast.BlockStmt, held map[string]bool) map[string]bool {
+	return w.stmts(b.List, held)
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) map[string]bool {
+	for _, st := range list {
+		held = w.stmt(st, held)
+		if held == nil {
+			return nil
+		}
+	}
+	return held
+}
+
+// stmt processes one statement, returning the fall-through lock state
+// (nil when the statement always terminates the enclosing flow).
+func (w *lockWalker) stmt(st ast.Stmt, held map[string]bool) map[string]bool {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		return w.block(st, held)
+	case *ast.ExprStmt:
+		w.exprOps(st.X, held)
+		return held
+	case *ast.AssignStmt, *ast.ReturnStmt, *ast.IncDecStmt, *ast.DeclStmt:
+		ast.Inspect(st, w.opInspector(held))
+		if _, ok := st.(*ast.ReturnStmt); ok {
+			return nil
+		}
+		return held
+	case *ast.SendStmt:
+		ast.Inspect(st.Value, w.opInspector(held))
+		if len(held) > 0 {
+			w.flagSend(st, held)
+		}
+		return held
+	case *ast.DeferStmt:
+		// defer x.Unlock() pins the lock to function exit: the state
+		// simply stays held for the remaining statements, which is
+		// what we want to check. Other deferred calls are inspected
+		// for operations (their bodies run with the lock still held
+		// whenever the defer was registered under it).
+		if recv, name, ok := w.mutexMethod(st.Call); ok && (name == "Unlock" || name == "RUnlock") {
+			_ = recv
+			return held
+		}
+		ast.Inspect(st.Call, w.opInspector(held))
+		return held
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = w.stmt(st.Init, held)
+			if held == nil {
+				return nil
+			}
+		}
+		ast.Inspect(st.Cond, w.opInspector(held))
+		thenExit := w.block(st.Body, copyState(held))
+		var elseExit map[string]bool
+		if st.Else != nil {
+			elseExit = w.stmt(st.Else, copyState(held))
+		} else {
+			elseExit = held
+		}
+		return mergeStates(thenExit, elseExit)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = w.stmt(st.Init, held)
+		}
+		if held == nil {
+			return nil
+		}
+		if st.Cond != nil {
+			ast.Inspect(st.Cond, w.opInspector(held))
+		}
+		w.block(st.Body, copyState(held))
+		return held
+	case *ast.RangeStmt:
+		ast.Inspect(st.X, w.opInspector(held))
+		w.block(st.Body, copyState(held))
+		return held
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault && len(held) > 0 {
+				w.flagSend(send, held)
+			}
+			w.stmts(cc.Body, copyState(held))
+		}
+		return held
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		ast.Inspect(st, w.opInspector(held))
+		return held
+	case *ast.BranchStmt:
+		return nil
+	case *ast.GoStmt:
+		// The spawned body runs with its own (empty) lock state and is
+		// visited by walkFuncBodies; launching it does not block.
+		return held
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, held)
+	default:
+		return held
+	}
+}
+
+// exprOps scans one expression for lock transitions and blocking
+// operations, mutating held in place.
+func (w *lockWalker) exprOps(e ast.Expr, held map[string]bool) {
+	ast.Inspect(e, w.opInspector(held))
+}
+
+// opInspector returns an ast.Inspect callback that applies lock
+// transitions and flags Submit calls under a held lock. Function
+// literals are skipped (they run elsewhere; walkFuncBodies covers
+// them).
+func (w *lockWalker) opInspector(held map[string]bool) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, name, ok := w.mutexMethod(call); ok {
+			switch name {
+			case "Lock", "RLock":
+				held[recv] = true
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+			}
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Submit" && len(held) > 0 {
+			w.findings = append(w.findings, w.p.finding(call.Pos(),
+				"blocking %s.Submit while holding %s: a full queue parks this lock holder and everything behind it; release the lock first or use TrySubmit",
+				exprString(w.p, sel.X), heldNames(held)))
+		}
+		return true
+	}
+}
+
+func (w *lockWalker) flagSend(st *ast.SendStmt, held map[string]bool) {
+	w.findings = append(w.findings, w.p.finding(st.Pos(),
+		"blocking send on %s while holding %s: a full channel parks this lock holder; release the lock first or send under a select with a default arm",
+		exprString(w.p, st.Chan), heldNames(held)))
+}
+
+// mutexMethod reports whether call is x.Lock/Unlock/RLock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the receiver's source form as
+// the lock identity.
+func (w *lockWalker) mutexMethod(call *ast.CallExpr) (recv, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, okT := w.p.Info.Types[sel.X]
+	if !okT {
+		return "", "", false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", "", false
+	}
+	return exprString(w.p, sel.X), sel.Sel.Name, true
+}
+
+func copyState(held map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(held))
+	for k := range held {
+		cp[k] = true
+	}
+	return cp
+}
+
+// mergeStates joins the exit states of two branches: nil (terminated)
+// branches contribute nothing; two live branches merge conservatively
+// by union, so a lock released on only one path still counts as held.
+func mergeStates(a, b map[string]bool) map[string]bool {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := copyState(a)
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// heldNames renders the held-lock set for messages, sorted for
+// deterministic output.
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	// Tiny set; insertion sort keeps this dependency-free of sort for
+	// no reason — use lexicographic selection.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// checkLifeEngineCapture flags closures that run on another goroutine
+// (the operand of a go statement, or an argument to the conc package's
+// pool primitives) and capture a measure.Engine declared outside the
+// closure.
+func checkLifeEngineCapture(p *Package, _ *Config) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var lits []*ast.FuncLit
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					lits = append(lits, lit)
+				}
+			case *ast.CallExpr:
+				if !callsConcPackage(p, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						lits = append(lits, lit)
+					}
+				}
+			default:
+				return true
+			}
+			for _, lit := range lits {
+				out = append(out, p.engineCaptures(lit)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// callsConcPackage reports whether call invokes a function of the
+// module's goroutine-pool package (import path ending in
+// internal/conc), whose primitives run their function arguments on
+// worker goroutines.
+func callsConcPackage(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), "internal/conc")
+}
+
+// engineCaptures reports each identifier inside lit that refers to a
+// measure.Engine (value or pointer) declared outside the literal.
+func (p *Package) engineCaptures(lit *ast.FuncLit) []Finding {
+	var out []Finding
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if !isMeasureEngine(v.Type()) {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared (or a parameter) inside the literal
+		}
+		out = append(out, p.finding(id.Pos(),
+			"measure.Engine %q captured by a goroutine-spawning closure: an Engine and its RNG stream belong to one goroutine — build one per goroutine (NewEngine is cheap)",
+			id.Name))
+		return true
+	})
+	return out
+}
+
+func isMeasureEngine(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Engine" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/measure")
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Severity grades a finding. Errors fail the build (labvet exits
+// nonzero); warnings print but pass — the only warning-severity rule
+// is allow-stale, which flags suppressions that no longer suppress
+// anything.
+type Severity string
+
+const (
+	SeverityError   Severity = "error"
+	SeverityWarning Severity = "warning"
+)
+
+// Finding is one diagnostic: a rule violation at a position, with an
+// optional mechanical fix.
+type Finding struct {
+	// Rule is the stable rule ID ("det-time", "wire-bin-decode", ...).
+	Rule string `json:"rule"`
+	// Severity is error or warning.
+	Severity Severity `json:"severity"`
+	// File is the path of the offending file (as the loader saw it).
+	File string `json:"file"`
+	// Line and Col are 1-based.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message states the violation and, where one exists, the
+	// sanctioned alternative.
+	Message string `json:"message"`
+	// Fix, when present, is a byte-range replacement that mechanically
+	// resolves the finding (applied by labvet -fix).
+	Fix *Fix `json:"fix,omitempty"`
+}
+
+// Fix is a suggested edit: replace File[Start:End) with Replacement.
+// Offsets are byte offsets into the file the finding names.
+type Fix struct {
+	Start       int    `json:"start"`
+	End         int    `json:"end"`
+	Replacement string `json:"replacement"`
+}
+
+// Report is the JSON document labvet -json emits: a versioned envelope
+// so CI consumers can detect schema drift the same way the wire
+// package does.
+type Report struct {
+	// Version is the report schema version (ReportVersion).
+	Version int `json:"version"`
+	// Findings in file/line order, suppressions already applied.
+	Findings []Finding `json:"findings"`
+}
+
+// ReportVersion is the labvet JSON report schema version.
+const ReportVersion = 1
+
+// Config scopes the analyzers. Rules that bind specific layers
+// (determinism → kernel packages, wire-parity → wire packages) match
+// on exact import paths listed here; annotation-driven and universal
+// rules ignore it.
+type Config struct {
+	// Kernel lists the import paths under the determinism contract:
+	// replay-checkable packages where wall-clock time, the global
+	// math/rand source, and order-sensitive map iteration are banned.
+	Kernel []string
+	// Wire lists the import paths under the wire-parity contract:
+	// every exported struct field must appear in the JSON twin and,
+	// when the struct takes part in the binary codec, in both the
+	// binary encoder and decoder.
+	Wire []string
+}
+
+// DefaultConfig is the advdiag tree's contract: the five kernel
+// packages whose outputs feed PanelResult fingerprints, and the wire
+// package. Keep this list in step with the "Static analysis" section
+// of the README.
+func DefaultConfig() *Config {
+	return &Config{
+		Kernel: []string{
+			"advdiag/internal/runtime",
+			"advdiag/internal/measure",
+			"advdiag/internal/diffusion",
+			"advdiag/internal/analog",
+			"advdiag/wire",
+		},
+		Wire: []string{"advdiag/wire"},
+	}
+}
+
+func (c *Config) isKernel(path string) bool { return contains(c.Kernel, path) }
+func (c *Config) isWire(path string) bool   { return contains(c.Wire, path) }
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Rule is one analyzer: a stable ID, a one-line contract statement,
+// and the check.
+type Rule struct {
+	// ID is the stable identifier used in findings and
+	// //advdiag:allow directives.
+	ID string
+	// Doc is the one-line contract the rule enforces.
+	Doc string
+	// Severity of the rule's findings.
+	Severity Severity
+	check    func(p *Package, cfg *Config) []Finding
+}
+
+// Rules returns every analyzer in the suite, in reporting order. The
+// allow-* rules are not listed: they are produced by the suppression
+// pass itself (see Run), not by a per-package check.
+func Rules() []Rule {
+	return []Rule{
+		{ID: RuleDetTime, Severity: SeverityError, check: checkDetTime,
+			Doc: "kernel packages must not read wall-clock time (time.Now/Since/Until); timing comes from the schedule plan"},
+		{ID: RuleDetRand, Severity: SeverityError, check: checkDetRand,
+			Doc: "kernel packages must not use math/rand; randomness flows from runtime.SampleSeed-seeded mathx.RNG streams"},
+		{ID: RuleDetMapRange, Severity: SeverityError, check: checkDetMapRange,
+			Doc: "kernel packages must not iterate maps order-sensitively; collect keys, sort, then range the slice"},
+		{ID: RuleHotFmt, Severity: SeverityError, check: checkHotFmt,
+			Doc: "//advdiag:hotpath functions must not call fmt.* (each call allocates); preformat or use strconv"},
+		{ID: RuleHotClosure, Severity: SeverityError, check: checkHotClosure,
+			Doc: "//advdiag:hotpath functions must not create escaping closures; only immediately-invoked literals are free"},
+		{ID: RuleHotAppend, Severity: SeverityError, check: checkHotAppend,
+			Doc: "//advdiag:hotpath functions must not grow a fresh nil slice in a loop; preallocate with make(T, 0, n)"},
+		{ID: RuleWireJSON, Severity: SeverityError, check: checkWireJSON,
+			Doc: "exported fields of exported wire structs must carry a json tag — the JSON twin is not optional"},
+		{ID: RuleWireBinEncode, Severity: SeverityError, check: checkWireBinEncode,
+			Doc: "every exported field of a binary-codec wire struct must be written by a Marshal*Binary function"},
+		{ID: RuleWireBinDecode, Severity: SeverityError, check: checkWireBinDecode,
+			Doc: "every exported field of a binary-codec wire struct must be read back by an Unmarshal*Binary function"},
+		{ID: RuleLifeLockedSubmit, Severity: SeverityError, check: checkLifeLockedSubmit,
+			Doc: "no blocking Submit call or channel send while holding a mutex; release first or use TrySubmit/select-default"},
+		{ID: RuleLifeEngineCapture, Severity: SeverityError, check: checkLifeEngineCapture,
+			Doc: "measure.Engine values must not be captured by goroutine-spawning closures; build one Engine per goroutine"},
+	}
+}
+
+// Rule IDs. The allow-* IDs belong to the suppression machinery and
+// cannot themselves be suppressed.
+const (
+	RuleDetTime           = "det-time"
+	RuleDetRand           = "det-rand"
+	RuleDetMapRange       = "det-maprange"
+	RuleHotFmt            = "hot-fmt"
+	RuleHotClosure        = "hot-closure"
+	RuleHotAppend         = "hot-append"
+	RuleWireJSON          = "wire-json"
+	RuleWireBinEncode     = "wire-bin-encode"
+	RuleWireBinDecode     = "wire-bin-decode"
+	RuleLifeLockedSubmit  = "life-locked-submit"
+	RuleLifeEngineCapture = "life-engine-capture"
+	RuleAllowEmptyReason  = "allow-empty-reason"
+	RuleAllowUnknownRule  = "allow-unknown-rule"
+	RuleAllowStale        = "allow-stale"
+)
+
+// KnownRule reports whether id names a suppressible analyzer rule.
+func KnownRule(id string) bool {
+	for _, r := range Rules() {
+		if r.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every analyzer over every package, applies the
+// //advdiag:allow suppressions, and returns the surviving findings in
+// file/line/column/rule order. Directive problems (unknown rule, empty
+// reason, stale allow) are appended as findings of the allow-* rules.
+func Run(pkgs []*Package, cfg *Config) []Finding {
+	var all []Finding
+	for _, p := range pkgs {
+		var pf []Finding
+		for _, r := range Rules() {
+			for _, f := range r.check(p, cfg) {
+				f.Rule = r.ID
+				f.Severity = r.Severity
+				pf = append(pf, f)
+			}
+		}
+		all = append(all, applySuppressions(p, pf)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return all
+}
+
+// HasErrors reports whether any finding is error-severity (the labvet
+// exit-code criterion).
+func HasErrors(fs []Finding) bool {
+	for _, f := range fs {
+		if f.Severity == SeverityError {
+			return true
+		}
+	}
+	return false
+}
+
+// finding builds a Finding (rule and severity are stamped by Run) at
+// the given position.
+func (p *Package) finding(pos token.Pos, format string, args ...any) Finding {
+	position := p.Fset.Position(pos)
+	return Finding{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// fileOf returns the *ast.File containing pos.
+func (p *Package) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

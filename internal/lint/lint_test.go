@@ -1,0 +1,149 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"advdiag/internal/lint"
+)
+
+// The golden tests load each testdata package and compare the analyzer
+// output against "want" expectation comments in the sources:
+//
+//	code()            // want <rule-id> "message substring"
+//	// want-below <rule-id> "message substring"
+//	//advdiag:allow ...
+//
+// The plain form expects a finding of that rule on its own line; the
+// want-below form expects it on the next line (used for findings that
+// land on //advdiag:allow directives, which cannot carry a trailing
+// comment of their own). Every want must be matched by a finding and
+// every finding by a want.
+
+var wantRe = regexp.MustCompile(`want(-below)?\s+(\S+)\s+"([^"]*)"`)
+
+type want struct {
+	file    string
+	line    int
+	rule    string
+	substr  string
+	matched bool
+}
+
+// testdataPkg loads internal/lint/testdata/src/<name> and returns its
+// findings plus the parsed want expectations.
+func testdataPkg(t *testing.T, name string, cfg func(importPath string) *lint.Config) ([]lint.Finding, []*want) {
+	t.Helper()
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	importPath := "advdiag/internal/lint/testdata/src/" + name
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				w := &want{file: pos.Filename, line: pos.Line, rule: m[2], substr: m[3]}
+				if m[1] == "-below" {
+					w.line++
+				}
+				wants = append(wants, w)
+			}
+		}
+	}
+	return lint.Run([]*lint.Package{pkg}, cfg(importPath)), wants
+}
+
+// checkGolden matches findings against wants one-to-one.
+func checkGolden(t *testing.T, findings []lint.Finding, wants []*want) {
+	t.Helper()
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.File && w.line == f.Line && w.rule == f.Rule && strings.Contains(f.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding %s:%d: %s [%s]", f.File, f.Line, f.Message, f.Rule)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing finding: want %s %q at %s:%d", w.rule, w.substr, w.file, w.line)
+		}
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	findings, wants := testdataPkg(t, "determinism", func(path string) *lint.Config {
+		return &lint.Config{Kernel: []string{path}}
+	})
+	checkGolden(t, findings, wants)
+}
+
+func TestHotpathGolden(t *testing.T) {
+	// The hot-* rules are annotation-driven: no config scoping needed.
+	findings, wants := testdataPkg(t, "hotpath", func(string) *lint.Config {
+		return &lint.Config{}
+	})
+	checkGolden(t, findings, wants)
+}
+
+func TestWireParityGolden(t *testing.T) {
+	findings, wants := testdataPkg(t, "wireparity", func(path string) *lint.Config {
+		return &lint.Config{Wire: []string{path}}
+	})
+	checkGolden(t, findings, wants)
+}
+
+func TestLifecycleGolden(t *testing.T) {
+	// The life-* rules are universal: no config scoping needed.
+	findings, wants := testdataPkg(t, "lifecycle", func(string) *lint.Config {
+		return &lint.Config{}
+	})
+	checkGolden(t, findings, wants)
+}
+
+func TestSuppressGolden(t *testing.T) {
+	findings, wants := testdataPkg(t, "suppress", func(path string) *lint.Config {
+		return &lint.Config{Kernel: []string{path}}
+	})
+	checkGolden(t, findings, wants)
+	// The stale allow must be the only warning: it reports but does not
+	// fail the build.
+	for _, f := range findings {
+		if f.Rule == lint.RuleAllowStale && f.Severity != lint.SeverityWarning {
+			t.Errorf("allow-stale severity = %s, want warning", f.Severity)
+		}
+	}
+}
+
+// TestDefaultConfigPathsExist pins the contract lists to real packages
+// so a rename cannot silently drop a package out of the contracts.
+func TestDefaultConfigPathsExist(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lint.DefaultConfig()
+	for _, path := range append(append([]string{}, cfg.Kernel...), cfg.Wire...) {
+		if _, err := loader.Load(strings.TrimPrefix(path, "advdiag/")); err != nil {
+			t.Errorf("config path %s does not load: %v", path, err)
+		}
+	}
+}

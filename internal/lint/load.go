@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit every analyzer
+// operates on. Only non-test files are loaded — the contracts labvet
+// enforces (determinism, hot-path allocation, wire strictness) bind
+// production code; tests exercise them.
+type Package struct {
+	// Path is the import path ("advdiag/internal/measure").
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Fset positions every node in Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the resolution results analyzers query.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages of one module using nothing
+// outside the standard library: module-local imports resolve by path
+// mapping under the module root, standard-library imports through the
+// compiler's source importer. One Loader caches every package it has
+// checked, so loading ./... type-checks each package (and each stdlib
+// dependency) exactly once.
+type Loader struct {
+	// Fset is shared by every package this loader touches, so
+	// positions from different packages are comparable.
+	Fset *token.FileSet
+
+	// ModuleRoot is the absolute directory containing go.mod;
+	// ModulePath the module path it declares.
+	ModuleRoot string
+	ModulePath string
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader rooted at the module containing dir (dir
+// itself or the nearest parent with a go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	// The source importer type-checks the standard library from
+	// GOROOT/src; with cgo off, packages like net select their pure-Go
+	// fallbacks, which is all the type information analyzers need.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and reads its
+// module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+	}
+}
+
+// Load resolves the given patterns ("./...", a package directory, or a
+// module-rooted import path) and returns the matched packages in
+// deterministic path order. Directories named testdata, hidden
+// directories, and directories with no non-test Go files are skipped
+// by pattern expansion (an explicit LoadDir can still reach them).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		}
+		if pat == "" || pat == "." {
+			pat = l.ModuleRoot
+		}
+		if !filepath.IsAbs(pat) {
+			pat = filepath.Join(l.ModuleRoot, pat)
+		}
+		if !recursive {
+			dirs[pat] = true
+			continue
+		}
+		err := filepath.WalkDir(pat, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != pat && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				dirs[p] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: expanding %s: %w", pat, err)
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	pkgs := make([]*Package, 0, len(sorted))
+	for _, d := range sorted {
+		rel, err := filepath.Rel(l.ModuleRoot, d)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s is outside module %s", d, l.ModuleRoot)
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path, which need not live under the module root. Tests
+// use it to check testdata packages (which pattern expansion skips on
+// purpose) and scratch copies in temporary directories.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(importPath, abs)
+}
+
+// loadPath loads a module-local package by import path.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+	return l.check(path, dir)
+}
+
+// check parses the non-test files of dir and type-checks them as
+// importPath, caching the result.
+func (l *Loader) check(importPath, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", importPath, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: %s (%s) has no non-test Go files", importPath, dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: importFunc(func(path string) (*types.Package, error) {
+			if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+				pkg, err := l.loadPath(path)
+				if err != nil {
+					return nil, err
+				}
+				return pkg.Types, nil
+			}
+			return l.std.Import(path)
+		}),
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if typeErr != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, typeErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// importFunc adapts a function to types.Importer.
+type importFunc func(path string) (*types.Package, error)
+
+func (f importFunc) Import(path string) (*types.Package, error) { return f(path) }

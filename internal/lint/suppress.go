@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Suppression: a finding is silenced by an //advdiag:allow directive
+// naming its rule, placed on the offending line as a trailing comment
+// or on the line directly above it:
+//
+//	//advdiag:allow det-maprange selects the smallest key, order-independent
+//	for name, mm := range sample { ... }
+//
+// The grammar is
+//
+//	//advdiag:allow <rule-id> <reason...>
+//
+// and the reason is mandatory: an allow that does not say why it is
+// safe is itself an error (allow-empty-reason) — suppressions are
+// reviewed arguments, not mute buttons. A directive naming a rule the
+// suite does not know is an error (allow-unknown-rule), and a
+// directive that no longer suppresses anything is a warning
+// (allow-stale) so dead annotations get cleaned up when the code they
+// excused is gone.
+
+// AllowDirective is the comment prefix of a suppression.
+const AllowDirective = "//advdiag:allow"
+
+// allow is one parsed directive.
+type allow struct {
+	file   string
+	line   int
+	rule   string
+	reason string
+	// endCol/endOffset locate the end of the comment text, where the
+	// empty-reason fix appends a placeholder.
+	pos  Finding // position carrier for reporting on the directive itself
+	used bool
+	end  int // byte offset of the comment's end in its file
+}
+
+// parseAllows collects every //advdiag:allow directive in the package.
+func parseAllows(p *Package) []*allow {
+	var out []*allow
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, AllowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, AllowDirective)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // some other advdiag:allowX token, not ours
+				}
+				fields := strings.Fields(rest)
+				a := &allow{}
+				if len(fields) > 0 {
+					a.rule = fields[0]
+				}
+				if len(fields) > 1 {
+					a.reason = strings.Join(fields[1:], " ")
+				}
+				pos := p.Fset.Position(c.Pos())
+				a.file = pos.Filename
+				a.line = pos.Line
+				a.pos = p.finding(c.Pos(), "")
+				a.end = p.Fset.Position(c.End()).Offset
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions filters pf through the package's allow directives
+// and appends the directive findings (unknown rule, empty reason,
+// stale). A directive suppresses findings of its rule on its own line
+// and on the line directly below (the two placements the grammar
+// allows); a directive with problems still suppresses, so one mistake
+// surfaces as one finding rather than two.
+func applySuppressions(p *Package, pf []Finding) []Finding {
+	allows := parseAllows(p)
+	if len(allows) == 0 {
+		return pf
+	}
+	var kept []Finding
+	for _, f := range pf {
+		suppressed := false
+		for _, a := range allows {
+			if a.rule == f.Rule && a.file == f.File && (a.line == f.Line || a.line == f.Line-1) {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case a.rule == "":
+			f := a.pos
+			f.Rule = RuleAllowUnknownRule
+			f.Severity = SeverityError
+			f.Message = "advdiag:allow names no rule: write //advdiag:allow <rule-id> <reason>"
+			kept = append(kept, f)
+		case !KnownRule(a.rule):
+			f := a.pos
+			f.Rule = RuleAllowUnknownRule
+			f.Severity = SeverityError
+			f.Message = "advdiag:allow names unknown rule " + strconv.Quote(a.rule) + ": run labvet -rules for the rule table"
+			kept = append(kept, f)
+		case a.reason == "":
+			f := a.pos
+			f.Rule = RuleAllowEmptyReason
+			f.Severity = SeverityError
+			f.Message = "advdiag:allow " + a.rule + " has no reason: a suppression must say why the flagged pattern is safe"
+			f.Fix = &Fix{Start: a.end, End: a.end, Replacement: " TODO: justify this suppression"}
+			kept = append(kept, f)
+		case !a.used:
+			f := a.pos
+			f.Rule = RuleAllowStale
+			f.Severity = SeverityWarning
+			f.Message = "advdiag:allow " + a.rule + " suppresses nothing: the rule no longer fires here — delete the directive"
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}

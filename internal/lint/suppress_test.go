@@ -1,0 +1,78 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"advdiag/internal/lint"
+)
+
+// TestReportJSONRoundTrip pins the -json schema: a report survives
+// marshal/unmarshal bit-identically, including the optional fix.
+func TestReportJSONRoundTrip(t *testing.T) {
+	in := lint.Report{
+		Version: lint.ReportVersion,
+		Findings: []lint.Finding{
+			{
+				Rule:     lint.RuleDetMapRange,
+				Severity: lint.SeverityError,
+				File:     "internal/runtime/calibration.go",
+				Line:     269,
+				Col:      2,
+				Message:  "order-sensitive range over map sample",
+				Fix:      &lint.Fix{Start: 120, End: 180, Replacement: "sorted loop"},
+			},
+			{
+				Rule:     lint.RuleAllowStale,
+				Severity: lint.SeverityWarning,
+				File:     "wire/binary.go",
+				Line:     10,
+				Col:      1,
+				Message:  "advdiag:allow det-time suppresses nothing",
+			},
+		},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out lint.Report
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+	// The field names are the schema; a rename is a breaking change.
+	for _, key := range []string{`"version"`, `"findings"`, `"rule"`, `"severity"`, `"file"`, `"line"`, `"col"`, `"message"`, `"fix"`, `"start"`, `"end"`, `"replacement"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("report JSON missing key %s in %s", key, data)
+		}
+	}
+	// A finding without a fix must omit the key entirely.
+	solo, err := json.Marshal(in.Findings[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(solo), `"fix"`) {
+		t.Errorf("fix-less finding serialized a fix key: %s", solo)
+	}
+}
+
+// TestKnownRule pins the suppressible rule set: every analyzer ID is
+// known, the allow-* machinery IDs are not suppressible, and junk is
+// rejected.
+func TestKnownRule(t *testing.T) {
+	for _, r := range lint.Rules() {
+		if !lint.KnownRule(r.ID) {
+			t.Errorf("KnownRule(%q) = false for a listed analyzer", r.ID)
+		}
+	}
+	for _, id := range []string{lint.RuleAllowStale, lint.RuleAllowEmptyReason, lint.RuleAllowUnknownRule, "det-tyme", ""} {
+		if lint.KnownRule(id) {
+			t.Errorf("KnownRule(%q) = true, want false", id)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package determinism is golden testdata for the det-* analyzers. The
+// test harness registers this package as a kernel package; each
+// "want" comment names the rule and a message substring expected on
+// its line, and functions without wants prove the non-firing cases.
+package determinism
+
+import (
+	"math/rand" // want det-rand "math/rand imported in kernel package"
+	"sort"
+	"time"
+)
+
+// Timing reads the wall clock two ways; both selections fire.
+func Timing() (time.Time, time.Duration) {
+	now := time.Now()    // want det-time "time.Now in kernel package"
+	d := time.Since(now) // want det-time "time.Since in kernel package"
+	return now, d
+}
+
+// Epoch constructs a fixed timestamp: time.Date is pure and allowed.
+func Epoch() time.Time {
+	return time.Date(2011, 3, 14, 0, 0, 0, 0, time.UTC)
+}
+
+// GlobalRand keeps the flagged import used; the rule fires on the
+// import spec, not on each call site.
+func GlobalRand() int { return rand.Int() }
+
+// SumValues accumulates in iteration order: flagged.
+func SumValues(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want det-maprange "order-sensitive range over map m"
+		sum += v
+	}
+	return sum
+}
+
+// SortedKeys is the sanctioned key-collect idiom: clean.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Invert stores into another map keyed by the loop key: clean.
+func Invert(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k := range m {
+		out[k] = -m[k]
+	}
+	return out
+}
+
+// Prune deletes by the loop key: clean.
+func Prune(m, dead map[string]float64) {
+	for k := range dead {
+		delete(m, k)
+	}
+}
+
+// MaxValue is a commutative reduction the analyzer cannot prove
+// order-free; the allow directive (with a reason) suppresses it.
+func MaxValue(m map[string]float64) float64 {
+	best := 0.0
+	//advdiag:allow det-maprange commutative max reduction, the result is order-independent
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

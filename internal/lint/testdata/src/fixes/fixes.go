@@ -1,0 +1,43 @@
+// Package fixes is golden testdata for labvet -fix: the fix smoke test
+// copies it to a scratch directory, applies every suggested fix, and
+// asserts the result is gofmt-clean and lint-clean. The package must
+// already import "sort" — the sorted-range fix refuses to invent
+// imports.
+package fixes
+
+import "sort"
+
+// KeyOnly iterates a map order-sensitively; the fix rewrites it to the
+// collect-sort-range idiom.
+func KeyOnly(m map[string]int) int {
+	total := 0
+	for k := range m { // want det-maprange "order-sensitive range over map m"
+		total += len(k) + m[k]
+	}
+	return total
+}
+
+// KeyValue also binds the value; the fix rebinds it from the map by
+// key inside the sorted loop.
+func KeyValue(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want det-maprange "order-sensitive range over map m"
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Allowed suppresses its finding but gives no reason; the fix appends
+// a TODO placeholder to the directive.
+func Allowed(m map[string]int) int {
+	n := 0
+	// want-below allow-empty-reason "has no reason"
+	//advdiag:allow det-maprange
+	for range m {
+		n++
+	}
+	return n
+}

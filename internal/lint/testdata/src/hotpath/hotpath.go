@@ -1,0 +1,64 @@
+// Package hotpath is golden testdata for the hot-* analyzers: the
+// //advdiag:hotpath annotation opts a function into the rules, and the
+// unannotated twins prove the rules stay out of cold code.
+package hotpath
+
+import (
+	"fmt"
+	"strconv"
+)
+
+//advdiag:hotpath
+func HotFormat(n int) string {
+	return fmt.Sprintf("%d", n) // want hot-fmt "fmt.Sprintf in hot-path function HotFormat"
+}
+
+// ColdFormat is unannotated; fmt is fine off the hot path.
+func ColdFormat(n int) string { return fmt.Sprintf("%d", n) }
+
+//advdiag:hotpath
+func HotStrconv(n int) string { return strconv.Itoa(n) }
+
+//advdiag:hotpath
+func HotClosure(xs []int) func() int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	f := func() int { return total } // want hot-closure "escaping closure in hot-path function HotClosure"
+	return f
+}
+
+//advdiag:hotpath
+func HotImmediate(n int) int {
+	// An immediately-invoked literal does not allocate a context.
+	return func() int { return n * 2 }()
+}
+
+//advdiag:hotpath
+func HotGrow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want hot-append "append onto fresh nil slice out"
+	}
+	return out
+}
+
+//advdiag:hotpath
+func HotPrealloc(xs []int) []int {
+	var out []int
+	out = make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// ColdGrow is unannotated; growing from nil is fine off the hot path.
+func ColdGrow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

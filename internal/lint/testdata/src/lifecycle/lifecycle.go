@@ -1,0 +1,107 @@
+// Package lifecycle is golden testdata for the life-* analyzers: the
+// two-lock serving contract (no blocking Submit or channel send while
+// holding a mutex) and the one-engine-per-goroutine rule (no
+// measure.Engine captured by a goroutine-spawning closure).
+package lifecycle
+
+import (
+	"sync"
+
+	"advdiag/internal/conc"
+	"advdiag/internal/measure"
+)
+
+// Inner stands in for a shard queue.
+type Inner struct{}
+
+func (i *Inner) Submit(v int) error    { return nil }
+func (i *Inner) TrySubmit(v int) error { return nil }
+
+// Queue exercises the locked-submit rule.
+type Queue struct {
+	mu    sync.Mutex
+	ch    chan int
+	inner *Inner
+}
+
+// LockedSubmit blocks on Submit with the mutex held: flagged.
+func (q *Queue) LockedSubmit(v int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inner.Submit(v) // want life-locked-submit "blocking q.inner.Submit while holding q.mu"
+}
+
+// ReleasedSubmit releases on every path before submitting: clean.
+func (q *Queue) ReleasedSubmit(v int) error {
+	q.mu.Lock()
+	if q.inner == nil {
+		q.mu.Unlock()
+		return nil
+	}
+	q.mu.Unlock()
+	return q.inner.Submit(v)
+}
+
+// LockedTrySubmit holds the lock over the non-blocking variant: clean.
+func (q *Queue) LockedTrySubmit(v int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inner.TrySubmit(v)
+}
+
+// LockedSend sends on a bare channel with the lock held: flagged.
+func (q *Queue) LockedSend(v int) {
+	q.mu.Lock()
+	q.ch <- v // want life-locked-submit "blocking send on q.ch while holding q.mu"
+	q.mu.Unlock()
+}
+
+// GuardedSend sends under a select with a default arm: clean.
+func (q *Queue) GuardedSend(v int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// UnlockedSend drops the lock before the send: clean.
+func (q *Queue) UnlockedSend(v int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// EngineGo captures an engine in a go-statement closure: flagged.
+func EngineGo(e *measure.Engine) {
+	done := make(chan struct{})
+	go func() {
+		_ = e.RNG() // want life-engine-capture "captured by a goroutine-spawning closure"
+		close(done)
+	}()
+	<-done
+}
+
+// EnginePool captures an engine in a conc pool closure: flagged.
+func EnginePool(e *measure.Engine) {
+	conc.ForEach(4, 2, func(i int) {
+		_ = e.RNG() // want life-engine-capture "captured by a goroutine-spawning closure"
+	})
+}
+
+// EnginePerGoroutine builds one engine inside each closure: clean.
+func EnginePerGoroutine(mk func(seed uint64) *measure.Engine) {
+	conc.ForEach(4, 2, func(i int) {
+		e := mk(uint64(i))
+		_ = e.RNG()
+	})
+}
+
+// EngineLocal passes an engine to an ordinary (same-goroutine)
+// closure: clean — the rule binds goroutine-spawning call sites only.
+func EngineLocal(e *measure.Engine, apply func(func())) {
+	apply(func() { _ = e.RNG() })
+}

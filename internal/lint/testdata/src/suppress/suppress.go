@@ -1,0 +1,44 @@
+// Package suppress is golden testdata for the //advdiag:allow
+// machinery. The harness registers it as a kernel package so det-time
+// gives the directives something to suppress. Directive findings land
+// on the directive's own line; since a line comment cannot carry a
+// second comment, those expectations use the want-below form on the
+// line above.
+package suppress
+
+import "time"
+
+// Suppressed documents its wall-clock read; the directive is used and
+// well-formed, so nothing fires.
+func Suppressed() time.Time {
+	//advdiag:allow det-time timestamp feeds the operator log only, never a result
+	return time.Now()
+}
+
+// TrailingSuppressed uses the same-line placement of the grammar.
+func TrailingSuppressed() time.Time {
+	return time.Now() //advdiag:allow det-time operator-log timestamp, not part of any result
+}
+
+// WrongRule names a rule the suite does not know: the directive cannot
+// suppress, so the underlying finding also survives.
+func WrongRule() time.Time {
+	// want-below allow-unknown-rule "names unknown rule"
+	//advdiag:allow det-tyme misspelled on purpose
+	return time.Now() // want det-time "time.Now in kernel package"
+}
+
+// EmptyReason suppresses (one mistake, one finding) but the missing
+// reason is itself an error.
+func EmptyReason() time.Time {
+	// want-below allow-empty-reason "has no reason"
+	//advdiag:allow det-time
+	return time.Now()
+}
+
+// Stale keeps a directive for code that no longer trips the rule.
+func Stale() time.Time {
+	// want-below allow-stale "suppresses nothing"
+	//advdiag:allow det-time the wall-clock read moved to the caller
+	return time.Date(2011, 3, 14, 0, 0, 0, 0, time.UTC)
+}

@@ -1,0 +1,88 @@
+// Package wireparity is golden testdata for the wire-* analyzers. The
+// test harness registers it as a wire package: every exported struct
+// needs a complete JSON twin, and structs with a binary codec need
+// every exported field written by Marshal*Binary and read back by
+// Unmarshal*Binary.
+package wireparity
+
+import "encoding/binary"
+
+// Good has all three renderings complete: clean.
+type Good struct {
+	Schema int     `json:"schema"`
+	Value  float64 `json:"value"`
+}
+
+func MarshalGoodBinary(g Good) []byte {
+	buf := make([]byte, 0, 16)
+	buf = appendU64(buf, uint64(g.Schema))
+	buf = appendF64(buf, g.Value)
+	return buf
+}
+
+func UnmarshalGoodBinary(data []byte) Good {
+	var g Good
+	g.Schema = int(readU64(data))
+	g.Value = readF64(data[8:])
+	return g
+}
+
+// Untagged is missing its JSON twin on one field.
+type Untagged struct {
+	Named   int `json:"named"`
+	Missing int // want wire-json "exported wire field Untagged.Missing has no json twin"
+}
+
+// Hidden tags a field out of the JSON twin, which the contract forbids.
+type Hidden struct {
+	Kept    int `json:"kept"`
+	Dropped int `json:"-"` // want wire-json "exported wire field Hidden.Dropped has no json twin"
+}
+
+// Skewed has an encoder that writes both fields but a decoder that
+// reads only one — the classic schema-skew bug.
+type Skewed struct {
+	A int `json:"a"`
+	B int `json:"b"` // want wire-bin-decode "field Skewed.B is missing from the binary decoder"
+}
+
+func MarshalSkewedBinary(s Skewed) []byte {
+	buf := make([]byte, 0, 16)
+	buf = appendU64(buf, uint64(s.A))
+	buf = appendU64(buf, uint64(s.B))
+	return buf
+}
+
+func UnmarshalSkewedBinary(data []byte) Skewed {
+	var s Skewed
+	s.A = int(readU64(data))
+	return s
+}
+
+// Half has an encoder that forgot a field the decoder expects.
+type Half struct {
+	A int `json:"a"`
+	B int `json:"b"` // want wire-bin-encode "field Half.B is missing from the binary encoder"
+}
+
+func MarshalHalfBinary(h Half) []byte {
+	return appendU64(nil, uint64(h.A))
+}
+
+func UnmarshalHalfBinary(data []byte) Half {
+	return Half{A: int(readU64(data)), B: int(readU64(data[8:]))}
+}
+
+// JSONOnly has no binary codec at all; only the json-tag rule applies,
+// and it is satisfied: clean.
+type JSONOnly struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, uint64(int64(v)))
+}
+func readU64(b []byte) uint64  { return binary.BigEndian.Uint64(b) }
+func readF64(b []byte) float64 { return float64(int64(binary.BigEndian.Uint64(b))) }

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// The wire-parity analyzers keep the three renderings of every wire
+// struct — the JSON twin, the binary encoder, and the binary decoder —
+// field-complete. A field added to a struct but forgotten in one codec
+// is exactly the schema skew the wire package's strictness exists to
+// prevent; these rules turn it from a production bug into a build
+// break.
+
+// wireStruct is one exported struct of a wire package.
+type wireStruct struct {
+	name   string
+	fields []wireField
+}
+
+type wireField struct {
+	name    string
+	pos     ast.Node
+	jsonTag string // the json struct tag value, "" when absent
+	hasTag  bool
+}
+
+// wireStructs collects the exported struct types of p with their
+// exported, named fields (embedded fields are out of the wire idiom
+// and ignored).
+func wireStructs(p *Package) []wireStruct {
+	var out []wireStruct
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				ws := wireStruct{name: ts.Name.Name}
+				for _, fld := range st.Fields.List {
+					for _, name := range fld.Names {
+						if !name.IsExported() {
+							continue
+						}
+						wf := wireField{name: name.Name, pos: name}
+						if fld.Tag != nil {
+							tag := reflect.StructTag(strings.Trim(fld.Tag.Value, "`"))
+							wf.jsonTag, wf.hasTag = tag.Lookup("json")
+						}
+						ws.fields = append(ws.fields, wf)
+					}
+				}
+				out = append(out, ws)
+			}
+		}
+	}
+	return out
+}
+
+// checkWireJSON requires a json tag with a real name on every exported
+// field of every exported wire struct: the JSON twin is the reference
+// rendering, and an untagged (or json:"-") field silently falls out of
+// it.
+func checkWireJSON(p *Package, cfg *Config) []Finding {
+	if !cfg.isWire(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, ws := range wireStructs(p) {
+		for _, f := range ws.fields {
+			name, _, _ := strings.Cut(f.jsonTag, ",")
+			if !f.hasTag || name == "" || name == "-" {
+				out = append(out, p.finding(f.pos.Pos(),
+					"exported wire field %s.%s has no json twin: give it a json:\"name\" tag (schema changes bump SchemaVersion, they never drop fields)",
+					ws.name, f.name))
+			}
+		}
+	}
+	return out
+}
+
+// binaryRefs walks every function of p whose name matches the given
+// prefix and the Binary suffix (Marshal*Binary for encoders,
+// Unmarshal*Binary for decoders) and records which struct fields the
+// codec touches: plain selector expressions (o.Shard, on either side
+// of an assignment) and keyed composite literals (Reading{Target: ...})
+// both count. It also returns the set of struct names with a dedicated
+// top-level codec function (Marshal<S>Binary), which participate even
+// if the implementation were to touch none of their fields.
+func binaryRefs(p *Package, prefix string) (refs map[string]map[string]bool, roots map[string]bool) {
+	refs = map[string]map[string]bool{}
+	roots = map[string]bool{}
+	mark := func(typeName, field string) {
+		m := refs[typeName]
+		if m == nil {
+			m = map[string]bool{}
+			refs[typeName] = m
+		}
+		m[field] = true
+	}
+	localStruct := func(t types.Type) (string, bool) {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() != p.Types {
+			return "", false
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			return "", false
+		}
+		return named.Obj().Name(), true
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, "Binary") {
+				continue
+			}
+			if s := strings.TrimSuffix(strings.TrimPrefix(name, prefix), "Binary"); s != "" {
+				roots[s] = true
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					sel, ok := p.Info.Selections[n]
+					if !ok || sel.Kind() != types.FieldVal {
+						return true
+					}
+					if tn, ok := localStruct(sel.Recv()); ok {
+						mark(tn, n.Sel.Name)
+					}
+				case *ast.CompositeLit:
+					tv, ok := p.Info.Types[n]
+					if !ok {
+						return true
+					}
+					tn, ok := localStruct(tv.Type)
+					if !ok {
+						return true
+					}
+					for _, el := range n.Elts {
+						if kv, ok := el.(*ast.KeyValueExpr); ok {
+							if key, ok := kv.Key.(*ast.Ident); ok {
+								mark(tn, key.Name)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return refs, roots
+}
+
+// checkWireBinEncode flags exported fields of binary-codec structs the
+// encoder never writes. A struct is under the binary contract when a
+// Marshal<S>Binary function exists for it or any Marshal*Binary
+// function touches its fields (nested structs like Reading are encoded
+// inline by their parent's function).
+func checkWireBinEncode(p *Package, cfg *Config) []Finding {
+	return checkWireBinary(p, cfg, "Marshal", "wire-bin-encode",
+		"field %s.%s is missing from the binary encoder: every exported field must be written by a Marshal*Binary function (and the decoder must read it back in the same order)")
+}
+
+// checkWireBinDecode is checkWireBinEncode's decoder half.
+func checkWireBinDecode(p *Package, cfg *Config) []Finding {
+	return checkWireBinary(p, cfg, "Unmarshal", "wire-bin-decode",
+		"field %s.%s is missing from the binary decoder: a frame that encodes it would decode skewed — read it back in encoder order")
+}
+
+func checkWireBinary(p *Package, cfg *Config, prefix, _ string, format string) []Finding {
+	if !cfg.isWire(p.Path) {
+		return nil
+	}
+	refs, roots := binaryRefs(p, prefix)
+	var out []Finding
+	for _, ws := range wireStructs(p) {
+		if !roots[ws.name] && len(refs[ws.name]) == 0 {
+			continue // JSON-only struct: no binary contract
+		}
+		for _, f := range ws.fields {
+			if !refs[ws.name][f.name] {
+				out = append(out, p.finding(f.pos.Pos(), format, ws.name, f.name))
+			}
+		}
+	}
+	return out
+}

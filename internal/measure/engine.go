@@ -145,6 +145,8 @@ func (r *CAResult) StepCurrent() phys.Current {
 // adds a decaying charging spike after the initial potential step;
 // blank noise and direct-oxidizer interferents add to the current; the
 // chain multiplexes, amplifies, band-limits and quantizes the result.
+//
+//advdiag:hotpath
 func (e *Engine) RunCA(weName string, chain *analog.Chain, proto Chronoamperometry) (*CAResult, error) {
 	defer e.acquire()()
 	proto = proto.WithDefaults()
@@ -165,6 +167,7 @@ func (e *Engine) RunCA(weName string, chain *analog.Chain, proto Chronoamperomet
 	var ox *enzyme.Oxidase
 	if !we.Func.IsBlank() {
 		if we.Func.Assay.Technique != enzyme.Chronoamperometry {
+			//advdiag:allow hot-fmt cold validation path: fires once per rejected call, never per timestep
 			return nil, fmt.Errorf("measure: %s carries a %s assay; chronoamperometry needs an oxidase", weName, we.Func.Assay.Technique)
 		}
 		ox = we.Func.Assay.Oxidase
@@ -173,6 +176,7 @@ func (e *Engine) RunCA(weName string, chain *analog.Chain, proto Chronoamperomet
 	target := proto.Potential
 	if target == 0 {
 		if ox == nil {
+			//advdiag:allow hot-fmt cold validation path: fires once per rejected call, never per timestep
 			return nil, fmt.Errorf("measure: blank electrode %s needs an explicit CA potential", weName)
 		}
 		target = ox.Applied
@@ -268,6 +272,7 @@ func (e *Engine) RunCA(weName string, chain *analog.Chain, proto Chronoamperomet
 	for _, name := range ch.Solution.Species() {
 		sp, err := species.Lookup(name)
 		if err != nil {
+			//advdiag:allow hot-fmt cold validation path: fires once per rejected call, never per timestep
 			return nil, fmt.Errorf("measure: chamber %s solution: %w", ch.Name, err)
 		}
 		if !sp.DirectOxidizer {
@@ -379,6 +384,8 @@ type CVResult struct {
 // the diffusion problem is linear in bulk concentration, so the basis'
 // unit flux traces scaled by each sample's effective concentration
 // reproduce the simulation at a fraction of the cost.
+//
+//advdiag:hotpath
 func (e *Engine) RunCV(weName string, chain *analog.Chain, proto CyclicVoltammetry) (*CVResult, error) {
 	return e.runCV(weName, chain, proto, nil, nil)
 }
@@ -389,8 +396,11 @@ func (e *Engine) RunCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 // electrode and protocol. Noise, film background, double layer and
 // digitization are identical to RunCV; only the faradaic term comes
 // from the basis.
+//
+//advdiag:hotpath
 func (e *Engine) RunCVWithBasis(weName string, chain *analog.Chain, proto CyclicVoltammetry, basis *CVBasis) (*CVResult, error) {
 	if basis == nil {
+		//advdiag:allow hot-fmt cold validation path: fires once per rejected call, never per timestep
 		return nil, fmt.Errorf("measure: RunCVWithBasis needs a basis (use RunCV to simulate)")
 	}
 	return e.runCV(weName, chain, proto, basis, nil)
@@ -404,11 +414,15 @@ func (e *Engine) RunCVWithBasis(weName string, chain *analog.Chain, proto Cyclic
 // construction and reused across the replicas. The result is
 // bit-identical to RunCVWithBasis: the shared trace carries the exact
 // per-step sums the inner loop would have accumulated.
+//
+//advdiag:hotpath
 func (e *Engine) RunCVShared(weName string, chain *analog.Chain, proto CyclicVoltammetry, basis *CVBasis, faradaic []float64) (*CVResult, error) {
 	if basis == nil {
+		//advdiag:allow hot-fmt cold validation path: fires once per rejected call, never per timestep
 		return nil, fmt.Errorf("measure: RunCVShared needs a basis")
 	}
 	if faradaic == nil {
+		//advdiag:allow hot-fmt cold validation path: fires once per rejected call, never per timestep
 		return nil, fmt.Errorf("measure: RunCVShared needs a faradaic trace (use CVFaradaicSum)")
 	}
 	return e.runCV(weName, chain, proto, basis, faradaic)
@@ -420,8 +434,11 @@ func (e *Engine) RunCVShared(weName string, chain *analog.Chain, proto CyclicVol
 // the RunCVWithBasis inner loop. dst is reused when large enough. The
 // engine's RNG is untouched — the active-binding set is a pure function
 // of the solution and the basis.
+//
+//advdiag:hotpath
 func (e *Engine) CVFaradaicSum(weName string, proto CyclicVoltammetry, basis *CVBasis, dst []float64) ([]float64, error) {
 	if basis == nil {
+		//advdiag:allow hot-fmt cold validation path: fires once per rejected call, never per timestep
 		return nil, fmt.Errorf("measure: CVFaradaicSum needs a basis")
 	}
 	proto = proto.WithDefaults()
@@ -436,6 +453,7 @@ func (e *Engine) CVFaradaicSum(weName string, proto CyclicVoltammetry, basis *CV
 	var cyp *enzyme.CYP
 	if !we.Func.IsBlank() {
 		if we.Func.Assay.Technique != enzyme.CyclicVoltammetry {
+			//advdiag:allow hot-fmt cold validation path: fires once per rejected call, never per timestep
 			return nil, fmt.Errorf("measure: %s carries a %s assay; cyclic voltammetry needs a CYP", weName, we.Func.Assay.Technique)
 		}
 		cyp = we.Func.Assay.CYP
@@ -464,6 +482,7 @@ func (e *Engine) CVFaradaicSum(weName string, proto CyclicVoltammetry, basis *CV
 		}
 		tr := basis.flux[b.Substrate.Name]
 		if len(tr) < n {
+			//advdiag:allow hot-fmt cold validation path: fires once per rejected call, never per timestep
 			return nil, fmt.Errorf("measure: basis for %s lacks a %s trace", weName, b.Substrate.Name)
 		}
 		ceff := b.EffectiveConcentration(conc)
@@ -475,6 +494,7 @@ func (e *Engine) CVFaradaicSum(weName string, proto CyclicVoltammetry, basis *CV
 	return dst, nil
 }
 
+//advdiag:hotpath
 func (e *Engine) runCV(weName string, chain *analog.Chain, proto CyclicVoltammetry, basis *CVBasis, faradaic []float64) (*CVResult, error) {
 	defer e.acquire()()
 	proto = proto.WithDefaults()
@@ -500,6 +520,7 @@ func (e *Engine) runCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 	var cyp *enzyme.CYP
 	if !we.Func.IsBlank() {
 		if we.Func.Assay.Technique != enzyme.CyclicVoltammetry {
+			//advdiag:allow hot-fmt cold validation path: fires once per rejected call, never per timestep
 			return nil, fmt.Errorf("measure: %s carries a %s assay; cyclic voltammetry needs a CYP", weName, we.Func.Assay.Technique)
 		}
 		cyp = we.Func.Assay.CYP
@@ -533,9 +554,11 @@ func (e *Engine) runCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 		}
 	}
 	if faradaic != nil && len(faradaic) < n {
+		//advdiag:allow hot-fmt cold validation path: fires once per rejected call, never per timestep
 		return nil, fmt.Errorf("measure: faradaic trace for %s has %d samples, run needs %d", weName, len(faradaic), n)
 	}
 	if cyp != nil && faradaic == nil {
+		active = make([]activeBinding, 0, len(cyp.Bindings))
 		for _, b := range cyp.Bindings {
 			conc := ch.Solution.At(b.Substrate.Name, 0)
 			if conc <= 0 {
@@ -544,6 +567,7 @@ func (e *Engine) runCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 			if basis != nil {
 				tr := basis.flux[b.Substrate.Name]
 				if len(tr) < n {
+					//advdiag:allow hot-fmt cold validation path: fires once per rejected call, never per timestep
 					return nil, fmt.Errorf("measure: basis for %s lacks a %s trace", weName, b.Substrate.Name)
 				}
 				ceff := b.EffectiveConcentration(conc)
@@ -562,6 +586,7 @@ func (e *Engine) runCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 				Dt:        dt,
 			})
 			if err != nil {
+				//advdiag:allow hot-fmt cold validation path: fires once per rejected call, never per timestep
 				return nil, fmt.Errorf("measure: CV solver for %s: %w", b.Substrate.Name, err)
 			}
 			active = append(active, activeBinding{b: b, sim: sim})
@@ -610,6 +635,7 @@ func (e *Engine) runCV(weName string, chain *analog.Chain, proto CyclicVoltammet
 	}
 	var bumps []bump
 	if cyp != nil && !proto.NoFilmBackground {
+		bumps = make([]bump, 0, len(cyp.Bindings))
 		for _, b := range cyp.Bindings {
 			bumps = append(bumps, bump{
 				center: b.PeakPotential,

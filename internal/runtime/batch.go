@@ -80,8 +80,11 @@ func (s *panelScratch) faradaicFor(eng *measure.Engine, weName string, cal *weCa
 // engine construction, chain assembly and trace allocations, never the
 // noise streams. A failed sample yields a zero Panel and its error
 // without disturbing its neighbours.
+//
+//advdiag:hotpath
 func (e *Executor) RunBatch(samples []map[string]float64, seeds []uint64, fault *Fouling) ([]Panel, []error) {
 	if len(samples) != len(seeds) {
+		//advdiag:allow hot-fmt caller-contract panic: unreachable in a correct build, never on the panel path
 		panic(fmt.Sprintf("runtime: RunBatch got %d samples but %d seeds", len(samples), len(seeds)))
 	}
 	panels := make([]Panel, len(samples))

@@ -259,20 +259,37 @@ const MaxSampleConcentrationMM = 1e5
 // species the registry does not know. Public panel entry points
 // (Platform.RunPanel, the Lab, the Fleet) return these as errors
 // rather than feeding them to the simulation.
+//
+// When several entries are invalid, the error reports the
+// lexicographically smallest offending species, so the message (which
+// travels in wire Outcomes) does not depend on map iteration order.
 func ValidateSample(sample map[string]float64) error {
-	for name, mm := range sample {
-		if math.IsNaN(mm) || math.IsInf(mm, 0) {
-			return fmt.Errorf("advdiag: sample[%q] = %g is not a finite concentration", name, mm)
+	worst := ""
+	//advdiag:allow det-maprange selects the smallest offending key; which entry wins is order-independent
+	for name := range sample {
+		if validateEntry(name, sample[name]) != nil && (worst == "" || name < worst) {
+			worst = name
 		}
-		if mm < 0 {
-			return fmt.Errorf("advdiag: sample[%q] = %g mM is negative", name, mm)
-		}
-		if mm > MaxSampleConcentrationMM {
-			return fmt.Errorf("advdiag: sample[%q] = %g mM exceeds the %g mM physical bound", name, mm, float64(MaxSampleConcentrationMM))
-		}
-		if _, err := species.Lookup(name); err != nil {
-			return fmt.Errorf("advdiag: sample names unknown species %q", name)
-		}
+	}
+	if worst == "" {
+		return nil
+	}
+	return validateEntry(worst, sample[worst])
+}
+
+// validateEntry checks one sample entry against the fluidics contract.
+func validateEntry(name string, mm float64) error {
+	if math.IsNaN(mm) || math.IsInf(mm, 0) {
+		return fmt.Errorf("advdiag: sample[%q] = %g is not a finite concentration", name, mm)
+	}
+	if mm < 0 {
+		return fmt.Errorf("advdiag: sample[%q] = %g mM is negative", name, mm)
+	}
+	if mm > MaxSampleConcentrationMM {
+		return fmt.Errorf("advdiag: sample[%q] = %g mM exceeds the %g mM physical bound", name, mm, float64(MaxSampleConcentrationMM))
+	}
+	if _, err := species.Lookup(name); err != nil {
+		return fmt.Errorf("advdiag: sample names unknown species %q", name)
 	}
 	return nil
 }

@@ -140,6 +140,8 @@ func SampleSeed(base uint64, idx int) uint64 {
 // stream) per call, all calibration state served from the cache. Two
 // calls with the same sample and seed produce byte-identical results
 // on any goroutine.
+//
+//advdiag:hotpath
 func (e *Executor) Run(sample map[string]float64, seed uint64) (Panel, error) {
 	return e.RunFouled(sample, seed, nil)
 }
@@ -152,6 +154,8 @@ func (e *Executor) Run(sample map[string]float64, seed uint64) (Panel, error) {
 // (fault seed, sample seed, target). The Executor itself stays
 // stateless: the fault travels with the call, so one Executor can
 // serve healthy and fouled shards concurrently.
+//
+//advdiag:hotpath
 func (e *Executor) RunFouled(sample map[string]float64, seed uint64, fault *Fouling) (Panel, error) {
 	s := e.getScratch()
 	out, err := e.runWith(s, sample, seed, fault)

@@ -45,6 +45,8 @@ const (
 // MarshalSampleBinary encodes one sample as a binary frame, stamping
 // the schema version when the zero value was left in place and
 // validating first (the same contract as MarshalSample).
+//
+//advdiag:hotpath
 func MarshalSampleBinary(s Sample) ([]byte, error) {
 	if s.Schema == 0 {
 		s.Schema = SchemaVersion
@@ -62,9 +64,12 @@ func MarshalSampleBinary(s Sample) ([]byte, error) {
 // version skew, a foreign message kind, truncation and trailing bytes
 // are all errors, and the decoded sample passes the same runtime
 // validation as its JSON twin.
+//
+//advdiag:hotpath
 func UnmarshalSampleBinary(data []byte) (Sample, error) {
 	r, err := openFrame(data, binKindSample)
 	if err != nil {
+		//advdiag:allow hot-fmt corrupt-frame error path: a frame that decodes pays no fmt cost
 		return Sample{}, fmt.Errorf("wire: sample: %w", err)
 	}
 	var s Sample
@@ -72,6 +77,7 @@ func UnmarshalSampleBinary(data []byte) (Sample, error) {
 	s.ID = r.str()
 	s.Concentrations = r.concs()
 	if err := r.close(); err != nil {
+		//advdiag:allow hot-fmt corrupt-frame error path: a frame that decodes pays no fmt cost
 		return Sample{}, fmt.Errorf("wire: sample: %w", err)
 	}
 	if err := s.Validate(); err != nil {
@@ -83,6 +89,8 @@ func UnmarshalSampleBinary(data []byte) (Sample, error) {
 // MarshalOutcomeBinary encodes one outcome as a binary frame, stamping
 // schema versions left at zero and validating first (the same contract
 // as MarshalOutcome).
+//
+//advdiag:hotpath
 func MarshalOutcomeBinary(o Outcome) ([]byte, error) {
 	if o.Schema == 0 {
 		o.Schema = SchemaVersion
@@ -128,9 +136,12 @@ func MarshalOutcomeBinary(o Outcome) ([]byte, error) {
 
 // UnmarshalOutcomeBinary strictly decodes one complete outcome frame
 // (the binary twin of UnmarshalOutcome).
+//
+//advdiag:hotpath
 func UnmarshalOutcomeBinary(data []byte) (Outcome, error) {
 	r, err := openFrame(data, binKindOutcome)
 	if err != nil {
+		//advdiag:allow hot-fmt corrupt-frame error path: a frame that decodes pays no fmt cost
 		return Outcome{}, fmt.Errorf("wire: outcome: %w", err)
 	}
 	var o Outcome
@@ -146,6 +157,7 @@ func UnmarshalOutcomeBinary(data []byte) (Outcome, error) {
 		res := PanelResult{Schema: SchemaVersion, PanelSeconds: r.f64()}
 		n := int(r.u32())
 		if r.err == nil && n > r.remaining()/(3*4+4*8) {
+			//advdiag:allow hot-fmt corrupt-frame error path: a frame that decodes pays no fmt cost
 			r.fail(fmt.Errorf("reading count %d exceeds the remaining payload", n))
 		}
 		if r.err == nil && n > 0 {
@@ -164,11 +176,13 @@ func UnmarshalOutcomeBinary(data []byte) (Outcome, error) {
 		}
 		o.Result = &res
 	default:
+		//advdiag:allow hot-fmt corrupt-frame error path: a frame that decodes pays no fmt cost
 		r.fail(fmt.Errorf("bad result-presence byte"))
 	}
 	o.ScheduledStartSeconds = r.f64()
 	o.WallSeconds = r.f64()
 	if err := r.close(); err != nil {
+		//advdiag:allow hot-fmt corrupt-frame error path: a frame that decodes pays no fmt cost
 		return Outcome{}, fmt.Errorf("wire: outcome: %w", err)
 	}
 	if err := o.Validate(); err != nil {
